@@ -1,0 +1,7 @@
+//! T4: Lemma 4.3 flash simulation. `--quick` shrinks the sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in aem_bench::exp::flash::tables(quick) {
+        t.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! T2: Theorem 3.2 merging experiments. `--quick` shrinks the sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in aem_bench::exp::merge::tables(quick) {
+        t.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! F3: ARAM ≡ (M,1,ω)-AEM. `--quick` shrinks the sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in aem_bench::exp::model::tables(quick) {
+        t.print();
+    }
+}

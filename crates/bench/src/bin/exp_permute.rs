@@ -1,0 +1,7 @@
+//! T5/F2: Theorem 4.5 permuting experiments. `--quick` shrinks the sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in aem_bench::exp::permute::tables(quick) {
+        t.print();
+    }
+}

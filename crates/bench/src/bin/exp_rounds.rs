@@ -1,0 +1,7 @@
+//! T3: Lemma 4.1 round-based overhead. `--quick` shrinks the sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in aem_bench::exp::rounds::tables(quick) {
+        t.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! T1/F1: Theorem 3.2 sorting experiments. `--quick` shrinks the sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in aem_bench::exp::sorting::tables(quick) {
+        t.print();
+    }
+}

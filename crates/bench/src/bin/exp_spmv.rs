@@ -1,0 +1,7 @@
+//! T6/T7: §5 SpMxV experiments. `--quick` shrinks the sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for t in aem_bench::exp::spmv::tables(quick) {
+        t.print();
+    }
+}

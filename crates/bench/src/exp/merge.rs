@@ -1,0 +1,146 @@
+//! T2 — Theorem 3.2's merging primitive: `O(ω(n+m))` reads, `O(n+m)`
+//! writes for one `ωm`-way merge.
+
+use aem_core::sort::{merge_runs, MergeStats};
+use aem_machine::{AemAccess, AemConfig, Cost, Machine, Region};
+use aem_workloads::KeyDist;
+
+use crate::parallel_map;
+use crate::table::{f, Table};
+
+/// Merge `k` pre-sorted runs of `each` elements; return the cost and the
+/// merge statistics (including the measured Lemma 3.1 active-run maximum).
+pub fn run_merge(cfg: AemConfig, k: usize, each: usize, seed: u64) -> (Cost, MergeStats) {
+    let mut m: Machine<u64> = Machine::new(cfg);
+    let regions: Vec<Region> = (0..k)
+        .map(|i| {
+            let mut run = KeyDist::Uniform {
+                seed: seed + i as u64,
+            }
+            .generate(each);
+            run.sort();
+            m.install(&run)
+        })
+        .collect();
+    let (out, stats) = merge_runs(&mut m, &regions).expect("merge");
+    debug_assert_eq!(out.elems, k * each);
+    (m.cost(), stats)
+}
+
+/// All merging tables.
+pub fn tables(quick: bool) -> Vec<Table> {
+    vec![t2_fan_sweep(quick), t2_omega_sweep(quick)]
+}
+
+/// T2a: merging cost vs the number of runs `k` up to the full fan-in.
+pub fn t2_fan_sweep(quick: bool) -> Table {
+    let cfg = AemConfig::new(64, 8, 16).unwrap(); // fan-in = 128
+    let each = if quick { 64 } else { 512 };
+    let ks: Vec<usize> = vec![2, 8, 32, 128];
+    let mut t = Table::new(
+        "T2a",
+        &format!("Thm 3.2 — one k-way merge on {cfg}, runs of {each}"),
+        &[
+            "k",
+            "N",
+            "reads",
+            "writes",
+            "reads / ω(n+m)",
+            "writes / (n+m)",
+            "max active (≤ M̂/B)",
+        ],
+    );
+    let rows = parallel_map(ks, |k| (k, run_merge(cfg, k, each, 10)));
+    let mut ok = true;
+    for (k, (c, stats)) in rows {
+        let total = k * each;
+        let n = cfg.blocks_for(total) as f64;
+        let m = cfg.m() as f64;
+        let rn = c.reads as f64 / (cfg.omega as f64 * (n + m));
+        let wn = c.writes as f64 / (n + m);
+        ok &= rn < 10.0 && wn < 5.0 && stats.max_active <= stats.active_bound;
+        t.row(vec![
+            k.to_string(),
+            total.to_string(),
+            c.reads.to_string(),
+            c.writes.to_string(),
+            f(rn),
+            f(wn),
+            format!("{} (≤ {})", stats.max_active, stats.active_bound),
+        ]);
+    }
+    t.note(format!(
+        "normalized reads and writes stay in a constant band and Lemma 3.1's active-run \
+         bound is never exceeded: {}",
+        if ok { "PASS" } else { "FAIL" }
+    ));
+    t
+}
+
+/// T2b: merging at the full fan-in as `ω` grows (the pointer-array regime
+/// `ωm > M` from ω = 16 on for this configuration).
+pub fn t2_omega_sweep(quick: bool) -> Table {
+    let (mem, b) = (64usize, 8usize);
+    let total = if quick { 1 << 12 } else { 1 << 15 };
+    let omegas: Vec<u64> = vec![1, 4, 16, 64];
+    let mut t = Table::new(
+        "T2b",
+        &format!("Thm 3.2 — full-fan-in merge vs ω at N={total}, M={mem}, B={b}"),
+        &[
+            "ω",
+            "k = ωm",
+            "pointers fit in M?",
+            "reads",
+            "writes",
+            "reads / ω(n+m)",
+            "writes / (n+m)",
+        ],
+    );
+    let rows = parallel_map(omegas, |omega| {
+        let cfg = AemConfig::new(mem, b, omega).unwrap();
+        let k = cfg.fan_in().min(total / 4).max(2);
+        let each = total / k;
+        (omega, cfg, k, run_merge(cfg, k, each, 20).0)
+    });
+    let mut ok = true;
+    for (omega, cfg, k, c) in rows {
+        let n = cfg.blocks_for(k * (total / k)) as f64;
+        let m = cfg.m() as f64;
+        let rn = c.reads as f64 / (omega as f64 * (n + m));
+        let wn = c.writes as f64 / (n + m);
+        ok &= rn < 10.0 && wn < 5.0;
+        t.row(vec![
+            omega.to_string(),
+            k.to_string(),
+            if k <= mem {
+                "yes".into()
+            } else {
+                "NO — external b[i] required".into()
+            },
+            c.reads.to_string(),
+            c.writes.to_string(),
+            f(rn),
+            f(wn),
+        ]);
+    }
+    t.note(format!(
+        "cost bands hold even when the ωm run pointers exceed M: {}",
+        if ok { "PASS" } else { "FAIL" }
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_merge_tables_pass() {
+        for t in tables(true) {
+            assert!(!t.rows.is_empty());
+            for n in &t.notes {
+                assert!(!n.contains("FAIL"), "{}: {}", t.id, n);
+            }
+        }
+    }
+}

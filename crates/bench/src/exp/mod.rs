@@ -1,0 +1,31 @@
+//! Experiment implementations — one module per table/figure family.
+//!
+//! Each module exposes `tables(quick: bool) -> Vec<Table>`; `quick` shrinks
+//! the sweeps for use inside the test suite, the binaries run the full
+//! sizes. All workloads are seeded, all costs exact: tables regenerate
+//! bit-for-bit.
+
+pub mod flash;
+pub mod merge;
+pub mod model;
+pub mod optimality;
+pub mod permute;
+pub mod rounds;
+pub mod sorting;
+pub mod spmv;
+
+use crate::table::Table;
+
+/// Every experiment in DESIGN.md §3 order.
+pub fn all_tables(quick: bool) -> Vec<Table> {
+    let mut out = Vec::new();
+    out.extend(sorting::tables(quick));
+    out.extend(merge::tables(quick));
+    out.extend(rounds::tables(quick));
+    out.extend(flash::tables(quick));
+    out.extend(permute::tables(quick));
+    out.extend(spmv::tables(quick));
+    out.extend(model::tables(quick));
+    out.extend(optimality::tables(quick));
+    out
+}

@@ -1,0 +1,84 @@
+//! F3 — §2's model observation: the `(M, ω)`-ARAM **is** the
+//! `(M, 1, ω)`-AEM.
+//!
+//! The AEM machine at `B = 1` meters exactly the ARAM cost measure
+//! (`Q = Q_r + ωQ_w` over single-element transfers), so every algorithm in
+//! the workspace doubles as an ARAM algorithm. This table runs the sorting
+//! and permuting stack at `B = 1` and reports costs against the ARAM-form
+//! expressions (`log` base `ωM`, since `m = M` at `B = 1`).
+
+use aem_core::permute::permute_auto;
+use aem_core::sort::merge_sort;
+use aem_machine::{AemAccess, AemConfig, Machine};
+use aem_workloads::{KeyDist, PermKind};
+
+use crate::parallel_map;
+use crate::table::{f, Table};
+
+/// All model tables.
+pub fn tables(quick: bool) -> Vec<Table> {
+    vec![f3(quick)]
+}
+
+/// F3: ARAM specialization.
+pub fn f3(quick: bool) -> Table {
+    let mem = 32usize;
+    let n = if quick { 1 << 10 } else { 1 << 13 };
+    let omegas: Vec<u64> = vec![1, 4, 16, 64];
+    let mut t = Table::new(
+        "F3",
+        &format!("§2 — (M,ω)-ARAM ≡ (M,1,ω)-AEM: sorting and permuting at B=1, M={mem}, N={n}"),
+        &[
+            "ω",
+            "Q sort",
+            "Q sort / ωN⌈log_ωM N⌉",
+            "permute strategy",
+            "Q permute",
+        ],
+    );
+    let rows = parallel_map(omegas, |omega| {
+        let cfg = AemConfig::aram(mem, omega).unwrap();
+        assert_eq!(cfg.block, 1);
+        let input = KeyDist::Uniform { seed: 70 }.generate(n);
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(&input);
+        merge_sort(&mut m, r).expect("sort");
+        let q_sort = m.cost().q(omega);
+
+        let pi = PermKind::Random { seed: 71 }.generate(n);
+        let values: Vec<u64> = (0..n as u64).collect();
+        let (run, strategy) = permute_auto(cfg, &values, &pi).expect("permute");
+        (omega, cfg, q_sort, strategy, run.q())
+    });
+    let mut ok = true;
+    for (omega, cfg, q_sort, strategy, q_perm) in rows {
+        let norm = q_sort as f64 / (omega as f64 * n as f64 * cfg.log_fan_in(n as f64).ceil());
+        ok &= norm < 40.0;
+        t.row(vec![
+            omega.to_string(),
+            q_sort.to_string(),
+            f(norm),
+            format!("{strategy:?}"),
+            q_perm.to_string(),
+        ]);
+    }
+    t.note(format!(
+        "at B = 1 the machine reproduces the ARAM accounting (n = N, m = M): {}",
+        if ok { "PASS" } else { "FAIL" }
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f3_passes() {
+        let t = f3(true);
+        assert!(!t.rows.is_empty());
+        for n in &t.notes {
+            assert!(!n.contains("FAIL"), "{}", n);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! T3 — Lemma 4.1: round-based execution costs only a constant factor.
+//!
+//! Every algorithm in the workspace is run twice — on the plain machine
+//! and under the [`RoundBasedMachine`] wrapper (internal memory `2M`,
+//! writes buffered per round, `M'` snapshot/restore charged at round
+//! boundaries) — and the overhead `Q'/Q` is reported, along with the
+//! round count.
+
+use aem_core::permute::by_sort::DestTagged;
+use aem_core::sort::{em_merge_sort, merge_sort};
+use aem_machine::{AemAccess, AemConfig, Machine, Region, RoundBasedMachine};
+use aem_workloads::{KeyDist, PermKind};
+
+use crate::table::{ratio, Table};
+
+/// All round-based tables.
+pub fn tables(quick: bool) -> Vec<Table> {
+    vec![t3(quick)]
+}
+
+/// An algorithm runnable on any machine flavour (the polymorphism
+/// Lemma 4.1 needs: the *same* program, two execution disciplines).
+trait Algo {
+    fn name(&self) -> &'static str;
+    fn run<A: AemAccess<u64>>(&self, machine: &mut A, input: Region) -> Region;
+}
+
+struct AemSort;
+impl Algo for AemSort {
+    fn name(&self) -> &'static str {
+        "§3 AEM mergesort"
+    }
+    fn run<A: AemAccess<u64>>(&self, m: &mut A, r: Region) -> Region {
+        merge_sort(m, r).expect("sort")
+    }
+}
+
+struct EmSort;
+impl Algo for EmSort {
+    fn name(&self) -> &'static str {
+        "EM mergesort"
+    }
+    fn run<A: AemAccess<u64>>(&self, m: &mut A, r: Region) -> Region {
+        em_merge_sort(m, r).expect("sort")
+    }
+}
+
+struct ScanCopy;
+impl Algo for ScanCopy {
+    fn name(&self) -> &'static str {
+        "block scan-copy"
+    }
+    fn run<A: AemAccess<u64>>(&self, m: &mut A, r: Region) -> Region {
+        let out = m.alloc_region(r.elems);
+        for i in 0..r.blocks {
+            let d = m.read_block(r.block(i)).expect("read");
+            m.write_block(out.block(i), d).expect("write");
+        }
+        out
+    }
+}
+
+/// Run an algorithm on both machines; return (Q, Q', rounds, equal).
+fn both<G: Algo>(cfg: AemConfig, input: &[u64], algo: &G) -> (u64, u64, u64, bool) {
+    let mut plain: Machine<u64> = Machine::new(cfg);
+    let r = plain.install(input);
+    let out_p = algo.run(&mut plain, r);
+    let got_p = plain.inspect(out_p);
+    let q = plain.cost().q(cfg.omega);
+
+    let mut rb: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg);
+    let r = rb.install(input);
+    let out_r = algo.run(&mut rb, r);
+    let stats = rb.finish().expect("finish");
+    let got_r = rb.inspect(out_r);
+    (q, stats.cost.q(cfg.omega), stats.rounds, got_p == got_r)
+}
+
+/// T3: the Lemma 4.1 constant, measured.
+pub fn t3(quick: bool) -> Table {
+    let cfg = AemConfig::new(64, 8, 8).unwrap();
+    let n = if quick { 1 << 11 } else { 1 << 14 };
+    let mut t = Table::new(
+        "T3",
+        &format!("Lemma 4.1 — round-based overhead on {cfg}, N={n}"),
+        &[
+            "algorithm",
+            "Q (plain)",
+            "Q' (round-based, 2M)",
+            "Q'/Q",
+            "rounds",
+            "output equal",
+        ],
+    );
+    let input = KeyDist::Uniform { seed: 30 }.generate(n);
+    let mut ok = true;
+
+    let add = |name: &str, q: u64, q2: u64, rounds: u64, equal: bool, t: &mut Table| {
+        t.row(vec![
+            name.to_string(),
+            q.to_string(),
+            q2.to_string(),
+            ratio(q2 as f64, q as f64),
+            rounds.to_string(),
+            equal.to_string(),
+        ]);
+        equal && q2 <= 4 * q
+    };
+
+    let (q, q2, rounds, equal) = both(cfg, &input, &AemSort);
+    ok &= add(AemSort.name(), q, q2, rounds, equal, &mut t);
+    let (q, q2, rounds, equal) = both(cfg, &input, &EmSort);
+    ok &= add(EmSort.name(), q, q2, rounds, equal, &mut t);
+    let (q, q2, rounds, equal) = both(cfg, &input, &ScanCopy);
+    ok &= add(ScanCopy.name(), q, q2, rounds, equal, &mut t);
+
+    // Permuting by sorting runs on a (dest, value)-typed machine.
+    {
+        let pi = PermKind::Random { seed: 31 }.generate(n);
+        let tagged: Vec<DestTagged<u64>> = input
+            .iter()
+            .zip(pi.iter())
+            .map(|(v, &d)| DestTagged {
+                dest: d as u64,
+                value: *v,
+            })
+            .collect();
+        let mut plain: Machine<DestTagged<u64>> = Machine::new(cfg);
+        let r = plain.install(&tagged);
+        let out = merge_sort(&mut plain, r).expect("sort");
+        let got_p: Vec<u64> = plain.inspect(out).into_iter().map(|t| t.value).collect();
+        let q = plain.cost().q(cfg.omega);
+
+        let mut rb: RoundBasedMachine<DestTagged<u64>> = RoundBasedMachine::new(cfg);
+        let r = rb.install(&tagged);
+        let out = merge_sort(&mut rb, r).expect("sort");
+        let stats = rb.finish().expect("finish");
+        let got_r: Vec<u64> = rb.inspect(out).into_iter().map(|t| t.value).collect();
+        ok &= add(
+            "permute by sorting",
+            q,
+            stats.cost.q(cfg.omega),
+            stats.rounds,
+            got_p == got_r,
+            &mut t,
+        );
+    }
+
+    t.note(format!(
+        "all overheads within the Lemma 4.1 constant (≤ 4x) and outputs identical: {}",
+        if ok { "PASS" } else { "FAIL" }
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t3_passes() {
+        let t = t3(true);
+        assert_eq!(t.rows.len(), 4);
+        for n in &t.notes {
+            assert!(!n.contains("FAIL"), "{}", n);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! T6 / T7 — §5: SpMxV upper-bound crossover and the Theorem 5.1 lower
+//! bound.
+
+use aem_core::bounds::spmv as sbounds;
+use aem_core::spmv::{
+    choose_strategy, reference_multiply, spmv_direct, spmv_sorted, SpmvStrategy, U64Ring,
+};
+use aem_machine::AemConfig;
+use aem_workloads::{Conformation, MatrixShape};
+
+use crate::parallel_map;
+use crate::table::{f, Table};
+
+/// All SpMxV tables.
+pub fn tables(quick: bool) -> Vec<Table> {
+    vec![
+        t6_delta_sweep(quick),
+        t6_omega_sweep(quick),
+        t6_big_blocks(quick),
+        t7(quick),
+    ]
+}
+
+/// T6c: the sorting-based algorithm's home turf — large blocks, mild
+/// asymmetry. Direct gathering pays ≈ 2 reads per non-zero regardless of
+/// `B`, while sorting moves whole blocks: `ω·lev/B ≪ 1` flips the winner.
+pub fn t6_big_blocks(quick: bool) -> Table {
+    let (mem, b) = (1024usize, 128usize);
+    let n = if quick { 1024 } else { 4096 };
+    let delta = 2usize;
+    let omegas: Vec<u64> = vec![1, 2, 4, 16, 64];
+    let mut t = Table::new(
+        "T6c",
+        &format!("§5 — SpMxV with large blocks, N={n}, δ={delta}, M={mem}, B={b}"),
+        &[
+            "ω",
+            "Q direct",
+            "Q sorted",
+            "measured winner",
+            "predicted winner",
+        ],
+    );
+    let rows = parallel_map(omegas, |omega| {
+        let cfg = AemConfig::new(mem, b, omega).unwrap();
+        let (conf, a, x) = instance(n, delta, 63);
+        let d = spmv_direct(cfg, &conf, &a, &x).expect("direct");
+        let s = spmv_sorted(cfg, &conf, &a, &x).expect("sorted");
+        (omega, d.q(), s.q(), choose_strategy(cfg, n, delta))
+    });
+    let mut sorted_wins = 0usize;
+    for (omega, dq, sq, predicted) in rows {
+        let measured = if dq <= sq {
+            SpmvStrategy::Direct
+        } else {
+            SpmvStrategy::Sorted
+        };
+        sorted_wins += (measured == SpmvStrategy::Sorted) as usize;
+        t.row(vec![
+            omega.to_string(),
+            dq.to_string(),
+            sq.to_string(),
+            format!("{measured:?}"),
+            format!("{predicted:?}"),
+        ]);
+    }
+    t.note(format!(
+        "with B ≫ ω the sorting-based program wins (it moves blocks, the direct one \
+         moves entries); the crossover appears as ω grows: {}",
+        if sorted_wins > 0 { "PASS" } else { "FAIL" }
+    ));
+    t
+}
+
+fn instance(n: usize, delta: usize, seed: u64) -> (Conformation, Vec<U64Ring>, Vec<U64Ring>) {
+    let conf = Conformation::generate(MatrixShape::Random { seed }, n, delta);
+    let a: Vec<U64Ring> = (0..conf.nnz())
+        .map(|i| U64Ring((i as u64 * 23 + 11) % 127))
+        .collect();
+    let x: Vec<U64Ring> = (0..n).map(|j| U64Ring((j as u64 * 7 + 1) % 31)).collect();
+    (conf, a, x)
+}
+
+/// T6a: direct vs sorting-based cost across the density sweep.
+pub fn t6_delta_sweep(quick: bool) -> Table {
+    let cfg = AemConfig::new(64, 8, 8).unwrap();
+    let n = if quick { 256 } else { 2048 };
+    let deltas: Vec<usize> = if quick {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    };
+    let mut t = Table::new(
+        "T6a",
+        &format!("§5 — SpMxV direct vs sorting-based across δ, N={n}, {cfg}"),
+        &[
+            "δ",
+            "H",
+            "Q direct",
+            "Q sorted",
+            "measured winner",
+            "predicted winner",
+        ],
+    );
+    let rows = parallel_map(deltas, |delta| {
+        let (conf, a, x) = instance(n, delta, 60 + delta as u64);
+        let want = reference_multiply(&conf, &a, &x);
+        let d = spmv_direct(cfg, &conf, &a, &x).expect("direct");
+        let s = spmv_sorted(cfg, &conf, &a, &x).expect("sorted");
+        assert_eq!(d.output, want);
+        assert_eq!(s.output, want);
+        (
+            delta,
+            conf.nnz(),
+            d.q(),
+            s.q(),
+            choose_strategy(cfg, n, delta),
+        )
+    });
+    let mut ok = true;
+    for (delta, h, dq, sq, predicted) in rows {
+        let measured = if dq <= sq {
+            SpmvStrategy::Direct
+        } else {
+            SpmvStrategy::Sorted
+        };
+        ok &= dq > 0 && sq > 0;
+        t.row(vec![
+            delta.to_string(),
+            h.to_string(),
+            dq.to_string(),
+            sq.to_string(),
+            format!("{measured:?}"),
+            format!("{predicted:?}"),
+        ]);
+    }
+    t.note(format!(
+        "both algorithms verified against the reference product on every row: {}",
+        if ok { "PASS" } else { "FAIL" }
+    ));
+    t
+}
+
+/// T6b: the same crossover in `ω` at fixed δ.
+pub fn t6_omega_sweep(quick: bool) -> Table {
+    let (mem, b) = (64usize, 8usize);
+    let n = if quick { 256 } else { 2048 };
+    let delta = 4usize;
+    let omegas: Vec<u64> = vec![1, 4, 16, 64, 256];
+    let mut t = Table::new(
+        "T6b",
+        &format!("§5 — SpMxV direct vs sorting-based across ω, N={n}, δ={delta}, M={mem}, B={b}"),
+        &[
+            "ω",
+            "Q direct",
+            "Q sorted",
+            "sorted/direct",
+            "measured winner",
+        ],
+    );
+    let rows = parallel_map(omegas, |omega| {
+        let cfg = AemConfig::new(mem, b, omega).unwrap();
+        let (conf, a, x) = instance(n, delta, 61);
+        let d = spmv_direct(cfg, &conf, &a, &x).expect("direct");
+        let s = spmv_sorted(cfg, &conf, &a, &x).expect("sorted");
+        (omega, d.q(), s.q())
+    });
+    for (omega, dq, sq) in rows {
+        let measured = if dq <= sq {
+            SpmvStrategy::Direct
+        } else {
+            SpmvStrategy::Sorted
+        };
+        t.row(vec![
+            omega.to_string(),
+            dq.to_string(),
+            sq.to_string(),
+            f(sq as f64 / dq as f64),
+            format!("{measured:?}"),
+        ]);
+    }
+    t.note("the direct O(H + ωn) program is ω-robust; the sorted one pays ω per merge level");
+    t
+}
+
+/// T7: the Theorem 5.1 numeric lower bound vs measured costs, within the
+/// theorem's parameter range.
+pub fn t7(quick: bool) -> Table {
+    let cfg = AemConfig::new(64, 8, 2).unwrap();
+    let n = if quick { 1 << 10 } else { 1 << 13 };
+    let deltas: Vec<usize> = vec![1, 2, 4];
+    let mut t = Table::new(
+        "T7",
+        &format!("Thm 5.1 — SpMxV lower bound vs measured, N={n}, {cfg}"),
+        &[
+            "δ",
+            "in range (ε=0.05)",
+            "Thm 5.1 LB",
+            "asymptotic LB",
+            "Q direct",
+            "Q sorted",
+            "best/LB",
+        ],
+    );
+    let rows = parallel_map(deltas, |delta| {
+        let (conf, a, x) = instance(n, delta, 62 + delta as u64);
+        let d = spmv_direct(cfg, &conf, &a, &x).expect("direct");
+        let s = spmv_sorted(cfg, &conf, &a, &x).expect("sorted");
+        let lb = sbounds::spmv_cost_lower_bound(n as u64, delta as u64, cfg);
+        let asym = sbounds::spmv_lower_bound_asymptotic(n as u64, delta as u64, cfg);
+        let applies = sbounds::theorem_applies(n as u64, delta as u64, cfg, 0.05);
+        (delta, applies, lb, asym, d.q(), s.q())
+    });
+    let mut ok = true;
+    for (delta, applies, lb, asym, dq, sq) in rows {
+        let best = dq.min(sq);
+        // Soundness: the numeric bound may never exceed the best measured
+        // program's cost.
+        ok &= (best as f64) >= lb;
+        t.row(vec![
+            delta.to_string(),
+            applies.to_string(),
+            f(lb),
+            f(asym),
+            dq.to_string(),
+            sq.to_string(),
+            if lb > 0.0 {
+                f(best as f64 / lb)
+            } else {
+                "—".into()
+            },
+        ]);
+    }
+    t.note(format!(
+        "no measured program beats the Theorem 5.1 bound: {}",
+        if ok { "PASS" } else { "FAIL" }
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmv_tables_pass() {
+        for t in tables(true) {
+            assert!(!t.rows.is_empty());
+            for n in &t.notes {
+                assert!(!n.contains("FAIL"), "{}: {}", t.id, n);
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! # `aem-bench` — the experiment harness
+//!
+//! The paper proves bounds instead of plotting measurements, so the
+//! "tables and figures" this harness regenerates are the quantitative
+//! claims of its theorems (see DESIGN.md §3 for the experiment index):
+//!
+//! | Id | Claim | Module |
+//! |----|-------|--------|
+//! | T1/F1 | Thm 3.2 sorting cost; AEM vs EM separation | [`exp::sorting`] |
+//! | T2 | Thm 3.2 merging cost | [`exp::merge`] |
+//! | T3 | Lemma 4.1 round-based overhead | [`exp::rounds`] |
+//! | T4 | Lemma 4.3 flash simulation volume | [`exp::flash`] |
+//! | T5/F2 | Thm 4.5 permuting bound & branch crossover | [`exp::permute`] |
+//! | T6/T7 | §5 SpMxV upper bounds & Thm 5.1 | [`exp::spmv`] |
+//! | F3 | ARAM ≡ (M,1,ω)-AEM | [`exp::model`] |
+//!
+//! Every experiment is deterministic (seeded workloads, exact I/O
+//! metering), so the emitted tables are reproducible bit-for-bit. Each
+//! also has a binary (`cargo run --release --bin exp_*`) and `run_all`
+//! regenerates the data behind `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp;
+pub mod table;
+
+pub use table::Table;
+
+/// Run `f` over `items` on up to `threads` OS threads, preserving input
+/// order. The simulators are single-threaded by design; sweeps are
+/// embarrassingly parallel at the (machine, workload) granularity, which
+/// is where an HPC harness should spend its cores.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let n = items.len();
+    if n <= 1 || threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(work);
+    let out = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let item = { queue.lock().expect("queue").pop() };
+                match item {
+                    Some((i, t)) => {
+                        let r = f(t);
+                        out.lock().expect("slots")[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<i32>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert!(parallel_map(Vec::<i32>::new(), |x| x).is_empty());
+        assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+}

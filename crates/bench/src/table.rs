@@ -1,0 +1,168 @@
+//! Markdown table assembly and printing for the experiment binaries.
+
+/// One experiment table/figure, printable as GitHub-flavoured markdown.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id (e.g. "T5", "F1").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (observations, pass/fail).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&dashes));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {}\n", n));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_markdown());
+    }
+
+    /// Render as CSV (one file's worth: header row then data rows; the id
+    /// and title go into a `#`-prefixed comment line).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = format!("# {} — {}\n", self.id, self.title);
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float ratio compactly.
+pub fn ratio(num: f64, den: f64) -> String {
+    if den == 0.0 {
+        return "—".to_string();
+    }
+    format!("{:.2}", num / den)
+}
+
+/// Format a float compactly.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-2 {
+        format!("{:.3e}", x)
+    } else {
+        format!("{:.1}", x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("T0", "demo", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("note here");
+        let md = t.to_markdown();
+        assert!(md.contains("### T0 — demo"));
+        assert!(md.contains("| a | bbbb |"));
+        assert!(md.contains("> note here"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("T0", "demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new("T0", "demo", &["a", "b"]);
+        t.row(vec!["1,5".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# T0 — demo\n"));
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(12.34), "12.3");
+        assert_eq!(ratio(1.0, 0.0), "—");
+        assert_eq!(ratio(3.0, 2.0), "1.50");
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal `--key value` argument parsing (no external dependency; the
+//! workspace's allowed-crates policy keeps the CLI surface tiny anyway).
+
+use std::collections::HashMap;
+
+/// Parsed arguments: a subcommand plus `--key value` options and bare
+/// `--flag` switches.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag token).
+    pub command: Option<String>,
+    opts: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of argument tokens (excluding `argv[0]`).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty option name '--'".into());
+                }
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        out.opts.insert(key.to_string(), v);
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                return Err(format!("unexpected positional argument '{tok}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(|s| s.as_str())
+    }
+
+    /// A parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.opts.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: '{v}'")),
+        }
+    }
+
+    /// A bare `--flag`.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = Args::parse(toks("sort --n 1000 --algo aem --verbose")).unwrap();
+        assert_eq!(a.command.as_deref(), Some("sort"));
+        assert_eq!(a.get("n"), Some("1000"));
+        assert_eq!(a.get("algo"), Some("aem"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_and_typed_parsing() {
+        let a = Args::parse(toks("sort --n 42")).unwrap();
+        assert_eq!(a.get_or("n", 7usize).unwrap(), 42);
+        assert_eq!(a.get_or("mem", 64usize).unwrap(), 64);
+        assert!(a.get_or::<usize>("n", 0).is_ok());
+        let b = Args::parse(toks("sort --n xyz")).unwrap();
+        assert!(b.get_or::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn rejects_stray_positionals_and_empty_options() {
+        assert!(Args::parse(toks("sort extra")).is_err());
+        assert!(Args::parse(toks("sort --")).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = Args::parse(toks("x --a --b 3")).unwrap();
+        assert!(a.flag("a"));
+        assert_eq!(a.get("b"), Some("3"));
+    }
+
+    #[test]
+    fn no_command() {
+        let a = Args::parse(toks("--help")).unwrap();
+        assert_eq!(a.command, None);
+        assert!(a.flag("help"));
+    }
+}

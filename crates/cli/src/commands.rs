@@ -1,0 +1,517 @@
+//! `aemsim` subcommand implementations. Each returns its report as a
+//! `String` so the handlers are unit-testable without capturing stdout.
+
+use aem_core::bounds::{flash as fbounds, permute as pbounds, spmv as sbounds};
+use aem_core::permute::{permute_auto, permute_by_sort, permute_naive};
+use aem_core::relational::{group_aggregate, sort_merge_join, Tuple};
+use aem_core::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort};
+use aem_core::spmv::{reference_multiply, spmv_direct, spmv_sorted, U64Ring};
+use aem_flash::driver::naive_atom_permutation;
+use aem_flash::verify_lemma_4_3;
+use aem_machine::{AemAccess, AemConfig, Cost, Machine};
+use aem_workloads::{perm, Conformation, KeyDist, MatrixShape, PermKind};
+
+use crate::args::Args;
+
+/// Parse the shared machine options (`--mem --block --omega`).
+pub fn machine_config(args: &Args) -> Result<AemConfig, String> {
+    let mem = args.get_or("mem", 1024usize)?;
+    let block = args.get_or("block", 64usize)?;
+    let omega = args.get_or("omega", 16u64)?;
+    AemConfig::new(mem, block, omega).map_err(|e| e.to_string())
+}
+
+fn key_dist(args: &Args, seed: u64) -> Result<KeyDist, String> {
+    Ok(match args.get("dist").unwrap_or("uniform") {
+        "uniform" => KeyDist::Uniform { seed },
+        "sorted" => KeyDist::Sorted,
+        "reversed" => KeyDist::Reversed,
+        "few-distinct" => KeyDist::FewDistinct { distinct: 16, seed },
+        "organ-pipe" => KeyDist::OrganPipe,
+        other => return Err(format!("unknown --dist '{other}'")),
+    })
+}
+
+fn perm_kind(args: &Args, n: usize, seed: u64) -> Result<PermKind, String> {
+    Ok(match args.get("kind").unwrap_or("random") {
+        "random" => PermKind::Random { seed },
+        "identity" => PermKind::Identity,
+        "reverse" => PermKind::Reverse,
+        "bit-reversal" => {
+            if !n.is_power_of_two() {
+                return Err("--kind bit-reversal requires a power-of-two --n".into());
+            }
+            PermKind::BitReversal
+        }
+        "transpose" => {
+            let rows = args.get_or("rows", (n as f64).sqrt() as usize)?;
+            if rows == 0 || n % rows != 0 {
+                return Err("--kind transpose requires --rows dividing --n".into());
+            }
+            PermKind::Transpose { rows }
+        }
+        other => return Err(format!("unknown --kind '{other}'")),
+    })
+}
+
+fn cost_line(label: &str, cost: Cost, omega: u64) -> String {
+    format!(
+        "{label:<24} {: >10} reads  {: >10} writes  Q = {}\n",
+        cost.reads,
+        cost.writes,
+        cost.q(omega)
+    )
+}
+
+/// `aemsim sort` — run one (or all) sorter on a generated workload.
+pub fn cmd_sort(args: &Args) -> Result<String, String> {
+    let cfg = machine_config(args)?;
+    let n = args.get_or("n", 100_000usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let input = key_dist(args, seed)?.generate(n);
+    let algo = args.get("algo").unwrap_or("all");
+
+    let mut out = format!(
+        "machine: {cfg}\nworkload: sort N={n} ({})\n\n",
+        args.get("dist").unwrap_or("uniform")
+    );
+    let mut run = |name: &str, which: &str| -> Result<(), String> {
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(&input);
+        let sorted = match which {
+            "aem" => merge_sort(&mut m, r),
+            "em" => em_merge_sort(&mut m, r),
+            "dist" => distribution_sort(&mut m, r),
+            "heap" => heap_sort(&mut m, r),
+            _ => unreachable!(),
+        }
+        .map_err(|e| e.to_string())?;
+        let got = m.inspect(sorted);
+        if !got.windows(2).all(|w| w[0] <= w[1]) || got.len() != n {
+            return Err(format!("{name}: output verification failed"));
+        }
+        out.push_str(&cost_line(name, m.cost(), cfg.omega));
+        Ok(())
+    };
+    match algo {
+        "all" => {
+            run("AEM mergesort (§3)", "aem")?;
+            run("EM mergesort", "em")?;
+            run("distribution sort", "dist")?;
+            run("heapsort (ext. PQ)", "heap")?;
+        }
+        "aem" | "em" | "dist" | "heap" => run(algo, algo)?,
+        other => return Err(format!("unknown --algo '{other}' (aem|em|dist|heap|all)")),
+    }
+    let lb = pbounds::permute_cost_lower_bound(n as u64, cfg);
+    out.push_str(&format!(
+        "\nThm 4.5 lower bound (applies to sorting): {lb:.0}\n"
+    ));
+    Ok(out)
+}
+
+/// `aemsim permute` — run the permuting strategies and compare with bounds.
+pub fn cmd_permute(args: &Args) -> Result<String, String> {
+    let cfg = machine_config(args)?;
+    let n = args.get_or("n", 65_536usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let kind = perm_kind(args, n, seed)?;
+    let pi = kind.generate(n);
+    let values: Vec<u64> = (0..n as u64).collect();
+    let want = perm::apply(&pi, &values);
+
+    let mut out = format!(
+        "machine: {cfg}\nworkload: permute N={n} ({})\n\n",
+        kind.label()
+    );
+    let naive = permute_naive(cfg, &values, &pi).map_err(|e| e.to_string())?;
+    if naive.output != want {
+        return Err("naive: verification failed".into());
+    }
+    out.push_str(&cost_line("naive gather", naive.cost, cfg.omega));
+    let sort = permute_by_sort(cfg, &values, &pi).map_err(|e| e.to_string())?;
+    if sort.output != want {
+        return Err("by-sort: verification failed".into());
+    }
+    out.push_str(&cost_line("by sorting (§3)", sort.cost, cfg.omega));
+    let (auto, strategy) = permute_auto(cfg, &values, &pi).map_err(|e| e.to_string())?;
+    out.push_str(&cost_line(
+        &format!("auto → {strategy:?}"),
+        auto.cost,
+        cfg.omega,
+    ));
+
+    let lb = pbounds::permute_cost_lower_bound(n as u64, cfg);
+    let branch = pbounds::active_branch(n as u64, cfg);
+    let flash = fbounds::flash_reduction_cost_bound(n as u64, cfg);
+    out.push_str(&format!(
+        "\nThm 4.5 counting bound: {lb:.0} (active branch: {branch:?}); best measured/bound = {:.1}\n",
+        naive.q().min(sort.q()) as f64 / lb.max(1.0)
+    ));
+    if flash > 0.0 {
+        out.push_str(&format!("Cor 4.4 flash-reduction bound: {flash:.0}\n"));
+    }
+    Ok(out)
+}
+
+/// `aemsim spmv` — run both SpMxV programs on a generated conformation.
+pub fn cmd_spmv(args: &Args) -> Result<String, String> {
+    let cfg = machine_config(args)?;
+    let n = args.get_or("n", 4096usize)?;
+    let delta = args.get_or("delta", 4usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let shape = match args.get("shape").unwrap_or("random") {
+        "random" => MatrixShape::Random { seed },
+        "banded" => MatrixShape::Banded {
+            bandwidth: args.get_or("bandwidth", 4 * delta)?,
+            seed,
+        },
+        "block-diagonal" => MatrixShape::BlockDiagonal {
+            block: args.get_or("mblock", (2 * delta).max(8))?,
+            seed,
+        },
+        other => return Err(format!("unknown --shape '{other}'")),
+    };
+    let conf = Conformation::generate(shape, n, delta);
+    let a: Vec<U64Ring> = (0..conf.nnz())
+        .map(|i| U64Ring((i as u64 * 37 + 1) % 97))
+        .collect();
+    let x: Vec<U64Ring> = (0..n).map(|j| U64Ring((j as u64 * 13 + 5) % 89)).collect();
+    let want = reference_multiply(&conf, &a, &x);
+
+    let mut out = format!(
+        "machine: {cfg}\nworkload: SpMxV {n}x{n}, δ={delta} (H={}), {} conformation\n\n",
+        conf.nnz(),
+        args.get("shape").unwrap_or("random")
+    );
+    let d = spmv_direct(cfg, &conf, &a, &x).map_err(|e| e.to_string())?;
+    if d.output != want {
+        return Err("direct: verification failed".into());
+    }
+    out.push_str(&cost_line("direct O(H + ωn)", d.cost, cfg.omega));
+    let s = spmv_sorted(cfg, &conf, &a, &x).map_err(|e| e.to_string())?;
+    if s.output != want {
+        return Err("sorted: verification failed".into());
+    }
+    out.push_str(&cost_line("sorting-based (§5)", s.cost, cfg.omega));
+
+    let lb = sbounds::spmv_cost_lower_bound(n as u64, delta as u64, cfg);
+    let applies = sbounds::theorem_applies(n as u64, delta as u64, cfg, 0.05);
+    out.push_str(&format!(
+        "\nThm 5.1 bound: {lb:.0} (parameter range {}); best measured/bound = {}\n",
+        if applies {
+            "satisfied"
+        } else {
+            "NOT satisfied — bound informational"
+        },
+        if lb > 0.0 {
+            format!("{:.1}", d.q().min(s.q()) as f64 / lb)
+        } else {
+            "—".into()
+        },
+    ));
+    Ok(out)
+}
+
+/// `aemsim bounds` — print every bound value for a parameter point.
+pub fn cmd_bounds(args: &Args) -> Result<String, String> {
+    let cfg = machine_config(args)?;
+    let n = args.get_or("n", 1u64 << 20)?;
+    let delta = args.get_or("delta", 8u64)?;
+    let cb = pbounds::counting_rounds(n, cfg);
+    let mut out = format!("machine: {cfg}, N = {n}\n\n");
+    out.push_str(&format!(
+        "permuting/sorting (Thm 4.5):\n  counting rounds R ≥ {} (target ln = {:.1}, per-round ln = {:.1})\n  cost ≥ {:.0} (round-based, this config); ≥ {:.0} (any program)\n  asymptotic form min{{N, ωn·log_ωm n}} = {:.0} (branch: {:?})\n",
+        cb.rounds,
+        cb.target_ln,
+        cb.per_round_ln,
+        cb.cost,
+        pbounds::permute_cost_lower_bound(n, cfg),
+        pbounds::permute_lower_bound_asymptotic(n, cfg),
+        pbounds::active_branch(n, cfg),
+    ));
+    let fl = fbounds::flash_reduction_cost_bound(n, cfg);
+    out.push_str(&format!(
+        "\nflash reduction (Cor 4.4): {}\n",
+        if fl > 0.0 {
+            format!("{fl:.0}")
+        } else {
+            "vacuous here (needs B > ω)".into()
+        }
+    ));
+    out.push_str(&format!(
+        "\nSpMxV (Thm 5.1) at δ = {delta}:\n  numeric bound = {:.0}\n  asymptotic min{{H, ωh·log_ωm N/max{{δ,B}}}} = {:.0}\n  parameter range ωδMB ≤ N^0.95: {}\n",
+        sbounds::spmv_cost_lower_bound(n, delta, cfg),
+        sbounds::spmv_lower_bound_asymptotic(n, delta, cfg),
+        sbounds::theorem_applies(n, delta, cfg, 0.05),
+    ));
+    Ok(out)
+}
+
+/// `aemsim lemma43` — run the flash-model reduction end to end.
+pub fn cmd_lemma43(args: &Args) -> Result<String, String> {
+    let cfg = machine_config(args)?;
+    let n = args.get_or("n", 4096usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let pi = PermKind::Random { seed }.generate(n);
+    let (prog, _) = naive_atom_permutation(cfg, &pi).map_err(|e| e.to_string())?;
+    if !prog.realizes(&pi) {
+        return Err("atom program failed to realize pi".into());
+    }
+    let report = verify_lemma_4_3(&prog.program, cfg).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "machine: {cfg}\nAEM program: Q = {} ({} reads, {} writes)\nflash program: {} sector reads, {} big writes\nvolume = {} ≤ bound 2N + 2QB/ω = {}  ({:.0}% of bound)\nlayout verified against the AEM program ✓\n",
+        report.aem_q,
+        report.aem_cost.reads,
+        report.aem_cost.writes,
+        report.sector_reads,
+        report.big_writes,
+        report.flash_volume,
+        report.volume_bound,
+        100.0 * report.flash_volume as f64 / report.volume_bound as f64,
+    ))
+}
+
+/// `aemsim join` — sort-merge join two generated relations and aggregate.
+pub fn cmd_join(args: &Args) -> Result<String, String> {
+    let cfg = machine_config(args)?;
+    let n_left = args.get_or("left", 20_000usize)?;
+    let n_right = args.get_or("right", 5_000usize)?;
+    let keys = args.get_or("keys", 1_000u64)?;
+    let seed = args.get_or("seed", 1u64)?;
+
+    let left: Vec<Tuple<u64>> = KeyDist::Zipf {
+        distinct: keys,
+        s_x10: 11,
+        seed,
+    }
+    .generate(n_left)
+    .into_iter()
+    .enumerate()
+    .map(|(i, k)| Tuple {
+        key: k,
+        payload: i as u64,
+    })
+    .collect();
+    let right: Vec<Tuple<u64>> = (0..n_right as u64)
+        .map(|i| Tuple {
+            key: i % keys,
+            payload: i,
+        })
+        .collect();
+
+    let mut m: Machine<Tuple<u64>> = Machine::new(cfg);
+    let (lr, rr) = (m.install(&right), m.install(&left));
+    // Unique-ish side left (buffered per key); skewed side streamed.
+    let joined =
+        sort_merge_join(&mut m, lr, rr, |a: &u64, b: &u64| a ^ b).map_err(|e| e.to_string())?;
+    let join_cost = m.cost();
+    let grouped =
+        group_aggregate(&mut m, joined, |acc: u64, _x: &u64| acc + 1).map_err(|e| e.to_string())?;
+    let groups = grouped.elems;
+    let cost = m.cost();
+
+    Ok(format!(
+        "machine: {cfg}\n\
+         workload: {n_left} zipf tuples ⋈ {n_right} tuples on {keys} keys, then COUNT(*) GROUP BY key\n\n\
+         join:  {} reads, {} writes, Q = {}\n\
+         total (join+group): Q = {} across {groups} groups\n\
+         (write-lean: both operators sort with the §3 mergesort)\n",
+        join_cost.reads,
+        join_cost.writes,
+        join_cost.q(cfg.omega),
+        cost.q(cfg.omega),
+    ))
+}
+
+/// `aemsim trace` — record an algorithm's I/O trace and report its
+/// structure (the §2 program view of an execution).
+pub fn cmd_trace(args: &Args) -> Result<String, String> {
+    use aem_machine::rounds::{round_based_cost, round_decompose};
+    let cfg = machine_config(args)?;
+    let n = args.get_or("n", 16_384usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let input = key_dist(args, seed)?.generate(n);
+    let algo = args.get("algo").unwrap_or("aem");
+
+    let mut m: Machine<u64> = Machine::new(cfg);
+    let r = m.install(&input);
+    m.start_trace();
+    match algo {
+        "aem" => drop(merge_sort(&mut m, r).map_err(|e| e.to_string())?),
+        "em" => drop(em_merge_sort(&mut m, r).map_err(|e| e.to_string())?),
+        "dist" => drop(distribution_sort(&mut m, r).map_err(|e| e.to_string())?),
+        "heap" => drop(heap_sort(&mut m, r).map_err(|e| e.to_string())?),
+        other => return Err(format!("unknown --algo '{other}' (aem|em|dist|heap)")),
+    }
+    let trace = m.take_trace().ok_or("no trace recorded")?;
+    let stats = trace.stats();
+    let rounds = round_decompose(&trace, cfg);
+    let q = trace.cost().q(cfg.omega);
+    let q_rb = round_based_cost(&trace, cfg).q(cfg.omega);
+
+    Ok(format!(
+        "machine: {cfg}\n\
+         program: {algo} sort of N={n} ({} events)\n\n\
+         data I/O:   {} reads, {} writes\n\
+         aux  I/O:   {} reads, {} writes  ({:.1}% of all I/O)\n\
+         distinct blocks read: {}; max re-reads of one block: {}\n\
+         I/O volume: {} elements\n\n\
+         Q = {}\n\
+         ωm-rounds (greedy decomposition): {}\n\
+         Lemma 4.1 round-based conversion cost: {} ({:.2}x)\n",
+        trace.len(),
+        stats.data_reads,
+        stats.data_writes,
+        stats.aux_reads,
+        stats.aux_writes,
+        100.0 * stats.aux_fraction(),
+        stats.distinct_blocks_read,
+        stats.max_rereads,
+        stats.volume,
+        q,
+        rounds.len(),
+        q_rb,
+        q_rb as f64 / q.max(1) as f64,
+    ))
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "aemsim — the (M, B, ω)-Asymmetric External Memory simulator
+(reproduction of Jacob & Sitchinava, SPAA 2017)
+
+USAGE: aemsim <command> [--key value]...
+
+COMMANDS
+  sort      run sorters        --n --dist --algo aem|em|dist|heap|all
+  permute   run permuters      --n --kind random|identity|reverse|transpose|bit-reversal
+  spmv      run SpMxV          --n --delta --shape random|banded|block-diagonal
+  bounds    evaluate bounds    --n --delta
+  join      relational ops     --left --right --keys
+  trace     record + analyze   --n --algo aem|em|dist|heap
+  lemma43   flash reduction    --n
+
+MACHINE OPTIONS (all commands)
+  --mem M      internal memory in elements   (default 1024)
+  --block B    block size in elements        (default 64)
+  --omega W    write/read cost ratio         (default 16)
+  --seed S     workload seed                 (default 1)
+"
+    .to_string()
+}
+
+/// Dispatch a parsed command line.
+pub fn dispatch(args: &Args) -> Result<String, String> {
+    if args.flag("help") {
+        return Ok(usage());
+    }
+    match args.command.as_deref() {
+        Some("sort") => cmd_sort(args),
+        Some("permute") => cmd_permute(args),
+        Some("spmv") => cmd_spmv(args),
+        Some("bounds") => cmd_bounds(args),
+        Some("join") => cmd_join(args),
+        Some("trace") => cmd_trace(args),
+        Some("lemma43") => cmd_lemma43(args),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{}", usage())),
+        None => Ok(usage()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &str) -> Result<String, String> {
+        let args = Args::parse(line.split_whitespace().map(String::from)).expect("parse");
+        dispatch(&args)
+    }
+
+    #[test]
+    fn sort_all_small() {
+        let out = run("sort --n 2000 --mem 64 --block 8 --omega 8").unwrap();
+        assert!(out.contains("AEM mergesort"));
+        assert!(out.contains("heapsort"));
+        assert!(out.contains("lower bound"));
+    }
+
+    #[test]
+    fn sort_single_algo_and_dists() {
+        for d in [
+            "uniform",
+            "sorted",
+            "reversed",
+            "few-distinct",
+            "organ-pipe",
+        ] {
+            let out = run(&format!(
+                "sort --n 500 --mem 64 --block 8 --algo aem --dist {d}"
+            ))
+            .unwrap();
+            assert!(out.contains("Q ="), "{d}");
+        }
+        assert!(run("sort --algo nope --n 10 --mem 64 --block 8").is_err());
+        assert!(run("sort --dist nope --n 10 --mem 64 --block 8").is_err());
+    }
+
+    #[test]
+    fn permute_kinds() {
+        for k in ["random", "identity", "reverse"] {
+            let out = run(&format!("permute --n 1024 --mem 64 --block 8 --kind {k}")).unwrap();
+            assert!(out.contains("counting bound"), "{k}");
+        }
+        let out = run("permute --n 1024 --mem 64 --block 8 --kind bit-reversal").unwrap();
+        assert!(out.contains("bit-reversal"));
+        let out = run("permute --n 1024 --mem 64 --block 8 --kind transpose --rows 32").unwrap();
+        assert!(out.contains("transpose"));
+        assert!(run("permute --n 1000 --mem 64 --block 8 --kind bit-reversal").is_err());
+    }
+
+    #[test]
+    fn spmv_shapes() {
+        for s in ["random", "banded", "block-diagonal"] {
+            let out = run(&format!(
+                "spmv --n 128 --delta 2 --mem 64 --block 8 --shape {s}"
+            ))
+            .unwrap();
+            assert!(out.contains("Thm 5.1"), "{s}");
+        }
+    }
+
+    #[test]
+    fn bounds_report() {
+        let out = run("bounds --n 1048576 --mem 1024 --block 64 --omega 32").unwrap();
+        assert!(out.contains("counting rounds"));
+        assert!(out.contains("Thm 5.1"));
+    }
+
+    #[test]
+    fn join_report() {
+        let out = run("join --left 2000 --right 500 --keys 100 --mem 256 --block 16").unwrap();
+        assert!(out.contains("groups"));
+        assert!(out.contains("Q ="));
+    }
+
+    #[test]
+    fn trace_report() {
+        let out = run("trace --n 2048 --mem 64 --block 8 --omega 32 --algo aem").unwrap();
+        assert!(out.contains("ωm-rounds"));
+        assert!(out.contains("aux  I/O"));
+        assert!(run("trace --algo nope --n 10 --mem 64 --block 8").is_err());
+    }
+
+    #[test]
+    fn lemma43_report() {
+        let out = run("lemma43 --n 512 --mem 64 --block 16 --omega 4").unwrap();
+        assert!(out.contains("layout verified"));
+        assert!(out.contains("% of bound"));
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        let out = run("").unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(run("bogus").is_err());
+    }
+}

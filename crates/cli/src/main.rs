@@ -1,0 +1,26 @@
+//! `aemsim` — command-line driver for the AEM workspace.
+//!
+//! Run `aemsim` with no arguments for usage. Every subcommand configures an
+//! enforcing `(M, B, ω)`-AEM machine, generates a seeded workload, runs the
+//! relevant algorithms with exact I/O metering, verifies their outputs, and
+//! reports measured costs next to the paper's bounds.
+
+mod args;
+mod commands;
+
+fn main() {
+    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

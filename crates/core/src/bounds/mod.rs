@@ -1,0 +1,32 @@
+//! Numeric evaluation of every bound in the paper.
+//!
+//! The paper's lower bounds are counting arguments; this module evaluates
+//! them *exactly* (in log-space, with certified rounding direction) so that
+//! experiments can plot `measured cost / lower bound` and the test suite
+//! can assert that **no implemented algorithm ever beats a lower bound** —
+//! the strongest cross-validation a reproduction of a lower-bounds paper
+//! can offer.
+//!
+//! * [`math`] — log-space combinatorics (`ln n!`, `ln C(n,k)`) with error
+//!   direction guarantees.
+//! * [`av88`] — the classical Aggarwal–Vitter sorting/permuting bounds the
+//!   paper builds on (reference \[1\]).
+//! * [`permute`] — Theorem 4.5: the §4.2 counting inequality (1) evaluated
+//!   numerically, plus the asymptotic form `Ω(min{N, ω n log_{ωm} n})`.
+//! * [`flash`] — Corollary 4.4: the bound obtained through the Lemma 4.3
+//!   flash-model reduction.
+//! * [`spmv`] — Theorem 5.1: the SpMxV bound with the `τ(N, δ, B)` table.
+//! * [`predict`] — closed-form *upper*-bound predictors for the implemented
+//!   algorithms (used for strategy selection and measured-vs-predicted
+//!   assertions).
+//! * [`exhaustive`] — Dijkstra over the full move-semantics state space:
+//!   the *provably optimal* program cost for tiny instances, sandwiched
+//!   between the counting bound and the algorithms in experiment T8.
+
+pub mod av88;
+pub mod exhaustive;
+pub mod flash;
+pub mod math;
+pub mod permute;
+pub mod predict;
+pub mod spmv;

@@ -1,0 +1,246 @@
+//! Closed-form cost predictors for the implemented algorithms.
+//!
+//! These mirror the accounting of each implementation (not just the
+//! asymptotic forms): they drive strategy selection in
+//! [`crate::permute::permute_auto`] and [`crate::spmv::spmv_auto`], and the
+//! test suites assert `measured ≤ predicted` (the predictors are
+//! worst-case) plus `predicted ≤ c · measured` on adversarial inputs (so
+//! they are not vacuous).
+
+use aem_machine::{AemConfig, Cost};
+
+/// Predicted worst-case cost of [`crate::sort::small_sort()`] on `n_elems`
+/// elements: `⌈N'/C⌉` scans of `n'` blocks, one write per output block.
+pub fn small_sort_cost(cfg: AemConfig, n_elems: usize) -> Cost {
+    if n_elems == 0 {
+        return Cost::ZERO;
+    }
+    let b = cfg.block;
+    let cap = ((cfg.memory - b) / b).max(1) * b;
+    let passes = n_elems.div_ceil(cap) as u64;
+    let blocks = cfg.blocks_for(n_elems) as u64;
+    Cost {
+        reads: passes * blocks,
+        writes: blocks,
+    }
+}
+
+/// Predicted worst-case cost of one [`crate::sort::merge_runs()`] call
+/// merging `k` runs of `total` elements.
+pub fn merge_cost(cfg: AemConfig, total: usize, k: usize) -> Cost {
+    if total == 0 {
+        return Cost::ZERO;
+    }
+    let b = cfg.block;
+    let mhat = ((cfg.memory / 2) / b).max(1) * b;
+    let rounds = total.div_ceil(mhat) as u64;
+    let n_blocks = cfg.blocks_for(total) as u64;
+    let ptr_blocks = (k as u64).div_ceil(b as u64);
+    let k = k as u64;
+    // Per round: pointer stream twice, ≤ 2k seed reads, k activation
+    // reads, ≤ M̂/B wasted merge-loop reads, pointer-update reads; plus
+    // every data block is fully consumed (read usefully) once overall.
+    let reads = rounds * (3 * k + 3 * ptr_blocks + (mhat / b) as u64) + n_blocks;
+    // Output writes, pointer initialization, dirty pointer writes (≤ one
+    // per consumed block overall, and ≤ ptr_blocks per round).
+    let writes = n_blocks + ptr_blocks + n_blocks.min(rounds * ptr_blocks) + 1;
+    Cost { reads, writes }
+}
+
+/// Predicted worst-case cost of the §3 mergesort
+/// ([`crate::sort::merge_sort()`]) at the given fan-in (pass
+/// `cfg.fan_in()` for the paper's `d = ωm`).
+pub fn merge_sort_cost_with_fan_in(cfg: AemConfig, n_elems: usize, fan_in: usize) -> Cost {
+    if n_elems == 0 {
+        return Cost::ZERO;
+    }
+    let d = fan_in.clamp(2, cfg.fan_in());
+    let omega = usize::try_from(cfg.omega).unwrap_or(usize::MAX);
+    let base = omega
+        .saturating_mul((cfg.memory / 2).max(cfg.block))
+        .div_ceil(cfg.block)
+        .saturating_mul(cfg.block);
+
+    if n_elems <= base {
+        return small_sort_cost(cfg, n_elems);
+    }
+    let mut runs = n_elems.div_ceil(base);
+    let mut cost = Cost::ZERO;
+    // Base level: `runs` small sorts of ≈ base elements (the last smaller;
+    // upper-bound with full size). Closed-form scaling keeps the predictor
+    // O(log N) even at N ~ 2^40, where per-run loops would crawl.
+    let per_run = small_sort_cost(cfg, base.min(n_elems));
+    cost += scale(per_run, runs as u64);
+    // Merge levels.
+    while runs > 1 {
+        let groups = runs.div_ceil(d);
+        let per_group = n_elems.div_ceil(groups);
+        cost += scale(merge_cost(cfg, per_group, d.min(runs)), groups as u64);
+        runs = groups;
+    }
+    cost
+}
+
+/// Multiply a cost by a count (saturating; predictors must not wrap at
+/// astronomical parameter points).
+fn scale(c: Cost, k: u64) -> Cost {
+    Cost {
+        reads: c.reads.saturating_mul(k),
+        writes: c.writes.saturating_mul(k),
+    }
+}
+
+/// Predicted worst-case cost of [`crate::sort::merge_sort()`].
+pub fn merge_sort_cost(cfg: AemConfig, n_elems: usize) -> Cost {
+    merge_sort_cost_with_fan_in(cfg, n_elems, cfg.fan_in())
+}
+
+/// Predicted cost of the classical EM mergesort baseline
+/// ([`crate::sort::em_merge_sort()`]): `n` reads and `n` writes per level.
+pub fn em_sort_cost(cfg: AemConfig, n_elems: usize) -> Cost {
+    if n_elems == 0 {
+        return Cost::ZERO;
+    }
+    let n_blocks = cfg.blocks_for(n_elems) as u64;
+    let fan_in = (cfg.m() - 1).max(2);
+    let mut runs = cfg.blocks_for(n_elems).div_ceil(cfg.m());
+    let mut levels = 1u64; // base formation level
+    while runs > 1 {
+        runs = runs.div_ceil(fan_in);
+        levels += 1;
+    }
+    Cost {
+        reads: n_blocks * levels,
+        writes: n_blocks * levels,
+    }
+}
+
+/// Predicted worst-case cost of [`crate::permute::permute_naive`]: one
+/// read per element (no locality assumed), one write per output block.
+pub fn permute_naive_cost(cfg: AemConfig, n_elems: usize) -> Cost {
+    Cost {
+        reads: n_elems as u64,
+        writes: cfg.blocks_for(n_elems) as u64,
+    }
+}
+
+/// Predicted worst-case cost of [`crate::permute::permute_by_sort`].
+pub fn permute_by_sort_cost(cfg: AemConfig, n_elems: usize) -> Cost {
+    merge_sort_cost(cfg, n_elems)
+}
+
+/// Predicted worst-case cost of the direct SpMxV algorithm
+/// ([`crate::spmv::spmv_direct`]): up to two reads per non-zero (entry
+/// block and `x` block, no locality assumed), one write per output block.
+pub fn spmv_direct_cost(cfg: AemConfig, n: usize, delta: usize) -> Cost {
+    let h = n * delta;
+    Cost {
+        reads: 2 * h as u64,
+        writes: cfg.blocks_for(n) as u64,
+    }
+}
+
+/// Predicted worst-case cost of the sorting-based SpMxV algorithm
+/// ([`crate::spmv::spmv_sorted`]): the product scan, `δ` meta-column
+/// sorts of `≈ N` entries each, the `⌈log δ⌉`-level merge-add, and the
+/// dense output emission.
+pub fn spmv_sorted_cost(cfg: AemConfig, n: usize, delta: usize) -> Cost {
+    if n == 0 || delta == 0 {
+        return Cost::ZERO;
+    }
+    let h = n * delta;
+    let h_blocks = cfg.blocks_for(h) as u64;
+    let n_blocks = cfg.blocks_for(n) as u64;
+    // Product scan: read A and x, write tagged products (one partial block
+    // per meta-column).
+    let mut cost = Cost {
+        reads: h_blocks + n_blocks,
+        writes: h_blocks + delta as u64,
+    };
+    // Meta-column sorts: δ sorts of ⌈H/δ⌉ ≈ N entries.
+    let per_meta = h.div_ceil(delta);
+    cost += scale(merge_sort_cost(cfg, per_meta), delta as u64);
+    // Merge-add levels with streaming fan-in m − 2.
+    let fan_in = cfg.m().saturating_sub(2).max(2);
+    let mut lists = delta;
+    while lists > 1 {
+        cost += Cost {
+            reads: h_blocks + lists as u64,
+            writes: h_blocks + lists as u64,
+        };
+        lists = lists.div_ceil(fan_in);
+    }
+    // Dense output emission.
+    cost += Cost {
+        reads: h_blocks,
+        writes: n_blocks,
+    };
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AemConfig {
+        AemConfig::new(32, 4, 8).unwrap()
+    }
+
+    #[test]
+    fn zero_inputs_cost_zero() {
+        assert_eq!(small_sort_cost(cfg(), 0), Cost::ZERO);
+        assert_eq!(merge_cost(cfg(), 0, 5), Cost::ZERO);
+        assert_eq!(merge_sort_cost(cfg(), 0), Cost::ZERO);
+        assert_eq!(em_sort_cost(cfg(), 0), Cost::ZERO);
+        assert_eq!(spmv_sorted_cost(cfg(), 0, 0), Cost::ZERO);
+    }
+
+    #[test]
+    fn merge_sort_predictor_scales_superlinearly_but_gently() {
+        let c = cfg();
+        let q1 = merge_sort_cost(c, 1 << 12).q(c.omega);
+        let q2 = merge_sort_cost(c, 1 << 14).q(c.omega);
+        assert!(q2 > q1 * 3, "4x data should cost > 3x");
+        assert!(q2 < q1 * 16, "...but far less than quadratic");
+    }
+
+    #[test]
+    fn writes_do_not_scale_with_omega() {
+        let n = 1 << 14;
+        let w1 = merge_sort_cost(AemConfig::new(32, 4, 1).unwrap(), n).writes;
+        let w64 = merge_sort_cost(AemConfig::new(32, 4, 64).unwrap(), n).writes;
+        assert!(w64 <= w1);
+    }
+
+    #[test]
+    fn em_sort_reads_equal_writes() {
+        let c = em_sort_cost(cfg(), 1 << 14);
+        assert_eq!(c.reads, c.writes);
+    }
+
+    #[test]
+    fn naive_permute_is_linear() {
+        let c = permute_naive_cost(cfg(), 1000);
+        assert_eq!(c.reads, 1000);
+        assert_eq!(c.writes, 250);
+    }
+
+    #[test]
+    fn spmv_direct_vs_sorted_crossover_in_omega() {
+        // With ω = 1 sorting wins for small δ & large N; with huge ω the
+        // direct algorithm's write-lean profile... also sorts fewer levels.
+        // At minimum, both predictors must be finite and positive.
+        for omega in [1u64, 16, 256] {
+            let c = AemConfig::new(64, 8, omega).unwrap();
+            let d = spmv_direct_cost(c, 1 << 14, 4).q(omega);
+            let s = spmv_sorted_cost(c, 1 << 14, 4).q(omega);
+            assert!(d > 0 && s > 0, "omega={omega}");
+        }
+    }
+
+    #[test]
+    fn base_case_matches_small_sort() {
+        let c = cfg(); // base = ω·M/2 = 8·16 = 128
+        assert_eq!(merge_sort_cost(c, 100), small_sort_cost(c, 100));
+    }
+}

@@ -1,0 +1,171 @@
+//! Theorem 5.1: the SpMxV lower bound in the semiring model, evaluated
+//! numerically.
+//!
+//! Setting: an `N × N` matrix with exactly `δ` non-zeros per column
+//! (`H = δN` total), stored column-major; the program multiplies it by the
+//! all-ones vector (so atoms are partial row sums). Backward-counting over
+//! round-based programs yields, for `B > 2`, `M > 4B`,
+//! `ω·δ·M·B ≤ N^{1−ε}`:
+//!
+//! ```text
+//!                    δN · ln( N/max{3δ, 2eB} · B/(eωM) )
+//! Q  ≥  ─────────────────────────────────────────────────────────
+//!        2·ln H + (B/ω)·ln(eωM/B) + (B/(ωM))·ln H
+//! ```
+//!
+//! matching the sorting-based upper bound
+//! `O(ω h log_{ωm} N/max{δ, B})` (the Ω's other branch, `Ω(H)`, applies
+//! when the first denominator term dominates).
+//!
+//! The `τ(N, δ, B)` normalization (input-order freedom within blocks,
+//! following Bender et al. \[5\]) is folded into the numerator's
+//! `max{3δ, 2eB}` exactly as in the paper's final display.
+
+use aem_machine::AemConfig;
+
+/// The `τ(N, δ, B)` function of Bender et al. \[5\] (given here in `ln`
+/// form): the number of matrix conformations indistinguishable after
+/// normalizing the order of atoms within input blocks.
+pub fn ln_tau(n: u64, delta: u64, b: u64) -> f64 {
+    let (n, delta, b) = (n as f64, delta as f64, b as f64);
+    if b < delta {
+        (3.0f64).ln() * delta * n // τ = 3^{δN}
+    } else if b == delta {
+        0.0 // τ = 1
+    } else {
+        delta * n * (2.0 * std::f64::consts::E * b / delta).ln() // τ = (2eB/δ)^{δN}
+    }
+}
+
+/// Whether the theorem's parameter assumption `ω·δ·M·B ≤ N^{1−ε}` holds
+/// (with the caller's `ε`), together with `B > 2`, `M > 4B`.
+pub fn theorem_applies(n: u64, delta: u64, cfg: AemConfig, epsilon: f64) -> bool {
+    let lhs = cfg.omega as f64 * delta as f64 * cfg.memory as f64 * cfg.block as f64;
+    cfg.block > 2 && cfg.memory > 4 * cfg.block && lhs <= (n as f64).powf(1.0 - epsilon)
+}
+
+/// The Theorem 5.1 cost lower bound (the paper's final display), clamped
+/// at zero. Returns 0 when the logarithm in the numerator is non-positive
+/// (the bound is vacuous outside the theorem's parameter range).
+pub fn spmv_cost_lower_bound(n: u64, delta: u64, cfg: AemConfig) -> f64 {
+    if n == 0 || delta == 0 {
+        return 0.0;
+    }
+    let h = (delta * n) as f64;
+    let (nf, deltaf) = (n as f64, delta as f64);
+    let (bf, mf, wf) = (cfg.block as f64, cfg.memory as f64, cfg.omega as f64);
+    let e = std::f64::consts::E;
+
+    let inner = nf / (3.0 * deltaf).max(2.0 * e * bf) * bf / (e * wf * mf);
+    if inner <= 1.0 {
+        return 0.0;
+    }
+    let numerator = deltaf * nf * inner.ln();
+    let denominator = 2.0 * h.ln() + (bf / wf) * (e * wf * mf / bf).ln() + bf / (wf * mf) * h.ln();
+    (numerator / denominator).max(0.0)
+}
+
+/// The asymptotic form: `min{H, ω h log_{ωm} N/max{δ, B}}` (raw
+/// expression).
+pub fn spmv_lower_bound_asymptotic(n: u64, delta: u64, cfg: AemConfig) -> f64 {
+    if n == 0 || delta == 0 {
+        return 0.0;
+    }
+    let h = delta * n;
+    let h_blocks = cfg.blocks_for(h as usize) as f64;
+    let arg = n as f64 / (delta.max(cfg.block as u64) as f64);
+    let sortish = cfg.omega as f64 * h_blocks * cfg.log_fan_in(arg);
+    (h as f64).min(sortish)
+}
+
+/// The sorting-based upper bound expression of §5 (for plots):
+/// `ω h log_{ωm} N/max{δ, B} + ωn`.
+pub fn spmv_upper_bound_asymptotic(n: u64, delta: u64, cfg: AemConfig) -> f64 {
+    if n == 0 || delta == 0 {
+        return 0.0;
+    }
+    let h = delta * n;
+    let h_blocks = cfg.blocks_for(h as usize) as f64;
+    let n_blocks = cfg.blocks_for(n as usize) as f64;
+    let arg = n as f64 / (delta.max(cfg.block as u64) as f64);
+    cfg.omega as f64 * (h_blocks * cfg.log_fan_in(arg) + n_blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(mem: usize, b: usize, omega: u64) -> AemConfig {
+        AemConfig::new(mem, b, omega).unwrap()
+    }
+
+    #[test]
+    fn tau_cases() {
+        // B < δ: 3^{δN}.
+        assert!((ln_tau(10, 4, 3) - (3.0f64).ln() * 40.0).abs() < 1e-9);
+        // B = δ: 1.
+        assert_eq!(ln_tau(10, 4, 4), 0.0);
+        // B > δ: (2eB/δ)^{δN}, positive.
+        assert!(ln_tau(10, 2, 16) > 0.0);
+    }
+
+    #[test]
+    fn applicability_gate() {
+        let c = cfg(64, 4, 2);
+        assert!(theorem_applies(1 << 30, 2, c, 0.1));
+        assert!(!theorem_applies(1 << 10, 1 << 9, c, 0.1));
+        // B must exceed 2 and M must exceed 4B.
+        assert!(!theorem_applies(1 << 30, 2, cfg(4, 2, 2), 0.1));
+    }
+
+    #[test]
+    fn bound_positive_in_theorem_range() {
+        let c = cfg(64, 8, 2);
+        let n = 1u64 << 24;
+        assert!(theorem_applies(n, 2, c, 0.05));
+        assert!(spmv_cost_lower_bound(n, 2, c) > 0.0);
+    }
+
+    #[test]
+    fn bound_vacuous_when_inner_log_collapses() {
+        // ωM huge relative to N: numerator log goes non-positive.
+        let c = cfg(1 << 20, 8, 1 << 20);
+        assert_eq!(spmv_cost_lower_bound(1 << 10, 2, c), 0.0);
+    }
+
+    #[test]
+    fn bound_monotone_in_n() {
+        let c = cfg(64, 8, 2);
+        let a = spmv_cost_lower_bound(1 << 20, 2, c);
+        let b = spmv_cost_lower_bound(1 << 24, 2, c);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn lower_below_upper() {
+        // Internal consistency of the asymptotic pair on a grid.
+        for delta in [1u64, 2, 8, 64] {
+            for omega in [1u64, 4, 16] {
+                let c = cfg(64, 8, omega);
+                let n = 1u64 << 20;
+                let lo = spmv_lower_bound_asymptotic(n, delta, c);
+                let hi = spmv_upper_bound_asymptotic(n, delta, c);
+                assert!(lo <= hi + 1e-6, "delta={delta} omega={omega}: {lo} > {hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_bound_below_direct_upper_bound() {
+        // The direct algorithm costs ≤ 2H + ωn + n (reads per entry plus
+        // output); the lower bound must respect it.
+        for delta in [1u64, 2, 4] {
+            let c = cfg(64, 8, 2);
+            let n = 1u64 << 22;
+            let h = delta * n;
+            let direct = 2.0 * h as f64 + (c.omega as f64 + 1.0) * (n / 8) as f64;
+            let lb = spmv_cost_lower_bound(n, delta, c);
+            assert!(lb <= direct, "delta={delta}: lb {lb} vs direct {direct}");
+        }
+    }
+}

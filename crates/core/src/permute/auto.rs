@@ -1,0 +1,96 @@
+//! Cost-model-driven strategy selection: the operational `min{·,·}`.
+//!
+//! Theorem 4.5's bound is `Ω(min{N, ω n log_{ωm} n})` because a program may
+//! choose, per instance, between moving atoms individually and sorting.
+//! [`permute_auto`] evaluates the closed-form predicted cost of both
+//! implemented strategies (see [`crate::bounds::predict`]) and runs the
+//! cheaper one; experiment F2 verifies the predicted crossover against
+//! measured costs across the `(ω, B)` grid.
+
+use aem_machine::{AemConfig, Result};
+
+use super::{by_sort::permute_by_sort, naive::permute_naive, PermuteRun};
+use crate::bounds::predict;
+
+/// Which permuting strategy the cost model selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PermuteStrategy {
+    /// Direct per-element gather (`≤ N + ωn`).
+    Naive,
+    /// Destination-tag sorting (`O(ω n log_{ωm} n)`).
+    BySort,
+}
+
+/// Predict which strategy is cheaper for `n_elems` under `cfg`.
+pub fn choose_strategy(cfg: AemConfig, n_elems: usize) -> PermuteStrategy {
+    let naive = predict::permute_naive_cost(cfg, n_elems).q(cfg.omega) as f64;
+    let sort = predict::merge_sort_cost(cfg, n_elems).q(cfg.omega) as f64;
+    if naive <= sort {
+        PermuteStrategy::Naive
+    } else {
+        PermuteStrategy::BySort
+    }
+}
+
+/// Permute with the predicted-cheaper strategy; returns the run outcome and
+/// the choice made.
+pub fn permute_auto<T: Clone>(
+    cfg: AemConfig,
+    values: &[T],
+    pi: &[usize],
+) -> Result<(PermuteRun<T>, PermuteStrategy)> {
+    let strategy = choose_strategy(cfg, values.len());
+    let run = match strategy {
+        PermuteStrategy::Naive => permute_naive(cfg, values, pi)?,
+        PermuteStrategy::BySort => permute_by_sort(cfg, values, pi)?,
+    };
+    Ok((run, strategy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aem_workloads::perm::{apply, PermKind};
+
+    #[test]
+    fn auto_is_correct_either_way() {
+        for cfg in [
+            AemConfig::new(16, 4, 1).unwrap(),
+            AemConfig::new(16, 4, 256).unwrap(),
+        ] {
+            let pi = PermKind::Random { seed: 1 }.generate(500);
+            let values: Vec<u64> = (0..500).collect();
+            let (run, _) = permute_auto(cfg, &values, &pi).unwrap();
+            assert_eq!(run.output, apply(&pi, &values));
+        }
+    }
+
+    #[test]
+    fn huge_omega_prefers_naive() {
+        // With ω enormous, writes dominate; both strategies write n blocks
+        // at minimum, but sorting writes n per level — naive must win.
+        let cfg = AemConfig::new(16, 4, 1 << 20).unwrap();
+        assert_eq!(choose_strategy(cfg, 1 << 14), PermuteStrategy::Naive);
+    }
+
+    #[test]
+    fn big_block_small_omega_prefers_sort() {
+        // ω = 1, large B: sorting costs ~ n log n ≪ N + n.
+        let cfg = AemConfig::new(1 << 14, 1 << 10, 1).unwrap();
+        assert_eq!(choose_strategy(cfg, 1 << 22), PermuteStrategy::BySort);
+    }
+
+    #[test]
+    fn auto_never_loses_to_both() {
+        // The chosen strategy's measured cost is never worse than the other
+        // one's measured cost by more than the predictor's slack.
+        let cfg = AemConfig::new(16, 4, 8).unwrap();
+        let pi = PermKind::Random { seed: 2 }.generate(1024);
+        let values: Vec<u64> = (0..1024).collect();
+        let (run, _) = permute_auto(cfg, &values, &pi).unwrap();
+        let naive = super::super::naive::permute_naive(cfg, &values, &pi).unwrap();
+        let sort = super::super::by_sort::permute_by_sort(cfg, &values, &pi).unwrap();
+        let best = naive.q().min(sort.q());
+        assert!(run.q() <= 2 * best, "auto {} vs best {}", run.q(), best);
+    }
+}

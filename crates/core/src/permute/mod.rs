@@ -1,0 +1,53 @@
+//! Permuting in the `(M, B, ω)`-AEM model (§4 of the paper).
+//!
+//! The task: `N` elements lie in `n = ⌈N/B⌉` consecutive blocks; a fixed
+//! permutation `π` (known to the *program* — §2's program/algorithm
+//! distinction) must be realized in external memory.
+//!
+//! Theorem 4.5 lower-bounds any program by `Ω(min{N, ω n log_{ωm} n})`, and
+//! the two classical upper-bound strategies match it (for the parameter
+//! ranges discussed in the paper):
+//!
+//! * [`naive::permute_naive`] — gather each output block directly:
+//!   ≤ `N` reads and `n` writes, total `≤ N + ωn`. Wins when moving atoms
+//!   one-by-one beats sorting, i.e. when `N ≤ ω n log_{ωm} n`.
+//! * [`by_sort::permute_by_sort`] — tag each element with its destination
+//!   and run the §3 mergesort on the tags: `O(ω n log_{ωm} n)`.
+//! * [`auto::permute_auto`] — evaluate both predicted costs and run the
+//!   cheaper strategy, which is how the `min{·,·}` in the bound is realized
+//!   operationally.
+//! * [`transpose`] — the classical structured permutation, with a tiled
+//!   single-pass algorithm that beats general permuting whenever a `B × B`
+//!   tile fits in memory (the lower bound still applies; structure buys
+//!   the `log` factor back).
+
+pub mod auto;
+pub mod by_sort;
+pub mod naive;
+pub mod transpose;
+
+pub use auto::{choose_strategy, permute_auto, PermuteStrategy};
+pub use by_sort::{permute_by_sort, DestTagged};
+pub use naive::permute_naive;
+pub use transpose::{transpose_auto, transpose_tiled};
+
+use aem_machine::{AemConfig, Cost};
+
+/// Outcome of running one permutation workload end-to-end on a fresh
+/// machine: the realized output and the exact metered cost.
+#[derive(Debug, Clone)]
+pub struct PermuteRun<T> {
+    /// The permuted values (output position order).
+    pub output: Vec<T>,
+    /// Exact I/O cost of the program.
+    pub cost: Cost,
+    /// The configuration it ran under.
+    pub cfg: AemConfig,
+}
+
+impl<T> PermuteRun<T> {
+    /// AEM cost `Q = Q_r + ω·Q_w` of the run.
+    pub fn q(&self) -> u64 {
+        self.cost.q(self.cfg.omega)
+    }
+}

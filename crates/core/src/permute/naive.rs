@@ -1,0 +1,168 @@
+//! Naive (direct-gather) permuting: `≤ N + 1` reads, `n` writes.
+//!
+//! For each output block in order, the program reads the source block of
+//! every element destined for it (the *program* knows `π`, so no searching
+//! is involved), assembles the block in internal memory, and writes it once.
+//! Consecutive gathers from the same source block share a single read.
+//!
+//! Cost: at most `N` reads (exactly one per element in the worst case,
+//! fewer when `π` has block locality) plus `n` writes — `Q ≤ N + ωn`.
+//! When `ω ≤ B` this is `O(N)`, the left branch of the Theorem 4.5 bound
+//! `Ω(min{N, ω n log_{ωm} n})`; experiment F2 maps where it wins.
+
+use aem_machine::{AemAccess, Machine, MachineError, Region, Result};
+use aem_workloads::perm;
+
+use super::PermuteRun;
+
+/// Permute `input` (already installed) according to `pi` on an existing
+/// machine: output position `pi[i]` receives the element at input position
+/// `i`. Returns the output region.
+pub fn permute_naive_on<T, A>(machine: &mut A, input: Region, pi: &[usize]) -> Result<Region>
+where
+    T: Clone,
+    A: AemAccess<T>,
+{
+    if pi.len() != input.elems {
+        return Err(MachineError::InvalidConfig(
+            "pi length must match input length",
+        ));
+    }
+    let b = machine.cfg().block;
+    let out = machine.alloc_region(input.elems);
+    if input.elems == 0 {
+        return Ok(out);
+    }
+    // inv[p] = source position of output position p. Deriving it is part of
+    // the program's structure (free), not data movement.
+    let inv = perm::invert(pi);
+
+    let mut cur_block: Option<(usize, Vec<T>)> = None; // (block index, contents)
+    for ob in 0..out.blocks {
+        let len = out.elems_in_block(ob, b);
+        let mut buf: Vec<T> = Vec::with_capacity(len);
+        for t in 0..len {
+            let src = inv[ob * b + t];
+            let sb = src / b;
+            let reload = match &cur_block {
+                Some((idx, _)) => *idx != sb,
+                None => true,
+            };
+            if reload {
+                if let Some((_, old)) = cur_block.take() {
+                    machine.discard(old.len())?;
+                }
+                cur_block = Some((sb, machine.read_block(input.block(sb))?));
+            }
+            let (_, data) = cur_block.as_ref().expect("just loaded");
+            // Copy the one element we need; its budget slot is accounted to
+            // the loaded block until that block is swapped out, and to the
+            // output buffer from here on.
+            buf.push(data[src % b].clone());
+            machine.reserve(1)?;
+        }
+        machine.write_block(out.block(ob), buf)?;
+    }
+    if let Some((_, old)) = cur_block.take() {
+        machine.discard(old.len())?;
+    }
+    Ok(out)
+}
+
+/// Run the naive permuter as a complete workload on a fresh machine:
+/// install `values`, permute by `pi`, inspect and return the output and the
+/// metered cost.
+pub fn permute_naive<T: Clone>(
+    cfg: aem_machine::AemConfig,
+    values: &[T],
+    pi: &[usize],
+) -> Result<PermuteRun<T>> {
+    let mut machine: Machine<T> = Machine::new(cfg);
+    let input = machine.install(values);
+    let out = permute_naive_on(&mut machine, input, pi)?;
+    Ok(PermuteRun {
+        output: machine.inspect(out),
+        cost: machine.cost(),
+        cfg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aem_machine::AemConfig;
+    use aem_workloads::perm::{apply, PermKind};
+
+    fn check(kind: PermKind, n: usize, cfg: AemConfig) {
+        let pi = kind.generate(n);
+        let values: Vec<u64> = (1000..1000 + n as u64).collect();
+        let run = permute_naive(cfg, &values, &pi).unwrap();
+        assert_eq!(run.output, apply(&pi, &values), "{}", kind.label());
+    }
+
+    #[test]
+    fn realizes_all_families() {
+        let cfg = AemConfig::new(16, 4, 4).unwrap();
+        for kind in [
+            PermKind::Identity,
+            PermKind::Reverse,
+            PermKind::Random { seed: 1 },
+            PermKind::Transpose { rows: 16 },
+            PermKind::BitReversal,
+            PermKind::Stride { stride: 9 },
+        ] {
+            check(kind, 256, cfg);
+        }
+    }
+
+    #[test]
+    fn cost_bounded_by_n_plus_writes() {
+        let cfg = AemConfig::new(16, 4, 16).unwrap();
+        let n = 512;
+        let pi = PermKind::Random { seed: 2 }.generate(n);
+        let values: Vec<u64> = (0..n as u64).collect();
+        let run = permute_naive(cfg, &values, &pi).unwrap();
+        let n_blocks = cfg.blocks_for(n) as u64;
+        assert!(run.cost.reads <= n as u64);
+        assert_eq!(run.cost.writes, n_blocks);
+        assert!(run.q() <= n as u64 + cfg.omega * n_blocks);
+    }
+
+    #[test]
+    fn identity_costs_one_read_per_block() {
+        // Full block locality: the gather degenerates to a scan.
+        let cfg = AemConfig::new(16, 4, 4).unwrap();
+        let n = 128;
+        let pi = PermKind::Identity.generate(n);
+        let values: Vec<u64> = (0..n as u64).collect();
+        let run = permute_naive(cfg, &values, &pi).unwrap();
+        assert_eq!(run.cost.reads, cfg.blocks_for(n) as u64);
+        assert_eq!(run.cost.writes, cfg.blocks_for(n) as u64);
+    }
+
+    #[test]
+    fn partial_tail_block() {
+        let cfg = AemConfig::new(16, 4, 2).unwrap();
+        check(PermKind::Random { seed: 3 }, 13, cfg);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cfg = AemConfig::new(16, 4, 2).unwrap();
+        let run = permute_naive::<u64>(cfg, &[], &[]).unwrap();
+        assert!(run.output.is_empty());
+        assert_eq!(run.cost, aem_machine::Cost::ZERO);
+    }
+
+    #[test]
+    fn mismatched_pi_rejected() {
+        let cfg = AemConfig::new(16, 4, 2).unwrap();
+        assert!(permute_naive(cfg, &[1u64, 2], &[0]).is_err());
+    }
+
+    #[test]
+    fn works_at_block_size_one() {
+        let cfg = AemConfig::aram(8, 4).unwrap();
+        check(PermKind::Random { seed: 4 }, 40, cfg);
+    }
+}

@@ -1,0 +1,385 @@
+//! Relational operators on the AEM machine: sort-merge join and grouped
+//! aggregation.
+//!
+//! Write-limited sorts and joins for persistent memory are one of the
+//! application drivers the paper cites (Viglas, VLDB '14 — reference
+//! \[17\]). These operators compose the workspace's write-lean sorting
+//! with streaming passes, so their write counts inherit the §3 mergesort's
+//! `O(n log_{ωm} n)` instead of the symmetric `O(n log_m n)`:
+//!
+//! * [`sort_merge_join`] — equi-join of two relations: sort both by key
+//!   (§3 mergesort), then a streaming merge pass emitting matches.
+//!   Duplicate keys are supported; each duplicate *group* of the smaller
+//!   side must fit in memory (the standard block-nested refinement is
+//!   out of scope and documented).
+//! * [`group_aggregate`] — sort by key, then one streaming pass folding
+//!   each group with a caller-supplied semigroup operation.
+//!
+//! Tuples are atoms: a [`Tuple`] carries a key and an opaque payload, and
+//! orders by `(key, payload-independent tags)` through the same tagged
+//! machinery as the rest of the workspace.
+
+use aem_machine::{AemAccess, Region, Result};
+
+use crate::sort::merge_sort;
+
+/// A relation tuple: a join key plus an opaque payload. Ordered by key
+/// alone (ties broken by the §3 merge's positional tags, so sorting is
+/// stable and deterministic).
+#[derive(Debug, Clone)]
+pub struct Tuple<P> {
+    /// The join/grouping key.
+    pub key: u64,
+    /// The payload carried through the operator.
+    pub payload: P,
+}
+
+impl<P> PartialEq for Tuple<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<P> Eq for Tuple<P> {}
+impl<P> PartialOrd for Tuple<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Tuple<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A streaming cursor over a sorted region of tuples.
+struct Cursor<P> {
+    region: Region,
+    blk: usize,
+    off: usize,
+    data: Vec<Tuple<P>>,
+}
+
+impl<P: Clone> Cursor<P> {
+    fn new(region: Region) -> Self {
+        Self {
+            region,
+            blk: 0,
+            off: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Current tuple, loading blocks as needed; `None` at end.
+    fn peek<A: AemAccess<Tuple<P>>>(&mut self, m: &mut A) -> Result<Option<&Tuple<P>>> {
+        loop {
+            if self.off < self.data.len() {
+                // (Borrow-checker friendly re-borrow.)
+                return Ok(self.data.get(self.off));
+            }
+            if !self.data.is_empty() {
+                m.discard(self.data.len())?;
+                self.data.clear();
+            }
+            if self.blk >= self.region.blocks {
+                return Ok(None);
+            }
+            self.data = m.read_block(self.region.block(self.blk))?;
+            self.blk += 1;
+            self.off = 0;
+        }
+    }
+
+    /// Advance past the current tuple.
+    fn advance(&mut self) {
+        self.off += 1;
+    }
+
+    fn finish<A: AemAccess<Tuple<P>>>(self, m: &mut A) -> Result<()> {
+        // The whole resident block stays charged until retired, regardless
+        // of how much of it was consumed (consumed tuples were copies).
+        if !self.data.is_empty() {
+            m.discard(self.data.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Equi-join two relations (already installed as regions of [`Tuple`]s).
+/// Returns the region of joined tuples, whose payloads are produced by
+/// `combine(left_payload, right_payload)` and whose key is the join key.
+///
+/// Duplicate keys produce the full cross product per key; the *left*
+/// group of each duplicated key is buffered in internal memory and must
+/// fit alongside the streaming buffers (`group ≤ M − 3B`), otherwise
+/// [`aem_machine::MachineError::InternalOverflow`] is returned — the
+/// honest cost of skew, surfaced instead of hidden.
+pub fn sort_merge_join<P, Q, R, A, F>(
+    machine: &mut A,
+    left: Region,
+    right: Region,
+    mut combine: F,
+) -> Result<Region>
+where
+    P: Clone,
+    Q: Clone,
+    R: Clone,
+    A: AemAccess<Tuple<P>> + AemAccess<Tuple<Q>> + AemAccess<Tuple<R>>,
+    F: FnMut(&P, &Q) -> R,
+{
+    let b = AemAccess::<Tuple<P>>::cfg(machine).block;
+    // Sort both sides by key with the write-lean mergesort.
+    let left = merge_sort::<Tuple<P>, A>(machine, left)?;
+    let right = merge_sort::<Tuple<Q>, A>(machine, right)?;
+
+    // Output is appended block-wise into a growable chain of regions (its
+    // size is not known in advance).
+    let mut out_chunks: Vec<Region> = Vec::new();
+    let mut out_buf: Vec<Tuple<R>> = Vec::with_capacity(b);
+    let mut emitted = 0usize;
+    let flush = |m: &mut A, buf: &mut Vec<Tuple<R>>, chunks: &mut Vec<Region>| -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let region = AemAccess::<Tuple<R>>::alloc_region(m, buf.len());
+        m.write_block(region.block(0), std::mem::take(buf))?;
+        chunks.push(region);
+        Ok(())
+    };
+
+    let mut lc: Cursor<P> = Cursor::new(left);
+    let mut rc: Cursor<Q> = Cursor::new(right);
+
+    loop {
+        let lk_opt = lc.peek(machine)?.map(|t| t.key);
+        let rk_opt = rc.peek(machine)?.map(|t| t.key);
+        let (Some(lk), Some(rk)) = (lk_opt, rk_opt) else {
+            break;
+        };
+        if lk < rk {
+            lc.advance();
+        } else if rk < lk {
+            rc.advance();
+        } else {
+            // Buffer the left group for key lk.
+            let mut group: Vec<P> = Vec::new();
+            while let Some(t) = lc.peek(machine)? {
+                if t.key != lk {
+                    break;
+                }
+                group.push(t.payload.clone());
+                AemAccess::<Tuple<P>>::reserve(machine, 1)?; // buffered copy
+                lc.advance();
+            }
+            // Stream the right group against it.
+            while let Some(t) = rc.peek(machine)? {
+                if t.key != lk {
+                    break;
+                }
+                for lp in &group {
+                    let joined = Tuple {
+                        key: lk,
+                        payload: combine(lp, &t.payload),
+                    };
+                    AemAccess::<Tuple<R>>::reserve(machine, 1)?;
+                    emitted += 1;
+                    out_buf.push(joined);
+                    if out_buf.len() == b {
+                        flush(machine, &mut out_buf, &mut out_chunks)?;
+                    }
+                }
+                rc.advance();
+            }
+            AemAccess::<Tuple<P>>::discard(machine, group.len())?;
+        }
+    }
+    flush(machine, &mut out_buf, &mut out_chunks)?;
+    lc.finish(machine)?;
+    rc.finish(machine)?;
+
+    // Concatenate chunks into one dense region (single extra pass).
+    let out = AemAccess::<Tuple<R>>::alloc_region(machine, emitted);
+    let mut blk = 0usize;
+    let mut carry: Vec<Tuple<R>> = Vec::with_capacity(b);
+    for chunk in out_chunks {
+        for id in chunk.iter() {
+            let data: Vec<Tuple<R>> = machine.read_block(id)?;
+            for t in data {
+                carry.push(t);
+                if carry.len() == b {
+                    machine.write_block(out.block(blk), std::mem::take(&mut carry))?;
+                    blk += 1;
+                }
+            }
+        }
+    }
+    if !carry.is_empty() {
+        machine.write_block(out.block(blk), carry)?;
+    }
+    Ok(out)
+}
+
+/// Group tuples by key and fold each group's payloads with `fold`
+/// (starting from the group's first payload). Returns one tuple per
+/// distinct key, in key order.
+pub fn group_aggregate<P, A, F>(machine: &mut A, input: Region, mut fold: F) -> Result<Region>
+where
+    P: Clone,
+    A: AemAccess<Tuple<P>>,
+    F: FnMut(P, &P) -> P,
+{
+    let b = AemAccess::<Tuple<P>>::cfg(machine).block;
+    let sorted = merge_sort::<Tuple<P>, A>(machine, input)?;
+
+    let scratch = AemAccess::<Tuple<P>>::alloc_region(machine, sorted.elems);
+    let mut cur: Option<Tuple<P>> = None;
+    let mut out_buf: Vec<Tuple<P>> = Vec::with_capacity(b);
+    let mut blk = 0usize;
+    let mut emitted = 0usize;
+    for id in sorted.iter() {
+        let data: Vec<Tuple<P>> = machine.read_block(id)?;
+        for t in data {
+            match &mut cur {
+                Some(acc) if acc.key == t.key => {
+                    // Two atoms combine into one.
+                    acc.payload = fold(acc.payload.clone(), &t.payload);
+                    machine.discard(1)?;
+                }
+                Some(_) => {
+                    let done = cur.replace(t).expect("checked");
+                    emitted += 1;
+                    out_buf.push(done);
+                    if out_buf.len() == b {
+                        machine.write_block(scratch.block(blk), std::mem::take(&mut out_buf))?;
+                        blk += 1;
+                    }
+                }
+                None => cur = Some(t),
+            }
+        }
+    }
+    if let Some(done) = cur.take() {
+        emitted += 1;
+        out_buf.push(done);
+    }
+    if !out_buf.is_empty() {
+        machine.write_block(scratch.block(blk), out_buf)?;
+        blk += 1;
+    }
+    Ok(Region {
+        first: scratch.first,
+        blocks: blk,
+        elems: emitted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aem_machine::{AemConfig, Machine};
+
+    fn cfg() -> AemConfig {
+        AemConfig::new(64, 8, 8).unwrap()
+    }
+
+    fn tuples(pairs: &[(u64, u64)]) -> Vec<Tuple<u64>> {
+        pairs
+            .iter()
+            .map(|&(key, payload)| Tuple { key, payload })
+            .collect()
+    }
+
+    #[test]
+    fn join_matches_nested_loop_reference() {
+        let left: Vec<(u64, u64)> = (0..200).map(|i| (i % 37, i)).collect();
+        let right: Vec<(u64, u64)> = (0..150).map(|i| (i % 23, 1000 + i)).collect();
+
+        let mut m: Machine<Tuple<u64>> = Machine::new(cfg());
+        let lr = m.install(&tuples(&left));
+        let rr = m.install(&tuples(&right));
+        let out = sort_merge_join(&mut m, lr, rr, |a: &u64, b: &u64| a * 10_000 + b).unwrap();
+        let mut got: Vec<(u64, u64)> = m
+            .inspect(out)
+            .into_iter()
+            .map(|t| (t.key, t.payload))
+            .collect();
+        got.sort();
+
+        let mut want: Vec<(u64, u64)> = Vec::new();
+        for &(lk, lp) in &left {
+            for &(rk, rp) in &right {
+                if lk == rk {
+                    want.push((lk, lp * 10_000 + rp));
+                }
+            }
+        }
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(m.internal_used(), 0, "no leaked budget");
+    }
+
+    #[test]
+    fn join_with_no_matches_is_empty() {
+        let mut m: Machine<Tuple<u64>> = Machine::new(cfg());
+        let lr = m.install(&tuples(&[(1, 10), (3, 30)]));
+        let rr = m.install(&tuples(&[(2, 20), (4, 40)]));
+        let out = sort_merge_join(&mut m, lr, rr, |a: &u64, b: &u64| a + b).unwrap();
+        assert_eq!(out.elems, 0);
+        assert!(m.inspect(out).is_empty());
+    }
+
+    #[test]
+    fn join_cross_product_on_duplicates() {
+        let mut m: Machine<Tuple<u64>> = Machine::new(cfg());
+        let lr = m.install(&tuples(&[(7, 1), (7, 2)]));
+        let rr = m.install(&tuples(&[(7, 10), (7, 20), (7, 30)]));
+        let out = sort_merge_join(&mut m, lr, rr, |a: &u64, b: &u64| a * 100 + b).unwrap();
+        assert_eq!(out.elems, 6);
+    }
+
+    #[test]
+    fn group_aggregate_sums_per_key() {
+        let mut m: Machine<Tuple<u64>> = Machine::new(cfg());
+        let data: Vec<(u64, u64)> = (0..300).map(|i| (i % 5, 1)).collect();
+        let r = m.install(&tuples(&data));
+        let out = group_aggregate(&mut m, r, |acc: u64, x: &u64| acc + x).unwrap();
+        let got: Vec<(u64, u64)> = m
+            .inspect(out)
+            .into_iter()
+            .map(|t| (t.key, t.payload))
+            .collect();
+        assert_eq!(got, vec![(0, 60), (1, 60), (2, 60), (3, 60), (4, 60)]);
+        assert_eq!(m.internal_used(), 0);
+    }
+
+    #[test]
+    fn group_aggregate_single_and_empty() {
+        let mut m: Machine<Tuple<u64>> = Machine::new(cfg());
+        let r = m.install(&tuples(&[]));
+        let out = group_aggregate(&mut m, r, |acc: u64, x: &u64| acc + x).unwrap();
+        assert_eq!(out.elems, 0);
+
+        let r = m.install(&tuples(&[(9, 42)]));
+        let out = group_aggregate(&mut m, r, |acc: u64, x: &u64| acc + x).unwrap();
+        let got = m.inspect(out);
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].key, got[0].payload), (9, 42));
+    }
+
+    #[test]
+    fn join_is_write_lean_at_high_omega() {
+        // The operator inherits the §3 sort's profile: writes must not
+        // scale with ω.
+        let left: Vec<(u64, u64)> = (0..500).map(|i| (i, i)).collect();
+        let right: Vec<(u64, u64)> = (0..500).map(|i| (i, i * 2)).collect();
+        let run = |omega: u64| -> aem_machine::Cost {
+            let c = AemConfig::new(64, 8, omega).unwrap();
+            let mut m: Machine<Tuple<u64>> = Machine::new(c);
+            let lr = m.install(&tuples(&left));
+            let rr = m.install(&tuples(&right));
+            sort_merge_join(&mut m, lr, rr, |a: &u64, b: &u64| a + b).unwrap();
+            m.cost()
+        };
+        let (c1, c64) = (run(1), run(64));
+        assert!(c64.writes <= c1.writes, "{} > {}", c64.writes, c1.writes);
+    }
+}

@@ -1,0 +1,117 @@
+//! Heapsort via the external priority queue.
+//!
+//! The third sorter family the paper mentions (§1: "sample sort and
+//! heapsort achieve the cost `O(ωn log_{ωm} n)` unconditionally"): insert
+//! everything into the write-efficient [`crate::pq::ExternalPq`], then pop
+//! in order. All data movement happens inside the queue's cascading
+//! merges, which are §3.1 merges — so heapsort inherits the same
+//! write-lean profile as the mergesort, reached through an incremental
+//! data structure instead of a batch recursion.
+
+use aem_machine::{AemAccess, Region, Result};
+
+use crate::pq::ExternalPq;
+
+/// Sort `input` by streaming it through the external priority queue.
+/// Returns the sorted region. Requires `M ≥ 8B` (the queue's minimum).
+pub fn heap_sort<T, A>(machine: &mut A, input: Region) -> Result<Region>
+where
+    T: Ord + Clone,
+    A: AemAccess<T>,
+{
+    let b = machine.cfg().block;
+    let mut pq = ExternalPq::new(machine.cfg())?;
+
+    // Insert phase: stream the input in.
+    for id in input.iter() {
+        let data = machine.read_block(id)?;
+        let len = data.len();
+        for x in data {
+            pq.push(machine, x)?;
+        }
+        // The elements' slots transferred to the queue's insertion buffer
+        // (each push reserves one); release the read charge.
+        machine.discard(len)?;
+    }
+
+    // Extract phase: pops come out charged; writing them out releases.
+    let out = machine.alloc_region(input.elems);
+    let mut out_blk = 0usize;
+    let mut buf: Vec<T> = Vec::with_capacity(b);
+    while let Some(x) = pq.pop(machine)? {
+        buf.push(x);
+        if buf.len() == b {
+            machine.write_block(out.block(out_blk), std::mem::take(&mut buf))?;
+            buf.reserve(b);
+            out_blk += 1;
+        }
+    }
+    if !buf.is_empty() {
+        machine.write_block(out.block(out_blk), buf)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aem_machine::{AemConfig, Machine};
+    use aem_workloads::keys::{is_sorted, KeyDist};
+
+    fn sort_with(cfg: AemConfig, input: &[u64]) -> (Vec<u64>, aem_machine::Cost) {
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(input);
+        let out = heap_sort(&mut m, r).unwrap();
+        let got = m.inspect(out);
+        assert_eq!(m.internal_used(), 0, "no leaked budget");
+        (got, m.cost())
+    }
+
+    #[test]
+    fn sorts_across_distributions() {
+        let cfg = AemConfig::new(64, 8, 8).unwrap();
+        for dist in [
+            KeyDist::Uniform { seed: 1 },
+            KeyDist::Sorted,
+            KeyDist::Reversed,
+            KeyDist::FewDistinct {
+                distinct: 3,
+                seed: 2,
+            },
+        ] {
+            let input = dist.generate(2000);
+            let (out, _) = sort_with(cfg, &input);
+            let mut want = input;
+            want.sort();
+            assert_eq!(out, want, "{}", dist.label());
+        }
+    }
+
+    #[test]
+    fn high_omega_correctness_and_write_leanness() {
+        let cfg = AemConfig::new(64, 8, 128).unwrap();
+        let input = KeyDist::Uniform { seed: 3 }.generate(4096);
+        let (out, cost) = sort_with(cfg, &input);
+        assert!(is_sorted(&out));
+        // Write-lean like the merge family: far more reads than writes.
+        assert!(cost.reads > cost.writes);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let cfg = AemConfig::new(64, 8, 4).unwrap();
+        assert!(sort_with(cfg, &[]).0.is_empty());
+        assert_eq!(sort_with(cfg, &[2, 1, 3]).0, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn agrees_with_merge_sort() {
+        let cfg = AemConfig::new(64, 8, 16).unwrap();
+        let input = KeyDist::Uniform { seed: 4 }.generate(3000);
+        let (heap_out, _) = sort_with(cfg, &input);
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(&input);
+        let out = crate::sort::merge_sort(&mut m, r).unwrap();
+        assert_eq!(heap_out, m.inspect(out));
+    }
+}

@@ -1,0 +1,45 @@
+//! Sorting in the `(M, B, ω)`-AEM model (§3 of the paper).
+//!
+//! The centerpiece is [`merge_sort()`]: the paper's `ωm`-way mergesort that
+//! achieves `O(ω n log_{ωm} n)` read I/Os and `O(n log_{ωm} n)` write I/Os
+//! **without the `ω < B` assumption** that the earlier mergesort of
+//! Blelloch et al. (SPAA '15) required. The trick (§3.1) is to keep the
+//! per-run block pointers `b[i]` in *external* memory — when `ω > B` even
+//! the `ωm` pointers do not fit into internal memory — and to update each
+//! pointer at most once per consumed block, so pointer maintenance costs
+//! only `O(n)` extra writes overall.
+//!
+//! Module layout:
+//!
+//! * [`small`] — the base case: sorting `N' ≤ ω·M/2` elements with
+//!   `O(ω n')` reads and `O(n')` writes by repeated selection (Lemma 4.2 of
+//!   Blelloch et al., as used by the paper's recurrence).
+//! * [`merge`] — the §3.1 round-based `ωm`-way merge: `O(ω(n + m))` reads
+//!   and `O(n + m)` writes for merging up to `ωm` sorted runs of `N` total
+//!   elements (Theorem 3.2).
+//! * [`merge_sort()`] — the recursion of §3 driven bottom-up.
+//! * [`em_sort`] — the classical `m`-way EM mergesort baseline, oblivious
+//!   to `ω`: it pays `(1 + ω)·n` per level over `log_m n` levels, which is
+//!   how the experiments exhibit the `log m` vs `log ωm` separation.
+
+pub mod em_sort;
+pub mod heap;
+pub mod merge;
+pub mod merge_sort;
+pub mod resident;
+pub mod sample;
+pub mod small;
+
+pub use em_sort::em_merge_sort;
+pub use heap::heap_sort;
+pub use merge::{merge_runs, MergeStats};
+pub use merge_sort::{merge_sort, merge_sort_with_fan_in};
+pub use resident::merge_runs_resident;
+pub use sample::distribution_sort;
+pub use small::small_sort;
+
+/// A key type sortable on the AEM machines of this workspace: the machine
+/// needs `Clone` to move copies of atoms, comparisons are free internal
+/// computation.
+pub trait SortKey: Ord + Clone {}
+impl<T: Ord + Clone> SortKey for T {}

@@ -1,0 +1,109 @@
+//! Sparse matrix × dense vector multiplication in the AEM model (§5).
+//!
+//! The matrix is an `N × N` sparse matrix with exactly `δ` non-zeros per
+//! column (`H = δN`), stored **column-major** as the paper's Theorem 5.1
+//! requires; computation is over an abstract [`Semiring`] (no subtraction,
+//! no cancellation — ruling out Strassen-style tricks, exactly the model
+//! restriction of §5).
+//!
+//! Two algorithms bracket the lower bound:
+//!
+//! * [`direct::spmv_direct`] — the "naive" program: for each output `y_i`
+//!   gather the row's entries directly; `O(H + ωn)`.
+//! * [`sorted::spmv_sorted`] — the sorting-based program: form elementary
+//!   products in one scan, split into `δ` meta-columns, sort each by row
+//!   index with the §3 mergesort, then merge-add the resulting `δ` sorted
+//!   lists; `O(ω h log_{ωm} N/max{δ, B} + ωn)`.
+//! * [`spmv_auto`] — predictor-driven choice between the two; experiment T6
+//!   maps the `δ`/`ω` crossover.
+
+pub mod direct;
+pub mod layout;
+pub mod reference;
+pub mod semiring;
+pub mod sorted;
+
+pub use direct::{spmv_direct, spmv_direct_on};
+pub use layout::{install_instance, MatEntry, SpmvInstance};
+pub use reference::reference_multiply;
+pub use semiring::{BoolRing, MaxPlus, Semiring, U64Ring};
+pub use sorted::{spmv_sorted, spmv_sorted_on};
+
+use aem_machine::{AemConfig, Cost, Result};
+use aem_workloads::Conformation;
+
+use crate::bounds::predict;
+
+/// Outcome of one SpMxV workload run on a fresh machine.
+#[derive(Debug, Clone)]
+pub struct SpmvRun<S> {
+    /// The output vector `y = A·x` in natural (row) order.
+    pub output: Vec<S>,
+    /// Exact metered I/O cost.
+    pub cost: Cost,
+    /// Configuration the run used.
+    pub cfg: AemConfig,
+}
+
+impl<S> SpmvRun<S> {
+    /// AEM cost `Q = Q_r + ω·Q_w`.
+    pub fn q(&self) -> u64 {
+        self.cost.q(self.cfg.omega)
+    }
+}
+
+/// Which SpMxV strategy the cost model selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpmvStrategy {
+    /// Direct row gather, `O(H + ωn)`.
+    Direct,
+    /// Meta-column sorting, `O(ω h log_{ωm} N/max{δ,B} + ωn)`.
+    Sorted,
+}
+
+/// Predict the cheaper strategy for an `n × n`, `δ`-regular instance.
+pub fn choose_strategy(cfg: AemConfig, n: usize, delta: usize) -> SpmvStrategy {
+    let d = predict::spmv_direct_cost(cfg, n, delta).q(cfg.omega);
+    let s = predict::spmv_sorted_cost(cfg, n, delta).q(cfg.omega);
+    if d <= s {
+        SpmvStrategy::Direct
+    } else {
+        SpmvStrategy::Sorted
+    }
+}
+
+/// Multiply with the predicted-cheaper strategy.
+pub fn spmv_auto<S: Semiring>(
+    cfg: AemConfig,
+    conf: &Conformation,
+    a_vals: &[S],
+    x: &[S],
+) -> Result<(SpmvRun<S>, SpmvStrategy)> {
+    let strategy = choose_strategy(cfg, conf.n, conf.delta);
+    let run = match strategy {
+        SpmvStrategy::Direct => spmv_direct(cfg, conf, a_vals, x)?,
+        SpmvStrategy::Sorted => spmv_sorted(cfg, conf, a_vals, x)?,
+    };
+    Ok((run, strategy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aem_workloads::MatrixShape;
+
+    #[test]
+    fn auto_matches_reference_both_ways() {
+        let conf = Conformation::generate(MatrixShape::Random { seed: 1 }, 64, 3);
+        let a_vals: Vec<U64Ring> = (0..conf.nnz()).map(|i| U64Ring(i as u64 % 7 + 1)).collect();
+        let x: Vec<U64Ring> = (0..64).map(|i| U64Ring(i as u64 % 5 + 1)).collect();
+        let want = reference_multiply(&conf, &a_vals, &x);
+        for cfg in [
+            AemConfig::new(32, 4, 1).unwrap(),
+            AemConfig::new(32, 4, 64).unwrap(),
+        ] {
+            let (run, _) = spmv_auto(cfg, &conf, &a_vals, &x).unwrap();
+            assert_eq!(run.output, want);
+        }
+    }
+}

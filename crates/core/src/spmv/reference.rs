@@ -1,0 +1,73 @@
+//! Reference (in-RAM) multiplication for verifying the AEM algorithms.
+
+use aem_workloads::Conformation;
+
+use super::semiring::Semiring;
+
+/// Compute `y = A·x` directly in RAM: the ground truth every AEM algorithm
+/// is checked against.
+pub fn reference_multiply<S: Semiring>(conf: &Conformation, a_vals: &[S], x: &[S]) -> Vec<S> {
+    assert_eq!(a_vals.len(), conf.nnz());
+    assert_eq!(x.len(), conf.n);
+    let mut y = vec![S::zero(); conf.n];
+    for (t, v) in conf.triples.iter().zip(a_vals.iter()) {
+        let prod = v.mul(&x[t.col]);
+        y[t.row] = y[t.row].add(&prod);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::semiring::{BoolRing, U64Ring};
+    use aem_workloads::{MatrixShape, Triple};
+
+    #[test]
+    fn hand_checked_tiny_instance() {
+        // 2x2 matrix with delta = 1: A = [[0, 5], [7, 0]] column-major:
+        // col 0 -> row 1 (7), col 1 -> row 0 (5).
+        let conf = Conformation {
+            n: 2,
+            delta: 1,
+            triples: vec![Triple { row: 1, col: 0 }, Triple { row: 0, col: 1 }],
+        };
+        conf.validate().unwrap();
+        let a = vec![U64Ring(7), U64Ring(5)];
+        let x = vec![U64Ring(10), U64Ring(100)];
+        // y0 = 5*100 = 500, y1 = 7*10 = 70.
+        assert_eq!(
+            reference_multiply(&conf, &a, &x),
+            vec![U64Ring(500), U64Ring(70)]
+        );
+    }
+
+    #[test]
+    fn all_ones_counts_row_degrees() {
+        // With a_ij = 1 and x = all ones, y_i = (number of entries in row i)
+        // in the U64 semiring — the exact instance of Theorem 5.1.
+        let conf = Conformation::generate(MatrixShape::Random { seed: 3 }, 32, 4);
+        let a = vec![U64Ring(1); conf.nnz()];
+        let x = vec![U64Ring(1); 32];
+        let y = reference_multiply(&conf, &a, &x);
+        let total: u64 = y.iter().map(|v| v.0).sum();
+        assert_eq!(total, conf.nnz() as u64);
+    }
+
+    #[test]
+    fn bool_semiring_is_one_step_reachability() {
+        let conf = Conformation {
+            n: 3,
+            delta: 1,
+            triples: vec![
+                Triple { row: 1, col: 0 },
+                Triple { row: 2, col: 1 },
+                Triple { row: 0, col: 2 },
+            ],
+        };
+        let a = vec![BoolRing(true); 3];
+        let x = vec![BoolRing(true), BoolRing(false), BoolRing(false)];
+        let y = reference_multiply(&conf, &a, &x);
+        assert_eq!(y, vec![BoolRing(false), BoolRing(true), BoolRing(false)]);
+    }
+}

@@ -1,0 +1,153 @@
+//! The semiring abstraction of §5.
+//!
+//! Theorem 5.1 holds for programs over an arbitrary semiring: no additive
+//! inverses, no cancellation. Working against this trait (rather than a
+//! numeric type) keeps the implementation honest — nothing in the
+//! algorithms can subtract, so the model restriction is enforced by the
+//! type system rather than by convention.
+
+/// A commutative semiring `(S, +, ·, 0, 1)`.
+///
+/// Laws expected (and property-tested for the provided instances):
+/// `+` and `·` associative and commutative, `0` the additive and `1` the
+/// multiplicative identity, `·` distributes over `+`, and `0` annihilates.
+pub trait Semiring: Clone + std::fmt::Debug + PartialEq {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Multiplication.
+    fn mul(&self, other: &Self) -> Self;
+}
+
+/// `u64` with wrapping arithmetic: the canonical test semiring (exact,
+/// hashable, cheap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct U64Ring(pub u64);
+
+impl Semiring for U64Ring {
+    fn zero() -> Self {
+        U64Ring(0)
+    }
+    fn one() -> Self {
+        U64Ring(1)
+    }
+    fn add(&self, other: &Self) -> Self {
+        U64Ring(self.0.wrapping_add(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        U64Ring(self.0.wrapping_mul(other.0))
+    }
+}
+
+/// The boolean semiring `({false, true}, ∨, ∧)`: SpMxV over it is sparse
+/// graph reachability by one step (who can reach whom through one edge
+/// layer) — the classic non-numeric semiring application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoolRing(pub bool);
+
+impl Semiring for BoolRing {
+    fn zero() -> Self {
+        BoolRing(false)
+    }
+    fn one() -> Self {
+        BoolRing(true)
+    }
+    fn add(&self, other: &Self) -> Self {
+        BoolRing(self.0 || other.0)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        BoolRing(self.0 && other.0)
+    }
+}
+
+/// The (max, +) tropical semiring over `i64` with `−∞` as additive
+/// identity: SpMxV computes one relaxation step of longest-path — the
+/// standard scheduling/critical-path semiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MaxPlus(pub Option<i64>);
+
+impl MaxPlus {
+    /// A finite value.
+    pub fn finite(v: i64) -> Self {
+        MaxPlus(Some(v))
+    }
+}
+
+impl Semiring for MaxPlus {
+    fn zero() -> Self {
+        MaxPlus(None) // −∞
+    }
+    fn one() -> Self {
+        MaxPlus(Some(0))
+    }
+    fn add(&self, other: &Self) -> Self {
+        // max
+        match (self.0, other.0) {
+            (Some(a), Some(b)) => MaxPlus(Some(a.max(b))),
+            (Some(a), None) | (None, Some(a)) => MaxPlus(Some(a)),
+            (None, None) => MaxPlus(None),
+        }
+    }
+    fn mul(&self, other: &Self) -> Self {
+        // plus (saturating to dodge adversarial overflow in property tests)
+        match (self.0, other.0) {
+            (Some(a), Some(b)) => MaxPlus(Some(a.saturating_add(b))),
+            _ => MaxPlus(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn laws<S: Semiring>(a: S, b: S, c: S) {
+        // Commutativity.
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.mul(&b), b.mul(&a));
+        // Associativity.
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        // Identities.
+        assert_eq!(a.add(&S::zero()), a);
+        assert_eq!(a.mul(&S::one()), a);
+        // Annihilation.
+        assert_eq!(a.mul(&S::zero()), S::zero());
+    }
+
+    proptest! {
+        #[test]
+        fn u64_ring_laws(a: u64, b: u64, c: u64) {
+            laws(U64Ring(a), U64Ring(b), U64Ring(c));
+            // Distributivity (wrapping arithmetic is a true ring).
+            let (x, y, z) = (U64Ring(a), U64Ring(b), U64Ring(c));
+            prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+        }
+
+        #[test]
+        fn bool_ring_laws(a: bool, b: bool, c: bool) {
+            laws(BoolRing(a), BoolRing(b), BoolRing(c));
+            let (x, y, z) = (BoolRing(a), BoolRing(b), BoolRing(c));
+            prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+        }
+
+        #[test]
+        fn max_plus_laws(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
+            laws(MaxPlus::finite(a), MaxPlus::finite(b), MaxPlus::finite(c));
+            let (x, y, z) = (MaxPlus::finite(a), MaxPlus::finite(b), MaxPlus::finite(c));
+            prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+        }
+    }
+
+    #[test]
+    fn max_plus_infinity_behaviour() {
+        let inf = MaxPlus::zero();
+        let five = MaxPlus::finite(5);
+        assert_eq!(inf.add(&five), five);
+        assert_eq!(inf.mul(&five), inf);
+    }
+}

@@ -1,0 +1,262 @@
+//! Streaming primitives: the AEM "standard library".
+//!
+//! Scans are the only I/O pattern with no read/write asymmetry dilemma —
+//! every primitive here reads each input block once and writes each output
+//! block once, so its cost is `n` reads plus `ω·(output blocks)` exactly.
+//! They are the building blocks users compose custom AEM algorithms from
+//! (and several of this workspace's algorithms are phrased in terms of
+//! them internally: the SpMxV product scan, the dense emission, …).
+//!
+//! Every primitive is generic over [`AemAccess`], so user code built on
+//! them runs unmodified under the Lemma 4.1 round-based wrapper too.
+
+use aem_machine::{AemAccess, Region, Result};
+
+/// Map every element through `f` into a new region. Cost: `n` reads,
+/// `⌈N/B⌉` writes.
+pub fn map<T, U, A, F>(machine: &mut A, input: Region, mut f: F) -> Result<Region>
+where
+    T: Clone,
+    A: AemAccess<T> + AemAccess<U>,
+    U: Clone,
+    F: FnMut(T) -> U,
+{
+    let out = AemAccess::<U>::alloc_region(machine, input.elems);
+    let ids: Vec<_> = input.iter().collect();
+    for (out_blk, id) in ids.into_iter().enumerate() {
+        let data: Vec<T> = machine.read_block(id)?;
+        let len = data.len();
+        let mapped: Vec<U> = data.into_iter().map(&mut f).collect();
+        // The originals are consumed by the mapping; the results take
+        // their ledger slots (same count, same blocks).
+        AemAccess::<T>::discard(machine, len)?;
+        AemAccess::<U>::reserve(machine, len)?;
+        machine.write_block(out.block(out_blk), mapped)?;
+    }
+    Ok(out)
+}
+
+/// Fold all elements with `f` into an accumulator (kept in internal
+/// memory; one budget slot). Cost: `n` reads, 0 writes.
+pub fn reduce<T, A, Acc, F>(machine: &mut A, input: Region, init: Acc, mut f: F) -> Result<Acc>
+where
+    T: Clone,
+    A: AemAccess<T>,
+    F: FnMut(Acc, T) -> Acc,
+{
+    machine.reserve(1)?;
+    let mut acc = init;
+    for id in input.iter() {
+        let data = machine.read_block(id)?;
+        let len = data.len();
+        for x in data {
+            acc = f(acc, x);
+        }
+        machine.discard(len)?;
+    }
+    machine.discard(1)?;
+    Ok(acc)
+}
+
+/// Keep only elements satisfying `pred`; returns the (densely packed)
+/// output region. Cost: `n` reads, `⌈kept/B⌉` writes.
+pub fn filter<T, A, F>(machine: &mut A, input: Region, mut pred: F) -> Result<Region>
+where
+    T: Clone,
+    A: AemAccess<T>,
+    F: FnMut(&T) -> bool,
+{
+    let cfg = machine.cfg();
+    let b = cfg.block;
+    let scratch = machine.alloc_region(input.elems);
+    let mut buf: Vec<T> = Vec::with_capacity(b);
+    let mut out_blk = 0usize;
+    let mut kept = 0usize;
+    for id in input.iter() {
+        let data = machine.read_block(id)?;
+        let len = data.len();
+        let mut dropped = 0usize;
+        for x in data {
+            if pred(&x) {
+                buf.push(x);
+                if buf.len() == b {
+                    machine.write_block(scratch.block(out_blk), std::mem::take(&mut buf))?;
+                    out_blk += 1;
+                    kept += b;
+                }
+            } else {
+                dropped += 1;
+            }
+        }
+        machine.discard(dropped)?;
+        let _ = len;
+    }
+    if !buf.is_empty() {
+        kept += buf.len();
+        machine.write_block(scratch.block(out_blk), buf)?;
+        out_blk += 1;
+    }
+    Ok(Region {
+        first: scratch.first,
+        blocks: out_blk,
+        elems: kept,
+    })
+}
+
+/// Combine two equal-length regions element-wise. Cost: `2n` reads,
+/// `n` writes.
+pub fn zip_with<T, U, V, A, F>(
+    machine: &mut A,
+    left: Region,
+    right: Region,
+    mut f: F,
+) -> Result<Region>
+where
+    T: Clone,
+    U: Clone,
+    V: Clone,
+    A: AemAccess<T> + AemAccess<U> + AemAccess<V>,
+    F: FnMut(T, U) -> V,
+{
+    assert_eq!(left.elems, right.elems, "zip_with needs equal lengths");
+    let out = AemAccess::<V>::alloc_region(machine, left.elems);
+    for i in 0..left.blocks {
+        let l: Vec<T> = machine.read_block(left.block(i))?;
+        let r: Vec<U> = machine.read_block(right.block(i))?;
+        let len = l.len();
+        debug_assert_eq!(len, r.len());
+        let combined: Vec<V> = l.into_iter().zip(r).map(|(a, b)| f(a, b)).collect();
+        AemAccess::<T>::discard(machine, len)?;
+        AemAccess::<U>::discard(machine, len)?;
+        AemAccess::<V>::reserve(machine, len)?;
+        machine.write_block(out.block(i), combined)?;
+    }
+    Ok(out)
+}
+
+/// Inclusive prefix scan with operator `f`. Cost: `n` reads, `n` writes,
+/// one accumulator slot.
+pub fn prefix_scan<T, A, F>(machine: &mut A, input: Region, mut f: F) -> Result<Region>
+where
+    T: Clone,
+    A: AemAccess<T>,
+    F: FnMut(&T, &T) -> T,
+{
+    let out = machine.alloc_region(input.elems);
+    machine.reserve(1)?;
+    let mut carry: Option<T> = None;
+    for (i, id) in input.iter().enumerate() {
+        let data = machine.read_block(id)?;
+        let mut scanned = Vec::with_capacity(data.len());
+        for x in data {
+            let next = match &carry {
+                Some(c) => f(c, &x),
+                None => x.clone(),
+            };
+            carry = Some(next.clone());
+            scanned.push(next);
+            // `x` is consumed into the running prefix (one-for-one swap of
+            // ledger slots, so no extra charge).
+        }
+        machine.write_block(out.block(i), scanned)?;
+    }
+    machine.discard(1)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aem_machine::{AemConfig, Cost, Machine};
+
+    fn machine() -> Machine<u64> {
+        Machine::new(AemConfig::new(16, 4, 8).unwrap())
+    }
+
+    #[test]
+    fn map_applies_and_costs_one_pass() {
+        let mut m = machine();
+        let r = m.install(&(0u64..20).collect::<Vec<_>>());
+        let out = map(&mut m, r, |x: u64| x * 2).unwrap();
+        assert_eq!(
+            m.inspect(out),
+            (0u64..20).map(|x| x * 2).collect::<Vec<_>>()
+        );
+        assert_eq!(m.cost(), Cost::new(5, 5));
+    }
+
+    #[test]
+    fn reduce_sums_without_writes() {
+        let mut m = machine();
+        let r = m.install(&(1u64..=100).collect::<Vec<_>>());
+        let total = reduce(&mut m, r, 0u64, |acc, x| acc + x).unwrap();
+        assert_eq!(total, 5050);
+        assert_eq!(m.cost().writes, 0);
+        assert_eq!(m.internal_used(), 0, "no budget leaked");
+    }
+
+    #[test]
+    fn filter_packs_densely() {
+        let mut m = machine();
+        let r = m.install(&(0u64..23).collect::<Vec<_>>());
+        let out = filter(&mut m, r, |x| *x % 3 == 0).unwrap();
+        assert_eq!(m.inspect(out), vec![0, 3, 6, 9, 12, 15, 18, 21]);
+        assert_eq!(out.elems, 8);
+        assert_eq!(m.cost().writes, 2); // ⌈8/4⌉
+        assert_eq!(m.internal_used(), 0);
+    }
+
+    #[test]
+    fn filter_none_and_all() {
+        let mut m = machine();
+        let r = m.install(&[1u64, 2, 3, 4, 5]);
+        let none = filter(&mut m, r, |_| false).unwrap();
+        assert!(m.inspect(none).is_empty());
+        let r2 = m.install(&[1u64, 2, 3, 4, 5]);
+        let all = filter(&mut m, r2, |_| true).unwrap();
+        assert_eq!(m.inspect(all), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zip_with_combines() {
+        let mut m = machine();
+        let a = m.install(&[1u64, 2, 3, 4, 5, 6]);
+        let b = m.install(&[10u64, 20, 30, 40, 50, 60]);
+        let out = zip_with(&mut m, a, b, |x: u64, y: u64| x + y).unwrap();
+        assert_eq!(m.inspect(out), vec![11, 22, 33, 44, 55, 66]);
+        assert_eq!(m.internal_used(), 0);
+    }
+
+    #[test]
+    fn prefix_scan_running_sum() {
+        let mut m = machine();
+        let r = m.install(&[1u64, 2, 3, 4, 5, 6, 7]);
+        let out = prefix_scan(&mut m, r, |a, b| a + b).unwrap();
+        assert_eq!(m.inspect(out), vec![1, 3, 6, 10, 15, 21, 28]);
+        assert_eq!(m.internal_used(), 0);
+    }
+
+    #[test]
+    fn empty_regions_are_free() {
+        let mut m = machine();
+        let r = m.install(&Vec::<u64>::new());
+        assert_eq!(reduce(&mut m, r, 7u64, |a, _| a).unwrap(), 7);
+        let out = map(&mut m, r, |x: u64| x).unwrap();
+        assert!(m.inspect(out).is_empty());
+        assert_eq!(m.cost(), Cost::ZERO);
+    }
+
+    #[test]
+    fn primitives_compose_under_round_based_execution() {
+        use aem_machine::RoundBasedMachine;
+        let cfg = AemConfig::new(16, 4, 8).unwrap();
+        let mut rb: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg);
+        let r = rb.install(&(0u64..40).collect::<Vec<_>>());
+        let doubled = map(&mut rb, r, |x: u64| x * 2).unwrap();
+        let evens = filter(&mut rb, doubled, |x| *x % 4 == 0).unwrap();
+        let total = reduce(&mut rb, evens, 0u64, |a, x| a + x).unwrap();
+        rb.finish().unwrap();
+        let want: u64 = (0u64..40).map(|x| x * 2).filter(|x| x % 4 == 0).sum();
+        assert_eq!(total, want);
+    }
+}

@@ -1,0 +1,120 @@
+use aem_core::pq::ExternalPq;
+use aem_core::spmv::direct::spmv_direct_on;
+use aem_core::spmv::layout::{install_instance, MatEntry, SpmvInstance};
+use aem_core::spmv::semiring::U64Ring;
+use aem_core::spmv::sorted::spmv_sorted_on;
+use aem_machine::{AemAccess, AemConfig, Machine};
+use aem_workloads::{Conformation, KeyDist, MatrixShape};
+
+#[test]
+fn pq_interleaved_ledger_balanced() {
+    for (m, b, n) in [(64usize, 8usize, 600usize), (32, 4, 900), (128, 8, 2000)] {
+        let cfg = AemConfig::new(m, b, 8).unwrap();
+        let mut mac: Machine<u64> = Machine::new(cfg);
+        let mut pq = ExternalPq::new(cfg).unwrap();
+        let keys = KeyDist::Uniform { seed: 42 }.generate(n);
+        let mut reference = std::collections::BinaryHeap::new();
+        for (i, &x) in keys.iter().enumerate() {
+            pq.push(&mut mac, x).unwrap();
+            reference.push(std::cmp::Reverse(x));
+            if i % 3 == 2 {
+                let got = pq.pop(&mut mac).unwrap().unwrap();
+                mac.discard(1).unwrap();
+                assert_eq!(got, reference.pop().unwrap().0);
+            }
+        }
+        while let Some(std::cmp::Reverse(want)) = reference.pop() {
+            let got = pq.pop(&mut mac).unwrap().unwrap();
+            mac.discard(1).unwrap();
+            assert_eq!(got, want);
+        }
+        assert!(pq.is_empty());
+        assert_eq!(
+            mac.internal_used(),
+            0,
+            "pq leaked budget m={m} b={b} n={n}"
+        );
+    }
+}
+
+#[test]
+fn spmv_ledgers_balanced() {
+    for (n, delta, seed) in [(16usize, 1usize, 1u64), (32, 2, 2), (64, 4, 3), (48, 48, 4), (64, 16, 5)] {
+        let conf = Conformation::generate(MatrixShape::Random { seed }, n, delta);
+        let a: Vec<U64Ring> = (0..conf.nnz()).map(|i| U64Ring(i as u64 % 19)).collect();
+        let x: Vec<U64Ring> = (0..n).map(|j| U64Ring(j as u64 % 7)).collect();
+        let inst = SpmvInstance { conf: &conf, a_vals: &a, x: &x };
+
+        let cfg = AemConfig::new(16, 4, 4).unwrap();
+        let mut mac: Machine<MatEntry<U64Ring>> = Machine::new(cfg);
+        let (ra, rx) = install_instance(&mut mac, &inst);
+        spmv_sorted_on::<U64Ring, _>(&mut mac, &conf, ra, rx).unwrap();
+        assert_eq!(mac.internal_used(), 0, "spmv_sorted leaked n={n} delta={delta}");
+
+        let mut mac2: Machine<MatEntry<U64Ring>> = Machine::new(cfg);
+        let (ra, rx) = install_instance(&mut mac2, &inst);
+        spmv_direct_on::<U64Ring, _>(&mut mac2, &conf, ra, rx).unwrap();
+        assert_eq!(mac2.internal_used(), 0, "spmv_direct leaked n={n} delta={delta}");
+    }
+}
+
+#[test]
+fn transpose_ledger_balanced() {
+    use aem_core::permute::transpose::transpose_tiled;
+    let cfg = AemConfig::new(32, 4, 8).unwrap();
+    for (r, c) in [(4usize, 4usize), (8, 4), (4, 12), (16, 8)] {
+        let values: Vec<u64> = (0..(r * c) as u64).collect();
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let reg = m.install(&values);
+        transpose_tiled(&mut m, reg, r, c).unwrap();
+        assert_eq!(m.internal_used(), 0, "transpose leaked {r}x{c}");
+    }
+}
+
+#[test]
+fn relational_group_aggregate_ledger() {
+    use aem_core::relational::{group_aggregate, sort_merge_join, Tuple};
+    let cfg = AemConfig::new(64, 8, 8).unwrap();
+    let mut m: Machine<Tuple<u64>> = Machine::new(cfg);
+    let data: Vec<Tuple<u64>> = (0..301).map(|i| Tuple { key: i % 7, payload: 1 }).collect();
+    let r = m.install(&data);
+    group_aggregate(&mut m, r, |acc: u64, x: &u64| acc + x).unwrap();
+    assert_eq!(m.internal_used(), 0, "group_aggregate leaked");
+
+    // join where one side exhausts early with resident blocks on the other
+    let mut m2: Machine<Tuple<u64>> = Machine::new(cfg);
+    let left: Vec<Tuple<u64>> = (0..5).map(|i| Tuple { key: i, payload: i }).collect();
+    let right: Vec<Tuple<u64>> = (0..200).map(|i| Tuple { key: i + 100, payload: i }).collect();
+    let lr = m2.install(&left);
+    let rr = m2.install(&right);
+    sort_merge_join(&mut m2, lr, rr, |a: &u64, b: &u64| a + b).unwrap();
+    assert_eq!(m2.internal_used(), 0, "join leaked");
+}
+
+#[test]
+fn permute_naive_ledger() {
+    use aem_core::permute::naive::permute_naive_on;
+    use aem_workloads::perm::PermKind;
+    let cfg = AemConfig::new(16, 4, 4).unwrap();
+    for n in [13usize, 64, 256] {
+        let pi = PermKind::Random { seed: 9 }.generate(n);
+        let values: Vec<u64> = (0..n as u64).collect();
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let reg = m.install(&values);
+        permute_naive_on(&mut m, reg, &pi).unwrap();
+        assert_eq!(m.internal_used(), 0, "permute_naive leaked n={n}");
+    }
+}
+
+#[test]
+fn stream_prefix_scan_and_map_ledger() {
+    use aem_core::stream::{map, prefix_scan};
+    let cfg = AemConfig::new(16, 4, 8).unwrap();
+    let mut m: Machine<u64> = Machine::new(cfg);
+    let r = m.install(&(0u64..23).collect::<Vec<_>>());
+    prefix_scan(&mut m, r, |a, b| a + b).unwrap();
+    assert_eq!(m.internal_used(), 0, "prefix_scan leaked");
+    let r2 = m.install(&(0u64..23).collect::<Vec<_>>());
+    map(&mut m, r2, |x: u64| x + 1).unwrap();
+    assert_eq!(m.internal_used(), 0, "map leaked");
+}

@@ -1,0 +1,110 @@
+//! Flash-model parameters.
+
+use aem_machine::{AemConfig, MachineError, Result};
+
+/// Parameters of the unit-cost flash memory model: write blocks of
+/// `write_block` elements, read blocks of `read_block` elements
+/// (`read_block | write_block`), internal memory of `memory` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlashConfig {
+    /// Internal memory capacity, in elements.
+    pub memory: usize,
+    /// Size of a (big) write block.
+    pub write_block: usize,
+    /// Size of a (small) read block; divides `write_block`.
+    pub read_block: usize,
+}
+
+impl FlashConfig {
+    /// Create a validated configuration.
+    pub fn new(memory: usize, write_block: usize, read_block: usize) -> Result<Self> {
+        if read_block == 0 || write_block == 0 {
+            return Err(MachineError::InvalidConfig(
+                "flash block sizes must be >= 1",
+            ));
+        }
+        if write_block % read_block != 0 {
+            return Err(MachineError::InvalidConfig(
+                "read block must divide write block",
+            ));
+        }
+        if memory < write_block {
+            return Err(MachineError::InvalidConfig(
+                "flash memory must hold at least one write block",
+            ));
+        }
+        Ok(Self {
+            memory,
+            write_block,
+            read_block,
+        })
+    }
+
+    /// The Lemma 4.3 instantiation for an AEM configuration: write blocks
+    /// of size `B`, read blocks of size `B/ω`. Requires `B > ω` and
+    /// `ω | B` (the lemma's assumptions).
+    pub fn for_aem(cfg: AemConfig) -> Result<Self> {
+        let omega = usize::try_from(cfg.omega)
+            .map_err(|_| MachineError::InvalidConfig("omega too large"))?;
+        if omega >= cfg.block {
+            return Err(MachineError::InvalidConfig("Lemma 4.3 requires B > omega"));
+        }
+        if cfg.block % omega != 0 {
+            return Err(MachineError::InvalidConfig(
+                "Lemma 4.3 requires omega to divide B",
+            ));
+        }
+        Self::new(cfg.memory, cfg.block, cfg.block / omega)
+    }
+
+    /// Number of small (read) sectors per big block.
+    #[inline]
+    pub fn sectors(&self) -> usize {
+        self.write_block / self.read_block
+    }
+}
+
+impl std::fmt::Display for FlashConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flash(M={}, write={}, read={}, {} sectors)",
+            self.memory,
+            self.write_block,
+            self.read_block,
+            self.sectors()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_config() {
+        let c = FlashConfig::new(64, 16, 4).unwrap();
+        assert_eq!(c.sectors(), 4);
+    }
+
+    #[test]
+    fn rejects_non_divisible() {
+        assert!(FlashConfig::new(64, 16, 5).is_err());
+        assert!(FlashConfig::new(64, 16, 0).is_err());
+        assert!(FlashConfig::new(8, 16, 4).is_err());
+    }
+
+    #[test]
+    fn from_aem_requires_b_above_omega() {
+        let ok = AemConfig::new(64, 16, 4).unwrap();
+        let f = FlashConfig::for_aem(ok).unwrap();
+        assert_eq!(f.write_block, 16);
+        assert_eq!(f.read_block, 4);
+
+        let bad = AemConfig::new(64, 4, 16).unwrap(); // ω ≥ B
+        assert!(FlashConfig::for_aem(bad).is_err());
+
+        let indivisible = AemConfig::new(64, 16, 3).unwrap(); // 3 ∤ 16
+        assert!(FlashConfig::for_aem(indivisible).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Permutation programs on the move-semantics [`AtomMachine`]: the inputs
+//! to the Lemma 4.3 simulation.
+//!
+//! These drivers produce recorded [`aem_machine::atom::AtomProgram`]s obeying the §4.2 rules
+//! (enforced by the machine). The naive gather program is the canonical
+//! one: its cost `≤ N + ωn` realizes the left branch of the Theorem 4.5
+//! bound, and its reads use small subsets of each block — exactly the case
+//! where the flash simulation's interval covering does real work.
+
+use aem_machine::{AemConfig, AtomId, AtomMachine, MachineError, Region, Result};
+use aem_workloads::perm;
+
+/// Run the naive gather permutation on an atom machine and return the
+/// recorded program plus the output region.
+///
+/// For each output block, the atoms destined for it are collected from
+/// their source blocks (one `read_keep` per touched source block) and the
+/// block is written once. Cost: at most `N` reads and exactly `⌈N/B⌉`
+/// writes.
+pub fn naive_atom_permutation(
+    cfg: AemConfig,
+    pi: &[usize],
+) -> Result<(AtomProgramWithOutput, Region)> {
+    let n = pi.len();
+    let b = cfg.block;
+    if cfg.memory < b {
+        return Err(MachineError::InvalidConfig("need M >= B to gather a block"));
+    }
+    let mut m = AtomMachine::new(cfg);
+    let input = m.install_atoms(n);
+    let out = m.alloc_region(n);
+    let inv = perm::invert(pi);
+
+    for ob in 0..out.blocks {
+        let len = out.elems_in_block(ob, b);
+        // Sources for this output block, grouped by source block.
+        let targets: Vec<usize> = (ob * b..ob * b + len).collect();
+        let mut by_src_block: Vec<(usize, Vec<AtomId>)> = Vec::new();
+        for &p in &targets {
+            let src = inv[p];
+            let sb = src / b;
+            let atom = AtomId(src as u64); // atom ids are input positions
+            match by_src_block.iter_mut().find(|(blk, _)| *blk == sb) {
+                Some((_, v)) => v.push(atom),
+                None => by_src_block.push((sb, vec![atom])),
+            }
+        }
+        for (sb, atoms) in &by_src_block {
+            m.read_keep(input.block(*sb), atoms)?;
+        }
+        // Write in target order.
+        let atoms: Vec<AtomId> = targets.iter().map(|&p| AtomId(inv[p] as u64)).collect();
+        m.write(out.block(ob), atoms)?;
+    }
+    Ok((
+        AtomProgramWithOutput {
+            program: m.into_program(),
+            out,
+        },
+        out,
+    ))
+}
+
+/// Run a two-pass distribute/gather permutation: pass 1 scatters atoms
+/// into `G = ⌈N/M⌉` destination groups through in-memory bucket buffers;
+/// pass 2 loads each group (≤ `M` atoms) and writes its output blocks
+/// directly.
+///
+/// Cost: `≈ n` reads + `≈ n + G` writes per pass — a *write-heavy* profile
+/// complementing the naive gather's read-heavy one, which is exactly why
+/// the flash experiment runs both. Single-level distribution requires
+/// `G·B ≤ M − B` (i.e. `N ≲ M²/B`); larger inputs are rejected rather than
+/// silently mis-costed.
+pub fn two_pass_atom_permutation(
+    cfg: AemConfig,
+    pi: &[usize],
+) -> Result<(AtomProgramWithOutput, Region)> {
+    let n = pi.len();
+    let b = cfg.block;
+    let mem = cfg.memory;
+    let groups = n.div_ceil(mem).max(1);
+    if groups * b + b > mem {
+        return Err(MachineError::InvalidConfig(
+            "two-pass permutation requires G*B + B <= M (N <= ~M^2/B)",
+        ));
+    }
+    if mem % b != 0 {
+        return Err(MachineError::InvalidConfig(
+            "two-pass permutation requires B | M (group boundaries must be block-aligned)",
+        ));
+    }
+    let mut m = AtomMachine::new(cfg);
+    let input = m.install_atoms(n);
+    let out = m.alloc_region(n);
+    let inv = perm::invert(pi);
+
+    // --- Pass 1: scatter into groups via in-memory bucket buffers. ------
+    // Group of an atom = its destination block's group (M elements each).
+    let group_of = |atom: AtomId| -> usize { (pi[atom.0 as usize] / mem).min(groups - 1) };
+    let mut buffers: Vec<Vec<AtomId>> = vec![Vec::new(); groups];
+    let mut group_blocks: Vec<Vec<aem_machine::BlockId>> = vec![Vec::new(); groups];
+    for blk in 0..input.blocks {
+        let atoms = m.inspect_block(input.block(blk))?;
+        m.read_keep(input.block(blk), &atoms)?;
+        for a in atoms {
+            let g = group_of(a);
+            buffers[g].push(a);
+            if buffers[g].len() == b {
+                let target = m.alloc_block();
+                m.write(target, std::mem::take(&mut buffers[g]))?;
+                group_blocks[g].push(target);
+            }
+        }
+    }
+    for (g, buf) in buffers.iter_mut().enumerate() {
+        if !buf.is_empty() {
+            let target = m.alloc_block();
+            m.write(target, std::mem::take(buf))?;
+            group_blocks[g].push(target);
+        }
+    }
+
+    // --- Pass 2: per group, load everything and emit its output blocks. -
+    for (g, blocks) in group_blocks.into_iter().enumerate() {
+        for blk in &blocks {
+            let atoms = m.inspect_block(*blk)?;
+            m.read_keep(*blk, &atoms)?;
+        }
+        // Output blocks covered by this group: positions [g·M, (g+1)·M).
+        let first_pos = g * mem;
+        let last_pos = ((g + 1) * mem).min(n);
+        let first_blk = first_pos / b;
+        let last_blk = (last_pos - 1) / b;
+        for ob in first_blk..=last_blk {
+            let len = out.elems_in_block(ob, b);
+            let atoms: Vec<AtomId> = (ob * b..ob * b + len)
+                .map(|p| AtomId(inv[p] as u64))
+                .collect();
+            m.write(out.block(ob), atoms)?;
+        }
+    }
+    Ok((
+        AtomProgramWithOutput {
+            program: m.into_program(),
+            out,
+        },
+        out,
+    ))
+}
+
+/// A recorded program together with its output region (for layout
+/// verification).
+#[derive(Debug, Clone)]
+pub struct AtomProgramWithOutput {
+    /// The recorded move-semantics program.
+    pub program: aem_machine::atom::AtomProgram,
+    /// Where the permuted atoms ended up.
+    pub out: Region,
+}
+
+impl AtomProgramWithOutput {
+    /// Check that the program realized `pi`: output position `p` holds the
+    /// atom whose input position maps to `p`.
+    pub fn realizes(&self, pi: &[usize]) -> bool {
+        let layout = self.program.final_layout();
+        let b = self.program.block;
+        let inv = perm::invert(pi);
+        for ob in 0..self.out.blocks {
+            let want: Vec<AtomId> = (ob * b..((ob + 1) * b).min(pi.len()))
+                .map(|p| AtomId(inv[p] as u64))
+                .collect();
+            match layout.get(&self.out.block(ob).index()) {
+                Some(got) if *got == want => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aem_workloads::perm::PermKind;
+
+    #[test]
+    fn realizes_random_permutations() {
+        let cfg = AemConfig::new(16, 4, 4).unwrap();
+        for kind in [
+            PermKind::Identity,
+            PermKind::Reverse,
+            PermKind::Random { seed: 1 },
+            PermKind::BitReversal,
+        ] {
+            let pi = kind.generate(64);
+            let (prog, _) = naive_atom_permutation(cfg, &pi).unwrap();
+            assert!(prog.realizes(&pi), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn cost_is_naive_shaped() {
+        let cfg = AemConfig::new(16, 4, 8).unwrap();
+        let pi = PermKind::Random { seed: 2 }.generate(256);
+        let (prog, _) = naive_atom_permutation(cfg, &pi).unwrap();
+        let cost = prog.program.cost();
+        assert!(cost.reads <= 256);
+        assert_eq!(cost.writes, 64);
+    }
+
+    #[test]
+    fn partial_tail_block() {
+        let cfg = AemConfig::new(16, 4, 2).unwrap();
+        let pi = PermKind::Random { seed: 3 }.generate(11);
+        let (prog, _) = naive_atom_permutation(cfg, &pi).unwrap();
+        assert!(prog.realizes(&pi));
+    }
+
+    #[test]
+    fn two_pass_realizes_permutations() {
+        let cfg = AemConfig::new(16, 4, 4).unwrap(); // groups ≤ 3 for N ≤ 48
+        for kind in [
+            PermKind::Identity,
+            PermKind::Reverse,
+            PermKind::Random { seed: 5 },
+        ] {
+            let pi = kind.generate(48);
+            let (prog, _) = two_pass_atom_permutation(cfg, &pi).unwrap();
+            assert!(prog.realizes(&pi), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn two_pass_is_write_heavier_than_naive() {
+        let cfg = AemConfig::new(32, 4, 8).unwrap();
+        let pi = PermKind::Random { seed: 6 }.generate(200);
+        let (two, _) = two_pass_atom_permutation(cfg, &pi).unwrap();
+        let (naive, _) = naive_atom_permutation(cfg, &pi).unwrap();
+        assert!(two.realizes(&pi));
+        let (tc, nc) = (two.program.cost(), naive.program.cost());
+        assert!(tc.writes > nc.writes, "{} vs {}", tc.writes, nc.writes);
+        assert!(tc.reads < nc.reads, "{} vs {}", tc.reads, nc.reads);
+    }
+
+    #[test]
+    fn two_pass_rejects_oversized_inputs() {
+        let cfg = AemConfig::new(16, 4, 2).unwrap(); // M²/B = 64
+        let pi = PermKind::Random { seed: 7 }.generate(100);
+        assert!(two_pass_atom_permutation(cfg, &pi).is_err());
+    }
+
+    #[test]
+    fn identity_reads_each_block_once() {
+        let cfg = AemConfig::new(16, 4, 2).unwrap();
+        let pi = PermKind::Identity.generate(64);
+        let (prog, _) = naive_atom_permutation(cfg, &pi).unwrap();
+        assert_eq!(prog.program.cost().reads, 16);
+    }
+}

@@ -1,0 +1,73 @@
+//! # `aem-flash` — the unit-cost flash memory model and the Lemma 4.3
+//! simulation
+//!
+//! The unit-cost flash model of Ajwani, Beckmann, Jacob, Meyer & Moruz
+//! (reference \[2\] of the paper) is an external-memory model where *write*
+//! blocks are larger than *read* blocks: a big block of size `B` consists
+//! of `r` independently readable small blocks of size `B/r`, and the cost
+//! of an I/O is proportional to the number of elements in the transferred
+//! block (the *I/O volume*). With `r = ω` a single write (volume `B`) is
+//! `ω` times as expensive as a single small read (volume `B/ω`) — "not too
+//! surprisingly", as the paper puts it, the model aligns with the AEM.
+//!
+//! §4.1 of the paper makes this precise:
+//!
+//! > **Lemma 4.3.** Assume there is a round-based program `P_A` for the
+//! > `(M, B, ω)`-AEM that computes the permutation π over `N` elements with
+//! > cost `Q`. Assume `B > ω` and `B` is a multiple of `ω`. Then there is a
+//! > program `P_F` in the unit-cost flash memory model with read block
+//! > `B/ω` and write block `B` that performs I/Os of total volume
+//! > `2N + 2QB/ω`.
+//!
+//! This crate implements all of it, executably:
+//!
+//! * [`FlashMachine`] — the enforcing flash-model simulator (move
+//!   semantics, per-sector reads, empty-block writes, volume metering);
+//! * [`simulate::compile`] — the Lemma 4.3 translation: removal-time
+//!   normalization of every block, the initial input scan, and the
+//!   interval-covering small reads, turning a recorded
+//!   [`aem_machine::atom::AtomProgram`] into a [`FlashProgram`];
+//! * [`FlashProgram::replay`] — executes the translated program on the
+//!   flash machine, verifying legality and the realized layout against the
+//!   AEM program's final layout;
+//! * [`driver`] — permutation programs for the
+//!   [`aem_machine::AtomMachine`] that generate the inputs (the §4.2
+//!   move-semantics rules are enforced by that machine).
+//!
+//! Experiment T4 runs the full chain and checks the volume bound
+//! `2N + 2QB/ω` across parameter sweeps.
+//!
+//! ## Example
+//!
+//! ```
+//! use aem_flash::{driver::naive_atom_permutation, verify_lemma_4_3};
+//! use aem_machine::AemConfig;
+//! use aem_workloads::PermKind;
+//!
+//! // B = 16, ω = 4: flash read blocks of 4, write blocks of 16.
+//! let cfg = AemConfig::new(64, 16, 4).unwrap();
+//! let pi = PermKind::Random { seed: 7 }.generate(256);
+//!
+//! // A legal §4.2 program realizing π...
+//! let (prog, _) = naive_atom_permutation(cfg, &pi).unwrap();
+//! assert!(prog.realizes(&pi));
+//!
+//! // ...compiled, replayed and checked against the lemma's bound.
+//! let report = verify_lemma_4_3(&prog.program, cfg).unwrap();
+//! assert!(report.bound_holds());
+//! assert!(report.flash_volume <= 2 * 256 + 2 * report.aem_q * 16 / 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod driver;
+pub mod machine;
+pub mod program;
+pub mod simulate;
+
+pub use config::FlashConfig;
+pub use machine::FlashMachine;
+pub use program::{FlashOp, FlashProgram};
+pub use simulate::{compile, verify_lemma_4_3, SimulationReport};

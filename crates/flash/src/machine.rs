@@ -1,0 +1,288 @@
+//! The enforcing flash-model simulator.
+//!
+//! Big blocks of `write_block` slots, readable in `read_block`-sized
+//! sectors; atoms move (never copy); writes target empty blocks; every
+//! transfer is metered by its *volume* (the block size moved, which is the
+//! unit-cost flash model's cost measure).
+
+use std::collections::HashSet;
+
+use aem_machine::{AtomId, BlockId, MachineError, Result};
+
+use crate::config::FlashConfig;
+
+/// One big block: fixed slot positions, holes where atoms were consumed.
+#[derive(Debug, Clone)]
+struct BigBlock {
+    slots: Vec<Option<AtomId>>,
+}
+
+impl BigBlock {
+    fn empty() -> Self {
+        Self { slots: Vec::new() }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// The flash-model machine state.
+#[derive(Debug)]
+pub struct FlashMachine {
+    cfg: FlashConfig,
+    blocks: Vec<BigBlock>,
+    internal: HashSet<AtomId>,
+    volume: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl FlashMachine {
+    /// A fresh machine.
+    pub fn new(cfg: FlashConfig) -> Self {
+        Self {
+            cfg,
+            blocks: Vec::new(),
+            internal: HashSet::new(),
+            volume: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn cfg(&self) -> FlashConfig {
+        self.cfg
+    }
+
+    /// Install atoms into a fresh big block at fixed positions (free:
+    /// problem setup). `block` must address the next unallocated id or an
+    /// existing one (to mirror an AEM machine's block table).
+    pub fn install_block(&mut self, block: BlockId, atoms: &[AtomId]) -> Result<()> {
+        if atoms.len() > self.cfg.write_block {
+            return Err(MachineError::BlockOverflow {
+                len: atoms.len(),
+                block: self.cfg.write_block,
+            });
+        }
+        while self.blocks.len() <= block.index() {
+            self.blocks.push(BigBlock::empty());
+        }
+        let b = &mut self.blocks[block.index()];
+        if b.occupancy() > 0 {
+            return Err(MachineError::WriteToOccupied {
+                block: block.index(),
+                occupancy: b.occupancy(),
+            });
+        }
+        b.slots = atoms.iter().copied().map(Some).collect();
+        Ok(())
+    }
+
+    /// Ensure a block id exists (empty), mirroring AEM allocations.
+    pub fn ensure_block(&mut self, block: BlockId) {
+        while self.blocks.len() <= block.index() {
+            self.blocks.push(BigBlock::empty());
+        }
+    }
+
+    /// Read sector `sector` of `block`, *using* (moving to internal memory)
+    /// exactly the atoms in `keep`, which must lie in that sector. Volume
+    /// charged: one read block.
+    pub fn read_sector(&mut self, block: BlockId, sector: usize, keep: &[AtomId]) -> Result<()> {
+        let rb = self.cfg.read_block;
+        let lo = sector * rb;
+        let b = self
+            .blocks
+            .get_mut(block.index())
+            .ok_or(MachineError::BadBlock {
+                block: block.index(),
+                allocated: 0,
+            })?;
+        if lo >= b.slots.len() {
+            return Err(MachineError::MalformedTrace(format!(
+                "sector {sector} of block {} is beyond its {} slots",
+                block.index(),
+                b.slots.len()
+            )));
+        }
+        let hi = (lo + rb).min(b.slots.len());
+        for a in keep {
+            let found = b.slots[lo..hi].contains(&Some(*a));
+            if !found {
+                return Err(MachineError::AtomNotPresent {
+                    atom: a.0,
+                    wanted_in: "flash read sector",
+                });
+            }
+        }
+        if self.internal.len() + keep.len() > self.cfg.memory {
+            return Err(MachineError::InternalOverflow {
+                used: self.internal.len(),
+                capacity: self.cfg.memory,
+                requested: keep.len(),
+            });
+        }
+        let keep_set: HashSet<AtomId> = keep.iter().copied().collect();
+        for s in &mut b.slots[lo..hi] {
+            if let Some(a) = s {
+                if keep_set.contains(a) {
+                    self.internal.insert(*a);
+                    *s = None;
+                }
+            }
+        }
+        self.reads += 1;
+        self.volume += rb as u64;
+        Ok(())
+    }
+
+    /// Write `atoms` (all in internal memory) to the empty big block
+    /// `block`, at slot positions `0..atoms.len()`. Volume charged: one
+    /// write block.
+    pub fn write_big(&mut self, block: BlockId, atoms: &[AtomId]) -> Result<()> {
+        if atoms.len() > self.cfg.write_block {
+            return Err(MachineError::BlockOverflow {
+                len: atoms.len(),
+                block: self.cfg.write_block,
+            });
+        }
+        self.ensure_block(block);
+        let occ = self.blocks[block.index()].occupancy();
+        if occ > 0 {
+            return Err(MachineError::WriteToOccupied {
+                block: block.index(),
+                occupancy: occ,
+            });
+        }
+        let distinct: HashSet<AtomId> = atoms.iter().copied().collect();
+        if distinct.len() != atoms.len() {
+            return Err(MachineError::MalformedTrace(
+                "write lists the same atom twice (atoms are indivisible)".into(),
+            ));
+        }
+        for a in atoms {
+            if !self.internal.contains(a) {
+                return Err(MachineError::AtomNotPresent {
+                    atom: a.0,
+                    wanted_in: "flash internal memory",
+                });
+            }
+        }
+        for a in atoms {
+            self.internal.remove(a);
+        }
+        self.blocks[block.index()].slots = atoms.iter().copied().map(Some).collect();
+        self.writes += 1;
+        self.volume += self.cfg.write_block as u64;
+        Ok(())
+    }
+
+    /// Total I/O volume so far (the flash model's cost).
+    pub fn volume(&self) -> u64 {
+        self.volume
+    }
+
+    /// Number of sector reads performed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of big-block writes performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Atoms resident in internal memory.
+    pub fn internal_used(&self) -> usize {
+        self.internal.len()
+    }
+
+    /// Contents of a block (live atoms in slot order), free of charge.
+    pub fn inspect_block(&self, block: BlockId) -> Vec<AtomId> {
+        self.blocks
+            .get(block.index())
+            .map(|b| b.slots.iter().flatten().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FlashConfig {
+        FlashConfig::new(32, 8, 2).unwrap()
+    }
+
+    fn ids(range: std::ops::Range<u64>) -> Vec<AtomId> {
+        range.map(AtomId).collect()
+    }
+
+    #[test]
+    fn sector_read_moves_only_requested_atoms() {
+        let mut m = FlashMachine::new(cfg());
+        m.install_block(BlockId(0), &ids(0..8)).unwrap();
+        // Sector 1 covers slots 2..4 (atoms 2, 3).
+        m.read_sector(BlockId(0), 1, &[AtomId(3)]).unwrap();
+        assert_eq!(m.internal_used(), 1);
+        assert_eq!(
+            m.inspect_block(BlockId(0)),
+            ids(0..3).into_iter().chain(ids(4..8)).collect::<Vec<_>>()
+        );
+        assert_eq!(m.volume(), 2);
+    }
+
+    #[test]
+    fn atom_outside_sector_is_rejected() {
+        let mut m = FlashMachine::new(cfg());
+        m.install_block(BlockId(0), &ids(0..8)).unwrap();
+        let err = m.read_sector(BlockId(0), 0, &[AtomId(5)]).unwrap_err();
+        assert!(matches!(err, MachineError::AtomNotPresent { atom: 5, .. }));
+    }
+
+    #[test]
+    fn write_charges_full_block_volume() {
+        let mut m = FlashMachine::new(cfg());
+        m.install_block(BlockId(0), &ids(0..4)).unwrap();
+        for s in 0..2 {
+            let keep: Vec<AtomId> = ids(0..4)[s * 2..s * 2 + 2].to_vec();
+            m.read_sector(BlockId(0), s, &keep).unwrap();
+        }
+        m.write_big(BlockId(1), &ids(0..4)).unwrap();
+        // 2 sector reads (2 each) + 1 write (8).
+        assert_eq!(m.volume(), 4 + 8);
+        assert_eq!(m.inspect_block(BlockId(1)), ids(0..4));
+    }
+
+    #[test]
+    fn write_requires_empty_block_and_resident_atoms() {
+        let mut m = FlashMachine::new(cfg());
+        m.install_block(BlockId(0), &ids(0..2)).unwrap();
+        assert!(matches!(
+            m.write_big(BlockId(0), &[]),
+            Err(MachineError::WriteToOccupied { .. })
+        ));
+        m.ensure_block(BlockId(1));
+        assert!(matches!(
+            m.write_big(BlockId(1), &[AtomId(0)]),
+            Err(MachineError::AtomNotPresent { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_capacity_enforced() {
+        let small = FlashConfig::new(8, 8, 2).unwrap();
+        let mut m = FlashMachine::new(small);
+        m.install_block(BlockId(0), &ids(0..8)).unwrap();
+        m.install_block(BlockId(1), &ids(8..16)).unwrap();
+        for s in 0..4 {
+            m.read_sector(BlockId(0), s, &ids(s as u64 * 2..s as u64 * 2 + 2))
+                .unwrap();
+        }
+        // Memory full (8 atoms): one more keep must fail.
+        let err = m.read_sector(BlockId(1), 0, &[AtomId(8)]).unwrap_err();
+        assert!(matches!(err, MachineError::InternalOverflow { .. }));
+    }
+}

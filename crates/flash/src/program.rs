@@ -1,0 +1,182 @@
+//! Flash-model programs: straight-line op sequences, replayable.
+
+use std::collections::HashMap;
+
+use aem_machine::{AtomId, BlockId, MachineError, Result};
+
+use crate::config::FlashConfig;
+use crate::machine::FlashMachine;
+
+/// One flash-model operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashOp {
+    /// Read one small sector of a big block, using (consuming) the listed
+    /// atoms. Volume: one read block.
+    ReadSector {
+        /// The big block.
+        block: BlockId,
+        /// Sector index within the block (`0 ≤ sector < B/(B/ω)`).
+        sector: usize,
+        /// Atoms moved into internal memory by this read.
+        keep: Vec<AtomId>,
+    },
+    /// Write a big block (must be empty) with the listed atoms. Volume:
+    /// one write block.
+    WriteBig {
+        /// The big block.
+        block: BlockId,
+        /// Atoms written, in slot order.
+        atoms: Vec<AtomId>,
+    },
+}
+
+/// A complete flash-model program together with its initial layout.
+#[derive(Debug, Clone)]
+pub struct FlashProgram {
+    /// The configuration the program is built for.
+    pub cfg: FlashConfig,
+    /// Initial contents of each non-empty big block.
+    pub input: Vec<(BlockId, Vec<AtomId>)>,
+    /// Operations in program order.
+    pub ops: Vec<FlashOp>,
+}
+
+impl FlashProgram {
+    /// The program's total I/O volume (without executing it).
+    pub fn volume(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                FlashOp::ReadSector { .. } => self.cfg.read_block as u64,
+                FlashOp::WriteBig { .. } => self.cfg.write_block as u64,
+            })
+            .sum()
+    }
+
+    /// Number of sector reads that do **not** consume every live atom of
+    /// their sector — Lemma 4.3's accounting allows at most two of these
+    /// per AEM read operation.
+    pub fn count_ops(&self) -> (u64, u64) {
+        let mut reads = 0;
+        let mut writes = 0;
+        for op in &self.ops {
+            match op {
+                FlashOp::ReadSector { .. } => reads += 1,
+                FlashOp::WriteBig { .. } => writes += 1,
+            }
+        }
+        (reads, writes)
+    }
+
+    /// Execute the program on a fresh [`FlashMachine`], enforcing every
+    /// model rule, and return the machine (for layout inspection).
+    pub fn replay(&self) -> Result<FlashMachine> {
+        let mut m = FlashMachine::new(self.cfg);
+        for (bid, atoms) in &self.input {
+            m.install_block(*bid, atoms)?;
+        }
+        for op in &self.ops {
+            match op {
+                FlashOp::ReadSector {
+                    block,
+                    sector,
+                    keep,
+                } => {
+                    m.read_sector(*block, *sector, keep)?;
+                }
+                FlashOp::WriteBig { block, atoms } => {
+                    m.write_big(*block, atoms)?;
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Replay and compare the final layout against an expected
+    /// block → atoms map (order-insensitive within blocks: §4.2 treats the
+    /// intra-block order as normalization freedom).
+    pub fn replay_and_check(&self, expected: &HashMap<usize, Vec<AtomId>>) -> Result<FlashMachine> {
+        let m = self.replay()?;
+        for (block, atoms) in expected {
+            let mut got = m.inspect_block(BlockId(*block));
+            let mut want = atoms.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            if got != want {
+                return Err(MachineError::MalformedTrace(format!(
+                    "block {block}: flash replay holds {got:?}, AEM program holds {want:?}"
+                )));
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_program() -> FlashProgram {
+        let cfg = FlashConfig::new(16, 4, 2).unwrap();
+        FlashProgram {
+            cfg,
+            input: vec![(BlockId(0), vec![AtomId(0), AtomId(1), AtomId(2), AtomId(3)])],
+            ops: vec![
+                FlashOp::ReadSector {
+                    block: BlockId(0),
+                    sector: 0,
+                    keep: vec![AtomId(0), AtomId(1)],
+                },
+                FlashOp::ReadSector {
+                    block: BlockId(0),
+                    sector: 1,
+                    keep: vec![AtomId(2), AtomId(3)],
+                },
+                FlashOp::WriteBig {
+                    block: BlockId(1),
+                    atoms: vec![AtomId(3), AtomId(1), AtomId(2), AtomId(0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn volume_is_static() {
+        let p = tiny_program();
+        assert_eq!(p.volume(), 2 + 2 + 4);
+        assert_eq!(p.count_ops(), (2, 1));
+    }
+
+    #[test]
+    fn replay_realizes_layout() {
+        let p = tiny_program();
+        let m = p.replay().unwrap();
+        assert_eq!(m.volume(), p.volume());
+        assert_eq!(
+            m.inspect_block(BlockId(1)),
+            vec![AtomId(3), AtomId(1), AtomId(2), AtomId(0)]
+        );
+        assert!(m.inspect_block(BlockId(0)).is_empty());
+    }
+
+    #[test]
+    fn replay_and_check_detects_mismatch() {
+        let p = tiny_program();
+        let mut expected = HashMap::new();
+        expected.insert(1usize, vec![AtomId(0), AtomId(1), AtomId(2), AtomId(3)]);
+        assert!(p.replay_and_check(&expected).is_ok()); // order-insensitive
+        expected.insert(1usize, vec![AtomId(0)]);
+        assert!(p.replay_and_check(&expected).is_err());
+    }
+
+    #[test]
+    fn illegal_program_fails_replay() {
+        let mut p = tiny_program();
+        // Second write to the same (now occupied) block.
+        p.ops.push(FlashOp::WriteBig {
+            block: BlockId(1),
+            atoms: vec![],
+        });
+        assert!(p.replay().is_err());
+    }
+}

@@ -1,0 +1,449 @@
+//! The move-semantics **atom machine** of §4.2.
+//!
+//! To prove the permutation lower bound, the paper restricts programs to
+//! moving *indivisible atoms*:
+//!
+//! > "When reading a block `Bᵢ` from external memory, a program must decide
+//! > which subset `S` of atoms of `Bᵢ` will be kept in internal memory to be
+//! > written later. Exact copies of the atoms in `S` are created in internal
+//! > memory, while destroying their copies in the external memory. \[…\]
+//! > Since an atom can exist either in the internal memory or in the
+//! > external memory, but not both, and since there is no way to generate
+//! > destroyed atoms, writing to external memory can only be performed into
+//! > empty blocks."
+//!
+//! [`AtomMachine`] enforces exactly these rules and records an
+//! [`AtomProgram`]: the straight-line program with per-read "used atoms"
+//! annotations that the flash-model simulation of Lemma 4.3 (crate
+//! `aem-flash`) consumes. Every rule violation is a hard error, so a
+//! permutation program that completes on this machine is, by construction, a
+//! legal program in the sense of the lower-bound argument.
+
+use std::collections::HashSet;
+
+use crate::block::{BlockId, Region};
+use crate::config::AemConfig;
+use crate::cost::{Cost, IoCounter};
+use crate::error::{MachineError, Result};
+use crate::external::ExternalMemory;
+
+/// Identity of one indivisible atom. Atoms are created once, at input
+/// installation, and only ever move; ids double as the atom's *input
+/// position*, which is what makes permutation checking trivial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomId(pub u64);
+
+impl std::fmt::Display for AtomId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// One operation of a move-semantics program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtomEvent {
+    /// A block was read; the listed atoms were *used* (moved into internal
+    /// memory, their external copies destroyed). Unlisted atoms stayed in
+    /// the block untouched.
+    Read {
+        /// Source block.
+        block: BlockId,
+        /// Atoms removed from the block by this read, in block order.
+        removed: Vec<AtomId>,
+    },
+    /// A block (previously empty) was written with the listed atoms.
+    Write {
+        /// Destination block.
+        block: BlockId,
+        /// Atoms now stored in the block, in block order.
+        atoms: Vec<AtomId>,
+    },
+}
+
+/// A completed move-semantics program: initial layout plus the recorded
+/// event sequence. This is the object Lemma 4.3 simulates in the flash
+/// model.
+#[derive(Debug, Clone)]
+pub struct AtomProgram {
+    /// Number of atoms in the input.
+    pub n_atoms: usize,
+    /// Block size of the machine the program ran on.
+    pub block: usize,
+    /// Initial contents of every non-empty block (in block-id order).
+    pub input: Vec<(BlockId, Vec<AtomId>)>,
+    /// The recorded operations, in program order.
+    pub events: Vec<AtomEvent>,
+}
+
+impl AtomProgram {
+    /// Cost of the program.
+    pub fn cost(&self) -> Cost {
+        let mut c = Cost::ZERO;
+        for ev in &self.events {
+            match ev {
+                AtomEvent::Read { .. } => c.reads += 1,
+                AtomEvent::Write { .. } => c.writes += 1,
+            }
+        }
+        c
+    }
+
+    /// Replay the program abstractly and return the final contents of
+    /// every non-empty block. Used by the flash-model simulation to verify
+    /// that its translated program realizes the same layout.
+    pub fn final_layout(&self) -> std::collections::HashMap<usize, Vec<AtomId>> {
+        let mut state: std::collections::HashMap<usize, Vec<AtomId>> = self
+            .input
+            .iter()
+            .map(|(bid, atoms)| (bid.index(), atoms.clone()))
+            .collect();
+        for ev in &self.events {
+            match ev {
+                AtomEvent::Read { block, removed } => {
+                    if let Some(content) = state.get_mut(&block.index()) {
+                        let rm: HashSet<AtomId> = removed.iter().copied().collect();
+                        content.retain(|a| !rm.contains(a));
+                        if content.is_empty() {
+                            state.remove(&block.index());
+                        }
+                    }
+                }
+                AtomEvent::Write { block, atoms } => {
+                    state.insert(block.index(), atoms.clone());
+                }
+            }
+        }
+        state
+    }
+}
+
+/// The enforcing move-semantics machine.
+///
+/// # Example
+///
+/// ```
+/// use aem_machine::{AemConfig, AtomId, AtomMachine};
+///
+/// let cfg = AemConfig::new(8, 4, 2).unwrap();
+/// let mut m = AtomMachine::new(cfg);
+/// let input = m.install_atoms(8); // atoms 0..8 in two blocks
+///
+/// // Use (keep) two atoms from the first block; their external copies
+/// // are destroyed.
+/// m.read_keep(input.block(0), &[AtomId(1), AtomId(3)]).unwrap();
+/// assert_eq!(m.internal_atoms(), vec![AtomId(1), AtomId(3)]);
+///
+/// // Writes may only target empty blocks (§4.2 of the paper).
+/// let out = m.alloc_block();
+/// m.write(out, vec![AtomId(3), AtomId(1)]).unwrap();
+/// assert_eq!(m.cost().q(cfg.omega), 1 + 2);
+///
+/// // The recorded program feeds the Lemma 4.3 flash simulation.
+/// let program = m.into_program();
+/// assert_eq!(program.events.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct AtomMachine {
+    cfg: AemConfig,
+    ext: ExternalMemory<AtomId>,
+    internal: HashSet<AtomId>,
+    counter: IoCounter,
+    events: Vec<AtomEvent>,
+    input: Vec<(BlockId, Vec<AtomId>)>,
+    n_atoms: usize,
+}
+
+impl AtomMachine {
+    /// A fresh machine.
+    pub fn new(cfg: AemConfig) -> Self {
+        Self {
+            cfg,
+            ext: ExternalMemory::new(cfg.block),
+            internal: HashSet::new(),
+            counter: IoCounter::new(),
+            events: Vec::new(),
+            input: Vec::new(),
+            n_atoms: 0,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn cfg(&self) -> AemConfig {
+        self.cfg
+    }
+
+    /// Install `n` fresh atoms (ids `0..n`, i.e. their input positions) into
+    /// consecutive blocks. Free of I/O cost (problem setup). May be called
+    /// once per machine.
+    pub fn install_atoms(&mut self, n: usize) -> Region {
+        assert_eq!(self.n_atoms, 0, "atoms already installed");
+        self.n_atoms = n;
+        let atoms: Vec<AtomId> = (0..n as u64).map(AtomId).collect();
+        let region = self.ext.install(&atoms);
+        self.input = region
+            .iter()
+            .map(|id| (id, self.ext.get(id).expect("fresh region").to_vec()))
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        region
+    }
+
+    /// Allocate a fresh empty block (free).
+    pub fn alloc_block(&mut self) -> BlockId {
+        self.ext.alloc()
+    }
+
+    /// Allocate a region of fresh blocks holding `elems` atoms (free).
+    pub fn alloc_region(&mut self, elems: usize) -> Region {
+        self.ext.alloc_region(elems)
+    }
+
+    /// Read block `id`, *using* (keeping) exactly the atoms in `keep`.
+    ///
+    /// Kept atoms move to internal memory; their external copies are
+    /// destroyed. Non-kept atoms are unaffected. Charged: 1 read I/O.
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::AtomNotPresent`] if some atom of `keep` is not in
+    ///   the block;
+    /// * [`MachineError::InternalOverflow`] if keeping them would exceed `M`.
+    pub fn read_keep(&mut self, id: BlockId, keep: &[AtomId]) -> Result<()> {
+        let block = self.ext.get(id)?;
+        let keep_set: HashSet<AtomId> = keep.iter().copied().collect();
+        for a in keep {
+            if !block.as_slice().contains(a) {
+                return Err(MachineError::AtomNotPresent {
+                    atom: a.0,
+                    wanted_in: "read block",
+                });
+            }
+        }
+        if self.internal.len() + keep_set.len() > self.cfg.memory {
+            return Err(MachineError::InternalOverflow {
+                used: self.internal.len(),
+                capacity: self.cfg.memory,
+                requested: keep_set.len(),
+            });
+        }
+        // Record removal in block order (normalization of Lemma 4.3 relies
+        // on a well-defined order).
+        let removed: Vec<AtomId> = block
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|a| keep_set.contains(a))
+            .collect();
+        let remaining: Vec<AtomId> = block
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|a| !keep_set.contains(a))
+            .collect();
+        self.ext.get_mut(id)?.set(remaining);
+        self.internal.extend(removed.iter().copied());
+        self.counter.charge_read();
+        self.events.push(AtomEvent::Read { block: id, removed });
+        Ok(())
+    }
+
+    /// Write `atoms` (all currently in internal memory) to the empty block
+    /// `id`. Charged: 1 write I/O.
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::WriteToOccupied`] if the block still holds atoms;
+    /// * [`MachineError::AtomNotPresent`] if some atom is not in internal
+    ///   memory;
+    /// * [`MachineError::BlockOverflow`] if more than `B` atoms are written.
+    pub fn write(&mut self, id: BlockId, atoms: Vec<AtomId>) -> Result<()> {
+        if atoms.len() > self.cfg.block {
+            return Err(MachineError::BlockOverflow {
+                len: atoms.len(),
+                block: self.cfg.block,
+            });
+        }
+        let occupancy = self.ext.get(id)?.len();
+        if occupancy > 0 {
+            return Err(MachineError::WriteToOccupied {
+                block: id.index(),
+                occupancy,
+            });
+        }
+        let distinct: HashSet<AtomId> = atoms.iter().copied().collect();
+        if distinct.len() != atoms.len() {
+            return Err(MachineError::MalformedTrace(
+                "write lists the same atom twice (atoms are indivisible)".into(),
+            ));
+        }
+        for a in &atoms {
+            if !self.internal.contains(a) {
+                return Err(MachineError::AtomNotPresent {
+                    atom: a.0,
+                    wanted_in: "internal memory",
+                });
+            }
+        }
+        for a in &atoms {
+            self.internal.remove(a);
+        }
+        self.ext.put(id, atoms.clone())?;
+        self.counter.charge_write();
+        self.events.push(AtomEvent::Write { block: id, atoms });
+        Ok(())
+    }
+
+    /// Atoms currently resident in internal memory (sorted for determinism).
+    pub fn internal_atoms(&self) -> Vec<AtomId> {
+        let mut v: Vec<AtomId> = self.internal.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of atoms resident in internal memory.
+    pub fn internal_used(&self) -> usize {
+        self.internal.len()
+    }
+
+    /// Contents of a block, free of charge (inspection).
+    pub fn inspect_block(&self, id: BlockId) -> Result<Vec<AtomId>> {
+        Ok(self.ext.get(id)?.to_vec())
+    }
+
+    /// Contents of a whole region, free of charge (inspection).
+    pub fn inspect(&self, region: Region) -> Vec<AtomId> {
+        self.ext.inspect(region)
+    }
+
+    /// Cost so far.
+    pub fn cost(&self) -> Cost {
+        self.counter.snapshot()
+    }
+
+    /// Finish: return the recorded program.
+    pub fn into_program(self) -> AtomProgram {
+        AtomProgram {
+            n_atoms: self.n_atoms,
+            block: self.cfg.block,
+            input: self.input,
+            events: self.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AemConfig {
+        AemConfig::new(8, 4, 4).unwrap()
+    }
+
+    #[test]
+    fn install_assigns_input_positions() {
+        let mut m = AtomMachine::new(cfg());
+        let r = m.install_atoms(10);
+        assert_eq!(r.blocks, 3);
+        assert_eq!(
+            m.inspect_block(r.block(0)).unwrap(),
+            vec![AtomId(0), AtomId(1), AtomId(2), AtomId(3)]
+        );
+        assert_eq!(
+            m.inspect_block(r.block(2)).unwrap(),
+            vec![AtomId(8), AtomId(9)]
+        );
+    }
+
+    #[test]
+    fn read_destroys_external_copy() {
+        let mut m = AtomMachine::new(cfg());
+        let r = m.install_atoms(4);
+        m.read_keep(r.block(0), &[AtomId(1), AtomId(3)]).unwrap();
+        assert_eq!(
+            m.inspect_block(r.block(0)).unwrap(),
+            vec![AtomId(0), AtomId(2)]
+        );
+        assert_eq!(m.internal_atoms(), vec![AtomId(1), AtomId(3)]);
+        assert_eq!(m.cost(), Cost::new(1, 0));
+    }
+
+    #[test]
+    fn cannot_keep_absent_atom() {
+        let mut m = AtomMachine::new(cfg());
+        let r = m.install_atoms(4);
+        let err = m.read_keep(r.block(0), &[AtomId(9)]).unwrap_err();
+        assert!(matches!(err, MachineError::AtomNotPresent { atom: 9, .. }));
+    }
+
+    #[test]
+    fn write_requires_empty_block() {
+        let mut m = AtomMachine::new(cfg());
+        let r = m.install_atoms(8);
+        m.read_keep(r.block(0), &[AtomId(0)]).unwrap();
+        // Block 1 still holds atoms 4..8: cannot be written.
+        let err = m.write(r.block(1), vec![AtomId(0)]).unwrap_err();
+        assert!(matches!(err, MachineError::WriteToOccupied { .. }));
+        // But a fully-drained block can.
+        m.read_keep(r.block(0), &[AtomId(1), AtomId(2), AtomId(3)])
+            .unwrap();
+        m.write(r.block(0), vec![AtomId(3), AtomId(0)]).unwrap();
+        assert_eq!(
+            m.inspect_block(r.block(0)).unwrap(),
+            vec![AtomId(3), AtomId(0)]
+        );
+    }
+
+    #[test]
+    fn write_requires_atoms_in_memory() {
+        let mut m = AtomMachine::new(cfg());
+        let _ = m.install_atoms(4);
+        let fresh = m.alloc_block();
+        let err = m.write(fresh, vec![AtomId(0)]).unwrap_err();
+        assert!(matches!(err, MachineError::AtomNotPresent { .. }));
+    }
+
+    #[test]
+    fn internal_capacity_enforced() {
+        let mut m = AtomMachine::new(cfg());
+        let r = m.install_atoms(12);
+        m.read_keep(r.block(0), &[AtomId(0), AtomId(1), AtomId(2), AtomId(3)])
+            .unwrap();
+        m.read_keep(r.block(1), &[AtomId(4), AtomId(5), AtomId(6), AtomId(7)])
+            .unwrap();
+        // M = 8: a ninth atom does not fit.
+        let err = m.read_keep(r.block(2), &[AtomId(8)]).unwrap_err();
+        assert!(matches!(err, MachineError::InternalOverflow { .. }));
+    }
+
+    #[test]
+    fn program_records_everything() {
+        let mut m = AtomMachine::new(cfg());
+        let r = m.install_atoms(4);
+        m.read_keep(r.block(0), &[AtomId(0), AtomId(1), AtomId(2), AtomId(3)])
+            .unwrap();
+        let out = m.alloc_block();
+        m.write(out, vec![AtomId(2), AtomId(0), AtomId(3), AtomId(1)])
+            .unwrap();
+        let prog = m.into_program();
+        assert_eq!(prog.n_atoms, 4);
+        assert_eq!(prog.events.len(), 2);
+        assert_eq!(prog.cost(), Cost::new(1, 1));
+        assert_eq!(prog.input.len(), 1);
+    }
+
+    #[test]
+    fn atoms_move_not_copy() {
+        let mut m = AtomMachine::new(cfg());
+        let r = m.install_atoms(4);
+        m.read_keep(r.block(0), &[AtomId(0)]).unwrap();
+        // The atom left the block; a second keep of the same atom fails.
+        let err = m.read_keep(r.block(0), &[AtomId(0)]).unwrap_err();
+        assert!(matches!(err, MachineError::AtomNotPresent { .. }));
+        // And after writing it out, it is no longer in internal memory.
+        let out = m.alloc_block();
+        m.write(out, vec![AtomId(0)]).unwrap();
+        assert_eq!(m.internal_used(), 0);
+        let other = m.alloc_block();
+        assert!(m.write(other, vec![AtomId(0)]).is_err());
+    }
+}

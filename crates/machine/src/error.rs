@@ -1,0 +1,153 @@
+//! Errors raised by the simulators.
+//!
+//! Every error here corresponds to a *violation of the machine model*: an
+//! algorithm that triggers one is claiming resources the `(M, B, ω)`-AEM does
+//! not grant it. The test suites treat any such error as a hard failure,
+//! which is how the crate turns the paper's resource bounds into
+//! machine-checked properties.
+
+/// Convenient result alias used throughout the machine crates.
+pub type Result<T> = std::result::Result<T, MachineError>;
+
+/// A violation of the machine model (or of simulator bookkeeping).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The configuration parameters are inconsistent.
+    InvalidConfig(&'static str),
+    /// Internal memory capacity `M` would be exceeded.
+    InternalOverflow {
+        /// Elements currently resident in internal memory.
+        used: usize,
+        /// Capacity `M` of the internal memory.
+        capacity: usize,
+        /// Elements the rejected operation tried to add.
+        requested: usize,
+    },
+    /// Internal memory accounting went negative: the algorithm released
+    /// elements it never held. Indicates a bug in the algorithm's ledger.
+    InternalUnderflow {
+        /// Elements currently accounted as resident.
+        used: usize,
+        /// Elements the rejected operation tried to release.
+        released: usize,
+    },
+    /// A block id outside the allocated external memory was addressed.
+    BadBlock {
+        /// The offending block id (raw index).
+        block: usize,
+        /// Number of blocks currently allocated.
+        allocated: usize,
+    },
+    /// More than `B` elements were written into a single block.
+    BlockOverflow {
+        /// Number of elements in the rejected write.
+        len: usize,
+        /// Block capacity `B`.
+        block: usize,
+    },
+    /// Move-semantics machine: a write targeted a block that still holds
+    /// atoms. §4.2 of the paper: "writing to external memory can only be
+    /// performed into empty blocks".
+    WriteToOccupied {
+        /// The target block.
+        block: usize,
+        /// Number of live atoms still stored there.
+        occupancy: usize,
+    },
+    /// Move-semantics machine: an atom required by the operation is not where
+    /// the program claims it is.
+    AtomNotPresent {
+        /// The missing atom.
+        atom: u64,
+        /// Human-readable location description.
+        wanted_in: &'static str,
+    },
+    /// A recorded trace is malformed or inconsistent with the machine it is
+    /// replayed or analyzed on.
+    MalformedTrace(String),
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::InvalidConfig(msg) => write!(f, "invalid AEM configuration: {msg}"),
+            MachineError::InternalOverflow {
+                used,
+                capacity,
+                requested,
+            } => write!(
+                f,
+                "internal memory overflow: {used}/{capacity} elements resident, \
+                 operation needs {requested} more"
+            ),
+            MachineError::InternalUnderflow { used, released } => write!(
+                f,
+                "internal memory underflow: {used} elements resident, \
+                 operation released {released}"
+            ),
+            MachineError::BadBlock { block, allocated } => {
+                write!(
+                    f,
+                    "block {block} out of range ({allocated} blocks allocated)"
+                )
+            }
+            MachineError::BlockOverflow { len, block } => {
+                write!(
+                    f,
+                    "attempted to write {len} elements into a block of size {block}"
+                )
+            }
+            MachineError::WriteToOccupied { block, occupancy } => write!(
+                f,
+                "write to non-empty block {block} ({occupancy} atoms live); \
+                 the move-semantics AEM only writes to empty blocks"
+            ),
+            MachineError::AtomNotPresent { atom, wanted_in } => {
+                write!(f, "atom {atom} is not present in {wanted_in}")
+            }
+            MachineError::MalformedTrace(msg) => write!(f, "malformed trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MachineError::InternalOverflow {
+            used: 60,
+            capacity: 64,
+            requested: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("60") && s.contains("64") && s.contains('8'));
+
+        let e = MachineError::WriteToOccupied {
+            block: 3,
+            occupancy: 5,
+        };
+        assert!(e.to_string().contains("block 3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            MachineError::InvalidConfig("x"),
+            MachineError::InvalidConfig("x")
+        );
+        assert_ne!(
+            MachineError::BadBlock {
+                block: 0,
+                allocated: 1
+            },
+            MachineError::BadBlock {
+                block: 1,
+                allocated: 1
+            }
+        );
+    }
+}

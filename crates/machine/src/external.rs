@@ -1,0 +1,180 @@
+//! The external (asymmetric) memory: an unbounded store of `B`-element
+//! blocks.
+//!
+//! This module provides the raw block store shared by the copy-semantics
+//! [`crate::Machine`] and the move-semantics [`crate::AtomMachine`]. The
+//! store itself performs no cost accounting — that is the machine's job —
+//! but it does enforce block capacity and address validity.
+
+use crate::block::{Block, BlockId, Region};
+use crate::error::{MachineError, Result};
+
+/// An unbounded array of blocks, each holding at most `block_size` elements.
+#[derive(Debug, Clone)]
+pub struct ExternalMemory<T> {
+    block_size: usize,
+    blocks: Vec<Block<T>>,
+}
+
+impl<T> ExternalMemory<T> {
+    /// Create an empty external memory with the given block size `B`.
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size >= 1, "block size must be at least 1");
+        Self {
+            block_size,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Block size `B`.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of blocks allocated so far.
+    #[inline]
+    pub fn allocated(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Allocate one fresh (empty) block. External memory is unbounded, so
+    /// allocation always succeeds and is free of I/O cost — cost accrues
+    /// only when blocks are transferred.
+    pub fn alloc(&mut self) -> BlockId {
+        self.blocks.push(Block::empty());
+        BlockId(self.blocks.len() - 1)
+    }
+
+    /// Allocate `nblocks` consecutive fresh blocks as a region able to hold
+    /// `elems` elements.
+    pub fn alloc_region(&mut self, elems: usize) -> Region {
+        let nblocks = elems.div_ceil(self.block_size);
+        let first = self.blocks.len();
+        self.blocks.extend((0..nblocks).map(|_| Block::empty()));
+        Region {
+            first,
+            blocks: nblocks,
+            elems,
+        }
+    }
+
+    fn check(&self, id: BlockId) -> Result<()> {
+        if id.index() >= self.blocks.len() {
+            Err(MachineError::BadBlock {
+                block: id.index(),
+                allocated: self.blocks.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Borrow a block.
+    pub fn get(&self, id: BlockId) -> Result<&Block<T>> {
+        self.check(id)?;
+        Ok(&self.blocks[id.index()])
+    }
+
+    /// Mutably borrow a block.
+    pub fn get_mut(&mut self, id: BlockId) -> Result<&mut Block<T>> {
+        self.check(id)?;
+        Ok(&mut self.blocks[id.index()])
+    }
+
+    /// Overwrite the contents of a block. Enforces `data.len() ≤ B`.
+    pub fn put(&mut self, id: BlockId, data: Vec<T>) -> Result<()> {
+        if data.len() > self.block_size {
+            return Err(MachineError::BlockOverflow {
+                len: data.len(),
+                block: self.block_size,
+            });
+        }
+        self.get_mut(id)?.set(data);
+        Ok(())
+    }
+
+    /// Total number of elements currently resident across all blocks.
+    pub fn resident_elems(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+}
+
+impl<T: Clone> ExternalMemory<T> {
+    /// Install an array into freshly allocated blocks without charging I/O.
+    ///
+    /// This models the problem setup: "the input is stored in `n = ⌈N/B⌉`
+    /// consecutive blocks of the external memory". Setup and inspection are
+    /// outside the metered computation.
+    pub fn install(&mut self, data: &[T]) -> Region {
+        let region = self.alloc_region(data.len());
+        for (i, chunk) in data.chunks(self.block_size).enumerate() {
+            self.blocks[region.first + i].set(chunk.to_vec());
+        }
+        region
+    }
+
+    /// Read an entire region back out without charging I/O (test/bench
+    /// inspection of results).
+    pub fn inspect(&self, region: Region) -> Vec<T> {
+        let mut out = Vec::with_capacity(region.elems);
+        for id in region.iter() {
+            out.extend_from_slice(self.blocks[id.index()].as_slice());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_and_inspect_round_trip() {
+        let mut ext: ExternalMemory<u32> = ExternalMemory::new(4);
+        let data: Vec<u32> = (0..11).collect();
+        let region = ext.install(&data);
+        assert_eq!(region.blocks, 3);
+        assert_eq!(region.elems, 11);
+        assert_eq!(ext.inspect(region), data);
+    }
+
+    #[test]
+    fn alloc_region_is_contiguous_and_empty() {
+        let mut ext: ExternalMemory<u32> = ExternalMemory::new(4);
+        let _ = ext.install(&[1, 2, 3]);
+        let r = ext.alloc_region(9);
+        assert_eq!(r.blocks, 3);
+        assert!(r.iter().all(|b| ext.get(b).unwrap().is_empty()));
+    }
+
+    #[test]
+    fn put_enforces_block_capacity() {
+        let mut ext: ExternalMemory<u32> = ExternalMemory::new(4);
+        let id = ext.alloc();
+        assert!(ext.put(id, vec![0; 4]).is_ok());
+        assert_eq!(
+            ext.put(id, vec![0; 5]),
+            Err(MachineError::BlockOverflow { len: 5, block: 4 })
+        );
+    }
+
+    #[test]
+    fn bad_block_is_reported() {
+        let ext: ExternalMemory<u32> = ExternalMemory::new(4);
+        assert_eq!(
+            ext.get(BlockId(3)).unwrap_err(),
+            MachineError::BadBlock {
+                block: 3,
+                allocated: 0
+            }
+        );
+    }
+
+    #[test]
+    fn resident_elems_counts_partial_blocks() {
+        let mut ext: ExternalMemory<u32> = ExternalMemory::new(4);
+        ext.install(&[1, 2, 3, 4, 5]);
+        assert_eq!(ext.resident_elems(), 5);
+    }
+}

@@ -1,0 +1,90 @@
+//! # `aem-machine` — an executable `(M, B, ω)`-Asymmetric External Memory model
+//!
+//! This crate implements the machine model of
+//! *Jacob & Sitchinava, "Lower Bounds in the Asymmetric External Memory
+//! Model", SPAA 2017* as an **instrumented, enforcing simulator** rather than
+//! a pencil-and-paper abstraction.
+//!
+//! The `(M, B, ω)`-AEM model consists of:
+//!
+//! * an unbounded **external (asymmetric) memory** holding the input, divided
+//!   into blocks of `B` elements each;
+//! * a small **internal (symmetric) memory** of capacity `M` elements;
+//! * transfers between the two happen in whole blocks; a **read** I/O costs
+//!   `1` and a **write** I/O costs `ω ≥ 1`;
+//! * computation inside internal memory is free (the model only meters I/O).
+//!
+//! The cost of a computation performing `Q_r` reads and `Q_w` writes is
+//! `Q = Q_r + ω·Q_w`. Setting `B = 1` recovers the `(M, ω)`-ARAM model of
+//! Blelloch et al., and setting `ω = 1` recovers the classical
+//! Aggarwal–Vitter external memory (EM) model.
+//!
+//! ## What this crate provides
+//!
+//! * [`AemConfig`] — the model parameters `M`, `B`, `ω` plus all the derived
+//!   quantities the paper uses (`m = ⌈M/B⌉`, `n = ⌈N/B⌉`, round budget `ωm`).
+//! * [`Machine`] — the *copy-semantics* machine used to run algorithms:
+//!   block-granular I/O, enforced internal-memory capacity, exact metering of
+//!   reads/writes, optional trace recording. Algorithms access it through the
+//!   [`AemAccess`] trait so they run unmodified on instrumentation wrappers.
+//! * [`AtomMachine`] — the *move-semantics* machine of §4.2 of the paper,
+//!   used for the lower-bound machinery: elements are indivisible **atoms**,
+//!   a read chooses the subset of atoms to keep (destroying their external
+//!   copies), writes may only target empty blocks. Programs recorded on this
+//!   machine carry exactly the per-read "which atoms were used" annotations
+//!   required by the flash-model simulation of Lemma 4.3.
+//! * [`rounds`] — the round decomposition of §4 and an executable version of
+//!   **Lemma 4.1**: [`rounds::RoundBasedMachine`] runs any algorithm as a
+//!   round-based program on a `2M` machine with (measured) constant-factor
+//!   overhead, and [`rounds::round_based_cost`] computes the exact cost of
+//!   the Lemma 4.1 conversion of a recorded trace.
+//! * [`Trace`] — recorded straight-line I/O programs (the paper's notion of
+//!   *program* as opposed to *algorithm*), replayable and analyzable.
+//!
+//! ## Example
+//!
+//! ```
+//! use aem_machine::{AemConfig, Machine, AemAccess};
+//!
+//! // A machine with M = 64 elements of internal memory, blocks of B = 8,
+//! // and writes 16x more expensive than reads.
+//! let cfg = AemConfig::new(64, 8, 16).unwrap();
+//! let mut machine: Machine<u64> = Machine::new(cfg);
+//!
+//! // Install an input array (free: the input starts in external memory).
+//! let input: Vec<u64> = (0..64).rev().collect();
+//! let region = machine.install(&input);
+//!
+//! // Read the first block, reverse it in internal memory (free), write it out.
+//! let mut data = machine.read_block(region.block(0)).unwrap();
+//! data.reverse();
+//! let out = machine.alloc_block();
+//! machine.write_block(out, data).unwrap();
+//!
+//! let cost = machine.cost();
+//! assert_eq!(cost.reads, 1);
+//! assert_eq!(cost.writes, 1);
+//! assert_eq!(cost.q(machine.cfg().omega), 1 + 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod block;
+pub mod config;
+pub mod cost;
+pub mod error;
+pub mod external;
+pub mod machine;
+pub mod rounds;
+pub mod trace;
+
+pub use atom::{AtomId, AtomMachine};
+pub use block::{Block, BlockId, Region};
+pub use config::AemConfig;
+pub use cost::{Cost, IoCounter};
+pub use error::{MachineError, Result};
+pub use machine::{AemAccess, Machine};
+pub use rounds::RoundBasedMachine;
+pub use trace::{IoEvent, Trace, TraceStats};

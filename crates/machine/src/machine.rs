@@ -1,0 +1,449 @@
+//! The copy-semantics AEM machine that algorithms run on.
+//!
+//! This machine is the work-horse of the workspace: every algorithm in
+//! `aem-core` is written against the [`AemAccess`] trait and can therefore
+//! run on the plain [`Machine`] or on instrumentation wrappers such as
+//! [`crate::rounds::RoundBasedMachine`] without modification.
+//!
+//! ## Semantics
+//!
+//! * **Reads** copy a block's contents into internal memory and charge the
+//!   internal budget with the number of elements copied. The algorithm must
+//!   eventually account for every element it holds: writing elements out
+//!   releases budget, and elements dropped without being written must be
+//!   released explicitly via [`AemAccess::discard`]. Leaks are conservative —
+//!   they can only cause *spurious capacity errors*, never let an algorithm
+//!   use more than `M` elements of internal memory unnoticed.
+//! * **Writes** store at most `B` elements to a block and release the
+//!   internal budget correspondingly.
+//! * A separate **auxiliary store** with the same block size carries machine
+//!   words (pointers, counters) for algorithms that must spill metadata to
+//!   external memory — the crucial case `ω > B` of the §3 merge, where even
+//!   the `ωm` run pointers do not fit into internal memory. Auxiliary I/O is
+//!   charged to the same cost meter and the same internal budget (one word
+//!   counts as one element, the usual I/O-model convention).
+
+use crate::block::{BlockId, Region};
+use crate::config::AemConfig;
+use crate::cost::{Cost, IoCounter};
+use crate::error::{MachineError, Result};
+use crate::external::ExternalMemory;
+use crate::trace::{IoEvent, Trace};
+
+/// Uniform access interface to an AEM machine.
+///
+/// Algorithms are generic over this trait so that instrumentation wrappers
+/// (round-based execution, tracing filters, fault injectors) can interpose
+/// on every operation.
+pub trait AemAccess<T> {
+    /// The machine's configuration.
+    fn cfg(&self) -> AemConfig;
+
+    /// Read a data block into internal memory (cost: 1 read I/O; charges the
+    /// internal budget by the block's occupancy).
+    fn read_block(&mut self, id: BlockId) -> Result<Vec<T>>;
+
+    /// Write `data` (≤ `B` elements) to a data block (cost: 1 write I/O;
+    /// releases the internal budget by `data.len()`).
+    fn write_block(&mut self, id: BlockId, data: Vec<T>) -> Result<()>;
+
+    /// Allocate a fresh empty data block (free).
+    fn alloc_block(&mut self) -> BlockId;
+
+    /// Allocate a region of fresh data blocks able to hold `elems` elements
+    /// (free).
+    fn alloc_region(&mut self, elems: usize) -> Region;
+
+    /// Release `k` elements of internal budget for data that is dropped
+    /// without being written back.
+    fn discard(&mut self, k: usize) -> Result<()>;
+
+    /// Charge `k` elements of internal budget for values *computed* in
+    /// internal memory (partial sums, pointer tables, …) that will later be
+    /// written out or discarded. Computation is free in the model, but the
+    /// values still occupy internal memory.
+    fn reserve(&mut self, k: usize) -> Result<()>;
+
+    /// Read an auxiliary (machine-word) block (cost: 1 read I/O; charges the
+    /// internal budget by its occupancy).
+    fn read_aux_block(&mut self, id: BlockId) -> Result<Vec<u64>>;
+
+    /// Write an auxiliary block (cost: 1 write I/O; releases budget).
+    fn write_aux_block(&mut self, id: BlockId, data: Vec<u64>) -> Result<()>;
+
+    /// Allocate a region of auxiliary blocks holding `words` words (free).
+    fn alloc_aux_region(&mut self, words: usize) -> Region;
+
+    /// Elements currently charged against the internal budget.
+    fn internal_used(&self) -> usize;
+
+    /// Cost snapshot (shared across data and auxiliary I/O).
+    fn cost(&self) -> Cost;
+}
+
+impl<T, M: AemAccess<T> + ?Sized> AemAccess<T> for &mut M {
+    fn cfg(&self) -> AemConfig {
+        (**self).cfg()
+    }
+    fn read_block(&mut self, id: BlockId) -> Result<Vec<T>> {
+        (**self).read_block(id)
+    }
+    fn write_block(&mut self, id: BlockId, data: Vec<T>) -> Result<()> {
+        (**self).write_block(id, data)
+    }
+    fn alloc_block(&mut self) -> BlockId {
+        (**self).alloc_block()
+    }
+    fn alloc_region(&mut self, elems: usize) -> Region {
+        (**self).alloc_region(elems)
+    }
+    fn discard(&mut self, k: usize) -> Result<()> {
+        (**self).discard(k)
+    }
+    fn reserve(&mut self, k: usize) -> Result<()> {
+        (**self).reserve(k)
+    }
+    fn read_aux_block(&mut self, id: BlockId) -> Result<Vec<u64>> {
+        (**self).read_aux_block(id)
+    }
+    fn write_aux_block(&mut self, id: BlockId, data: Vec<u64>) -> Result<()> {
+        (**self).write_aux_block(id, data)
+    }
+    fn alloc_aux_region(&mut self, words: usize) -> Region {
+        (**self).alloc_aux_region(words)
+    }
+    fn internal_used(&self) -> usize {
+        (**self).internal_used()
+    }
+    fn cost(&self) -> Cost {
+        (**self).cost()
+    }
+}
+
+/// The plain `(M, B, ω)`-AEM machine with copy semantics.
+#[derive(Debug)]
+pub struct Machine<T> {
+    cfg: AemConfig,
+    data: ExternalMemory<T>,
+    aux: ExternalMemory<u64>,
+    internal_used: usize,
+    counter: IoCounter,
+    trace: Option<Trace>,
+}
+
+impl<T: Clone> Machine<T> {
+    /// A fresh machine.
+    pub fn new(cfg: AemConfig) -> Self {
+        Self::with_counter(cfg, IoCounter::new())
+    }
+
+    /// A fresh machine charging an existing (possibly shared) cost meter.
+    pub fn with_counter(cfg: AemConfig, counter: IoCounter) -> Self {
+        Self {
+            cfg,
+            data: ExternalMemory::new(cfg.block),
+            aux: ExternalMemory::new(cfg.block),
+            internal_used: 0,
+            counter,
+            trace: None,
+        }
+    }
+
+    /// Begin recording every I/O into a [`Trace`]. Any previously recorded
+    /// trace is discarded.
+    pub fn start_trace(&mut self) {
+        self.trace = Some(Trace::new());
+    }
+
+    /// Stop recording and return the trace, if any.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Handle to the machine's cost meter.
+    pub fn counter(&self) -> IoCounter {
+        self.counter.clone()
+    }
+
+    /// Install an input array into external memory without charging I/O
+    /// (problem setup; the input "is given" in external memory).
+    pub fn install(&mut self, data: &[T]) -> Region {
+        self.data.install(data)
+    }
+
+    /// Inspect a region's contents without charging I/O (result
+    /// verification; outside the metered computation).
+    pub fn inspect(&self, region: Region) -> Vec<T> {
+        self.data.inspect(region)
+    }
+
+    /// Inspect a single block without charging I/O.
+    pub fn inspect_block(&self, id: BlockId) -> Result<Vec<T>> {
+        Ok(self.data.get(id)?.to_vec())
+    }
+
+    /// Occupancy of a single block (elements currently stored), free of
+    /// charge — used by validators, not by algorithms.
+    pub fn block_len(&self, id: BlockId) -> Result<usize> {
+        Ok(self.data.get(id)?.len())
+    }
+
+    /// Occupancy of a single auxiliary block, free of charge.
+    pub fn aux_block_len(&self, id: BlockId) -> Result<usize> {
+        Ok(self.aux.get(id)?.len())
+    }
+
+    /// Number of data blocks allocated so far.
+    pub fn allocated_blocks(&self) -> usize {
+        self.data.allocated()
+    }
+
+    /// Charge the internal budget without an I/O (used by in-crate wrappers
+    /// to model internal-memory copies, which occupy space but are free of
+    /// I/O cost).
+    pub(crate) fn charge_internal_free(&mut self, k: usize) -> Result<()> {
+        self.charge_internal(k)
+    }
+
+    fn charge_internal(&mut self, k: usize) -> Result<()> {
+        if self.internal_used + k > self.cfg.memory {
+            return Err(MachineError::InternalOverflow {
+                used: self.internal_used,
+                capacity: self.cfg.memory,
+                requested: k,
+            });
+        }
+        self.internal_used += k;
+        Ok(())
+    }
+
+    fn release_internal(&mut self, k: usize) -> Result<()> {
+        if k > self.internal_used {
+            return Err(MachineError::InternalUnderflow {
+                used: self.internal_used,
+                released: k,
+            });
+        }
+        self.internal_used -= k;
+        Ok(())
+    }
+
+    fn record(&mut self, ev: IoEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(ev);
+        }
+    }
+}
+
+impl<T: Clone> AemAccess<T> for Machine<T> {
+    fn cfg(&self) -> AemConfig {
+        self.cfg
+    }
+
+    fn read_block(&mut self, id: BlockId) -> Result<Vec<T>> {
+        let contents = self.data.get(id)?.to_vec();
+        self.charge_internal(contents.len())?;
+        self.counter.charge_read();
+        self.record(IoEvent::Read {
+            block: id,
+            len: contents.len(),
+            aux: false,
+        });
+        Ok(contents)
+    }
+
+    fn write_block(&mut self, id: BlockId, data: Vec<T>) -> Result<()> {
+        let len = data.len();
+        if len > self.cfg.block {
+            return Err(MachineError::BlockOverflow {
+                len,
+                block: self.cfg.block,
+            });
+        }
+        // Validate the target before touching the ledger: a failed write
+        // must leave the accounting unchanged.
+        self.data.get(id)?;
+        self.release_internal(len)?;
+        self.data.put(id, data)?;
+        self.counter.charge_write();
+        self.record(IoEvent::Write {
+            block: id,
+            len,
+            aux: false,
+        });
+        Ok(())
+    }
+
+    fn alloc_block(&mut self) -> BlockId {
+        self.data.alloc()
+    }
+
+    fn alloc_region(&mut self, elems: usize) -> Region {
+        self.data.alloc_region(elems)
+    }
+
+    fn discard(&mut self, k: usize) -> Result<()> {
+        self.release_internal(k)
+    }
+
+    fn reserve(&mut self, k: usize) -> Result<()> {
+        self.charge_internal(k)
+    }
+
+    fn read_aux_block(&mut self, id: BlockId) -> Result<Vec<u64>> {
+        let contents = self.aux.get(id)?.to_vec();
+        self.charge_internal(contents.len())?;
+        self.counter.charge_read();
+        self.record(IoEvent::Read {
+            block: id,
+            len: contents.len(),
+            aux: true,
+        });
+        Ok(contents)
+    }
+
+    fn write_aux_block(&mut self, id: BlockId, data: Vec<u64>) -> Result<()> {
+        let len = data.len();
+        if len > self.cfg.block {
+            return Err(MachineError::BlockOverflow {
+                len,
+                block: self.cfg.block,
+            });
+        }
+        self.aux.get(id)?;
+        self.release_internal(len)?;
+        self.aux.put(id, data)?;
+        self.counter.charge_write();
+        self.record(IoEvent::Write {
+            block: id,
+            len,
+            aux: true,
+        });
+        Ok(())
+    }
+
+    fn alloc_aux_region(&mut self, words: usize) -> Region {
+        self.aux.alloc_region(words)
+    }
+
+    fn internal_used(&self) -> usize {
+        self.internal_used
+    }
+
+    fn cost(&self) -> Cost {
+        self.counter.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AemConfig {
+        AemConfig::new(16, 4, 8).unwrap()
+    }
+
+    #[test]
+    fn read_write_round_trip_and_cost() {
+        let mut m: Machine<u32> = Machine::new(cfg());
+        let r = m.install(&[1, 2, 3, 4, 5, 6]);
+        let b0 = m.read_block(r.block(0)).unwrap();
+        assert_eq!(b0, vec![1, 2, 3, 4]);
+        assert_eq!(m.internal_used(), 4);
+        let out = m.alloc_block();
+        m.write_block(out, b0).unwrap();
+        assert_eq!(m.internal_used(), 0);
+        assert_eq!(m.cost(), Cost::new(1, 1));
+        assert_eq!(m.inspect_block(out).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut m: Machine<u32> = Machine::new(cfg());
+        let r = m.install(&[0; 24]);
+        // M = 16, B = 4: five block reads exceed capacity.
+        for i in 0..4 {
+            m.read_block(r.block(i)).unwrap();
+        }
+        let err = m.read_block(r.block(4)).unwrap_err();
+        assert!(matches!(
+            err,
+            MachineError::InternalOverflow {
+                used: 16,
+                capacity: 16,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn discard_releases_budget() {
+        let mut m: Machine<u32> = Machine::new(cfg());
+        let r = m.install(&[0; 16]);
+        for i in 0..4 {
+            m.read_block(r.block(i)).unwrap();
+        }
+        m.discard(8).unwrap();
+        assert_eq!(m.internal_used(), 8);
+        assert!(m.discard(9).is_err());
+    }
+
+    #[test]
+    fn write_more_than_block_fails() {
+        let mut m: Machine<u32> = Machine::new(cfg());
+        let r = m.install(&[0; 8]);
+        m.read_block(r.block(0)).unwrap();
+        m.read_block(r.block(1)).unwrap();
+        let out = m.alloc_block();
+        let err = m.write_block(out, vec![0; 5]).unwrap_err();
+        assert_eq!(err, MachineError::BlockOverflow { len: 5, block: 4 });
+    }
+
+    #[test]
+    fn aux_io_shares_budget_and_counter() {
+        let mut m: Machine<u32> = Machine::new(cfg());
+        let ar = m.alloc_aux_region(4);
+        // Writing aux data we never "held" underflows the ledger.
+        assert!(m.write_aux_block(ar.block(0), vec![7; 4]).is_err());
+        // Proper flow: charge by reading an (empty) aux block, then hold data.
+        m.read_aux_block(ar.block(0)).unwrap(); // empty: charges 0
+                                                // Simulate producing 4 words in memory by charging via a data read.
+        let r = m.install(&[1, 2, 3, 4]);
+        m.read_block(r.block(0)).unwrap();
+        m.write_aux_block(ar.block(0), vec![7; 4]).unwrap();
+        assert_eq!(m.cost(), Cost::new(2, 1));
+        assert_eq!(m.read_aux_block(ar.block(0)).unwrap(), vec![7; 4]);
+    }
+
+    #[test]
+    fn trace_records_all_io() {
+        let mut m: Machine<u32> = Machine::new(cfg());
+        let r = m.install(&[1, 2, 3, 4]);
+        m.start_trace();
+        let d = m.read_block(r.block(0)).unwrap();
+        let out = m.alloc_block();
+        m.write_block(out, d).unwrap();
+        let t = m.take_trace().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cost(), Cost::new(1, 1));
+        assert!(m.take_trace().is_none());
+    }
+
+    #[test]
+    fn install_and_inspect_are_free() {
+        let mut m: Machine<u32> = Machine::new(cfg());
+        let r = m.install(&[9; 12]);
+        assert_eq!(m.inspect(r), vec![9; 12]);
+        assert_eq!(m.cost(), Cost::ZERO);
+        assert_eq!(m.internal_used(), 0);
+    }
+
+    #[test]
+    fn shared_counter_between_machines() {
+        let a: Machine<u32> = Machine::new(cfg());
+        let mut b: Machine<u32> = Machine::with_counter(cfg(), a.counter());
+        let r = b.install(&[1]);
+        b.read_block(r.block(0)).unwrap();
+        assert_eq!(a.cost(), Cost::new(1, 0));
+    }
+}

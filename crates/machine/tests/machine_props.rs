@@ -1,0 +1,147 @@
+//! Property tests of the machine invariants under random operation
+//! sequences: whatever a (well- or ill-behaved) client does, the simulator
+//! either performs a legal model step or rejects it — and its bookkeeping
+//! never drifts.
+
+use aem_machine::{AemAccess, AemConfig, AtomId, AtomMachine, BlockId, Machine};
+use proptest::prelude::*;
+
+/// A random client action against the copy-semantics machine.
+#[derive(Debug, Clone)]
+enum Action {
+    Read(usize),
+    WriteHeld(usize, usize), // (held count to write, target block)
+    Discard(usize),
+    Reserve(usize),
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0usize..16).prop_map(Action::Read),
+        ((0usize..10), (0usize..16)).prop_map(|(k, b)| Action::WriteHeld(k, b)),
+        (0usize..10).prop_map(Action::Discard),
+        (0usize..10).prop_map(Action::Reserve),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ledger equals the sum of successful charges minus releases, and
+    /// never exceeds M — no sequence of (possibly failing) operations can
+    /// corrupt it.
+    #[test]
+    fn ledger_never_drifts(actions in proptest::collection::vec(arb_action(), 0..120)) {
+        let cfg = AemConfig::new(24, 4, 3).unwrap();
+        let mut m: Machine<u32> = Machine::new(cfg);
+        let region = m.install(&(0..64u32).collect::<Vec<_>>());
+        let mut expected: usize = 0; // our shadow ledger
+        let mut held: usize = 0;     // elements conceptually held by client
+
+        for a in actions {
+            match a {
+                Action::Read(i) => {
+                    let id = region.block(i % region.blocks);
+                    if let Ok(data) = m.read_block(id) {
+                        expected += data.len();
+                        held += data.len();
+                    } // a rejected read changes no state
+                }
+                Action::WriteHeld(k, b) => {
+                    let k = k.min(held).min(cfg.block);
+                    let target = BlockId((b % region.blocks) + region.first);
+                    if m.write_block(target, vec![9u32; k]).is_ok() {
+                        expected -= k;
+                        held -= k;
+                    }
+                }
+                Action::Discard(k) => {
+                    if m.discard(k).is_ok() {
+                        expected -= k;
+                        held = held.saturating_sub(k);
+                    }
+                }
+                Action::Reserve(k) => {
+                    if m.reserve(k).is_ok() {
+                        expected += k;
+                        held += k;
+                    }
+                }
+            }
+            prop_assert_eq!(m.internal_used(), expected);
+            prop_assert!(m.internal_used() <= cfg.memory);
+        }
+    }
+
+    /// Atom conservation: no sequence of legal atom-machine operations can
+    /// create or destroy atoms — the union of external and internal atoms
+    /// is always exactly the input set.
+    #[test]
+    fn atoms_are_conserved(
+        ops in proptest::collection::vec((0usize..8, 0u64..32, any::<bool>()), 0..80),
+    ) {
+        let cfg = AemConfig::new(16, 4, 2).unwrap();
+        let mut m = AtomMachine::new(cfg);
+        let region = m.install_atoms(32);
+        let extra: Vec<BlockId> = (0..4).map(|_| m.alloc_block()).collect();
+
+        for (blk, atom, write) in ops {
+            if write {
+                // Try to write some currently-internal atoms out.
+                let resident = m.internal_atoms();
+                if !resident.is_empty() {
+                    let take: Vec<AtomId> =
+                        resident.into_iter().take(cfg.block).collect();
+                    let target = extra[blk % extra.len()];
+                    let _ = m.write(target, take);
+                }
+            } else {
+                let id = region.block(blk % region.blocks);
+                let _ = m.read_keep(id, &[AtomId(atom)]);
+            }
+
+            // Conservation check.
+            let mut all: Vec<AtomId> = m.internal_atoms();
+            for b in region.iter().chain(extra.iter().copied()) {
+                all.extend(m.inspect_block(b).unwrap());
+            }
+            all.sort_unstable();
+            let want: Vec<AtomId> = (0..32).map(AtomId).collect();
+            prop_assert_eq!(all, want, "atoms created or destroyed");
+        }
+    }
+
+    /// Round decomposition invariants hold for arbitrary traces.
+    #[test]
+    fn round_decompose_invariants(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..32), 0..200),
+        omega in 1u64..32,
+    ) {
+        use aem_machine::rounds::round_decompose;
+        use aem_machine::{IoEvent, Trace};
+        let cfg = AemConfig::new(32, 4, omega).unwrap();
+        let mut t = Trace::new();
+        for (w, b) in ops {
+            if w {
+                t.push(IoEvent::Write { block: BlockId(b), len: 4, aux: false });
+            } else {
+                t.push(IoEvent::Read { block: BlockId(b), len: 4, aux: false });
+            }
+        }
+        let rounds = round_decompose(&t, cfg);
+        // Partition, budget, and minimum-cost invariants.
+        let mut next = 0usize;
+        for (i, r) in rounds.iter().enumerate() {
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+            prop_assert!(r.cost <= cfg.round_budget());
+            if i + 1 < rounds.len() {
+                prop_assert!(r.cost > cfg.round_budget().saturating_sub(omega));
+            }
+        }
+        prop_assert_eq!(next, t.len());
+        // Cost is preserved by the decomposition.
+        let total: u64 = rounds.iter().map(|r| r.cost).sum();
+        prop_assert_eq!(total, t.cost().q(omega));
+    }
+}

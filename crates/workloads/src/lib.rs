@@ -1,0 +1,26 @@
+//! # `aem-workloads` — deterministic workload generators
+//!
+//! Inputs for the experiments that reproduce *Jacob & Sitchinava, SPAA 2017*:
+//!
+//! * [`perm`] — permutations of `0..N` (random, bit-reversal, transpose,
+//!   stride, …): the inputs of the §4 permutation lower bound experiments.
+//! * [`keys`] — key arrays for the §3 sorting experiments (uniform random,
+//!   sorted, reverse-sorted, few-distinct, organ-pipe).
+//! * [`matrix`] — sparse `N×N` matrix *conformations* with exactly `δ`
+//!   non-zero entries per column, laid out in column-major order as the §5
+//!   SpMxV lower bound demands (random, banded, block-diagonal, clustered).
+//!
+//! Everything is seeded and reproducible: the same `(generator, seed, size)`
+//! triple always yields the same workload, so the experiment tables in
+//! `EXPERIMENTS.md` regenerate bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod keys;
+pub mod matrix;
+pub mod perm;
+
+pub use keys::KeyDist;
+pub use matrix::{Conformation, MatrixShape, Triple};
+pub use perm::PermKind;

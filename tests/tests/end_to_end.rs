@@ -1,0 +1,127 @@
+//! End-to-end property tests across the whole stack: random machine
+//! configurations, random workloads, every algorithm family.
+
+use aem_core::permute::{permute_auto, permute_by_sort, permute_naive};
+use aem_core::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort};
+use aem_core::spmv::{reference_multiply, spmv_auto, spmv_direct, spmv_sorted, U64Ring};
+use aem_machine::{AemAccess, AemConfig, Machine};
+use aem_workloads::{perm, Conformation, MatrixShape, PermKind};
+use proptest::prelude::*;
+
+fn arb_cfg() -> impl Strategy<Value = AemConfig> {
+    (1usize..4, 2usize..=8, 1u64..=128).prop_map(|(be, mb, omega)| {
+        let b = 1usize << be; // B ∈ {2, 4, 8}
+        AemConfig::new(mb.max(4) * b, b, omega).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_sorters_agree_with_std_sort(
+        cfg in arb_cfg(),
+        input in proptest::collection::vec(any::<u16>(), 0..800),
+    ) {
+        let input: Vec<u64> = input.into_iter().map(u64::from).collect();
+        let mut want = input.clone();
+        want.sort();
+
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(&input);
+        let out = merge_sort(&mut m, r).unwrap();
+        prop_assert_eq!(m.inspect(out), want.clone());
+
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(&input);
+        let out = em_merge_sort(&mut m, r).unwrap();
+        prop_assert_eq!(m.inspect(out), want.clone());
+
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(&input);
+        let out = distribution_sort(&mut m, r).unwrap();
+        prop_assert_eq!(m.inspect(out), want.clone());
+
+        // The priority-queue sorter needs M >= 8B.
+        if cfg.memory >= 8 * cfg.block {
+            let mut m: Machine<u64> = Machine::new(cfg);
+            let r = m.install(&input);
+            let out = heap_sort(&mut m, r).unwrap();
+            prop_assert_eq!(m.inspect(out), want);
+        }
+    }
+
+    #[test]
+    fn all_permuters_realize_pi(
+        cfg in arb_cfg(),
+        seed in any::<u64>(),
+        n in 1usize..500,
+    ) {
+        let pi = PermKind::Random { seed }.generate(n);
+        let values: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+        let want = perm::apply(&pi, &values);
+
+        prop_assert_eq!(permute_naive(cfg, &values, &pi).unwrap().output, want.clone());
+        prop_assert_eq!(permute_by_sort(cfg, &values, &pi).unwrap().output, want.clone());
+        prop_assert_eq!(permute_auto(cfg, &values, &pi).unwrap().0.output, want);
+    }
+
+    #[test]
+    fn spmv_agrees_with_reference(
+        cfg in arb_cfg(),
+        seed in any::<u64>(),
+        n_exp in 4usize..7,
+        delta in 1usize..6,
+    ) {
+        let n = 1usize << n_exp;
+        let delta = delta.min(n);
+        let conf = Conformation::generate(MatrixShape::Random { seed }, n, delta);
+        let a: Vec<U64Ring> = (0..conf.nnz()).map(|i| U64Ring(i as u64 % 11)).collect();
+        let x: Vec<U64Ring> = (0..n).map(|j| U64Ring(j as u64 % 7)).collect();
+        let want = reference_multiply(&conf, &a, &x);
+
+        prop_assert_eq!(spmv_direct(cfg, &conf, &a, &x).unwrap().output, want.clone());
+        prop_assert_eq!(spmv_sorted(cfg, &conf, &a, &x).unwrap().output, want.clone());
+        prop_assert_eq!(spmv_auto(cfg, &conf, &a, &x).unwrap().0.output, want);
+    }
+
+    #[test]
+    fn sorting_cost_envelope_holds_for_random_configs(
+        cfg in arb_cfg(),
+        n_exp in 8usize..12,
+    ) {
+        // Thm 3.2 with a generous explicit constant, across random configs.
+        let n = 1usize << n_exp;
+        let input = aem_workloads::KeyDist::Uniform { seed: 9 }.generate(n);
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(&input);
+        merge_sort(&mut m, r).unwrap();
+        let q = m.cost().q(cfg.omega) as f64;
+        let nb = cfg.blocks_for(n) as f64;
+        let envelope = 48.0 * cfg.omega as f64 * nb * cfg.log_fan_in(nb).ceil();
+        prop_assert!(q <= envelope, "{cfg} N={n}: q={q} envelope={envelope}");
+    }
+}
+
+#[test]
+fn duplicate_heavy_inputs_sort_stably_sized() {
+    // All-equal keys: the tie-breaking machinery must not lose or
+    // duplicate elements.
+    let cfg = AemConfig::new(32, 4, 16).unwrap();
+    let input = vec![7u64; 1000];
+    let mut m: Machine<u64> = Machine::new(cfg);
+    let r = m.install(&input);
+    let out = merge_sort(&mut m, r).unwrap();
+    assert_eq!(m.inspect(out), input);
+}
+
+#[test]
+fn identity_permutation_is_cheapest_case() {
+    let cfg = AemConfig::new(64, 8, 8).unwrap();
+    let n = 4096;
+    let values: Vec<u64> = (0..n as u64).collect();
+    let ident = permute_naive(cfg, &values, &PermKind::Identity.generate(n)).unwrap();
+    let random = permute_naive(cfg, &values, &PermKind::Random { seed: 1 }.generate(n)).unwrap();
+    assert!(ident.q() <= random.q());
+    assert_eq!(ident.cost.reads, cfg.blocks_for(n) as u64);
+}

@@ -1,0 +1,168 @@
+//! Lemma 4.1 coverage for the extension modules: the priority queue, the
+//! relational operators, the tiled transpose and the streaming primitives
+//! all run under round-based execution with identical results — they are
+//! built on `AemAccess`, so the wrapper interposes on every I/O they do.
+
+use aem_core::pq::ExternalPq;
+use aem_core::relational::{group_aggregate, sort_merge_join, Tuple};
+use aem_core::{permute::transpose_tiled, stream};
+use aem_machine::{AemAccess, AemConfig, Machine, RoundBasedMachine};
+use aem_workloads::KeyDist;
+
+#[test]
+fn pq_round_based_matches_plain() {
+    let cfg = AemConfig::new(64, 8, 8).unwrap();
+    let keys = KeyDist::Uniform { seed: 1 }.generate(800);
+
+    let run = |use_rb: bool| -> Vec<u64> {
+        let mut out = Vec::new();
+        if use_rb {
+            let mut m: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg);
+            let mut pq = ExternalPq::new(cfg).unwrap();
+            for &x in &keys {
+                pq.push(&mut m, x).unwrap();
+            }
+            while let Some(x) = pq.pop(&mut m).unwrap() {
+                out.push(x);
+                m.discard(1).unwrap();
+            }
+            m.finish().unwrap();
+        } else {
+            let mut m: Machine<u64> = Machine::new(cfg);
+            let mut pq = ExternalPq::new(cfg).unwrap();
+            for &x in &keys {
+                pq.push(&mut m, x).unwrap();
+            }
+            while let Some(x) = pq.pop(&mut m).unwrap() {
+                out.push(x);
+                m.discard(1).unwrap();
+            }
+        }
+        out
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn join_round_based_matches_plain() {
+    let cfg = AemConfig::new(64, 8, 4).unwrap();
+    let left: Vec<Tuple<u64>> = (0..300)
+        .map(|i| Tuple {
+            key: i % 29,
+            payload: i,
+        })
+        .collect();
+    let right: Vec<Tuple<u64>> = (0..200)
+        .map(|i| Tuple {
+            key: i % 17,
+            payload: 900 + i,
+        })
+        .collect();
+
+    let mut plain: Machine<Tuple<u64>> = Machine::new(cfg);
+    let (lr, rr) = (plain.install(&left), plain.install(&right));
+    let out = sort_merge_join(&mut plain, lr, rr, |a: &u64, b: &u64| a ^ b).unwrap();
+    let mut got_plain: Vec<(u64, u64)> = plain
+        .inspect(out)
+        .into_iter()
+        .map(|t| (t.key, t.payload))
+        .collect();
+    got_plain.sort();
+
+    let mut rb: RoundBasedMachine<Tuple<u64>> = RoundBasedMachine::new(cfg);
+    let (lr, rr) = (rb.install(&left), rb.install(&right));
+    let out = sort_merge_join(&mut rb, lr, rr, |a: &u64, b: &u64| a ^ b).unwrap();
+    let stats = rb.finish().unwrap();
+    let mut got_rb: Vec<(u64, u64)> = rb
+        .inspect(out)
+        .into_iter()
+        .map(|t| (t.key, t.payload))
+        .collect();
+    got_rb.sort();
+
+    assert_eq!(got_plain, got_rb);
+    assert!(stats.cost.q(cfg.omega) <= 4 * plain.cost().q(cfg.omega));
+}
+
+#[test]
+fn group_aggregate_handles_zipf_skew() {
+    // Heavy skew stresses the combining path (one giant group).
+    let cfg = AemConfig::new(64, 8, 8).unwrap();
+    let keys = KeyDist::Zipf {
+        distinct: 50,
+        s_x10: 15,
+        seed: 2,
+    }
+    .generate(3000);
+    let tuples: Vec<Tuple<u64>> = keys
+        .iter()
+        .map(|&k| Tuple {
+            key: k,
+            payload: 1u64,
+        })
+        .collect();
+
+    let mut m: Machine<Tuple<u64>> = Machine::new(cfg);
+    let r = m.install(&tuples);
+    let out = group_aggregate(&mut m, r, |a: u64, b: &u64| a + b).unwrap();
+    let got: Vec<(u64, u64)> = m
+        .inspect(out)
+        .into_iter()
+        .map(|t| (t.key, t.payload))
+        .collect();
+
+    // Reference histogram.
+    let mut hist = std::collections::BTreeMap::new();
+    for k in keys {
+        *hist.entry(k).or_insert(0u64) += 1;
+    }
+    let want: Vec<(u64, u64)> = hist.into_iter().collect();
+    assert_eq!(got, want);
+    assert_eq!(m.internal_used(), 0);
+}
+
+#[test]
+fn transpose_round_based_matches_plain() {
+    let cfg = AemConfig::new(80, 8, 8).unwrap(); // M ≥ B² + 2B = 80
+    let (r, c) = (16usize, 24usize);
+    let values: Vec<u64> = (0..(r * c) as u64).collect();
+
+    let mut plain: Machine<u64> = Machine::new(cfg);
+    let reg = plain.install(&values);
+    let out = transpose_tiled(&mut plain, reg, r, c).unwrap();
+    let want = plain.inspect(out);
+
+    let mut rb: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg);
+    let reg = rb.install(&values);
+    let out = transpose_tiled(&mut rb, reg, r, c).unwrap();
+    rb.finish().unwrap();
+    assert_eq!(rb.inspect(out), want);
+}
+
+#[test]
+fn stream_pipeline_round_based_is_cost_bounded() {
+    let cfg = AemConfig::new(32, 4, 16).unwrap();
+    let input: Vec<u64> = (0..400).collect();
+
+    let run_q = |rb: bool| -> (u64, u64) {
+        if rb {
+            let mut m: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg);
+            let r = m.install(&input);
+            let mapped = stream::map(&mut m, r, |x: u64| x * 3).unwrap();
+            let total = stream::reduce(&mut m, mapped, 0u64, |a, x| a + x).unwrap();
+            let stats = m.finish().unwrap();
+            (total, stats.cost.q(cfg.omega))
+        } else {
+            let mut m: Machine<u64> = Machine::new(cfg);
+            let r = m.install(&input);
+            let mapped = stream::map(&mut m, r, |x: u64| x * 3).unwrap();
+            let total = stream::reduce(&mut m, mapped, 0u64, |a, x| a + x).unwrap();
+            (total, m.cost().q(cfg.omega))
+        }
+    };
+    let (v1, q1) = run_q(false);
+    let (v2, q2) = run_q(true);
+    assert_eq!(v1, v2);
+    assert_eq!(v1, (0..400u64).map(|x| x * 3).sum());
+    assert!(q2 <= 4 * q1);
+}

@@ -1,0 +1,236 @@
+//! Negative-path tests: the simulators must *reject* every model
+//! violation. The lower bounds are only meaningful because illegal
+//! programs cannot run — these tests pin that down.
+
+use aem_machine::{
+    AemAccess, AemConfig, AtomId, AtomMachine, Machine, MachineError, RoundBasedMachine,
+};
+
+fn cfg() -> AemConfig {
+    AemConfig::new(16, 4, 8).unwrap()
+}
+
+#[test]
+fn internal_memory_cannot_be_oversubscribed() {
+    let mut m: Machine<u64> = Machine::new(cfg());
+    let r = m.install(&vec![0u64; 32]);
+    for i in 0..4 {
+        m.read_block(r.block(i)).unwrap();
+    }
+    // 16/16 resident: any further acquisition fails, whatever the route.
+    assert!(matches!(
+        m.read_block(r.block(4)),
+        Err(MachineError::InternalOverflow { .. })
+    ));
+    assert!(matches!(
+        m.reserve(1),
+        Err(MachineError::InternalOverflow { .. })
+    ));
+    let ar = m.alloc_aux_region(4);
+    let _ = ar;
+}
+
+#[test]
+fn ledger_underflow_is_a_hard_error() {
+    let mut m: Machine<u64> = Machine::new(cfg());
+    // Writing data never charged to the ledger is caught.
+    let out = m.alloc_block();
+    assert!(matches!(
+        m.write_block(out, vec![1, 2, 3]),
+        Err(MachineError::InternalUnderflow { .. })
+    ));
+    assert!(matches!(
+        m.discard(1),
+        Err(MachineError::InternalUnderflow { .. })
+    ));
+}
+
+#[test]
+fn block_capacity_is_enforced_everywhere() {
+    let mut m: Machine<u64> = Machine::new(cfg());
+    m.reserve(5).unwrap();
+    let out = m.alloc_block();
+    assert!(matches!(
+        m.write_block(out, vec![0; 5]),
+        Err(MachineError::BlockOverflow { len: 5, block: 4 })
+    ));
+
+    let mut rb: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg());
+    rb.reserve(5).unwrap();
+    let out = rb.alloc_block();
+    assert!(matches!(
+        rb.write_block(out, vec![0; 5]),
+        Err(MachineError::BlockOverflow { .. })
+    ));
+}
+
+#[test]
+fn unallocated_blocks_are_unaddressable() {
+    let mut m: Machine<u64> = Machine::new(cfg());
+    assert!(matches!(
+        m.read_block(aem_machine::BlockId(99)),
+        Err(MachineError::BadBlock { block: 99, .. })
+    ));
+}
+
+#[test]
+fn atom_machine_enforces_move_semantics() {
+    let mut m = AtomMachine::new(cfg());
+    let r = m.install_atoms(8);
+
+    // Can't keep an atom twice (the external copy is destroyed).
+    m.read_keep(r.block(0), &[AtomId(0)]).unwrap();
+    assert!(matches!(
+        m.read_keep(r.block(0), &[AtomId(0)]),
+        Err(MachineError::AtomNotPresent { .. })
+    ));
+
+    // Can't write to a block that still holds atoms.
+    assert!(matches!(
+        m.write(r.block(1), vec![AtomId(0)]),
+        Err(MachineError::WriteToOccupied { .. })
+    ));
+
+    // Can't write an atom that isn't resident.
+    let fresh = m.alloc_block();
+    assert!(matches!(
+        m.write(fresh, vec![AtomId(5)]),
+        Err(MachineError::AtomNotPresent { .. })
+    ));
+
+    // A legal sequence still works after the failed attempts.
+    m.write(fresh, vec![AtomId(0)]).unwrap();
+    assert_eq!(m.inspect_block(fresh).unwrap(), vec![AtomId(0)]);
+}
+
+#[test]
+fn round_based_wrapper_enforces_original_capacity_not_doubled() {
+    // Lemma 4.1 grants 2M to the *simulation*, not to the algorithm.
+    let mut rb: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg());
+    let r = rb.install(&vec![0u64; 32]);
+    for i in 0..4 {
+        rb.read_block(r.block(i)).unwrap();
+    }
+    assert!(matches!(
+        rb.read_block(r.block(4)),
+        Err(MachineError::InternalOverflow { capacity: 16, .. })
+    ));
+}
+
+#[test]
+fn flash_machine_enforces_sector_boundaries() {
+    use aem_flash::{FlashConfig, FlashMachine};
+    let fc = FlashConfig::new(32, 8, 2).unwrap();
+    let mut fm = FlashMachine::new(fc);
+    let atoms: Vec<AtomId> = (0..8).map(AtomId).collect();
+    fm.install_block(aem_machine::BlockId(0), &atoms).unwrap();
+    // Atom 7 lives in sector 3; asking for it from sector 0 must fail —
+    // the flash model's whole point is that reads are sector-granular.
+    assert!(matches!(
+        fm.read_sector(aem_machine::BlockId(0), 0, &[AtomId(7)]),
+        Err(MachineError::AtomNotPresent { .. })
+    ));
+    fm.read_sector(aem_machine::BlockId(0), 3, &[AtomId(7)])
+        .unwrap();
+}
+
+#[test]
+fn failed_writes_leave_the_ledger_unchanged() {
+    // A write to an unallocated block must not release the ledger.
+    let mut m: Machine<u64> = Machine::new(cfg());
+    let r = m.install(&[1u64, 2, 3, 4]);
+    m.read_block(r.block(0)).unwrap();
+    assert_eq!(m.internal_used(), 4);
+    let err = m.write_block(aem_machine::BlockId(999), vec![1, 2, 3, 4]);
+    assert!(matches!(err, Err(MachineError::BadBlock { .. })));
+    assert_eq!(m.internal_used(), 4, "failed write must not release budget");
+    // The data is still writable afterwards.
+    let out = m.alloc_block();
+    m.write_block(out, vec![1, 2, 3, 4]).unwrap();
+    assert_eq!(m.internal_used(), 0);
+}
+
+#[test]
+fn atom_machines_reject_duplicate_atoms_in_writes() {
+    let mut m = AtomMachine::new(cfg());
+    let r = m.install_atoms(4);
+    m.read_keep(r.block(0), &[AtomId(0), AtomId(1)]).unwrap();
+    let out = m.alloc_block();
+    // Writing the same atom twice would duplicate an indivisible atom.
+    let err = m.write(out, vec![AtomId(0), AtomId(0)]).unwrap_err();
+    assert!(matches!(err, MachineError::MalformedTrace(_)));
+    // A legal write still works.
+    m.write(out, vec![AtomId(0), AtomId(1)]).unwrap();
+
+    use aem_flash::{FlashConfig, FlashMachine};
+    let fc = FlashConfig::new(16, 4, 2).unwrap();
+    let mut fm = FlashMachine::new(fc);
+    fm.install_block(aem_machine::BlockId(0), &[AtomId(0), AtomId(1)]).unwrap();
+    fm.read_sector(aem_machine::BlockId(0), 0, &[AtomId(0), AtomId(1)]).unwrap();
+    let err = fm.write_big(aem_machine::BlockId(1), &[AtomId(0), AtomId(0)]).unwrap_err();
+    assert!(matches!(err, MachineError::MalformedTrace(_)));
+}
+
+#[test]
+fn flash_out_of_range_sector_is_an_error_not_a_panic() {
+    use aem_flash::{FlashConfig, FlashMachine};
+    let fc = FlashConfig::new(16, 8, 2).unwrap();
+    let mut fm = FlashMachine::new(fc);
+    fm.install_block(aem_machine::BlockId(0), &[AtomId(0), AtomId(1)]).unwrap();
+    // Sector 3 starts beyond the 2 occupied slots — even with an empty
+    // keep list this must be a clean error.
+    let err = fm.read_sector(aem_machine::BlockId(0), 3, &[]).unwrap_err();
+    assert!(matches!(err, MachineError::MalformedTrace(_)));
+}
+
+#[test]
+fn round_based_rejected_read_charges_nothing() {
+    let mut rb: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg());
+    let r = rb.install(&vec![0u64; 32]);
+    for i in 0..4 {
+        rb.read_block(r.block(i)).unwrap();
+    }
+    let cost_before = rb.cost();
+    let used_before = rb.internal_used();
+    assert!(rb.read_block(r.block(4)).is_err());
+    assert_eq!(rb.cost(), cost_before, "rejected read must not charge I/O");
+    assert_eq!(rb.internal_used(), used_before, "…nor the ledger");
+}
+
+#[test]
+fn round_based_write_of_unheld_data_is_rejected() {
+    // The plain machine returns InternalUnderflow here; the wrapper must
+    // agree instead of corrupting its books.
+    let mut rb: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg());
+    let out = rb.alloc_block();
+    let err = rb.write_block(out, vec![1, 2, 3]).unwrap_err();
+    assert!(matches!(err, MachineError::InternalUnderflow { .. }));
+}
+
+#[test]
+fn hand_built_degenerate_regions_do_not_panic() {
+    // Region fields are public; a region with more blocks than its element
+    // count implies must still split without underflow.
+    let r = aem_machine::Region { first: 0, blocks: 5, elems: 3 };
+    let parts = r.split_blockwise(2, 4);
+    let total: usize = parts.iter().map(|p| p.elems).sum();
+    assert_eq!(total, 3);
+}
+
+#[test]
+fn errors_do_not_corrupt_state() {
+    // After a rejected operation the machine remains usable and
+    // consistent (no partial effects).
+    let mut m: Machine<u64> = Machine::new(cfg());
+    let r = m.install(&[7u64; 16]);
+    for i in 0..4 {
+        m.read_block(r.block(i)).unwrap();
+    }
+    let before = m.cost();
+    assert!(m.read_block(r.block(0)).is_err()); // overflow
+    assert_eq!(m.cost(), before, "failed ops must not charge I/O");
+    assert_eq!(m.internal_used(), 16);
+    // Releasing and retrying succeeds.
+    m.discard(4).unwrap();
+    m.read_block(r.block(0)).unwrap();
+}

@@ -1,0 +1,111 @@
+//! The closed-form predictors of `aem_core::bounds::predict` bracket the
+//! measured costs: `measured ≤ predicted` (they are worst-case) and
+//! `predicted` is not vacuously loose on adversarial inputs.
+
+use aem_core::bounds::predict;
+use aem_core::permute::permute_naive;
+use aem_core::sort::{em_merge_sort, merge_sort};
+use aem_core::spmv::{spmv_direct, spmv_sorted, U64Ring};
+use aem_machine::{AemAccess, AemConfig, Machine};
+use aem_workloads::{Conformation, KeyDist, MatrixShape, PermKind};
+
+fn cfgs() -> Vec<AemConfig> {
+    vec![
+        AemConfig::new(32, 4, 1).unwrap(),
+        AemConfig::new(64, 8, 8).unwrap(),
+        AemConfig::new(64, 8, 64).unwrap(),
+        AemConfig::new(256, 16, 16).unwrap(),
+    ]
+}
+
+#[test]
+fn merge_sort_within_predicted() {
+    for cfg in cfgs() {
+        for n in [256usize, 2048, 8192] {
+            let input = KeyDist::Uniform { seed: 1 }.generate(n);
+            let mut m: Machine<u64> = Machine::new(cfg);
+            let r = m.install(&input);
+            merge_sort(&mut m, r).unwrap();
+            let measured = m.cost().q(cfg.omega);
+            let predicted = predict::merge_sort_cost(cfg, n).q(cfg.omega);
+            assert!(
+                measured <= predicted,
+                "{cfg} N={n}: measured {measured} > predicted {predicted}"
+            );
+            // Not vacuous: within a modest constant of reality.
+            assert!(
+                predicted <= measured.saturating_mul(8) + 64,
+                "{cfg} N={n}: predictor too loose ({predicted} vs {measured})"
+            );
+        }
+    }
+}
+
+#[test]
+fn em_sort_within_predicted() {
+    for cfg in cfgs() {
+        for n in [256usize, 4096] {
+            let input = KeyDist::Uniform { seed: 2 }.generate(n);
+            let mut m: Machine<u64> = Machine::new(cfg);
+            let r = m.install(&input);
+            em_merge_sort(&mut m, r).unwrap();
+            let measured = m.cost().q(cfg.omega);
+            let predicted = predict::em_sort_cost(cfg, n).q(cfg.omega);
+            assert!(
+                measured <= predicted,
+                "{cfg} N={n}: {measured} > {predicted}"
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_permute_within_predicted() {
+    for cfg in cfgs() {
+        let n = 4096;
+        let pi = PermKind::Random { seed: 3 }.generate(n);
+        let values: Vec<u64> = (0..n as u64).collect();
+        let run = permute_naive(cfg, &values, &pi).unwrap();
+        let predicted = predict::permute_naive_cost(cfg, n).q(cfg.omega);
+        assert!(run.q() <= predicted);
+        // A random permutation has almost no block locality: the predictor
+        // should be tight within 2x here.
+        assert!(predicted <= 2 * run.q());
+    }
+}
+
+#[test]
+fn spmv_within_predicted() {
+    for cfg in [
+        AemConfig::new(64, 8, 4).unwrap(),
+        AemConfig::new(64, 8, 32).unwrap(),
+    ] {
+        for delta in [1usize, 4, 16] {
+            let n = 512;
+            let conf = Conformation::generate(MatrixShape::Random { seed: 4 }, n, delta);
+            let a: Vec<U64Ring> = vec![U64Ring(3); conf.nnz()];
+            let x: Vec<U64Ring> = vec![U64Ring(2); n];
+            let d = spmv_direct(cfg, &conf, &a, &x).unwrap();
+            let s = spmv_sorted(cfg, &conf, &a, &x).unwrap();
+            let pd = predict::spmv_direct_cost(cfg, n, delta).q(cfg.omega);
+            let ps = predict::spmv_sorted_cost(cfg, n, delta).q(cfg.omega);
+            assert!(d.q() <= pd, "direct {cfg} δ={delta}: {} > {pd}", d.q());
+            assert!(s.q() <= ps, "sorted {cfg} δ={delta}: {} > {ps}", s.q());
+        }
+    }
+}
+
+#[test]
+fn small_sort_prediction_is_exact() {
+    // The base case is simple enough that the predictor matches measured
+    // cost exactly on full-block inputs.
+    let cfg = AemConfig::new(64, 8, 4).unwrap();
+    for n in [64usize, 128, 256] {
+        let input = KeyDist::Uniform { seed: 5 }.generate(n);
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(&input);
+        aem_core::sort::small_sort(&mut m, r).unwrap();
+        let predicted = predict::small_sort_cost(cfg, n);
+        assert_eq!(m.cost(), predicted, "N={n}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Lemma 4.1, property-tested: every algorithm in the workspace produces
+//! identical output under round-based execution, at constant-factor cost.
+
+use aem_core::permute::by_sort::DestTagged;
+use aem_core::sort::{em_merge_sort, merge_sort, small_sort};
+use aem_machine::{AemAccess, AemConfig, Machine, RoundBasedMachine};
+use proptest::prelude::*;
+
+fn arb_cfg() -> impl Strategy<Value = AemConfig> {
+    (4usize..=8, 1u64..=64).prop_map(|(mb, omega)| {
+        let b = 4usize;
+        AemConfig::new(mb * b, b, omega).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn merge_sort_is_round_base_invariant(
+        cfg in arb_cfg(),
+        input in proptest::collection::vec(any::<u32>(), 0..600),
+    ) {
+        let input: Vec<u64> = input.into_iter().map(u64::from).collect();
+        let mut plain: Machine<u64> = Machine::new(cfg);
+        let r = plain.install(&input);
+        let out = merge_sort(&mut plain, r).unwrap();
+        let got_plain = plain.inspect(out);
+
+        let mut rb: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg);
+        let r = rb.install(&input);
+        let out = merge_sort(&mut rb, r).unwrap();
+        let stats = rb.finish().unwrap();
+        prop_assert_eq!(rb.inspect(out), got_plain);
+
+        let q = plain.cost().q(cfg.omega);
+        let q2 = stats.cost.q(cfg.omega);
+        prop_assert!(q2 <= 4 * q + 1, "overhead {q2} vs {q}");
+    }
+
+    #[test]
+    fn em_sort_is_round_base_invariant(
+        cfg in arb_cfg(),
+        input in proptest::collection::vec(any::<u32>(), 0..400),
+    ) {
+        let input: Vec<u64> = input.into_iter().map(u64::from).collect();
+        let mut plain: Machine<u64> = Machine::new(cfg);
+        let r = plain.install(&input);
+        let out = em_merge_sort(&mut plain, r).unwrap();
+        let got_plain = plain.inspect(out);
+
+        let mut rb: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg);
+        let r = rb.install(&input);
+        let out = em_merge_sort(&mut rb, r).unwrap();
+        rb.finish().unwrap();
+        prop_assert_eq!(rb.inspect(out), got_plain);
+    }
+
+    #[test]
+    fn small_sort_is_round_base_invariant(
+        cfg in arb_cfg(),
+        seed in any::<u64>(),
+    ) {
+        // Size capped at the small-sort threshold ωM (use half).
+        let n = (cfg.small_sort_threshold() / 2).min(500);
+        let input: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(seed | 1) % 97).collect();
+
+        let mut plain: Machine<u64> = Machine::new(cfg);
+        let r = plain.install(&input);
+        let out = small_sort(&mut plain, r).unwrap();
+        let got_plain = plain.inspect(out);
+
+        let mut rb: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg);
+        let r = rb.install(&input);
+        let out = small_sort(&mut rb, r).unwrap();
+        rb.finish().unwrap();
+        prop_assert_eq!(rb.inspect(out), got_plain);
+    }
+
+    #[test]
+    fn permute_by_sort_is_round_base_invariant(
+        cfg in arb_cfg(),
+        seed in any::<u64>(),
+        n in 1usize..400,
+    ) {
+        let pi = aem_workloads::PermKind::Random { seed }.generate(n);
+        let tagged: Vec<DestTagged<u64>> = (0..n)
+            .map(|i| DestTagged { dest: pi[i] as u64, value: i as u64 })
+            .collect();
+
+        let mut plain: Machine<DestTagged<u64>> = Machine::new(cfg);
+        let r = plain.install(&tagged);
+        let out = merge_sort(&mut plain, r).unwrap();
+        let got_plain: Vec<u64> = plain.inspect(out).into_iter().map(|t| t.value).collect();
+
+        let mut rb: RoundBasedMachine<DestTagged<u64>> = RoundBasedMachine::new(cfg);
+        let r = rb.install(&tagged);
+        let out = merge_sort(&mut rb, r).unwrap();
+        rb.finish().unwrap();
+        let got_rb: Vec<u64> = rb.inspect(out).into_iter().map(|t| t.value).collect();
+        prop_assert_eq!(got_rb.clone(), got_plain);
+        // And it actually is the permutation.
+        prop_assert_eq!(got_rb, aem_workloads::perm::invert(&pi).iter().map(|&s| s as u64).collect::<Vec<_>>());
+    }
+}

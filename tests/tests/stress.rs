@@ -1,0 +1,60 @@
+//! Large-scale stress tests, `#[ignore]`d by default (run with
+//! `cargo test -p aem-integration --test stress -- --ignored --nocapture`).
+//!
+//! These push the simulator to million-element inputs — sizes the regular
+//! suite avoids to stay fast — and re-assert the same invariants: outputs
+//! correct, lower bounds respected, cost envelopes held.
+
+use aem_core::bounds::permute as pbounds;
+use aem_core::permute::permute_auto;
+use aem_core::sort::merge_sort;
+use aem_core::spmv::{reference_multiply, spmv_direct, spmv_sorted, U64Ring};
+use aem_machine::{AemAccess, AemConfig, Machine};
+use aem_workloads::{perm, Conformation, KeyDist, MatrixShape, PermKind};
+
+#[test]
+#[ignore = "large: ~1M-element sort"]
+fn stress_sort_one_million() {
+    let cfg = AemConfig::new(4096, 128, 64).unwrap();
+    let n = 1 << 20;
+    let input = KeyDist::Uniform { seed: 1 }.generate(n);
+    let mut m: Machine<u64> = Machine::new(cfg);
+    let r = m.install(&input);
+    let out = merge_sort(&mut m, r).unwrap();
+    let got = m.inspect(out);
+    assert!(got.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(got.len(), n);
+    let q = m.cost().q(cfg.omega) as f64;
+    let lb = pbounds::permute_cost_lower_bound(n as u64, cfg);
+    assert!(q >= lb);
+    println!("1M sort: Q = {q}, bound = {lb:.0}, ratio = {:.1}", q / lb);
+}
+
+#[test]
+#[ignore = "large: ~1M-element permute"]
+fn stress_permute_one_million() {
+    let cfg = AemConfig::new(4096, 128, 16).unwrap();
+    let n = 1 << 20;
+    let pi = PermKind::Random { seed: 2 }.generate(n);
+    let values: Vec<u64> = (0..n as u64).collect();
+    let (run, strategy) = permute_auto(cfg, &values, &pi).unwrap();
+    assert_eq!(run.output, perm::apply(&pi, &values));
+    println!("1M permute via {strategy:?}: Q = {}", run.q());
+}
+
+#[test]
+#[ignore = "large: 16K x 16K sparse matrix"]
+fn stress_spmv_large() {
+    let cfg = AemConfig::new(2048, 64, 8).unwrap();
+    let n = 1 << 14;
+    let delta = 8;
+    let conf = Conformation::generate(MatrixShape::Random { seed: 3 }, n, delta);
+    let a: Vec<U64Ring> = (0..conf.nnz()).map(|i| U64Ring(i as u64 % 101)).collect();
+    let x: Vec<U64Ring> = (0..n).map(|j| U64Ring(j as u64 % 97)).collect();
+    let want = reference_multiply(&conf, &a, &x);
+    let d = spmv_direct(cfg, &conf, &a, &x).unwrap();
+    let s = spmv_sorted(cfg, &conf, &a, &x).unwrap();
+    assert_eq!(d.output, want);
+    assert_eq!(s.output, want);
+    println!("16K SpMxV: direct Q = {}, sorted Q = {}", d.q(), s.q());
+}

@@ -1,0 +1,124 @@
+//! Trace-level validation: record real algorithm executions and check the
+//! *structural* claims of the analyses — not just totals.
+
+use aem_core::sort::{em_merge_sort, merge_sort};
+use aem_machine::rounds::{round_based_cost, round_decompose};
+use aem_machine::{AemAccess, AemConfig, Machine};
+use aem_workloads::KeyDist;
+
+fn record_merge_sort(cfg: AemConfig, n: usize) -> (aem_machine::Trace, u64) {
+    let input = KeyDist::Uniform { seed: 11 }.generate(n);
+    let mut m: Machine<u64> = Machine::new(cfg);
+    let r = m.install(&input);
+    m.start_trace();
+    merge_sort(&mut m, r).unwrap();
+    let trace = m.take_trace().unwrap();
+    (trace, m.cost().q(cfg.omega))
+}
+
+#[test]
+fn trace_cost_matches_counter() {
+    // The recorded program and the live meter must agree exactly.
+    let cfg = AemConfig::new(64, 8, 16).unwrap();
+    let (trace, q) = record_merge_sort(cfg, 4096);
+    assert_eq!(trace.cost().q(cfg.omega), q);
+}
+
+#[test]
+fn pointer_maintenance_is_cheap() {
+    // §3.1's claim: pointer (aux) writes total O(n) over the whole merge
+    // — they must be a small fraction of the data writes, and the aux
+    // share of all I/O must be small.
+    let cfg = AemConfig::new(64, 8, 64).unwrap(); // ω > B: pointers external
+    let (trace, _) = record_merge_sort(cfg, 16384);
+    let s = trace.stats();
+    assert!(
+        s.aux_writes > 0,
+        "external pointers must actually be used at ω > B"
+    );
+    assert!(
+        s.aux_writes <= s.data_writes,
+        "pointer writes ({}) must not dominate data writes ({})",
+        s.aux_writes,
+        s.data_writes
+    );
+    assert!(s.aux_fraction() < 0.25, "aux share {}", s.aux_fraction());
+}
+
+#[test]
+fn round_decomposition_is_well_formed_on_real_traces() {
+    let cfg = AemConfig::new(64, 8, 8).unwrap();
+    let (trace, _) = record_merge_sort(cfg, 4096);
+    let rounds = round_decompose(&trace, cfg);
+    assert!(!rounds.is_empty());
+    let budget = cfg.round_budget();
+    let omega = cfg.omega;
+    // Every round within budget; all but the last above ω(m−1); spans
+    // partition the trace.
+    let mut next = 0usize;
+    for (i, r) in rounds.iter().enumerate() {
+        assert_eq!(r.start, next);
+        next = r.end;
+        assert!(
+            r.cost <= budget,
+            "round {i} cost {} > budget {budget}",
+            r.cost
+        );
+        if i + 1 < rounds.len() {
+            assert!(
+                r.cost >= omega * (cfg.m() as u64 - 1),
+                "interior round {i} cost {} too small",
+                r.cost
+            );
+        }
+    }
+    assert_eq!(next, trace.len());
+}
+
+#[test]
+fn lemma_4_1_trace_conversion_bounded_on_real_programs() {
+    for omega in [1u64, 8, 64] {
+        let cfg = AemConfig::new(64, 8, omega).unwrap();
+        let (trace, q) = record_merge_sort(cfg, 4096);
+        let q2 = round_based_cost(&trace, cfg).q(omega);
+        assert!(q2 >= q);
+        assert!(
+            q2 <= 4 * q,
+            "omega={omega}: converted cost {q2} vs original {q}"
+        );
+    }
+}
+
+#[test]
+fn em_sort_trace_has_no_aux_io_and_no_rereads_within_level() {
+    let cfg = AemConfig::new(64, 8, 4).unwrap();
+    let input = KeyDist::Uniform { seed: 12 }.generate(4096);
+    let mut m: Machine<u64> = Machine::new(cfg);
+    let r = m.install(&input);
+    m.start_trace();
+    em_merge_sort(&mut m, r).unwrap();
+    let s = m.take_trace().unwrap().stats();
+    assert_eq!(
+        s.aux_reads + s.aux_writes,
+        0,
+        "the EM sorter needs no external metadata"
+    );
+    // Streaming merges read every block exactly once.
+    assert_eq!(s.max_rereads, 1);
+}
+
+#[test]
+fn merge_sort_rereads_are_the_price_of_write_avoidance() {
+    // The §3 merge re-reads blocks across rounds (seeding + activation);
+    // the re-read factor grows with ω while writes shrink — the trade the
+    // algorithm is built on, visible directly in the traces.
+    let n = 8192;
+    let (t1, _) = record_merge_sort(AemConfig::new(64, 8, 1).unwrap(), n);
+    let (t64, _) = record_merge_sort(AemConfig::new(64, 8, 64).unwrap(), n);
+    let (s1, s64) = (t1.stats(), t64.stats());
+    assert!(s64.data_writes < s1.data_writes, "higher ω must write less");
+    assert!(
+        s64.data_reads + s64.aux_reads > s1.data_reads + s1.aux_reads,
+        "…paid for with more reads"
+    );
+}
