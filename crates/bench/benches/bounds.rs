@@ -1,22 +1,16 @@
 //! Evaluation speed of the counting bounds (they sit inside sweep loops).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use aem_bench::timing::bench;
 use aem_core::bounds::{math, permute, spmv};
 use aem_machine::AemConfig;
 
-fn bench_bounds(c: &mut Criterion) {
+fn main() {
     let cfg = AemConfig::new(1 << 10, 1 << 6, 16).unwrap();
-    c.bench_function("permute_counting_bound_1e6", |b| {
-        b.iter(|| permute::permute_cost_lower_bound(1 << 20, cfg));
+    bench("permute_counting_bound_1e6", || {
+        permute::permute_cost_lower_bound(1 << 20, cfg)
     });
-    c.bench_function("spmv_bound_1e6", |b| {
-        b.iter(|| spmv::spmv_cost_lower_bound(1 << 20, 8, cfg));
+    bench("spmv_bound_1e6", || {
+        spmv::spmv_cost_lower_bound(1 << 20, 8, cfg)
     });
-    c.bench_function("ln_factorial_large", |b| {
-        b.iter(|| math::ln_factorial(1 << 30));
-    });
+    bench("ln_factorial_large", || math::ln_factorial(1 << 30));
 }
-
-criterion_group!(benches, bench_bounds);
-criterion_main!(benches);

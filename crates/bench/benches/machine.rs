@@ -1,32 +1,29 @@
 //! Raw simulator overhead: block transfers per second, plain vs
 //! round-based machines, and the flash replay path.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use aem_bench::timing::{bench, bench_with_elems};
 use aem_core::sort::merge_sort;
 use aem_flash::driver::naive_atom_permutation;
 use aem_flash::verify_lemma_4_3;
 use aem_machine::{AemAccess, AemConfig, Machine, RoundBasedMachine};
 use aem_workloads::{KeyDist, PermKind};
 
-fn bench_block_io(c: &mut Criterion) {
+fn main() {
     let cfg = AemConfig::new(64, 8, 8).unwrap();
     let data: Vec<u64> = (0..1u64 << 13).collect();
-    let mut g = c.benchmark_group("machine_io");
-    g.throughput(Throughput::Elements(data.len() as u64));
-    g.bench_function("scan_copy_plain", |b| {
-        b.iter(|| {
-            let mut m: Machine<u64> = Machine::new(cfg);
-            let r = m.install(&data);
-            let out = m.alloc_region(r.elems);
-            for i in 0..r.blocks {
-                let d = m.read_block(r.block(i)).unwrap();
-                m.write_block(out.block(i), d).unwrap();
-            }
-        });
+    bench_with_elems("machine_io/scan_copy_plain", data.len() as u64, || {
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(&data);
+        let out = m.alloc_region(r.elems);
+        for i in 0..r.blocks {
+            let d = m.read_block(r.block(i)).unwrap();
+            m.write_block(out.block(i), d).unwrap();
+        }
     });
-    g.bench_function("scan_copy_round_based", |b| {
-        b.iter(|| {
+    bench_with_elems(
+        "machine_io/scan_copy_round_based",
+        data.len() as u64,
+        || {
             let mut m: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg);
             let r = m.install(&data);
             let out = m.alloc_region(r.elems);
@@ -35,39 +32,21 @@ fn bench_block_io(c: &mut Criterion) {
                 m.write_block(out.block(i), d).unwrap();
             }
             m.finish().unwrap()
-        });
-    });
-    g.finish();
-}
+        },
+    );
 
-fn bench_round_based_sort(c: &mut Criterion) {
-    let cfg = AemConfig::new(64, 8, 8).unwrap();
     let input = KeyDist::Uniform { seed: 1 }.generate(1 << 12);
-    c.bench_function("merge_sort_round_based", |b| {
-        b.iter(|| {
-            let mut m: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg);
-            let r = m.install(&input);
-            merge_sort(&mut m, r).unwrap();
-            m.finish().unwrap()
-        });
+    bench("merge_sort_round_based", || {
+        let mut m: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg);
+        let r = m.install(&input);
+        merge_sort(&mut m, r).unwrap();
+        m.finish().unwrap()
     });
-}
 
-fn bench_flash_chain(c: &mut Criterion) {
     let cfg = AemConfig::new(64, 16, 4).unwrap();
     let pi = PermKind::Random { seed: 2 }.generate(1 << 11);
-    c.bench_function("lemma_4_3_full_chain", |b| {
-        b.iter(|| {
-            let (prog, _) = naive_atom_permutation(cfg, &pi).unwrap();
-            verify_lemma_4_3(&prog.program, cfg).unwrap()
-        });
+    bench("lemma_4_3_full_chain", || {
+        let (prog, _) = naive_atom_permutation(cfg, &pi).unwrap();
+        verify_lemma_4_3(&prog.program, cfg).unwrap()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_block_io,
-    bench_round_based_sort,
-    bench_flash_chain
-);
-criterion_main!(benches);

@@ -1,28 +1,20 @@
 //! Wall-clock throughput of the permuting strategies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use aem_bench::timing::bench_with_elems;
 use aem_core::permute::{permute_by_sort, permute_naive};
 use aem_machine::AemConfig;
 use aem_workloads::PermKind;
 
-fn bench_permute(c: &mut Criterion) {
-    let mut g = c.benchmark_group("permute");
+fn main() {
     for &n in &[1usize << 12, 1 << 14] {
         let pi = PermKind::Random { seed: 1 }.generate(n);
         let values: Vec<u64> = (0..n as u64).collect();
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            let cfg = AemConfig::new(64, 8, 16).unwrap();
-            b.iter(|| permute_naive(cfg, &values, &pi).unwrap());
+        let cfg = AemConfig::new(64, 8, 16).unwrap();
+        bench_with_elems(&format!("permute/naive/{n}"), n as u64, || {
+            permute_naive(cfg, &values, &pi).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("by_sort", n), &n, |b, _| {
-            let cfg = AemConfig::new(64, 8, 16).unwrap();
-            b.iter(|| permute_by_sort(cfg, &values, &pi).unwrap());
+        bench_with_elems(&format!("permute/by_sort/{n}"), n as u64, || {
+            permute_by_sort(cfg, &values, &pi).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_permute);
-criterion_main!(benches);

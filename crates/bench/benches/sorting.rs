@@ -5,53 +5,35 @@
 //! itself executes — the number a user adopting the library for
 //! experimentation cares about.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use aem_bench::timing::bench_with_elems;
 use aem_core::sort::{em_merge_sort, merge_sort};
 use aem_machine::{AemConfig, Machine};
 use aem_workloads::KeyDist;
 
-fn bench_merge_sort(c: &mut Criterion) {
-    let mut g = c.benchmark_group("merge_sort");
+fn main() {
     for &n in &[1usize << 12, 1 << 14, 1 << 16] {
         let input = KeyDist::Uniform { seed: 1 }.generate(n);
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("aem_w16", n), &input, |b, input| {
-            let cfg = AemConfig::new(256, 16, 16).unwrap();
-            b.iter(|| {
-                let mut m: Machine<u64> = Machine::new(cfg);
-                let r = m.install(input);
-                merge_sort(&mut m, r).unwrap()
-            });
+        let cfg = AemConfig::new(256, 16, 16).unwrap();
+        bench_with_elems(&format!("merge_sort/aem_w16/{n}"), n as u64, || {
+            let mut m: Machine<u64> = Machine::new(cfg);
+            let r = m.install(&input);
+            merge_sort(&mut m, r).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("em_baseline", n), &input, |b, input| {
-            let cfg = AemConfig::new(256, 16, 16).unwrap();
-            b.iter(|| {
-                let mut m: Machine<u64> = Machine::new(cfg);
-                let r = m.install(input);
-                em_merge_sort(&mut m, r).unwrap()
-            });
+        bench_with_elems(&format!("merge_sort/em_baseline/{n}"), n as u64, || {
+            let mut m: Machine<u64> = Machine::new(cfg);
+            let r = m.install(&input);
+            em_merge_sort(&mut m, r).unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_omega_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("merge_sort_omega");
     let n = 1usize << 14;
     let input = KeyDist::Uniform { seed: 2 }.generate(n);
     for &omega in &[1u64, 16, 256] {
-        g.bench_with_input(BenchmarkId::from_parameter(omega), &omega, |b, &omega| {
-            let cfg = AemConfig::new(64, 8, omega).unwrap();
-            b.iter(|| {
-                let mut m: Machine<u64> = Machine::new(cfg);
-                let r = m.install(&input);
-                merge_sort(&mut m, r).unwrap()
-            });
+        let cfg = AemConfig::new(64, 8, omega).unwrap();
+        bench_with_elems(&format!("merge_sort_omega/{omega}"), n as u64, || {
+            let mut m: Machine<u64> = Machine::new(cfg);
+            let r = m.install(&input);
+            merge_sort(&mut m, r).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_merge_sort, bench_omega_scaling);
-criterion_main!(benches);

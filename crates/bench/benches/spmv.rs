@@ -1,30 +1,26 @@
 //! Wall-clock throughput of the SpMxV algorithms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use aem_bench::timing::bench_with_elems;
 use aem_core::spmv::{spmv_direct, spmv_sorted, U64Ring};
 use aem_machine::AemConfig;
 use aem_workloads::{Conformation, MatrixShape};
 
-fn bench_spmv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spmv");
+fn main() {
     let n = 1024usize;
     for &delta in &[2usize, 8, 32] {
         let conf = Conformation::generate(MatrixShape::Random { seed: 1 }, n, delta);
         let a: Vec<U64Ring> = (0..conf.nnz()).map(|i| U64Ring(i as u64)).collect();
         let x: Vec<U64Ring> = (0..n).map(|j| U64Ring(j as u64)).collect();
-        g.throughput(Throughput::Elements(conf.nnz() as u64));
-        g.bench_with_input(BenchmarkId::new("direct", delta), &delta, |b, _| {
-            let cfg = AemConfig::new(64, 8, 8).unwrap();
-            b.iter(|| spmv_direct(cfg, &conf, &a, &x).unwrap());
-        });
-        g.bench_with_input(BenchmarkId::new("sorted", delta), &delta, |b, _| {
-            let cfg = AemConfig::new(64, 8, 8).unwrap();
-            b.iter(|| spmv_sorted(cfg, &conf, &a, &x).unwrap());
-        });
+        let cfg = AemConfig::new(64, 8, 8).unwrap();
+        bench_with_elems(
+            &format!("spmv/direct/delta{delta}"),
+            conf.nnz() as u64,
+            || spmv_direct(cfg, &conf, &a, &x).unwrap(),
+        );
+        bench_with_elems(
+            &format!("spmv/sorted/delta{delta}"),
+            conf.nnz() as u64,
+            || spmv_sorted(cfg, &conf, &a, &x).unwrap(),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_spmv);
-criterion_main!(benches);

@@ -6,6 +6,7 @@ use aem_core::sort::{
     distribution_sort, em_merge_sort, heap_sort, merge_sort, merge_sort_with_fan_in,
 };
 use aem_machine::{AemAccess, AemConfig, Cost, Machine};
+use aem_obs::{node_depth, InstrumentedMachine};
 use aem_workloads::KeyDist;
 
 use crate::parallel_map;
@@ -54,7 +55,58 @@ pub fn tables(quick: bool) -> Vec<Table> {
         ablation_fan_in(quick),
         ablation_pointers(quick),
         t1_sorter_zoo(quick),
+        t1_phase_attribution(quick),
     ]
+}
+
+/// T1f: where the §3 mergesort's cost goes, phase by phase. An
+/// instrumented run attributes every I/O to the enclosing span; the
+/// top-level spans (base runs, then each merge level) partition the
+/// execution, so their inclusive costs must sum to the total.
+pub fn t1_phase_attribution(quick: bool) -> Table {
+    let cfg = AemConfig::new(64, 8, 32).unwrap();
+    let n = if quick { 1 << 12 } else { 1 << 16 };
+    let input = KeyDist::Uniform { seed: 7 }.generate(n);
+    let mut im = InstrumentedMachine::new(Machine::<u64>::new(cfg));
+    let r = im.inner_mut().install(&input);
+    merge_sort(&mut im, r).expect("sort");
+    let total = im.inner().cost();
+    let rec = im.into_record(aem_obs::WorkloadMeta::new("sort", "aem", n as u64));
+
+    let mut t = Table::new(
+        "T1f",
+        &format!("Phase attribution — AEM mergesort on {cfg}, N={n}"),
+        &[
+            "phase", "Q", "reads", "writes", "aux I/Os", "volume", "% of Q",
+        ],
+    );
+    let q_total = total.q(cfg.omega).max(1);
+    let mut top_level_q = 0u64;
+    for (i, p) in rec.phases.iter().enumerate() {
+        let depth = node_depth(&rec.phases, i);
+        if depth == 0 {
+            top_level_q += p.q(cfg.omega);
+        }
+        t.row(vec![
+            format!("{}{}", "· ".repeat(depth), p.name),
+            p.q(cfg.omega).to_string(),
+            p.cost.reads.to_string(),
+            p.cost.writes.to_string(),
+            (p.aux_reads + p.aux_writes).to_string(),
+            p.volume.to_string(),
+            format!("{:.1}%", 100.0 * p.q(cfg.omega) as f64 / q_total as f64),
+        ]);
+    }
+    t.note(format!(
+        "top-level phases partition the run: Σ Q_phase = {top_level_q} vs total Q = {}: {}",
+        total.q(cfg.omega),
+        if top_level_q == total.q(cfg.omega) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    ));
+    t
 }
 
 /// T1e: all four sorter families side by side across ω. The AEM mergesort

@@ -24,6 +24,7 @@
 
 pub mod exp;
 pub mod table;
+pub mod timing;
 
 pub use table::Table;
 

@@ -1,10 +1,18 @@
-//! Minimal `--key value` argument parsing (no external dependency; the
-//! workspace's allowed-crates policy keeps the CLI surface tiny anyway).
+//! Minimal `--key value` / `--key=value` argument parsing (no external
+//! dependency; the workspace's allowed-crates policy keeps the CLI surface
+//! tiny anyway).
 
 use std::collections::HashMap;
 
-/// Parsed arguments: a subcommand plus `--key value` options and bare
-/// `--flag` switches.
+/// `true` if `tok` looks like a (possibly negative, possibly fractional)
+/// number rather than an option. `-1`, `-2.5` and `-1e3` are values;
+/// `-v` is not.
+fn is_number(tok: &str) -> bool {
+    tok.parse::<f64>().is_ok()
+}
+
+/// Parsed arguments: a subcommand plus `--key value` / `--key=value`
+/// options and bare `--flag` switches.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The subcommand (first non-flag token).
@@ -15,21 +23,39 @@ pub struct Args {
 
 impl Args {
     /// Parse from an iterator of argument tokens (excluding `argv[0]`).
+    ///
+    /// Accepted shapes: `command`, `--flag`, `--key value`, `--key=value`.
+    /// A token following `--key` is taken as its value unless it is itself
+    /// an option; numeric tokens are always values, so `--delta -1` parses
+    /// as `delta = "-1"` rather than as a flag named `delta` plus a stray
+    /// `-1`.
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, String> {
         let mut out = Args::default();
         let mut it = tokens.into_iter().peekable();
         while let Some(tok) = it.next() {
-            if let Some(key) = tok.strip_prefix("--") {
-                if key.is_empty() {
+            if let Some(body) = tok.strip_prefix("--") {
+                if body.is_empty() {
                     return Err("empty option name '--'".into());
                 }
-                match it.peek() {
-                    Some(v) if !v.starts_with("--") => {
-                        let v = it.next().expect("peeked");
-                        out.opts.insert(key.to_string(), v);
+                if let Some((key, value)) = body.split_once('=') {
+                    if key.is_empty() {
+                        return Err(format!("empty option name in '{tok}'"));
                     }
-                    _ => out.flags.push(key.to_string()),
+                    out.opts.insert(key.to_string(), value.to_string());
+                    continue;
                 }
+                let takes_value = match it.peek() {
+                    Some(next) => !next.starts_with('-') || is_number(next),
+                    None => false,
+                };
+                if takes_value {
+                    let v = it.next().expect("peeked");
+                    out.opts.insert(body.to_string(), v);
+                } else {
+                    out.flags.push(body.to_string());
+                }
+            } else if tok.starts_with('-') && !is_number(&tok) {
+                return Err(format!("unknown option '{tok}' (options use --name)"));
             } else if out.command.is_none() {
                 out.command = Some(tok);
             } else {
@@ -79,6 +105,35 @@ mod tests {
     }
 
     #[test]
+    fn parses_key_equals_value() {
+        let a = Args::parse(toks("sort --n=4096 --algo=aem --trace-out=t.jsonl")).unwrap();
+        assert_eq!(a.get("n"), Some("4096"));
+        assert_eq!(a.get("algo"), Some("aem"));
+        assert_eq!(a.get("trace-out"), Some("t.jsonl"));
+        assert_eq!(a.get_or("n", 0usize).unwrap(), 4096);
+    }
+
+    #[test]
+    fn key_equals_empty_value_is_allowed() {
+        let a = Args::parse(toks("x --label=")).unwrap();
+        assert_eq!(a.get("label"), Some(""));
+        assert!(!a.flag("label"));
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        let a = Args::parse(toks("bounds --delta -1 --n 100")).unwrap();
+        assert_eq!(a.get("delta"), Some("-1"));
+        assert_eq!(a.get("n"), Some("100"));
+        assert!(!a.flag("delta"));
+        let b = Args::parse(toks("x --shift -2.5 --scale -1e3")).unwrap();
+        assert_eq!(b.get("shift"), Some("-2.5"));
+        assert_eq!(b.get("scale"), Some("-1e3"));
+        let c = Args::parse(toks("x --delta=-7")).unwrap();
+        assert_eq!(c.get("delta"), Some("-7"));
+    }
+
+    #[test]
     fn defaults_and_typed_parsing() {
         let a = Args::parse(toks("sort --n 42")).unwrap();
         assert_eq!(a.get_or("n", 7usize).unwrap(), 42);
@@ -92,6 +147,8 @@ mod tests {
     fn rejects_stray_positionals_and_empty_options() {
         assert!(Args::parse(toks("sort extra")).is_err());
         assert!(Args::parse(toks("sort --")).is_err());
+        assert!(Args::parse(toks("sort --=3")).is_err());
+        assert!(Args::parse(toks("sort -v")).is_err());
     }
 
     #[test]
@@ -99,6 +156,13 @@ mod tests {
         let a = Args::parse(toks("x --a --b 3")).unwrap();
         assert!(a.flag("a"));
         assert_eq!(a.get("b"), Some("3"));
+    }
+
+    #[test]
+    fn flag_at_end_of_line() {
+        let a = Args::parse(toks("x --n 5 --verbose")).unwrap();
+        assert_eq!(a.get("n"), Some("5"));
+        assert!(a.flag("verbose"));
     }
 
     #[test]

@@ -2,16 +2,39 @@
 //! `String` so the handlers are unit-testable without capturing stdout.
 
 use aem_core::bounds::{flash as fbounds, permute as pbounds, spmv as sbounds};
-use aem_core::permute::{permute_auto, permute_by_sort, permute_naive};
+use aem_core::permute::{
+    permute_auto, permute_by_sort, permute_by_sort_on, permute_naive, DestTagged,
+};
 use aem_core::relational::{group_aggregate, sort_merge_join, Tuple};
 use aem_core::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort};
-use aem_core::spmv::{reference_multiply, spmv_direct, spmv_sorted, U64Ring};
+use aem_core::spmv::{
+    install_instance, reference_multiply, spmv_direct, spmv_direct_on, spmv_sorted, spmv_sorted_on,
+    MatEntry, SpmvInstance, U64Ring,
+};
 use aem_flash::driver::naive_atom_permutation;
 use aem_flash::verify_lemma_4_3;
 use aem_machine::{AemAccess, AemConfig, Cost, Machine};
+use aem_obs::{
+    render_markdown, render_text, run_all, InstrumentedMachine, RunRecord, WorkloadMeta,
+};
 use aem_workloads::{perm, Conformation, KeyDist, MatrixShape, PermKind};
 
 use crate::args::Args;
+
+/// Write `record` as JSONL to `path` and return the lines to append to the
+/// command's report: the export note plus the paper-invariant verdicts.
+fn export_record(path: &str, record: &RunRecord) -> Result<String, String> {
+    std::fs::write(path, record.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let mut out = format!(
+        "\ntrace record: {} events, {} phases -> {path}\n",
+        record.trace.len(),
+        record.phases.len()
+    );
+    for c in run_all(record) {
+        out.push_str(&format!("  [{}] {}: {}\n", c.verdict(), c.name, c.detail));
+    }
+    Ok(out)
+}
 
 /// Parse the shared machine options (`--mem --block --omega`).
 pub fn machine_config(args: &Args) -> Result<AemConfig, String> {
@@ -107,6 +130,28 @@ pub fn cmd_sort(args: &Args) -> Result<String, String> {
     out.push_str(&format!(
         "\nThm 4.5 lower bound (applies to sorting): {lb:.0}\n"
     ));
+
+    if let Some(path) = args.get("trace-out") {
+        // Instrumented re-run of one sorter (the chosen one, or the §3
+        // mergesort under --algo all) to capture the full run record.
+        let which = if algo == "all" { "aem" } else { algo };
+        let mut im = InstrumentedMachine::new(Machine::<u64>::new(cfg));
+        let r = im.inner_mut().install(&input);
+        let sorted = match which {
+            "aem" => merge_sort(&mut im, r),
+            "em" => em_merge_sort(&mut im, r),
+            "dist" => distribution_sort(&mut im, r),
+            "heap" => heap_sort(&mut im, r),
+            _ => unreachable!(),
+        }
+        .map_err(|e| e.to_string())?;
+        let got = im.inner().inspect(sorted);
+        if !got.windows(2).all(|w| w[0] <= w[1]) || got.len() != n {
+            return Err(format!("{which}: output verification failed"));
+        }
+        let rec = im.into_record(WorkloadMeta::new("sort", which, n as u64));
+        out.push_str(&export_record(path, &rec)?);
+    }
     Ok(out)
 }
 
@@ -150,6 +195,32 @@ pub fn cmd_permute(args: &Args) -> Result<String, String> {
     ));
     if flash > 0.0 {
         out.push_str(&format!("Cor 4.4 flash-reduction bound: {flash:.0}\n"));
+    }
+
+    if let Some(path) = args.get("trace-out") {
+        // Instrumented re-run of the sort-based permuter.
+        let tagged: Vec<DestTagged<u64>> = values
+            .iter()
+            .zip(pi.iter())
+            .map(|(v, &d)| DestTagged {
+                dest: d as u64,
+                value: *v,
+            })
+            .collect();
+        let mut im = InstrumentedMachine::new(Machine::<DestTagged<u64>>::new(cfg));
+        let input = im.inner_mut().install(&tagged);
+        let outr = permute_by_sort_on(&mut im, input).map_err(|e| e.to_string())?;
+        let got: Vec<u64> = im
+            .inner()
+            .inspect(outr)
+            .into_iter()
+            .map(|t| t.value)
+            .collect();
+        if got != want {
+            return Err("by-sort (instrumented): verification failed".into());
+        }
+        let rec = im.into_record(WorkloadMeta::new("permute", "by_sort", n as u64));
+        out.push_str(&export_record(path, &rec)?);
     }
     Ok(out)
 }
@@ -210,6 +281,36 @@ pub fn cmd_spmv(args: &Args) -> Result<String, String> {
             "—".into()
         },
     ));
+
+    if let Some(path) = args.get("trace-out") {
+        // Instrumented re-run of the chosen SpMxV program (sorted by
+        // default — it is the paper's §5 upper bound).
+        let which = args.get("algo").unwrap_or("sorted");
+        let inst = SpmvInstance {
+            conf: &conf,
+            a_vals: &a,
+            x: &x,
+        };
+        let mut im = InstrumentedMachine::new(Machine::<MatEntry<U64Ring>>::new(cfg));
+        let (ar, xr) = install_instance(im.inner_mut(), &inst);
+        let y = match which {
+            "sorted" => spmv_sorted_on(&mut im, &conf, ar, xr),
+            "direct" => spmv_direct_on(&mut im, &conf, ar, xr),
+            other => return Err(format!("unknown --algo '{other}' (sorted|direct)")),
+        }
+        .map_err(|e| e.to_string())?;
+        let got: Vec<U64Ring> = im.inner().inspect(y).into_iter().map(|e| e.val).collect();
+        if got != want {
+            return Err(format!("{which} (instrumented): verification failed"));
+        }
+        let rec = im.into_record(WorkloadMeta::with_delta(
+            "spmv",
+            which,
+            n as u64,
+            delta as u64,
+        ));
+        out.push_str(&export_record(path, &rec)?);
+    }
     Ok(out)
 }
 
@@ -350,6 +451,23 @@ pub fn cmd_trace(args: &Args) -> Result<String, String> {
     let q = trace.cost().q(cfg.omega);
     let q_rb = round_based_cost(&trace, cfg).q(cfg.omega);
 
+    let mut extra = String::new();
+    if let Some(path) = args.get("trace-out") {
+        // Instrumented re-run with full phase attribution (the plain
+        // machine trace above has no phase spans).
+        let mut im = InstrumentedMachine::new(Machine::<u64>::new(cfg));
+        let r = im.inner_mut().install(&input);
+        match algo {
+            "aem" => drop(merge_sort(&mut im, r).map_err(|e| e.to_string())?),
+            "em" => drop(em_merge_sort(&mut im, r).map_err(|e| e.to_string())?),
+            "dist" => drop(distribution_sort(&mut im, r).map_err(|e| e.to_string())?),
+            "heap" => drop(heap_sort(&mut im, r).map_err(|e| e.to_string())?),
+            _ => unreachable!(),
+        }
+        let rec = im.into_record(WorkloadMeta::new("sort", algo, n as u64));
+        extra = export_record(path, &rec)?;
+    }
+
     Ok(format!(
         "machine: {cfg}\n\
          program: {algo} sort of N={n} ({} events)\n\n\
@@ -359,7 +477,7 @@ pub fn cmd_trace(args: &Args) -> Result<String, String> {
          I/O volume: {} elements\n\n\
          Q = {}\n\
          ωm-rounds (greedy decomposition): {}\n\
-         Lemma 4.1 round-based conversion cost: {} ({:.2}x)\n",
+         Lemma 4.1 round-based conversion cost: {} ({:.2}x)\n{extra}",
         trace.len(),
         stats.data_reads,
         stats.data_writes,
@@ -374,6 +492,22 @@ pub fn cmd_trace(args: &Args) -> Result<String, String> {
         q_rb,
         q_rb as f64 / q.max(1) as f64,
     ))
+}
+
+/// `aemsim report` — load a JSONL run record, re-check the paper
+/// invariants, and render the phase-attributed cost report.
+pub fn cmd_report(args: &Args) -> Result<String, String> {
+    let path = args
+        .get("in")
+        .ok_or("report requires --in FILE (a --trace-out export)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let rec = RunRecord::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    let checks = run_all(&rec);
+    match args.get("format").unwrap_or("text") {
+        "text" => Ok(render_text(&rec, &checks)),
+        "md" | "markdown" => Ok(render_markdown(&rec, &checks)),
+        other => Err(format!("unknown --format '{other}' (text|md)")),
+    }
 }
 
 /// Usage text.
@@ -391,12 +525,22 @@ COMMANDS
   join      relational ops     --left --right --keys
   trace     record + analyze   --n --algo aem|em|dist|heap
   lemma43   flash reduction    --n
+  report    render a trace     --in FILE [--format text|md]
 
 MACHINE OPTIONS (all commands)
   --mem M      internal memory in elements   (default 1024)
   --block B    block size in elements        (default 64)
   --omega W    write/read cost ratio         (default 16)
   --seed S     workload seed                 (default 1)
+
+OBSERVABILITY
+  sort, permute, spmv and trace accept --trace-out FILE: the workload is
+  re-run on an instrumented machine and the full run record (config,
+  I/O events, phase spans, metrics) is exported as JSONL. The paper
+  invariants (§3 pointer rewrites, Lemma 4.1 rounds, cost sandwich) are
+  checked on export and again by `report`, which renders the
+  phase-attributed cost breakdown. Options use --key value or
+  --key=value.
 "
     .to_string()
 }
@@ -414,6 +558,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("join") => cmd_join(args),
         Some("trace") => cmd_trace(args),
         Some("lemma43") => cmd_lemma43(args),
+        Some("report") => cmd_report(args),
         Some(other) => Err(format!("unknown command '{other}'\n\n{}", usage())),
         None => Ok(usage()),
     }
@@ -513,5 +658,83 @@ mod tests {
         let out = run("").unwrap();
         assert!(out.contains("USAGE"));
         assert!(run("bogus").is_err());
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("aemsim-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn sort_trace_export_then_report() {
+        let path = tmp_path("sort.jsonl");
+        let p = path.to_str().unwrap();
+        let out = run(&format!(
+            "sort --n 2048 --mem 64 --block 8 --algo aem --trace-out {p}"
+        ))
+        .unwrap();
+        assert_eq!(out.matches("[PASS]").count(), 3, "{out}");
+        assert!(!out.contains("[FAIL]"), "{out}");
+
+        let report = run(&format!("report --in {p}")).unwrap();
+        assert!(report.contains("Phases"), "{report}");
+        assert!(report.contains("merge-level-1"), "{report}");
+        assert_eq!(report.matches("PASS").count(), 3, "{report}");
+
+        let md = run(&format!("report --in {p} --format md")).unwrap();
+        assert!(md.contains("| phase | Q |"), "{md}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn permute_and_spmv_trace_export() {
+        let path = tmp_path("permute.jsonl");
+        let p = path.to_str().unwrap();
+        let out = run(&format!(
+            "permute --n 1024 --mem 64 --block 8 --trace-out {p}"
+        ))
+        .unwrap();
+        assert_eq!(out.matches("[PASS]").count(), 3, "{out}");
+        let report = run(&format!("report --in {p}")).unwrap();
+        assert!(report.contains("permute-tag-sort"), "{report}");
+        std::fs::remove_file(&path).ok();
+
+        let path = tmp_path("spmv.jsonl");
+        let p = path.to_str().unwrap();
+        let out = run(&format!(
+            "spmv --n 128 --delta 2 --mem 64 --block 8 --trace-out {p}"
+        ))
+        .unwrap();
+        assert_eq!(out.matches("[PASS]").count(), 3, "{out}");
+        let report = run(&format!("report --in {p}")).unwrap();
+        assert!(report.contains("merge-add"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_command_export_roundtrips() {
+        let path = tmp_path("trace.jsonl");
+        let p = path.to_str().unwrap();
+        let out = run(&format!(
+            "trace --n 2048 --mem 64 --block 8 --algo heap --trace-out {p}"
+        ))
+        .unwrap();
+        assert!(out.contains("trace record:"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rec = RunRecord::from_jsonl(&text).unwrap();
+        assert_eq!(rec.workload.algo, "heap");
+        assert!(rec.phases.iter().any(|ph| ph.name == "pq-extract"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_errors() {
+        assert!(run("report").is_err());
+        assert!(run("report --in /nonexistent/x.jsonl").is_err());
+        let path = tmp_path("bad.jsonl");
+        std::fs::write(&path, "not json\n").unwrap();
+        let p = path.to_str().unwrap();
+        assert!(run(&format!("report --in {p}")).is_err());
+        assert!(run(&format!("report --in {p} --format bogus")).is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

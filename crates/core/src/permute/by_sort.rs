@@ -48,7 +48,10 @@ where
     T: Clone,
     A: AemAccess<DestTagged<T>>,
 {
-    merge_sort(machine, input)
+    machine.phase_enter("permute-tag-sort");
+    let out = merge_sort(machine, input)?;
+    machine.phase_exit();
+    Ok(out)
 }
 
 /// Run the sort-based permuter as a complete workload on a fresh machine.

@@ -27,7 +27,7 @@ pub mod naive;
 pub mod transpose;
 
 pub use auto::{choose_strategy, permute_auto, PermuteStrategy};
-pub use by_sort::{permute_by_sort, DestTagged};
+pub use by_sort::{permute_by_sort, permute_by_sort_on, DestTagged};
 pub use naive::permute_naive;
 pub use transpose::{transpose_auto, transpose_tiled};
 

@@ -43,6 +43,7 @@ where
     }
 
     // Base runs: load M elements, sort in memory (free), write out.
+    machine.phase_enter("base-runs");
     let base_blocks = cfg.m();
     let parts = input.split_blockwise(input.blocks.div_ceil(base_blocks), b);
     let mut runs: Vec<Region> = Vec::with_capacity(parts.len());
@@ -62,11 +63,14 @@ where
         }
         runs.push(out);
     }
+    machine.phase_exit();
 
     // Merge levels with fan-in m − 1 (one block resident per run, one
     // output buffer).
     let fan_in = (cfg.m() - 1).max(2);
+    let mut level = 1usize;
     while runs.len() > 1 {
+        machine.phase_enter(&format!("merge-level-{level}"));
         let mut next = Vec::with_capacity(runs.len().div_ceil(fan_in));
         for group in runs.chunks(fan_in) {
             if group.len() == 1 {
@@ -75,7 +79,9 @@ where
                 next.push(stream_merge(machine, group)?);
             }
         }
+        machine.phase_exit();
         runs = next;
+        level += 1;
     }
     Ok(runs.pop().expect("non-empty input"))
 }

@@ -23,6 +23,7 @@ where
     let mut pq = ExternalPq::new(machine.cfg())?;
 
     // Insert phase: stream the input in.
+    machine.phase_enter("pq-insert");
     for id in input.iter() {
         let data = machine.read_block(id)?;
         let len = data.len();
@@ -34,7 +35,10 @@ where
         machine.discard(len)?;
     }
 
+    machine.phase_exit();
+
     // Extract phase: pops come out charged; writing them out releases.
+    machine.phase_enter("pq-extract");
     let out = machine.alloc_region(input.elems);
     let mut out_blk = 0usize;
     let mut buf: Vec<T> = Vec::with_capacity(b);
@@ -49,6 +53,7 @@ where
     if !buf.is_empty() {
         machine.write_block(out.block(out_blk), buf)?;
     }
+    machine.phase_exit();
     Ok(out)
 }
 

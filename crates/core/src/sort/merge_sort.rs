@@ -55,19 +55,28 @@ where
         .div_ceil(cfg.block)
         .saturating_mul(cfg.block);
 
+    // Phase annotations: errors abort the whole run, so spans left open on
+    // an early `?` are closed by the observability layer when it finalizes.
     if input.elems <= base {
-        return small_sort(machine, input);
+        machine.phase_enter("small-sort");
+        let out = small_sort(machine, input)?;
+        machine.phase_exit();
+        return Ok(out);
     }
 
     // Level 0: split block-wise into base runs and small-sort each.
+    machine.phase_enter("base-runs");
     let parts = input.split_blockwise(input.elems.div_ceil(base), cfg.block);
     let mut runs: Vec<Region> = Vec::with_capacity(parts.len());
     for p in parts {
         runs.push(small_sort(machine, p)?);
     }
+    machine.phase_exit();
 
     // Merge levels: d runs at a time until one remains.
+    let mut level = 1usize;
     while runs.len() > 1 {
+        machine.phase_enter(&format!("merge-level-{level}"));
         let mut next: Vec<Region> = Vec::with_capacity(runs.len().div_ceil(d));
         for group in runs.chunks(d) {
             if group.len() == 1 {
@@ -77,7 +86,9 @@ where
                 next.push(merged);
             }
         }
+        machine.phase_exit();
         runs = next;
+        level += 1;
     }
     Ok(runs.pop().expect("non-empty input yields one run"))
 }

@@ -62,6 +62,7 @@ where
     }
 
     let d = (cfg.m() - 2).max(2);
+    machine.phase_enter(&format!("distribute-depth-{depth}"));
 
     // --- Pivot selection: an evenly spaced sample of up to 4d elements
     // (capped so the sample plus one staging block fits in memory). ------
@@ -123,6 +124,7 @@ where
     }
     machine.discard(pivots.len())?;
     drop(pivots);
+    machine.phase_exit();
 
     // --- Recurse per bucket first (so no parent-frame data is resident
     // while a child runs — memory at any instant belongs to exactly one
@@ -149,6 +151,7 @@ where
     }
 
     // Concatenate the sorted buckets, stitching across block boundaries.
+    machine.phase_enter(&format!("concat-depth-{depth}"));
     let out = machine.alloc_region(input.elems);
     let mut out_blk = 0usize;
     let mut carry: Vec<T> = Vec::with_capacity(b);
@@ -168,6 +171,7 @@ where
     if !carry.is_empty() {
         machine.write_block(out.block(out_blk), carry)?;
     }
+    machine.phase_exit();
     Ok(out)
 }
 

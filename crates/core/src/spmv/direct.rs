@@ -80,6 +80,7 @@ where
         rows[t.row].push(e);
     }
 
+    machine.phase_enter("row-gather");
     let y = machine.alloc_region(n);
     let mut a_cur = BlockCursor::new();
     let mut x_cur = BlockCursor::new();
@@ -110,6 +111,7 @@ where
     }
     a_cur.retire(machine)?;
     x_cur.retire(machine)?;
+    machine.phase_exit();
     Ok(y)
 }
 

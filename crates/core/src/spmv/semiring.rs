@@ -103,7 +103,7 @@ impl Semiring for MaxPlus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use aem_workloads::SplitMix64;
 
     fn laws<S: Semiring>(a: S, b: S, c: S) {
         // Commutativity.
@@ -119,27 +119,38 @@ mod tests {
         assert_eq!(a.mul(&S::zero()), S::zero());
     }
 
-    proptest! {
-        #[test]
-        fn u64_ring_laws(a: u64, b: u64, c: u64) {
+    fn distributes<S: Semiring>(x: S, y: S, z: S) {
+        assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+    }
+
+    #[test]
+    fn u64_ring_laws() {
+        let mut rng = SplitMix64::seed_from_u64(0x064);
+        for _ in 0..256 {
+            let (a, b, c) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
             laws(U64Ring(a), U64Ring(b), U64Ring(c));
             // Distributivity (wrapping arithmetic is a true ring).
-            let (x, y, z) = (U64Ring(a), U64Ring(b), U64Ring(c));
-            prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+            distributes(U64Ring(a), U64Ring(b), U64Ring(c));
         }
+    }
 
-        #[test]
-        fn bool_ring_laws(a: bool, b: bool, c: bool) {
+    #[test]
+    fn bool_ring_laws() {
+        for bits in 0u8..8 {
+            let (a, b, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
             laws(BoolRing(a), BoolRing(b), BoolRing(c));
-            let (x, y, z) = (BoolRing(a), BoolRing(b), BoolRing(c));
-            prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+            distributes(BoolRing(a), BoolRing(b), BoolRing(c));
         }
+    }
 
-        #[test]
-        fn max_plus_laws(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
+    #[test]
+    fn max_plus_laws() {
+        let mut rng = SplitMix64::seed_from_u64(0x3a9);
+        for _ in 0..256 {
+            let draw = |rng: &mut SplitMix64| rng.next_below(2000) as i64 - 1000;
+            let (a, b, c) = (draw(&mut rng), draw(&mut rng), draw(&mut rng));
             laws(MaxPlus::finite(a), MaxPlus::finite(b), MaxPlus::finite(c));
-            let (x, y, z) = (MaxPlus::finite(a), MaxPlus::finite(b), MaxPlus::finite(c));
-            prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+            distributes(MaxPlus::finite(a), MaxPlus::finite(b), MaxPlus::finite(c));
         }
     }
 

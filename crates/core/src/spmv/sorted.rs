@@ -58,6 +58,7 @@ where
     let h = conf.nnz();
 
     // ---- Phase 1: product scan into meta-columns. ----------------------
+    machine.phase_enter("product-scan");
     let cols_per_meta = n.div_ceil(delta);
     let num_meta = n.div_ceil(cols_per_meta);
     let mut meta_regions: Vec<Region> = (0..num_meta)
@@ -130,13 +131,17 @@ where
             machine.discard(old.len())?;
         }
     }
+    machine.phase_exit();
 
     // ---- Phase 2: sort each meta-column by row. -------------------------
+    machine.phase_enter("meta-column-sorts");
     for region in meta_regions.iter_mut() {
         *region = merge_sort(machine, *region)?;
     }
+    machine.phase_exit();
 
     // ---- Phase 3: merge-add the sorted lists. ---------------------------
+    machine.phase_enter("merge-add");
     let fan_in = cfg.m().saturating_sub(2).max(2);
     while meta_regions.len() > 1 {
         let mut next = Vec::with_capacity(meta_regions.len().div_ceil(fan_in));
@@ -150,8 +155,10 @@ where
         meta_regions = next;
     }
     let combined = meta_regions.pop().expect("at least one meta-column");
+    machine.phase_exit();
 
     // ---- Phase 4: dense emission. ---------------------------------------
+    machine.phase_enter("dense-emission");
     let y = machine.alloc_region(n);
     let mut out_buf: Vec<MatEntry<S>> = Vec::with_capacity(b);
     let mut out_blk = 0usize;
@@ -215,6 +222,7 @@ where
         debug_assert_eq!(off, data.len(), "unconsumed combined entries");
         machine.discard(data.len() - off)?;
     }
+    machine.phase_exit();
     Ok(y)
 }
 

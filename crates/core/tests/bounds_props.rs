@@ -1,6 +1,9 @@
 //! Property tests of the bound evaluators: internal consistency of the
 //! counting machinery across random parameters, and optimality of the
 //! exhaustive search against the algorithms on random tiny instances.
+//!
+//! Each property runs a fixed number of seeded deterministic cases drawn
+//! from the workspace's [`SplitMix64`] generator.
 
 use aem_core::bounds::exhaustive::optimal_permutation_cost;
 use aem_core::bounds::math;
@@ -8,104 +11,123 @@ use aem_core::bounds::permute::{counting_rounds, permute_cost_lower_bound};
 use aem_core::bounds::spmv;
 use aem_core::permute::{permute_by_sort, permute_naive};
 use aem_machine::AemConfig;
-use aem_workloads::PermKind;
-use proptest::prelude::*;
+use aem_workloads::{PermKind, SplitMix64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// `ln n!` is super-additive-consistent: `ln (a+b)! ≥ ln a! + ln b!`
-    /// (because C(a+b, a) ≥ 1), across magnitudes spanning the Stirling
-    /// switchover.
-    #[test]
-    fn ln_factorial_superadditive(a in 0u64..2_000_000, b in 0u64..2_000_000) {
+/// `ln n!` is super-additive-consistent: `ln (a+b)! ≥ ln a! + ln b!`
+/// (because C(a+b, a) ≥ 1), across magnitudes spanning the Stirling
+/// switchover.
+#[test]
+fn ln_factorial_superadditive() {
+    let mut rng = SplitMix64::seed_from_u64(0xfac7);
+    for _ in 0..48 {
+        let a = rng.next_below(2_000_000);
+        let b = rng.next_below(2_000_000);
         let lhs = math::ln_factorial(a + b);
         let rhs = math::ln_factorial(a) + math::ln_factorial(b);
-        prop_assert!(lhs + 1e-6 >= rhs, "a={a} b={b}: {lhs} < {rhs}");
+        assert!(lhs + 1e-6 >= rhs, "a={a} b={b}: {lhs} < {rhs}");
     }
+}
 
-    /// The binomial bound `C(n,k) ≤ 2^n` in log space.
-    #[test]
-    fn binomial_below_power_set(n in 1u64..1_000_000, k in 0u64..1_000_000) {
+/// The binomial bound `C(n,k) ≤ 2^n` in log space.
+#[test]
+fn binomial_below_power_set() {
+    let mut rng = SplitMix64::seed_from_u64(0xb10);
+    for _ in 0..48 {
+        let n = 1 + rng.next_below(999_999);
+        let k = rng.next_below(1_000_000);
         let v = math::ln_binomial(n, k);
-        prop_assert!(v <= n as f64 * std::f64::consts::LN_2 + 1e-6);
-        prop_assert!(v >= 0.0);
+        assert!(v <= n as f64 * std::f64::consts::LN_2 + 1e-6);
+        assert!(v >= 0.0);
     }
+}
 
-    /// Minimality of the counting round count: R rounds cover the target,
-    /// R−1 do not — for arbitrary machine shapes.
-    #[test]
-    fn counting_rounds_minimal(
-        mb in 2usize..64,
-        be in 1usize..6,
-        omega in 1u64..512,
-        n_exp in 8u32..22,
-    ) {
+/// Minimality of the counting round count: R rounds cover the target,
+/// R−1 do not — for arbitrary machine shapes.
+#[test]
+fn counting_rounds_minimal() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0de);
+    for _ in 0..48 {
+        let mb = 2 + rng.next_below_usize(62);
+        let be = 1 + rng.next_below_usize(5);
+        let omega = 1 + rng.next_below(511);
+        let n_exp = 8 + rng.next_below(14) as u32;
         let b = 1usize << be;
         let cfg = AemConfig::new(mb.max(2) * b, b, omega).unwrap();
         let cb = counting_rounds(1u64 << n_exp, cfg);
         if cb.rounds > 0 {
-            prop_assert!(cb.rounds as f64 * cb.per_round_ln >= cb.target_ln);
-            prop_assert!((cb.rounds - 1) as f64 * cb.per_round_ln < cb.target_ln);
+            assert!(cb.rounds as f64 * cb.per_round_ln >= cb.target_ln);
+            assert!((cb.rounds - 1) as f64 * cb.per_round_ln < cb.target_ln);
         } else {
-            prop_assert!(cb.target_ln <= 0.0);
+            assert!(cb.target_ln <= 0.0);
         }
     }
+}
 
-    /// The general-program bound never exceeds the naive algorithm's
-    /// worst-case cost for any parameters (a violated instance would
-    /// falsify the theorem).
-    #[test]
-    fn counting_bound_below_naive_everywhere(
-        mb in 2usize..32,
-        be in 1usize..6,
-        omega in 1u64..1024,
-        n_exp in 8u32..22,
-    ) {
+/// The general-program bound never exceeds the naive algorithm's
+/// worst-case cost for any parameters (a violated instance would
+/// falsify the theorem).
+#[test]
+fn counting_bound_below_naive_everywhere() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a1e);
+    for _ in 0..48 {
+        let mb = 2 + rng.next_below_usize(30);
+        let be = 1 + rng.next_below_usize(5);
+        let omega = 1 + rng.next_below(1023);
+        let n_exp = 8 + rng.next_below(14) as u32;
         let b = 1usize << be;
         let cfg = AemConfig::new(mb.max(2) * b, b, omega).unwrap();
         let n = 1u64 << n_exp;
         let lb = permute_cost_lower_bound(n, cfg);
         let naive = n as f64 + omega as f64 * n.div_ceil(b as u64) as f64;
-        prop_assert!(lb <= naive, "{cfg} N={n}: lb {lb} > naive {naive}");
+        assert!(lb <= naive, "{cfg} N={n}: lb {lb} > naive {naive}");
     }
+}
 
-    /// Theorem 5.1's numeric bound never exceeds the direct algorithm's
-    /// worst case `2H + (ω+1)n`, for any parameters.
-    #[test]
-    fn spmv_bound_below_direct_everywhere(
-        mb in 4usize..64,
-        be in 1usize..6,
-        omega in 1u64..256,
-        n_exp in 10u32..24,
-        delta in 1u64..64,
-    ) {
+/// Theorem 5.1's numeric bound never exceeds the direct algorithm's
+/// worst case `2H + (ω+1)n`, for any parameters.
+#[test]
+fn spmv_bound_below_direct_everywhere() {
+    let mut rng = SplitMix64::seed_from_u64(0x5b3c);
+    for _ in 0..48 {
+        let mb = 4 + rng.next_below_usize(60);
+        let be = 1 + rng.next_below_usize(5);
+        let omega = 1 + rng.next_below(255);
+        let n_exp = 10 + rng.next_below(14) as u32;
+        let delta = 1 + rng.next_below(63);
         let b = 1usize << be;
         let cfg = AemConfig::new(mb.max(2) * b, b, omega).unwrap();
         let n = 1u64 << n_exp;
         let h = (delta * n) as f64;
         let direct = 2.0 * h + (omega as f64 + 1.0) * n.div_ceil(b as u64) as f64;
         let lb = spmv::spmv_cost_lower_bound(n, delta, cfg);
-        prop_assert!(lb <= direct, "{cfg} N={n} δ={delta}: lb {lb} > direct {direct}");
+        assert!(
+            lb <= direct,
+            "{cfg} N={n} δ={delta}: lb {lb} > direct {direct}"
+        );
     }
+}
 
-    /// On random tiny instances, the exhaustive optimum sits between the
-    /// counting bound and both algorithms.
-    #[test]
-    fn exhaustive_optimum_is_sandwiched(seed in any::<u64>(), omega in 1u64..8) {
+/// On random tiny instances, the exhaustive optimum sits between the
+/// counting bound and both algorithms.
+#[test]
+fn exhaustive_optimum_is_sandwiched() {
+    let mut rng = SplitMix64::seed_from_u64(0x0b7);
+    for _ in 0..48 {
+        let seed = rng.next_u64();
+        let omega = 1 + rng.next_below(7);
         let cfg = AemConfig::new(4, 2, omega).unwrap();
         let n = 6usize;
         let pi = PermKind::Random { seed }.generate(n);
         let opt = optimal_permutation_cost(&pi, cfg, 2).expect("searchable");
         let lb = permute_cost_lower_bound(n as u64, cfg);
-        prop_assert!(opt as f64 >= lb);
+        assert!(opt as f64 >= lb);
         let values: Vec<u64> = (0..n as u64).collect();
         let naive = permute_naive(cfg, &values, &pi).unwrap().q();
-        prop_assert!(opt <= naive, "opt {opt} vs naive {naive}");
+        assert!(opt <= naive, "opt {opt} vs naive {naive}");
         // The sort-based permuter needs M >= 4B; compare where it runs.
         if cfg.memory >= 4 * cfg.block {
             let sort = permute_by_sort(cfg, &values, &pi).unwrap().q();
-            prop_assert!(opt <= sort, "opt {opt} vs sort {sort}");
+            assert!(opt <= sort, "opt {opt} vs sort {sort}");
         }
     }
 }

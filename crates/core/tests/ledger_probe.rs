@@ -29,32 +29,46 @@ fn pq_interleaved_ledger_balanced() {
             assert_eq!(got, want);
         }
         assert!(pq.is_empty());
-        assert_eq!(
-            mac.internal_used(),
-            0,
-            "pq leaked budget m={m} b={b} n={n}"
-        );
+        assert_eq!(mac.internal_used(), 0, "pq leaked budget m={m} b={b} n={n}");
     }
 }
 
 #[test]
 fn spmv_ledgers_balanced() {
-    for (n, delta, seed) in [(16usize, 1usize, 1u64), (32, 2, 2), (64, 4, 3), (48, 48, 4), (64, 16, 5)] {
+    for (n, delta, seed) in [
+        (16usize, 1usize, 1u64),
+        (32, 2, 2),
+        (64, 4, 3),
+        (48, 48, 4),
+        (64, 16, 5),
+    ] {
         let conf = Conformation::generate(MatrixShape::Random { seed }, n, delta);
         let a: Vec<U64Ring> = (0..conf.nnz()).map(|i| U64Ring(i as u64 % 19)).collect();
         let x: Vec<U64Ring> = (0..n).map(|j| U64Ring(j as u64 % 7)).collect();
-        let inst = SpmvInstance { conf: &conf, a_vals: &a, x: &x };
+        let inst = SpmvInstance {
+            conf: &conf,
+            a_vals: &a,
+            x: &x,
+        };
 
         let cfg = AemConfig::new(16, 4, 4).unwrap();
         let mut mac: Machine<MatEntry<U64Ring>> = Machine::new(cfg);
         let (ra, rx) = install_instance(&mut mac, &inst);
         spmv_sorted_on::<U64Ring, _>(&mut mac, &conf, ra, rx).unwrap();
-        assert_eq!(mac.internal_used(), 0, "spmv_sorted leaked n={n} delta={delta}");
+        assert_eq!(
+            mac.internal_used(),
+            0,
+            "spmv_sorted leaked n={n} delta={delta}"
+        );
 
         let mut mac2: Machine<MatEntry<U64Ring>> = Machine::new(cfg);
         let (ra, rx) = install_instance(&mut mac2, &inst);
         spmv_direct_on::<U64Ring, _>(&mut mac2, &conf, ra, rx).unwrap();
-        assert_eq!(mac2.internal_used(), 0, "spmv_direct leaked n={n} delta={delta}");
+        assert_eq!(
+            mac2.internal_used(),
+            0,
+            "spmv_direct leaked n={n} delta={delta}"
+        );
     }
 }
 
@@ -76,7 +90,12 @@ fn relational_group_aggregate_ledger() {
     use aem_core::relational::{group_aggregate, sort_merge_join, Tuple};
     let cfg = AemConfig::new(64, 8, 8).unwrap();
     let mut m: Machine<Tuple<u64>> = Machine::new(cfg);
-    let data: Vec<Tuple<u64>> = (0..301).map(|i| Tuple { key: i % 7, payload: 1 }).collect();
+    let data: Vec<Tuple<u64>> = (0..301)
+        .map(|i| Tuple {
+            key: i % 7,
+            payload: 1,
+        })
+        .collect();
     let r = m.install(&data);
     group_aggregate(&mut m, r, |acc: u64, x: &u64| acc + x).unwrap();
     assert_eq!(m.internal_used(), 0, "group_aggregate leaked");
@@ -84,7 +103,12 @@ fn relational_group_aggregate_ledger() {
     // join where one side exhausts early with resident blocks on the other
     let mut m2: Machine<Tuple<u64>> = Machine::new(cfg);
     let left: Vec<Tuple<u64>> = (0..5).map(|i| Tuple { key: i, payload: i }).collect();
-    let right: Vec<Tuple<u64>> = (0..200).map(|i| Tuple { key: i + 100, payload: i }).collect();
+    let right: Vec<Tuple<u64>> = (0..200)
+        .map(|i| Tuple {
+            key: i + 100,
+            payload: i,
+        })
+        .collect();
     let lr = m2.install(&left);
     let rr = m2.install(&right);
     sort_merge_join(&mut m2, lr, rr, |a: &u64, b: &u64| a + b).unwrap();

@@ -79,6 +79,19 @@ pub trait AemAccess<T> {
 
     /// Cost snapshot (shared across data and auxiliary I/O).
     fn cost(&self) -> Cost;
+
+    /// Enter a named phase ("merge-pass-2", "base-runs", …). Algorithms call
+    /// this to label the I/O that follows; the plain machine ignores it, and
+    /// observability wrappers (e.g. `aem-obs`'s `InstrumentedMachine`)
+    /// attribute cost to the resulting nested span. Phases nest: each
+    /// `phase_enter` must be balanced by one [`AemAccess::phase_exit`].
+    fn phase_enter(&mut self, name: &str) {
+        let _ = name;
+    }
+
+    /// Leave the innermost phase entered via [`AemAccess::phase_enter`].
+    /// A no-op on machines that do not track phases.
+    fn phase_exit(&mut self) {}
 }
 
 impl<T, M: AemAccess<T> + ?Sized> AemAccess<T> for &mut M {
@@ -117,6 +130,12 @@ impl<T, M: AemAccess<T> + ?Sized> AemAccess<T> for &mut M {
     }
     fn cost(&self) -> Cost {
         (**self).cost()
+    }
+    fn phase_enter(&mut self, name: &str) {
+        (**self).phase_enter(name)
+    }
+    fn phase_exit(&mut self) {
+        (**self).phase_exit()
     }
 }
 

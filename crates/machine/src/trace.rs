@@ -78,7 +78,7 @@ impl IoEvent {
 
 /// A straight-line I/O program: the sequence of I/Os one algorithm execution
 /// performed, in order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<IoEvent>,
 }
@@ -134,6 +134,7 @@ impl Trace {
     pub fn stats(&self) -> TraceStats {
         use std::collections::HashMap;
         let mut per_block_reads: HashMap<(bool, usize), u64> = HashMap::new();
+        let mut per_block_writes: HashMap<(bool, usize), u64> = HashMap::new();
         let mut s = TraceStats::default();
         for ev in &self.events {
             match ev {
@@ -145,17 +146,22 @@ impl Trace {
                     }
                     *per_block_reads.entry((*aux, block.index())).or_insert(0) += 1;
                 }
-                IoEvent::Write { aux, .. } => {
+                IoEvent::Write { block, aux, .. } => {
                     if *aux {
                         s.aux_writes += 1;
                     } else {
                         s.data_writes += 1;
                     }
+                    *per_block_writes.entry((*aux, block.index())).or_insert(0) += 1;
                 }
             }
         }
         s.distinct_blocks_read = per_block_reads.len() as u64;
         s.max_rereads = per_block_reads.values().copied().max().unwrap_or(0);
+        s.distinct_blocks_written = per_block_writes.len() as u64;
+        // A block's first write initializes it; only writes beyond the first
+        // are *rewrites* — the quantity §3 bounds for pointer blocks.
+        s.max_rewrites = per_block_writes.values().map(|&w| w - 1).max().unwrap_or(0);
         s.volume = self.volume();
         s
     }
@@ -176,6 +182,13 @@ pub struct TraceStats {
     pub distinct_blocks_read: u64,
     /// Maximum number of times any single block was read (re-read factor).
     pub max_rereads: u64,
+    /// Number of distinct blocks written at least once.
+    pub distinct_blocks_written: u64,
+    /// Maximum number of times any single block was written *beyond its
+    /// first write* (re-write factor). The §3 pointer-maintenance invariant
+    /// — "each run's pointer block is rewritten at most once per consumed
+    /// data block" — is a statement about this quantity, not about reads.
+    pub max_rewrites: u64,
     /// Total elements transferred.
     pub volume: u64,
 }
@@ -271,6 +284,8 @@ mod tests {
         assert_eq!(s.aux_reads, 0);
         assert_eq!(s.distinct_blocks_read, 2);
         assert_eq!(s.max_rereads, 1);
+        assert_eq!(s.distinct_blocks_written, 2);
+        assert_eq!(s.max_rewrites, 0);
         assert_eq!(s.volume, 24);
         assert!((s.aux_fraction() - 0.25).abs() < 1e-12);
     }
@@ -288,6 +303,51 @@ mod tests {
         let s = t.stats();
         assert_eq!(s.distinct_blocks_read, 1);
         assert_eq!(s.max_rereads, 3);
+    }
+
+    #[test]
+    fn stats_count_rewrites() {
+        // Three writes to block 7 = two rewrites; one write to block 8 = none.
+        let mut t = Trace::new();
+        for _ in 0..3 {
+            t.push(IoEvent::Write {
+                block: BlockId(7),
+                len: 4,
+                aux: false,
+            });
+        }
+        t.push(IoEvent::Write {
+            block: BlockId(8),
+            len: 4,
+            aux: false,
+        });
+        let s = t.stats();
+        assert_eq!(s.distinct_blocks_written, 2);
+        assert_eq!(s.max_rewrites, 2);
+        assert_eq!(s.data_writes, 4);
+    }
+
+    #[test]
+    fn aux_and_data_blocks_are_distinct_write_keys() {
+        // Same index, different address spaces: two distinct blocks, and a
+        // second write to each address space's block is one rewrite.
+        let mut t = Trace::new();
+        for aux in [false, true] {
+            t.push(IoEvent::Write {
+                block: BlockId(3),
+                len: 1,
+                aux,
+            });
+        }
+        assert_eq!(t.stats().distinct_blocks_written, 2);
+        assert_eq!(t.stats().max_rewrites, 0);
+        t.push(IoEvent::Write {
+            block: BlockId(3),
+            len: 1,
+            aux: true,
+        });
+        assert_eq!(t.stats().distinct_blocks_written, 2);
+        assert_eq!(t.stats().max_rewrites, 1);
     }
 
     #[test]

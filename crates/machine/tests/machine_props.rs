@@ -2,9 +2,13 @@
 //! sequences: whatever a (well- or ill-behaved) client does, the simulator
 //! either performs a legal model step or rejects it — and its bookkeeping
 //! never drifts.
+//!
+//! Randomness is driven by the workspace's seeded [`SplitMix64`] generator:
+//! each property runs a fixed number of deterministic cases, so failures
+//! reproduce exactly without an external shrinker.
 
 use aem_machine::{AemAccess, AemConfig, AtomId, AtomMachine, BlockId, Machine};
-use proptest::prelude::*;
+use aem_workloads::SplitMix64;
 
 /// A random client action against the copy-semantics machine.
 #[derive(Debug, Clone)]
@@ -15,31 +19,31 @@ enum Action {
     Reserve(usize),
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0usize..16).prop_map(Action::Read),
-        ((0usize..10), (0usize..16)).prop_map(|(k, b)| Action::WriteHeld(k, b)),
-        (0usize..10).prop_map(Action::Discard),
-        (0usize..10).prop_map(Action::Reserve),
-    ]
+fn random_action(rng: &mut SplitMix64) -> Action {
+    match rng.next_below(4) {
+        0 => Action::Read(rng.next_below_usize(16)),
+        1 => Action::WriteHeld(rng.next_below_usize(10), rng.next_below_usize(16)),
+        2 => Action::Discard(rng.next_below_usize(10)),
+        _ => Action::Reserve(rng.next_below_usize(10)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The ledger equals the sum of successful charges minus releases, and
-    /// never exceeds M — no sequence of (possibly failing) operations can
-    /// corrupt it.
-    #[test]
-    fn ledger_never_drifts(actions in proptest::collection::vec(arb_action(), 0..120)) {
+/// The ledger equals the sum of successful charges minus releases, and
+/// never exceeds M — no sequence of (possibly failing) operations can
+/// corrupt it.
+#[test]
+fn ledger_never_drifts() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x1ed6e5 + case);
+        let n_actions = rng.next_below_usize(120);
         let cfg = AemConfig::new(24, 4, 3).unwrap();
         let mut m: Machine<u32> = Machine::new(cfg);
         let region = m.install(&(0..64u32).collect::<Vec<_>>());
         let mut expected: usize = 0; // our shadow ledger
-        let mut held: usize = 0;     // elements conceptually held by client
+        let mut held: usize = 0; // elements conceptually held by client
 
-        for a in actions {
-            match a {
+        for _ in 0..n_actions {
+            match random_action(&mut rng) {
                 Action::Read(i) => {
                     let id = region.block(i % region.blocks);
                     if let Ok(data) = m.read_block(id) {
@@ -68,30 +72,34 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(m.internal_used(), expected);
-            prop_assert!(m.internal_used() <= cfg.memory);
+            assert_eq!(m.internal_used(), expected, "case {case}");
+            assert!(m.internal_used() <= cfg.memory, "case {case}");
         }
     }
+}
 
-    /// Atom conservation: no sequence of legal atom-machine operations can
-    /// create or destroy atoms — the union of external and internal atoms
-    /// is always exactly the input set.
-    #[test]
-    fn atoms_are_conserved(
-        ops in proptest::collection::vec((0usize..8, 0u64..32, any::<bool>()), 0..80),
-    ) {
+/// Atom conservation: no sequence of legal atom-machine operations can
+/// create or destroy atoms — the union of external and internal atoms
+/// is always exactly the input set.
+#[test]
+fn atoms_are_conserved() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xa70f5 + case);
+        let n_ops = rng.next_below_usize(80);
         let cfg = AemConfig::new(16, 4, 2).unwrap();
         let mut m = AtomMachine::new(cfg);
         let region = m.install_atoms(32);
         let extra: Vec<BlockId> = (0..4).map(|_| m.alloc_block()).collect();
 
-        for (blk, atom, write) in ops {
+        for _ in 0..n_ops {
+            let blk = rng.next_below_usize(8);
+            let atom = rng.next_below(32);
+            let write = rng.next_bool();
             if write {
                 // Try to write some currently-internal atoms out.
                 let resident = m.internal_atoms();
                 if !resident.is_empty() {
-                    let take: Vec<AtomId> =
-                        resident.into_iter().take(cfg.block).collect();
+                    let take: Vec<AtomId> = resident.into_iter().take(cfg.block).collect();
                     let target = extra[blk % extra.len()];
                     let _ = m.write(target, take);
                 }
@@ -107,41 +115,55 @@ proptest! {
             }
             all.sort_unstable();
             let want: Vec<AtomId> = (0..32).map(AtomId).collect();
-            prop_assert_eq!(all, want, "atoms created or destroyed");
+            assert_eq!(all, want, "case {case}: atoms created or destroyed");
         }
     }
+}
 
-    /// Round decomposition invariants hold for arbitrary traces.
-    #[test]
-    fn round_decompose_invariants(
-        ops in proptest::collection::vec((any::<bool>(), 0usize..32), 0..200),
-        omega in 1u64..32,
-    ) {
-        use aem_machine::rounds::round_decompose;
-        use aem_machine::{IoEvent, Trace};
+/// Round decomposition invariants hold for arbitrary traces.
+#[test]
+fn round_decompose_invariants() {
+    use aem_machine::rounds::round_decompose;
+    use aem_machine::{IoEvent, Trace};
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x60bd5 + case);
+        let n_ops = rng.next_below_usize(200);
+        let omega = 1 + rng.next_below(31);
         let cfg = AemConfig::new(32, 4, omega).unwrap();
         let mut t = Trace::new();
-        for (w, b) in ops {
-            if w {
-                t.push(IoEvent::Write { block: BlockId(b), len: 4, aux: false });
+        for _ in 0..n_ops {
+            let b = rng.next_below_usize(32);
+            if rng.next_bool() {
+                t.push(IoEvent::Write {
+                    block: BlockId(b),
+                    len: 4,
+                    aux: false,
+                });
             } else {
-                t.push(IoEvent::Read { block: BlockId(b), len: 4, aux: false });
+                t.push(IoEvent::Read {
+                    block: BlockId(b),
+                    len: 4,
+                    aux: false,
+                });
             }
         }
         let rounds = round_decompose(&t, cfg);
         // Partition, budget, and minimum-cost invariants.
         let mut next = 0usize;
         for (i, r) in rounds.iter().enumerate() {
-            prop_assert_eq!(r.start, next);
+            assert_eq!(r.start, next, "case {case}");
             next = r.end;
-            prop_assert!(r.cost <= cfg.round_budget());
+            assert!(r.cost <= cfg.round_budget(), "case {case}");
             if i + 1 < rounds.len() {
-                prop_assert!(r.cost > cfg.round_budget().saturating_sub(omega));
+                assert!(
+                    r.cost > cfg.round_budget().saturating_sub(omega),
+                    "case {case}"
+                );
             }
         }
-        prop_assert_eq!(next, t.len());
+        assert_eq!(next, t.len(), "case {case}");
         // Cost is preserved by the decomposition.
         let total: u64 = rounds.iter().map(|r| r.cost).sum();
-        prop_assert_eq!(total, t.cost().q(omega));
+        assert_eq!(total, t.cost().q(omega), "case {case}");
     }
 }

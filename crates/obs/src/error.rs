@@ -1,0 +1,47 @@
+//! Error type for JSONL parsing and record validation.
+
+use std::fmt;
+
+/// An error produced while parsing or validating a serialized run record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsError {
+    /// A syntax error in a JSON document.
+    Parse {
+        /// Byte offset where parsing failed.
+        offset: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The JSON parsed, but its shape does not match the expected record
+    /// format (missing field, wrong type, unknown record kind, …).
+    Format(String),
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Parse { offset, msg } => {
+                write!(f, "JSON parse error at byte {offset}: {msg}")
+            }
+            ObsError::Format(msg) => write!(f, "record format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_usefully() {
+        let p = ObsError::Parse {
+            offset: 7,
+            msg: "expected ','".into(),
+        };
+        assert!(p.to_string().contains("byte 7"));
+        let m = ObsError::Format("missing field 'omega'".into());
+        assert!(m.to_string().contains("omega"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # `aem-obs` — the observability layer
+//!
+//! Everything needed to *watch* an AEM algorithm run: wrap a machine in an
+//! [`InstrumentedMachine`], execute any `aem-core` algorithm against it, and
+//! get back a [`RunRecord`] containing the full I/O trace, per-event
+//! internal-memory occupancy, a phase-attributed cost tree, and a metrics
+//! registry — all serializable to a line-oriented JSONL format and checkable
+//! against the paper's invariants.
+//!
+//! The crate has four layers, each usable on its own:
+//!
+//! * **Collection** — [`InstrumentedMachine`] interposes on every
+//!   [`aem_machine::AemAccess`] operation; algorithms annotate structure
+//!   through the `phase_enter`/`phase_exit` hooks (or
+//!   [`InstrumentedMachine::enter`]/[`exit`](InstrumentedMachine::exit)
+//!   directly), and external consumers can attach [`Observer`]s.
+//! * **Aggregation** — [`Metrics`] (counters, high-water [`Gauge`]s,
+//!   fixed-bucket [`Histogram`]s) and the [`PhaseNode`] tree built by the
+//!   span stack, with inclusive cost attribution via the
+//!   [`aem_machine::Cost::since`] snapshot-difference pattern.
+//! * **Interchange** — [`RunRecord::to_jsonl`] / [`RunRecord::from_jsonl`],
+//!   a hand-rolled, dependency-free JSON Lines codec (module [`json`])
+//!   whose round-trip is exact, plus text and markdown renderers
+//!   ([`render_text`], [`render_markdown`]).
+//! * **Verification** — the paper-invariant checkers (module [`check`]):
+//!   §3's pointer-rewrite discipline, Lemma 4.1's round structure, and the
+//!   Theorem 4.5 / Theorem 3.2 cost sandwich.
+//!
+//! Dependency direction: `aem-core` never depends on this crate — its
+//! algorithms only call the no-op phase hooks on `AemAccess`. The CLI, the
+//! benches and the integration tests wrap machines in instrumentation when
+//! they want the data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod error;
+pub mod instrument;
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod phase;
+pub mod record;
+pub mod report;
+
+pub use check::{
+    check_cost_sandwich, check_pointer_rewrites, check_round_structure, run_all, CheckResult,
+};
+pub use error::ObsError;
+pub use instrument::InstrumentedMachine;
+pub use metrics::{Gauge, Histogram, Metrics};
+pub use observer::Observer;
+pub use phase::{node_depth, PhaseNode, PhaseStack};
+pub use record::{RunRecord, WorkloadMeta, FORMAT_VERSION};
+pub use report::{render_markdown, render_text};

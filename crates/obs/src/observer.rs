@@ -1,0 +1,94 @@
+//! The [`Observer`] callback trait.
+//!
+//! Observers are attached to an [`crate::InstrumentedMachine`] and receive a
+//! callback for every I/O operation and phase transition. The machine's own
+//! bookkeeping (trace, metrics, phase tree) does not go through this trait —
+//! observers are for *additional* consumers: live progress printers,
+//! streaming exporters, ad-hoc assertion hooks in tests.
+
+use aem_machine::IoEvent;
+
+/// Receives a callback for every operation an instrumented machine performs.
+///
+/// All methods have no-op defaults so implementors override only what they
+/// need.
+pub trait Observer {
+    /// Called after every I/O, with the recorded event and the
+    /// internal-memory occupancy (elements) *after* the operation.
+    fn on_io(&mut self, ev: &IoEvent, internal_used: usize) {
+        let _ = (ev, internal_used);
+    }
+
+    /// Called when a phase span opens. `depth` is the nesting depth of the
+    /// new span (0 for a top-level phase).
+    fn on_phase_enter(&mut self, name: &str, depth: usize) {
+        let _ = (name, depth);
+    }
+
+    /// Called when the innermost phase span closes.
+    fn on_phase_exit(&mut self, name: &str, depth: usize) {
+        let _ = (name, depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aem_machine::BlockId;
+
+    struct CountingObserver {
+        ios: usize,
+        enters: usize,
+        exits: usize,
+    }
+
+    impl Observer for CountingObserver {
+        fn on_io(&mut self, _ev: &IoEvent, _iu: usize) {
+            self.ios += 1;
+        }
+        fn on_phase_enter(&mut self, _name: &str, _depth: usize) {
+            self.enters += 1;
+        }
+        fn on_phase_exit(&mut self, _name: &str, _depth: usize) {
+            self.exits += 1;
+        }
+    }
+
+    struct DefaultObserver;
+    impl Observer for DefaultObserver {}
+
+    #[test]
+    fn default_methods_are_no_ops() {
+        let mut o = DefaultObserver;
+        o.on_io(
+            &IoEvent::Read {
+                block: BlockId(0),
+                len: 1,
+                aux: false,
+            },
+            1,
+        );
+        o.on_phase_enter("x", 0);
+        o.on_phase_exit("x", 0);
+    }
+
+    #[test]
+    fn overridden_methods_receive_calls() {
+        let mut o = CountingObserver {
+            ios: 0,
+            enters: 0,
+            exits: 0,
+        };
+        o.on_phase_enter("p", 0);
+        o.on_io(
+            &IoEvent::Write {
+                block: BlockId(1),
+                len: 4,
+                aux: true,
+            },
+            0,
+        );
+        o.on_phase_exit("p", 0);
+        assert_eq!((o.ios, o.enters, o.exits), (1, 1, 1));
+    }
+}

@@ -1,0 +1,483 @@
+//! The serializable run record and its JSONL wire format.
+//!
+//! A [`RunRecord`] captures everything one instrumented algorithm execution
+//! produced: machine configuration, workload identity, the full I/O trace
+//! with per-event internal-memory occupancy, the phase tree and the metrics
+//! registry. It serializes to JSON Lines — one self-describing JSON object
+//! per line, discriminated by a `"t"` field — so records can be streamed,
+//! grepped and diffed without a JSON library on the consuming side:
+//!
+//! ```text
+//! {"t":"meta","version":1,"memory":64,"block":8,"omega":16,"kind":"sort",...}
+//! {"t":"ev","op":"r","blk":0,"len":8,"aux":false,"iu":8}
+//! {"t":"phase","id":0,"parent":null,"name":"base-runs","reads":12,...}
+//! {"t":"ctr","name":"io.reads","value":42}
+//! {"t":"gauge","name":"mem.internal_used","value":0,"high_water":64}
+//! {"t":"hist","name":"block.occupancy.read","bounds":[2,4,6,8],...}
+//! ```
+
+use aem_machine::{AemConfig, BlockId, Cost, IoEvent, Trace};
+
+use crate::error::ObsError;
+use crate::json::{obj, parse, Json};
+use crate::metrics::{Gauge, Histogram, Metrics};
+use crate::phase::PhaseNode;
+
+/// Version of the JSONL format; bumped on incompatible changes.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Identity of the workload an instrumented run executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadMeta {
+    /// Workload family: `"sort"`, `"permute"`, `"spmv"`, ….
+    pub kind: String,
+    /// Algorithm within the family: `"aem"`, `"em"`, `"by_sort"`, ….
+    pub algo: String,
+    /// Problem size (elements, or rows for SpMxV).
+    pub n: u64,
+    /// Row density δ for SpMxV; `0` when not applicable.
+    pub delta: u64,
+}
+
+impl WorkloadMeta {
+    /// A workload without a δ parameter.
+    pub fn new(kind: &str, algo: &str, n: u64) -> Self {
+        Self {
+            kind: kind.to_string(),
+            algo: algo.to_string(),
+            n,
+            delta: 0,
+        }
+    }
+
+    /// A workload with a δ parameter (SpMxV).
+    pub fn with_delta(kind: &str, algo: &str, n: u64, delta: u64) -> Self {
+        Self {
+            delta,
+            ..Self::new(kind, algo, n)
+        }
+    }
+}
+
+/// Everything one instrumented run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Machine configuration the run used.
+    pub config: AemConfig,
+    /// What was executed.
+    pub workload: WorkloadMeta,
+    /// The recorded I/O program.
+    pub trace: Trace,
+    /// Internal-memory occupancy (elements) after each event;
+    /// `occupancy[i]` corresponds to `trace.events()[i]`.
+    pub occupancy: Vec<u64>,
+    /// Internal-memory occupancy when the run finished (should be `0` for a
+    /// well-behaved algorithm — Lemma 4.1's round conversion assumes it).
+    pub final_internal_used: u64,
+    /// The phase tree, parents before children.
+    pub phases: Vec<PhaseNode>,
+    /// Counters, gauges and histograms.
+    pub metrics: Metrics,
+}
+
+impl RunRecord {
+    /// Total cost of the recorded program in the `Q = Q_r + ω·Q_w` metric.
+    pub fn q(&self) -> u64 {
+        self.trace.cost().q(self.config.omega)
+    }
+
+    /// Serialize to JSON Lines (one object per line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let meta = obj(vec![
+            ("t", Json::Str("meta".into())),
+            ("version", Json::UInt(FORMAT_VERSION)),
+            ("memory", Json::UInt(self.config.memory as u64)),
+            ("block", Json::UInt(self.config.block as u64)),
+            ("omega", Json::UInt(self.config.omega)),
+            ("kind", Json::Str(self.workload.kind.clone())),
+            ("algo", Json::Str(self.workload.algo.clone())),
+            ("n", Json::UInt(self.workload.n)),
+            ("delta", Json::UInt(self.workload.delta)),
+            ("final_iu", Json::UInt(self.final_internal_used)),
+        ]);
+        out.push_str(&meta.to_string_compact());
+        out.push('\n');
+
+        for (i, ev) in self.trace.events().iter().enumerate() {
+            let iu = self.occupancy.get(i).copied().unwrap_or(0);
+            let (op, block, len, aux) = match *ev {
+                IoEvent::Read { block, len, aux } => ("r", block, len, aux),
+                IoEvent::Write { block, len, aux } => ("w", block, len, aux),
+            };
+            let line = obj(vec![
+                ("t", Json::Str("ev".into())),
+                ("op", Json::Str(op.into())),
+                ("blk", Json::UInt(block.index() as u64)),
+                ("len", Json::UInt(len as u64)),
+                ("aux", Json::Bool(aux)),
+                ("iu", Json::UInt(iu)),
+            ]);
+            out.push_str(&line.to_string_compact());
+            out.push('\n');
+        }
+
+        for (id, p) in self.phases.iter().enumerate() {
+            let parent = match p.parent {
+                Some(idx) => Json::UInt(idx as u64),
+                None => Json::Null,
+            };
+            let line = obj(vec![
+                ("t", Json::Str("phase".into())),
+                ("id", Json::UInt(id as u64)),
+                ("parent", parent),
+                ("name", Json::Str(p.name.clone())),
+                ("reads", Json::UInt(p.cost.reads)),
+                ("writes", Json::UInt(p.cost.writes)),
+                ("volume", Json::UInt(p.volume)),
+                ("aux_reads", Json::UInt(p.aux_reads)),
+                ("aux_writes", Json::UInt(p.aux_writes)),
+                ("events", Json::UInt(p.events)),
+                ("high_water", Json::UInt(p.high_water)),
+            ]);
+            out.push_str(&line.to_string_compact());
+            out.push('\n');
+        }
+
+        for (name, value) in self.metrics.counters() {
+            let line = obj(vec![
+                ("t", Json::Str("ctr".into())),
+                ("name", Json::Str(name.into())),
+                ("value", Json::UInt(value)),
+            ]);
+            out.push_str(&line.to_string_compact());
+            out.push('\n');
+        }
+        for (name, g) in self.metrics.gauges() {
+            let line = obj(vec![
+                ("t", Json::Str("gauge".into())),
+                ("name", Json::Str(name.into())),
+                ("value", Json::UInt(g.value)),
+                ("high_water", Json::UInt(g.high_water)),
+            ]);
+            out.push_str(&line.to_string_compact());
+            out.push('\n');
+        }
+        for (name, h) in self.metrics.histograms() {
+            let line = obj(vec![
+                ("t", Json::Str("hist".into())),
+                ("name", Json::Str(name.into())),
+                (
+                    "bounds",
+                    Json::Arr(h.bounds.iter().map(|&b| Json::UInt(b)).collect()),
+                ),
+                (
+                    "counts",
+                    Json::Arr(h.counts.iter().map(|&c| Json::UInt(c)).collect()),
+                ),
+                ("count", Json::UInt(h.count)),
+                ("sum", Json::UInt(h.sum)),
+                ("max", Json::UInt(h.max)),
+            ]);
+            out.push_str(&line.to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a record back from its JSONL form.
+    pub fn from_jsonl(text: &str) -> Result<Self, ObsError> {
+        let mut meta: Option<(AemConfig, WorkloadMeta, u64)> = None;
+        let mut trace = Trace::new();
+        let mut occupancy = Vec::new();
+        let mut phases: Vec<(u64, PhaseNode)> = Vec::new();
+        let mut metrics = Metrics::new();
+
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = parse(line)?;
+            let tag = req_str(&v, "t")?;
+            match tag {
+                "meta" => {
+                    let version = req_u64(&v, "version")?;
+                    if version != FORMAT_VERSION {
+                        return Err(ObsError::Format(format!(
+                            "unsupported format version {version} (expected {FORMAT_VERSION})"
+                        )));
+                    }
+                    let cfg = AemConfig::new(
+                        req_u64(&v, "memory")? as usize,
+                        req_u64(&v, "block")? as usize,
+                        req_u64(&v, "omega")?,
+                    )
+                    .map_err(|e| ObsError::Format(format!("invalid config in meta: {e}")))?;
+                    let wl = WorkloadMeta {
+                        kind: req_str(&v, "kind")?.to_string(),
+                        algo: req_str(&v, "algo")?.to_string(),
+                        n: req_u64(&v, "n")?,
+                        delta: req_u64(&v, "delta")?,
+                    };
+                    let final_iu = req_u64(&v, "final_iu")?;
+                    meta = Some((cfg, wl, final_iu));
+                }
+                "ev" => {
+                    let block = BlockId(req_u64(&v, "blk")? as usize);
+                    let len = req_u64(&v, "len")? as usize;
+                    let aux = req_bool(&v, "aux")?;
+                    let ev = match req_str(&v, "op")? {
+                        "r" => IoEvent::Read { block, len, aux },
+                        "w" => IoEvent::Write { block, len, aux },
+                        other => return Err(ObsError::Format(format!("unknown op {other:?}"))),
+                    };
+                    trace.push(ev);
+                    occupancy.push(req_u64(&v, "iu")?);
+                }
+                "phase" => {
+                    let id = req_u64(&v, "id")?;
+                    let parent = match v.get("parent") {
+                        Some(Json::Null) => None,
+                        Some(p) => Some(p.as_u64().ok_or_else(|| {
+                            ObsError::Format("phase parent must be null or uint".into())
+                        })? as usize),
+                        None => return Err(ObsError::Format("phase missing parent".into())),
+                    };
+                    phases.push((
+                        id,
+                        PhaseNode {
+                            name: req_str(&v, "name")?.to_string(),
+                            parent,
+                            cost: Cost::new(req_u64(&v, "reads")?, req_u64(&v, "writes")?),
+                            volume: req_u64(&v, "volume")?,
+                            aux_reads: req_u64(&v, "aux_reads")?,
+                            aux_writes: req_u64(&v, "aux_writes")?,
+                            events: req_u64(&v, "events")?,
+                            high_water: req_u64(&v, "high_water")?,
+                        },
+                    ));
+                }
+                "ctr" => {
+                    metrics.add(req_str(&v, "name")?, req_u64(&v, "value")?);
+                }
+                "gauge" => {
+                    metrics.insert_gauge(
+                        req_str(&v, "name")?,
+                        Gauge {
+                            value: req_u64(&v, "value")?,
+                            high_water: req_u64(&v, "high_water")?,
+                        },
+                    );
+                }
+                "hist" => {
+                    let bounds = req_u64_array(&v, "bounds")?;
+                    let counts = req_u64_array(&v, "counts")?;
+                    if counts.len() != bounds.len() + 1 {
+                        return Err(ObsError::Format(format!(
+                            "histogram {:?}: {} counts for {} bounds",
+                            req_str(&v, "name")?,
+                            counts.len(),
+                            bounds.len()
+                        )));
+                    }
+                    metrics.insert_histogram(
+                        req_str(&v, "name")?,
+                        Histogram {
+                            bounds,
+                            counts,
+                            count: req_u64(&v, "count")?,
+                            sum: req_u64(&v, "sum")?,
+                            max: req_u64(&v, "max")?,
+                        },
+                    );
+                }
+                other => return Err(ObsError::Format(format!("unknown record type {other:?}"))),
+            }
+        }
+
+        let (config, workload, final_internal_used) =
+            meta.ok_or_else(|| ObsError::Format("no meta line in record".into()))?;
+        phases.sort_by_key(|(id, _)| *id);
+        for (want, (id, _)) in phases.iter().enumerate() {
+            if *id != want as u64 {
+                return Err(ObsError::Format(format!(
+                    "phase ids are not contiguous: expected {want}, found {id}"
+                )));
+            }
+        }
+        Ok(Self {
+            config,
+            workload,
+            trace,
+            occupancy,
+            final_internal_used,
+            phases: phases.into_iter().map(|(_, p)| p).collect(),
+            metrics,
+        })
+    }
+}
+
+fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, ObsError> {
+    v.get(key)
+        .ok_or_else(|| ObsError::Format(format!("missing field {key:?}")))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, ObsError> {
+    req(v, key)?
+        .as_u64()
+        .ok_or_else(|| ObsError::Format(format!("field {key:?} must be a non-negative integer")))
+}
+
+fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, ObsError> {
+    req(v, key)?
+        .as_str()
+        .ok_or_else(|| ObsError::Format(format!("field {key:?} must be a string")))
+}
+
+fn req_bool(v: &Json, key: &str) -> Result<bool, ObsError> {
+    req(v, key)?
+        .as_bool()
+        .ok_or_else(|| ObsError::Format(format!("field {key:?} must be a boolean")))
+}
+
+fn req_u64_array(v: &Json, key: &str) -> Result<Vec<u64>, ObsError> {
+    req(v, key)?
+        .as_array()
+        .ok_or_else(|| ObsError::Format(format!("field {key:?} must be an array")))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| ObsError::Format(format!("field {key:?} must hold integers")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> RunRecord {
+        let cfg = AemConfig::new(16, 4, 8).unwrap();
+        let mut trace = Trace::new();
+        trace.push(IoEvent::Read {
+            block: BlockId(0),
+            len: 4,
+            aux: false,
+        });
+        trace.push(IoEvent::Write {
+            block: BlockId(1),
+            len: 4,
+            aux: true,
+        });
+        let mut metrics = Metrics::new();
+        metrics.add("io.reads", 1);
+        metrics.gauge_set("mem.internal_used", 4);
+        metrics.gauge_set("mem.internal_used", 0);
+        metrics.histogram_with_bounds("block.occupancy.read", vec![1, 2, 4]);
+        metrics.observe("block.occupancy.read", 4);
+        RunRecord {
+            config: cfg,
+            workload: WorkloadMeta::with_delta("spmv", "sorted", 64, 3),
+            trace,
+            occupancy: vec![4, 0],
+            final_internal_used: 0,
+            phases: vec![
+                PhaseNode {
+                    name: "outer".into(),
+                    parent: None,
+                    cost: Cost::new(1, 1),
+                    volume: 8,
+                    aux_reads: 0,
+                    aux_writes: 1,
+                    events: 2,
+                    high_water: 4,
+                },
+                PhaseNode {
+                    name: "inner".into(),
+                    parent: Some(0),
+                    cost: Cost::new(0, 1),
+                    volume: 4,
+                    aux_reads: 0,
+                    aux_writes: 1,
+                    events: 1,
+                    high_water: 4,
+                },
+            ],
+            metrics,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_exact() {
+        let rec = sample_record();
+        let text = rec.to_jsonl();
+        let back = RunRecord::from_jsonl(&text).unwrap();
+        assert_eq!(back, rec);
+        // And serialization is deterministic.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn q_uses_omega() {
+        let rec = sample_record();
+        assert_eq!(rec.q(), 1 + 8);
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let rec = sample_record();
+        let text = format!("\n{}\n\n", rec.to_jsonl());
+        assert_eq!(RunRecord::from_jsonl(&text).unwrap(), rec);
+    }
+
+    #[test]
+    fn missing_meta_is_an_error() {
+        let err = RunRecord::from_jsonl("").unwrap_err();
+        assert!(matches!(err, ObsError::Format(_)));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let text = sample_record()
+            .to_jsonl()
+            .replace("\"version\":1", "\"version\":99");
+        assert!(RunRecord::from_jsonl(&text).is_err());
+    }
+
+    #[test]
+    fn unknown_record_type_is_rejected() {
+        let mut text = sample_record().to_jsonl();
+        text.push_str("{\"t\":\"mystery\"}\n");
+        assert!(RunRecord::from_jsonl(&text).is_err());
+    }
+
+    #[test]
+    fn malformed_fields_are_rejected() {
+        for bad in [
+            "{\"t\":\"ev\",\"op\":\"x\",\"blk\":0,\"len\":0,\"aux\":false,\"iu\":0}",
+            "{\"t\":\"ev\",\"op\":\"r\",\"len\":0,\"aux\":false,\"iu\":0}",
+            "{\"t\":\"hist\",\"name\":\"h\",\"bounds\":[1],\"counts\":[1],\"count\":1,\"sum\":1,\"max\":1}",
+        ] {
+            let text = format!("{}{bad}\n", sample_record().to_jsonl());
+            assert!(RunRecord::from_jsonl(&text).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn phase_lines_may_arrive_out_of_order() {
+        let rec = sample_record();
+        let text = rec.to_jsonl();
+        let mut lines: Vec<&str> = text.lines().collect();
+        // Swap the two phase lines.
+        let phase_idx: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains("\"t\":\"phase\""))
+            .map(|(i, _)| i)
+            .collect();
+        lines.swap(phase_idx[0], phase_idx[1]);
+        let back = RunRecord::from_jsonl(&lines.join("\n")).unwrap();
+        assert_eq!(back, rec);
+    }
+}

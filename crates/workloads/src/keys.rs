@@ -4,8 +4,7 @@
 //! *worst-case* I/O cost, but measured costs still vary with duplicates and
 //! presortedness; the distributions here cover the usual corners.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Key distributions for sorting inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,15 +47,15 @@ impl KeyDist {
     pub fn generate(self, n: usize) -> Vec<u64> {
         match self {
             KeyDist::Uniform { seed } => {
-                let mut rng = SmallRng::seed_from_u64(seed);
-                (0..n).map(|_| rng.random()).collect()
+                let mut rng = SplitMix64::seed_from_u64(seed);
+                (0..n).map(|_| rng.next_u64()).collect()
             }
             KeyDist::Sorted => (0..n as u64).collect(),
             KeyDist::Reversed => (0..n as u64).rev().collect(),
             KeyDist::FewDistinct { distinct, seed } => {
-                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut rng = SplitMix64::seed_from_u64(seed);
                 let d = distinct.max(1);
-                (0..n).map(|_| rng.random_range(0..d)).collect()
+                (0..n).map(|_| rng.next_below(d)).collect()
             }
             KeyDist::OrganPipe => {
                 let half = n / 2;
@@ -79,10 +78,10 @@ impl KeyDist {
                     cdf.push(acc);
                 }
                 let total = acc;
-                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut rng = SplitMix64::seed_from_u64(seed);
                 (0..n)
                     .map(|_| {
-                        let u: f64 = rng.random::<f64>() * total;
+                        let u: f64 = rng.next_f64() * total;
                         cdf.partition_point(|&c| c < u) as u64
                     })
                     .collect()

@@ -20,7 +20,9 @@
 pub mod keys;
 pub mod matrix;
 pub mod perm;
+pub mod rng;
 
 pub use keys::KeyDist;
 pub use matrix::{Conformation, MatrixShape, Triple};
 pub use perm::PermKind;
+pub use rng::SplitMix64;

@@ -9,9 +9,7 @@
 //! A [`Conformation`] captures exactly the structural information the
 //! lower-bound argument fixes per program: the positions, not the values.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// One non-zero position `(row, col)` of the matrix. Values are supplied
 /// separately when a multiplication is performed.
@@ -74,14 +72,14 @@ impl Conformation {
         let mut triples = Vec::with_capacity(n * delta);
         match shape {
             MatrixShape::Random { seed } => {
-                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut rng = SplitMix64::seed_from_u64(seed);
                 for col in 0..n {
                     let rows = sample_distinct(&mut rng, n, delta, 0);
                     triples.extend(rows.into_iter().map(|row| Triple { row, col }));
                 }
             }
             MatrixShape::Banded { bandwidth, seed } => {
-                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut rng = SplitMix64::seed_from_u64(seed);
                 for col in 0..n {
                     let lo = col.saturating_sub(bandwidth);
                     let hi = (col + bandwidth + 1).min(n);
@@ -92,7 +90,7 @@ impl Conformation {
             }
             MatrixShape::BlockDiagonal { block, seed } => {
                 assert!(block >= delta, "block must be >= delta");
-                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut rng = SplitMix64::seed_from_u64(seed);
                 for col in 0..n {
                     let base = (col / block) * block;
                     let width = block.min(n - base);
@@ -158,18 +156,18 @@ impl Conformation {
 }
 
 /// Sample `k` distinct values from `offset..offset+range`, returned sorted.
-fn sample_distinct(rng: &mut SmallRng, range: usize, k: usize, offset: usize) -> Vec<usize> {
+fn sample_distinct(rng: &mut SplitMix64, range: usize, k: usize, offset: usize) -> Vec<usize> {
     debug_assert!(k <= range);
     // For small ranges shuffle; for large, rejection-sample.
     let mut rows: Vec<usize> = if range <= 4 * k {
         let mut all: Vec<usize> = (0..range).collect();
-        all.shuffle(rng);
+        rng.shuffle(&mut all);
         all.truncate(k);
         all
     } else {
         let mut seen = std::collections::HashSet::with_capacity(k * 2);
         while seen.len() < k {
-            seen.insert(rng.random_range(0..range));
+            seen.insert(rng.next_below_usize(range));
         }
         seen.into_iter().collect()
     };

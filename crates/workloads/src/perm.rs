@@ -8,9 +8,7 @@
 //! families (transpose, bit-reversal) are classical hard instances from the
 //! external-memory literature.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use crate::rng::SplitMix64;
 
 /// The permutation families used by tests and experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +52,8 @@ impl PermKind {
             PermKind::Reverse => (0..n).map(|i| n - 1 - i).collect(),
             PermKind::Random { seed } => {
                 let mut pi: Vec<usize> = (0..n).collect();
-                let mut rng = SmallRng::seed_from_u64(seed);
-                pi.shuffle(&mut rng);
+                let mut rng = SplitMix64::seed_from_u64(seed);
+                rng.shuffle(&mut pi);
                 pi
             }
             PermKind::Transpose { rows } => {

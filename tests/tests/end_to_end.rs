@@ -1,78 +1,95 @@
 //! End-to-end property tests across the whole stack: random machine
 //! configurations, random workloads, every algorithm family.
+//!
+//! Each property runs a fixed number of seeded deterministic cases drawn
+//! from the workspace's `SplitMix64` generator.
 
 use aem_core::permute::{permute_auto, permute_by_sort, permute_naive};
 use aem_core::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort};
 use aem_core::spmv::{reference_multiply, spmv_auto, spmv_direct, spmv_sorted, U64Ring};
 use aem_machine::{AemAccess, AemConfig, Machine};
-use aem_workloads::{perm, Conformation, MatrixShape, PermKind};
-use proptest::prelude::*;
+use aem_workloads::{perm, Conformation, MatrixShape, PermKind, SplitMix64};
 
-fn arb_cfg() -> impl Strategy<Value = AemConfig> {
-    (1usize..4, 2usize..=8, 1u64..=128).prop_map(|(be, mb, omega)| {
-        let b = 1usize << be; // B ∈ {2, 4, 8}
-        AemConfig::new(mb.max(4) * b, b, omega).unwrap()
-    })
+fn random_cfg(rng: &mut SplitMix64) -> AemConfig {
+    let be = 1 + rng.next_below_usize(3); // B ∈ {2, 4, 8}
+    let mb = 2 + rng.next_below_usize(7);
+    let omega = 1 + rng.next_below(128);
+    let b = 1usize << be;
+    AemConfig::new(mb.max(4) * b, b, omega).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn all_sorters_agree_with_std_sort(
-        cfg in arb_cfg(),
-        input in proptest::collection::vec(any::<u16>(), 0..800),
-    ) {
-        let input: Vec<u64> = input.into_iter().map(u64::from).collect();
+#[test]
+fn all_sorters_agree_with_std_sort() {
+    let mut rng = SplitMix64::seed_from_u64(0x50f7);
+    for case in 0..32u64 {
+        let cfg = random_cfg(&mut rng);
+        let n = rng.next_below_usize(800);
+        let input: Vec<u64> = (0..n).map(|_| rng.next_below(1 << 16)).collect();
         let mut want = input.clone();
         want.sort();
 
         let mut m: Machine<u64> = Machine::new(cfg);
         let r = m.install(&input);
         let out = merge_sort(&mut m, r).unwrap();
-        prop_assert_eq!(m.inspect(out), want.clone());
+        assert_eq!(m.inspect(out), want, "case {case} merge_sort");
 
         let mut m: Machine<u64> = Machine::new(cfg);
         let r = m.install(&input);
         let out = em_merge_sort(&mut m, r).unwrap();
-        prop_assert_eq!(m.inspect(out), want.clone());
+        assert_eq!(m.inspect(out), want, "case {case} em_merge_sort");
 
         let mut m: Machine<u64> = Machine::new(cfg);
         let r = m.install(&input);
         let out = distribution_sort(&mut m, r).unwrap();
-        prop_assert_eq!(m.inspect(out), want.clone());
+        assert_eq!(m.inspect(out), want, "case {case} distribution_sort");
 
         // The priority-queue sorter needs M >= 8B.
         if cfg.memory >= 8 * cfg.block {
             let mut m: Machine<u64> = Machine::new(cfg);
             let r = m.install(&input);
             let out = heap_sort(&mut m, r).unwrap();
-            prop_assert_eq!(m.inspect(out), want);
+            assert_eq!(m.inspect(out), want, "case {case} heap_sort");
         }
     }
+}
 
-    #[test]
-    fn all_permuters_realize_pi(
-        cfg in arb_cfg(),
-        seed in any::<u64>(),
-        n in 1usize..500,
-    ) {
+#[test]
+fn all_permuters_realize_pi() {
+    let mut rng = SplitMix64::seed_from_u64(0x9e4);
+    for case in 0..32u64 {
+        let cfg = random_cfg(&mut rng);
+        let seed = rng.next_u64();
+        let n = 1 + rng.next_below_usize(499);
         let pi = PermKind::Random { seed }.generate(n);
         let values: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
         let want = perm::apply(&pi, &values);
 
-        prop_assert_eq!(permute_naive(cfg, &values, &pi).unwrap().output, want.clone());
-        prop_assert_eq!(permute_by_sort(cfg, &values, &pi).unwrap().output, want.clone());
-        prop_assert_eq!(permute_auto(cfg, &values, &pi).unwrap().0.output, want);
+        assert_eq!(
+            permute_naive(cfg, &values, &pi).unwrap().output,
+            want,
+            "case {case} naive"
+        );
+        assert_eq!(
+            permute_by_sort(cfg, &values, &pi).unwrap().output,
+            want,
+            "case {case} by_sort"
+        );
+        assert_eq!(
+            permute_auto(cfg, &values, &pi).unwrap().0.output,
+            want,
+            "case {case} auto"
+        );
     }
+}
 
-    #[test]
-    fn spmv_agrees_with_reference(
-        cfg in arb_cfg(),
-        seed in any::<u64>(),
-        n_exp in 4usize..7,
-        delta in 1usize..6,
-    ) {
+#[test]
+fn spmv_agrees_with_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0x5432);
+    for case in 0..32u64 {
+        let cfg = random_cfg(&mut rng);
+        let seed = rng.next_u64();
+        let n_exp = 4 + rng.next_below_usize(3);
+        let delta = 1 + rng.next_below_usize(5);
         let n = 1usize << n_exp;
         let delta = delta.min(n);
         let conf = Conformation::generate(MatrixShape::Random { seed }, n, delta);
@@ -80,16 +97,30 @@ proptest! {
         let x: Vec<U64Ring> = (0..n).map(|j| U64Ring(j as u64 % 7)).collect();
         let want = reference_multiply(&conf, &a, &x);
 
-        prop_assert_eq!(spmv_direct(cfg, &conf, &a, &x).unwrap().output, want.clone());
-        prop_assert_eq!(spmv_sorted(cfg, &conf, &a, &x).unwrap().output, want.clone());
-        prop_assert_eq!(spmv_auto(cfg, &conf, &a, &x).unwrap().0.output, want);
+        assert_eq!(
+            spmv_direct(cfg, &conf, &a, &x).unwrap().output,
+            want,
+            "case {case} direct"
+        );
+        assert_eq!(
+            spmv_sorted(cfg, &conf, &a, &x).unwrap().output,
+            want,
+            "case {case} sorted"
+        );
+        assert_eq!(
+            spmv_auto(cfg, &conf, &a, &x).unwrap().0.output,
+            want,
+            "case {case} auto"
+        );
     }
+}
 
-    #[test]
-    fn sorting_cost_envelope_holds_for_random_configs(
-        cfg in arb_cfg(),
-        n_exp in 8usize..12,
-    ) {
+#[test]
+fn sorting_cost_envelope_holds_for_random_configs() {
+    let mut rng = SplitMix64::seed_from_u64(0xe57);
+    for _ in 0..32u64 {
+        let cfg = random_cfg(&mut rng);
+        let n_exp = 8 + rng.next_below_usize(4);
         // Thm 3.2 with a generous explicit constant, across random configs.
         let n = 1usize << n_exp;
         let input = aem_workloads::KeyDist::Uniform { seed: 9 }.generate(n);
@@ -99,7 +130,7 @@ proptest! {
         let q = m.cost().q(cfg.omega) as f64;
         let nb = cfg.blocks_for(n) as f64;
         let envelope = 48.0 * cfg.omega as f64 * nb * cfg.log_fan_in(nb).ceil();
-        prop_assert!(q <= envelope, "{cfg} N={n}: q={q} envelope={envelope}");
+        assert!(q <= envelope, "{cfg} N={n}: q={q} envelope={envelope}");
     }
 }
 

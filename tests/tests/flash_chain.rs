@@ -1,80 +1,75 @@
 //! Lemma 4.3, property-tested end-to-end: random permutations, random
 //! legal `(M, B, ω)` with `ω | B`, full compile-replay-verify chain.
+//!
+//! Each property runs a fixed number of seeded deterministic cases drawn
+//! from the workspace's `SplitMix64` generator.
 
 use aem_flash::driver::{naive_atom_permutation, two_pass_atom_permutation};
 use aem_flash::verify_lemma_4_3;
 use aem_machine::AemConfig;
-use aem_workloads::PermKind;
-use proptest::prelude::*;
+use aem_workloads::{PermKind, SplitMix64};
 
-fn arb_lemma_cfg() -> impl Strategy<Value = AemConfig> {
+fn random_lemma_cfg(rng: &mut SplitMix64) -> AemConfig {
     // B ∈ {8, 16, 32}, ω a proper divisor of B, M a few blocks.
-    (0usize..3, 2usize..=6).prop_flat_map(|(bi, mb)| {
-        let b = [8usize, 16, 32][bi];
-        let divisors: Vec<u64> = (1..b as u64).filter(|w| b as u64 % w == 0).collect();
-        (Just(b), Just(mb), 0..divisors.len()).prop_map(move |(b, mb, wi)| {
-            let divisors: Vec<u64> = (1..b as u64).filter(|w| b as u64 % w == 0).collect();
-            AemConfig::new(mb * b, b, divisors[wi]).unwrap()
-        })
-    })
+    let b = [8usize, 16, 32][rng.next_below_usize(3)];
+    let mb = 2 + rng.next_below_usize(5);
+    let divisors: Vec<u64> = (1..b as u64).filter(|w| b as u64 % w == 0).collect();
+    let omega = divisors[rng.next_below_usize(divisors.len())];
+    AemConfig::new(mb * b, b, omega).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn lemma_4_3_holds_for_random_instances(
-        cfg in arb_lemma_cfg(),
-        seed in any::<u64>(),
-        n in 1usize..800,
-    ) {
+#[test]
+fn lemma_4_3_holds_for_random_instances() {
+    let mut rng = SplitMix64::seed_from_u64(0x43a);
+    for _ in 0..32u64 {
+        let cfg = random_lemma_cfg(&mut rng);
+        let seed = rng.next_u64();
+        let n = 1 + rng.next_below_usize(799);
         let pi = PermKind::Random { seed }.generate(n);
         let (prog, _) = naive_atom_permutation(cfg, &pi).unwrap();
-        prop_assert!(prog.realizes(&pi), "atom program must realize pi");
+        assert!(prog.realizes(&pi), "atom program must realize pi");
         let report = verify_lemma_4_3(&prog.program, cfg).unwrap();
-        prop_assert!(
+        assert!(
             report.bound_holds(),
             "volume {} exceeds bound {} on {cfg} N={n}",
             report.flash_volume,
             report.volume_bound
         );
     }
+}
 
-    #[test]
-    fn structured_permutations_also_verify(
-        cfg in arb_lemma_cfg(),
-        kind in 0usize..3,
-    ) {
+#[test]
+fn structured_permutations_also_verify() {
+    let mut rng = SplitMix64::seed_from_u64(0x57b);
+    for case in 0..32u64 {
+        let cfg = random_lemma_cfg(&mut rng);
         let n = 256;
-        let pi = match kind {
+        let pi = match case % 3 {
             0 => PermKind::Identity.generate(n),
             1 => PermKind::Reverse.generate(n),
             _ => PermKind::BitReversal.generate(n),
         };
         let (prog, _) = naive_atom_permutation(cfg, &pi).unwrap();
-        prop_assert!(prog.realizes(&pi));
+        assert!(prog.realizes(&pi));
         let report = verify_lemma_4_3(&prog.program, cfg).unwrap();
-        prop_assert!(report.bound_holds());
+        assert!(report.bound_holds());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn lemma_4_3_holds_for_two_pass_programs(
-        seed in any::<u64>(),
-        n in 1usize..700,
-        omega_pick in 0usize..3,
-    ) {
+#[test]
+fn lemma_4_3_holds_for_two_pass_programs() {
+    let mut rng = SplitMix64::seed_from_u64(0x2b455);
+    for _ in 0..16u64 {
+        let seed = rng.next_u64();
+        let n = 1 + rng.next_below_usize(699);
         // Two-pass needs B | M and N ≲ M²/B.
-        let omega = [2u64, 4, 8][omega_pick];
+        let omega = [2u64, 4, 8][rng.next_below_usize(3)];
         let cfg = AemConfig::new(256, 16, omega).unwrap();
         let pi = PermKind::Random { seed }.generate(n);
         let (prog, _) = two_pass_atom_permutation(cfg, &pi).unwrap();
-        prop_assert!(prog.realizes(&pi));
+        assert!(prog.realizes(&pi));
         let report = verify_lemma_4_3(&prog.program, cfg).unwrap();
-        prop_assert!(report.bound_holds(), "{report:?}");
+        assert!(report.bound_holds(), "{report:?}");
     }
 }
 

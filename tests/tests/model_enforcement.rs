@@ -165,9 +165,13 @@ fn atom_machines_reject_duplicate_atoms_in_writes() {
     use aem_flash::{FlashConfig, FlashMachine};
     let fc = FlashConfig::new(16, 4, 2).unwrap();
     let mut fm = FlashMachine::new(fc);
-    fm.install_block(aem_machine::BlockId(0), &[AtomId(0), AtomId(1)]).unwrap();
-    fm.read_sector(aem_machine::BlockId(0), 0, &[AtomId(0), AtomId(1)]).unwrap();
-    let err = fm.write_big(aem_machine::BlockId(1), &[AtomId(0), AtomId(0)]).unwrap_err();
+    fm.install_block(aem_machine::BlockId(0), &[AtomId(0), AtomId(1)])
+        .unwrap();
+    fm.read_sector(aem_machine::BlockId(0), 0, &[AtomId(0), AtomId(1)])
+        .unwrap();
+    let err = fm
+        .write_big(aem_machine::BlockId(1), &[AtomId(0), AtomId(0)])
+        .unwrap_err();
     assert!(matches!(err, MachineError::MalformedTrace(_)));
 }
 
@@ -176,7 +180,8 @@ fn flash_out_of_range_sector_is_an_error_not_a_panic() {
     use aem_flash::{FlashConfig, FlashMachine};
     let fc = FlashConfig::new(16, 8, 2).unwrap();
     let mut fm = FlashMachine::new(fc);
-    fm.install_block(aem_machine::BlockId(0), &[AtomId(0), AtomId(1)]).unwrap();
+    fm.install_block(aem_machine::BlockId(0), &[AtomId(0), AtomId(1)])
+        .unwrap();
     // Sector 3 starts beyond the 2 occupied slots — even with an empty
     // keep list this must be a clean error.
     let err = fm.read_sector(aem_machine::BlockId(0), 3, &[]).unwrap_err();
@@ -211,7 +216,11 @@ fn round_based_write_of_unheld_data_is_rejected() {
 fn hand_built_degenerate_regions_do_not_panic() {
     // Region fields are public; a region with more blocks than its element
     // count implies must still split without underflow.
-    let r = aem_machine::Region { first: 0, blocks: 5, elems: 3 };
+    let r = aem_machine::Region {
+        first: 0,
+        blocks: 5,
+        elems: 3,
+    };
     let parts = r.split_blockwise(2, 4);
     let total: usize = parts.iter().map(|p| p.elems).sum();
     assert_eq!(total, 3);

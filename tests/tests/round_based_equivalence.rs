@@ -1,27 +1,28 @@
 //! Lemma 4.1, property-tested: every algorithm in the workspace produces
 //! identical output under round-based execution, at constant-factor cost.
+//!
+//! Each property runs a fixed number of seeded deterministic cases drawn
+//! from the workspace's `SplitMix64` generator.
 
 use aem_core::permute::by_sort::DestTagged;
 use aem_core::sort::{em_merge_sort, merge_sort, small_sort};
 use aem_machine::{AemAccess, AemConfig, Machine, RoundBasedMachine};
-use proptest::prelude::*;
+use aem_workloads::SplitMix64;
 
-fn arb_cfg() -> impl Strategy<Value = AemConfig> {
-    (4usize..=8, 1u64..=64).prop_map(|(mb, omega)| {
-        let b = 4usize;
-        AemConfig::new(mb * b, b, omega).unwrap()
-    })
+fn random_cfg(rng: &mut SplitMix64) -> AemConfig {
+    let b = 4usize;
+    let mb = 4 + rng.next_below_usize(5);
+    let omega = 1 + rng.next_below(64);
+    AemConfig::new(mb * b, b, omega).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn merge_sort_is_round_base_invariant(
-        cfg in arb_cfg(),
-        input in proptest::collection::vec(any::<u32>(), 0..600),
-    ) {
-        let input: Vec<u64> = input.into_iter().map(u64::from).collect();
+#[test]
+fn merge_sort_is_round_base_invariant() {
+    let mut rng = SplitMix64::seed_from_u64(0x4d5);
+    for case in 0..24u64 {
+        let cfg = random_cfg(&mut rng);
+        let n = rng.next_below_usize(600);
+        let input: Vec<u64> = (0..n).map(|_| rng.next_below(1 << 32)).collect();
         let mut plain: Machine<u64> = Machine::new(cfg);
         let r = plain.install(&input);
         let out = merge_sort(&mut plain, r).unwrap();
@@ -31,19 +32,21 @@ proptest! {
         let r = rb.install(&input);
         let out = merge_sort(&mut rb, r).unwrap();
         let stats = rb.finish().unwrap();
-        prop_assert_eq!(rb.inspect(out), got_plain);
+        assert_eq!(rb.inspect(out), got_plain, "case {case}");
 
         let q = plain.cost().q(cfg.omega);
         let q2 = stats.cost.q(cfg.omega);
-        prop_assert!(q2 <= 4 * q + 1, "overhead {q2} vs {q}");
+        assert!(q2 <= 4 * q + 1, "case {case}: overhead {q2} vs {q}");
     }
+}
 
-    #[test]
-    fn em_sort_is_round_base_invariant(
-        cfg in arb_cfg(),
-        input in proptest::collection::vec(any::<u32>(), 0..400),
-    ) {
-        let input: Vec<u64> = input.into_iter().map(u64::from).collect();
+#[test]
+fn em_sort_is_round_base_invariant() {
+    let mut rng = SplitMix64::seed_from_u64(0xe35);
+    for case in 0..24u64 {
+        let cfg = random_cfg(&mut rng);
+        let n = rng.next_below_usize(400);
+        let input: Vec<u64> = (0..n).map(|_| rng.next_below(1 << 32)).collect();
         let mut plain: Machine<u64> = Machine::new(cfg);
         let r = plain.install(&input);
         let out = em_merge_sort(&mut plain, r).unwrap();
@@ -53,17 +56,21 @@ proptest! {
         let r = rb.install(&input);
         let out = em_merge_sort(&mut rb, r).unwrap();
         rb.finish().unwrap();
-        prop_assert_eq!(rb.inspect(out), got_plain);
+        assert_eq!(rb.inspect(out), got_plain, "case {case}");
     }
+}
 
-    #[test]
-    fn small_sort_is_round_base_invariant(
-        cfg in arb_cfg(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn small_sort_is_round_base_invariant() {
+    let mut rng = SplitMix64::seed_from_u64(0x54a);
+    for case in 0..24u64 {
+        let cfg = random_cfg(&mut rng);
+        let seed = rng.next_u64();
         // Size capped at the small-sort threshold ωM (use half).
         let n = (cfg.small_sort_threshold() / 2).min(500);
-        let input: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(seed | 1) % 97).collect();
+        let input: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(seed | 1) % 97)
+            .collect();
 
         let mut plain: Machine<u64> = Machine::new(cfg);
         let r = plain.install(&input);
@@ -74,18 +81,23 @@ proptest! {
         let r = rb.install(&input);
         let out = small_sort(&mut rb, r).unwrap();
         rb.finish().unwrap();
-        prop_assert_eq!(rb.inspect(out), got_plain);
+        assert_eq!(rb.inspect(out), got_plain, "case {case}");
     }
+}
 
-    #[test]
-    fn permute_by_sort_is_round_base_invariant(
-        cfg in arb_cfg(),
-        seed in any::<u64>(),
-        n in 1usize..400,
-    ) {
+#[test]
+fn permute_by_sort_is_round_base_invariant() {
+    let mut rng = SplitMix64::seed_from_u64(0x9b5);
+    for case in 0..24u64 {
+        let cfg = random_cfg(&mut rng);
+        let seed = rng.next_u64();
+        let n = 1 + rng.next_below_usize(399);
         let pi = aem_workloads::PermKind::Random { seed }.generate(n);
         let tagged: Vec<DestTagged<u64>> = (0..n)
-            .map(|i| DestTagged { dest: pi[i] as u64, value: i as u64 })
+            .map(|i| DestTagged {
+                dest: pi[i] as u64,
+                value: i as u64,
+            })
             .collect();
 
         let mut plain: Machine<DestTagged<u64>> = Machine::new(cfg);
@@ -98,8 +110,15 @@ proptest! {
         let out = merge_sort(&mut rb, r).unwrap();
         rb.finish().unwrap();
         let got_rb: Vec<u64> = rb.inspect(out).into_iter().map(|t| t.value).collect();
-        prop_assert_eq!(got_rb.clone(), got_plain);
+        assert_eq!(got_rb, got_plain, "case {case}");
         // And it actually is the permutation.
-        prop_assert_eq!(got_rb, aem_workloads::perm::invert(&pi).iter().map(|&s| s as u64).collect::<Vec<_>>());
+        assert_eq!(
+            got_rb,
+            aem_workloads::perm::invert(&pi)
+                .iter()
+                .map(|&s| s as u64)
+                .collect::<Vec<_>>(),
+            "case {case}"
+        );
     }
 }

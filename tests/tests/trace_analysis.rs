@@ -3,8 +3,9 @@
 
 use aem_core::sort::{em_merge_sort, merge_sort};
 use aem_machine::rounds::{round_based_cost, round_decompose};
-use aem_machine::{AemAccess, AemConfig, Machine};
-use aem_workloads::KeyDist;
+use aem_machine::{AemAccess, AemConfig, BlockId, IoEvent, Machine, Trace};
+use aem_obs::{Gauge, Histogram, Metrics, PhaseNode, RunRecord, WorkloadMeta};
+use aem_workloads::{KeyDist, SplitMix64};
 
 fn record_merge_sort(cfg: AemConfig, n: usize) -> (aem_machine::Trace, u64) {
     let input = KeyDist::Uniform { seed: 11 }.generate(n);
@@ -105,6 +106,129 @@ fn em_sort_trace_has_no_aux_io_and_no_rereads_within_level() {
     );
     // Streaming merges read every block exactly once.
     assert_eq!(s.max_rereads, 1);
+}
+
+/// A pseudo-random but structurally valid [`RunRecord`]: random events and
+/// occupancy, a random phase forest (parents always precede children),
+/// random metrics. Exercises the JSONL encoder/decoder far from the shapes
+/// real algorithms produce.
+fn random_record(rng: &mut SplitMix64) -> RunRecord {
+    let config = AemConfig::new(
+        64 << rng.next_below(4),
+        8 << rng.next_below(2),
+        1 + rng.next_below(128),
+    )
+    .unwrap();
+
+    let n_events = rng.next_below_usize(200);
+    let mut trace = Trace::new();
+    let mut occupancy = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let block = BlockId(rng.next_below_usize(50));
+        let len = rng.next_below_usize(config.block) + 1;
+        let aux = rng.next_bool();
+        trace.push(if rng.next_bool() {
+            IoEvent::Read { block, len, aux }
+        } else {
+            IoEvent::Write { block, len, aux }
+        });
+        occupancy.push(rng.next_below(config.memory as u64 + 1));
+    }
+
+    let n_phases = rng.next_below_usize(12);
+    let mut phases = Vec::with_capacity(n_phases);
+    for i in 0..n_phases {
+        phases.push(PhaseNode {
+            name: format!("phase-{}", rng.next_below(1000)),
+            parent: if i > 0 && rng.next_bool() {
+                Some(rng.next_below_usize(i))
+            } else {
+                None
+            },
+            cost: aem_machine::Cost {
+                reads: rng.next_below(10_000),
+                writes: rng.next_below(10_000),
+            },
+            volume: rng.next_u64() >> 16,
+            aux_reads: rng.next_below(1000),
+            aux_writes: rng.next_below(1000),
+            events: rng.next_below(10_000),
+            high_water: rng.next_below(config.memory as u64 + 1),
+        });
+    }
+
+    let mut metrics = Metrics::default();
+    for _ in 0..rng.next_below_usize(6) {
+        metrics.add(&format!("ctr.{}", rng.next_below(100)), rng.next_u64() >> 8);
+    }
+    for _ in 0..rng.next_below_usize(4) {
+        let mut g = Gauge::default();
+        g.set(rng.next_u64() >> 12);
+        g.set(rng.next_u64() >> 12);
+        metrics.insert_gauge(&format!("gauge.{}", rng.next_below(100)), g);
+    }
+    for _ in 0..rng.next_below_usize(4) {
+        let mut bounds: Vec<u64> = (0..rng.next_below_usize(5) + 1)
+            .map(|_| rng.next_below(1 << 20) + 1)
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut h = Histogram::new(bounds);
+        for _ in 0..rng.next_below_usize(50) {
+            h.observe(rng.next_below(1 << 21));
+        }
+        metrics.insert_histogram(&format!("hist.{}", rng.next_below(100)), h);
+    }
+
+    RunRecord {
+        config,
+        workload: WorkloadMeta::with_delta(
+            &format!("kind-{}", rng.next_below(10)),
+            &format!("algo-{}", rng.next_below(10)),
+            rng.next_u64() >> 4,
+            rng.next_below(64),
+        ),
+        trace,
+        occupancy,
+        final_internal_used: rng.next_below(config.memory as u64 + 1),
+        phases,
+        metrics,
+    }
+}
+
+#[test]
+fn jsonl_round_trips_random_records() {
+    // Property: for any structurally valid record, decode(encode(r)) == r,
+    // field for field. 200 seeded shapes cover empty traces, phase
+    // forests, overflow-bucket histograms and large u64 values.
+    let mut rng = SplitMix64::seed_from_u64(0xA3_1337);
+    for case in 0..200 {
+        let rec = random_record(&mut rng);
+        let text = rec.to_jsonl();
+        let back = RunRecord::from_jsonl(&text).unwrap_or_else(|e| {
+            panic!("case {case}: decode failed: {e}\n{text}");
+        });
+        assert_eq!(back, rec, "case {case} did not round-trip");
+        // Encoding is deterministic: re-encoding the decoded record is
+        // byte-identical.
+        assert_eq!(back.to_jsonl(), text, "case {case} re-encode differs");
+    }
+}
+
+#[test]
+fn jsonl_rejects_corrupted_lines() {
+    let mut rng = SplitMix64::seed_from_u64(7);
+    let rec = random_record(&mut rng);
+    let text = rec.to_jsonl();
+    // Truncating or corrupting any single line must fail cleanly, never
+    // panic or silently misparse.
+    let lines: Vec<&str> = text.lines().collect();
+    for i in 0..lines.len().min(20) {
+        let mut bad: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        bad[i] = bad[i][..bad[i].len() / 2].to_string();
+        let joined = bad.join("\n");
+        assert!(RunRecord::from_jsonl(&joined).is_err(), "line {i}");
+    }
 }
 
 #[test]
