@@ -1,0 +1,45 @@
+//! Derives the sweep cache's code-version salt at build time.
+//!
+//! The salt is an FNV-1a hash over the contents of every experiment and
+//! sweep source file (in sorted path order, so it is deterministic across
+//! filesystems). Any edit to an experiment therefore changes the salt and
+//! invalidates every cached cell — the cache can never serve results
+//! computed by different experiment code.
+
+use std::path::{Path, PathBuf};
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").expect("manifest dir"));
+    let mut files = Vec::new();
+    collect(&manifest.join("src/exp"), &mut files);
+    collect(&manifest.join("src/sweep"), &mut files);
+    files.sort();
+
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for path in &files {
+        println!("cargo:rerun-if-changed={}", path.display());
+        let bytes = std::fs::read(path).unwrap_or_default();
+        for &b in bytes.iter().chain(b"\x00".iter()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    println!("cargo:rerun-if-changed=build.rs");
+    println!("cargo:rustc-env=AEM_SWEEP_SALT={h:016x}");
+}

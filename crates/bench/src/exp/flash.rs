@@ -1,6 +1,6 @@
 //! T4 — Lemma 4.3 / Corollary 4.4: the flash-model simulation, executed.
 //!
-//! The full chain per row: run a permutation program on the
+//! The full chain per cell: run a permutation program on the
 //! move-semantics atom machine (a §4.2-legal program), compile it to a
 //! flash program (removal-time normalization + interval covering), replay
 //! it on the enforcing flash machine, verify the realized layout, and
@@ -15,17 +15,22 @@ use aem_flash::verify_lemma_4_3;
 use aem_machine::AemConfig;
 use aem_workloads::PermKind;
 
-use crate::parallel_map;
+use crate::sweep::{Cell, CellOut, Sweep};
 use crate::table::{f, Table};
 
-/// All flash tables.
-pub fn tables(quick: bool) -> Vec<Table> {
+/// All flash sweeps.
+pub fn sweeps(quick: bool) -> Vec<Sweep> {
     vec![t4(quick)]
+}
+
+/// All flash tables (serial execution of [`sweeps`]).
+pub fn tables(quick: bool) -> Vec<Table> {
+    sweeps(quick).iter().map(Sweep::run_serial).collect()
 }
 
 /// T4: volume of the simulated programs vs the Lemma 4.3 bound, for two
 /// program families of opposite read/write profiles.
-pub fn t4(quick: bool) -> Table {
+pub fn t4(quick: bool) -> Sweep {
     let mem = 2048usize; // two-pass scatter needs N ≤ ~M²/B at the largest N below
     let b = 16usize;
     let sizes: Vec<usize> = if quick {
@@ -34,21 +39,6 @@ pub fn t4(quick: bool) -> Table {
         vec![1 << 10, 1 << 13, 1 << 16]
     };
     let omegas: Vec<u64> = vec![2, 4, 8]; // B > ω and ω | B, per the lemma
-    let mut t = Table::new(
-        "T4",
-        &format!("Lemma 4.3 — flash simulation volume, M={mem}, B={b} (read block B/ω)"),
-        &[
-            "program",
-            "N",
-            "ω",
-            "Q (AEM)",
-            "volume",
-            "bound 2N+2QB/ω",
-            "vol/bound",
-            "Cor 4.4 LB",
-            "layout ok",
-        ],
-    );
     let grid: Vec<(usize, u64, bool)> = sizes
         .iter()
         .flat_map(|&n| {
@@ -57,47 +47,81 @@ pub fn t4(quick: bool) -> Table {
                 .flat_map(move |&w| [(n, w, false), (n, w, true)])
         })
         .collect();
-    let rows = parallel_map(grid, |(n, omega, two_pass)| {
-        let cfg = AemConfig::new(mem, b, omega).unwrap();
-        let pi = PermKind::Random { seed: 40 + omega }.generate(n);
-        let (prog, _) = if two_pass {
-            two_pass_atom_permutation(cfg, &pi).expect("atom program")
-        } else {
-            naive_atom_permutation(cfg, &pi).expect("atom program")
-        };
-        let realized = prog.realizes(&pi);
-        let report = verify_lemma_4_3(&prog.program, cfg).expect("simulation");
-        let cor44 = flash_bounds::flash_reduction_cost_bound(n as u64, cfg);
-        (two_pass, n, omega, report, realized, cor44)
-    });
-    let mut ok = true;
-    for (two_pass, n, omega, report, realized, cor44) in rows {
-        ok &= report.bound_holds() && realized;
-        // Corollary 4.4 must also be a valid lower bound on the program.
-        ok &= cor44 <= report.aem_q as f64;
-        t.row(vec![
-            if two_pass {
-                "two-pass scatter"
-            } else {
-                "naive gather"
-            }
-            .to_string(),
-            n.to_string(),
-            omega.to_string(),
-            report.aem_q.to_string(),
-            report.flash_volume.to_string(),
-            report.volume_bound.to_string(),
-            f(report.flash_volume as f64 / report.volume_bound as f64),
-            f(cor44),
-            realized.to_string(),
-        ]);
-    }
-    t.note(format!(
-        "both program families replay to the correct permutation within the volume bound, \
-         and Corollary 4.4 never exceeds any measured program cost: {}",
-        if ok { "PASS" } else { "FAIL" }
-    ));
-    t
+    let cells = grid
+        .iter()
+        .map(|&(n, omega, two_pass)| {
+            let kind = if two_pass { "two_pass" } else { "naive" };
+            Cell::new(format!("n={n},omega={omega},{kind}"), move || {
+                let cfg = AemConfig::new(mem, b, omega).unwrap();
+                let pi = PermKind::Random { seed: 40 + omega }.generate(n);
+                let (prog, _) = if two_pass {
+                    two_pass_atom_permutation(cfg, &pi).expect("atom program")
+                } else {
+                    naive_atom_permutation(cfg, &pi).expect("atom program")
+                };
+                let realized = prog.realizes(&pi);
+                let report = verify_lemma_4_3(&prog.program, cfg).expect("simulation");
+                let cor44 = flash_bounds::flash_reduction_cost_bound(n as u64, cfg);
+                CellOut::new()
+                    .with_bool("two_pass", two_pass)
+                    .with_u64("n", n as u64)
+                    .with_u64("omega", omega)
+                    .with_u64("aem_q", report.aem_q)
+                    .with_u64("volume", report.flash_volume)
+                    .with_u64("bound", report.volume_bound)
+                    .with_bool("bound_holds", report.bound_holds())
+                    .with_f64("cor44", cor44)
+                    .with_bool("realized", realized)
+            })
+        })
+        .collect();
+    Sweep::new("T4", cells, move |outs| {
+        let mut t = Table::new(
+            "T4",
+            &format!("Lemma 4.3 — flash simulation volume, M={mem}, B={b} (read block B/ω)"),
+            &[
+                "program",
+                "N",
+                "ω",
+                "Q (AEM)",
+                "volume",
+                "bound 2N+2QB/ω",
+                "vol/bound",
+                "Cor 4.4 LB",
+                "layout ok",
+            ],
+        );
+        let mut ok = true;
+        for o in outs {
+            let realized = o.bool("realized");
+            let cor44 = o.f64("cor44");
+            ok &= o.bool("bound_holds") && realized;
+            // Corollary 4.4 must also be a valid lower bound on the program.
+            ok &= cor44 <= o.u64("aem_q") as f64;
+            t.row(vec![
+                if o.bool("two_pass") {
+                    "two-pass scatter"
+                } else {
+                    "naive gather"
+                }
+                .to_string(),
+                o.u64("n").to_string(),
+                o.u64("omega").to_string(),
+                o.u64("aem_q").to_string(),
+                o.u64("volume").to_string(),
+                o.u64("bound").to_string(),
+                f(o.u64("volume") as f64 / o.u64("bound") as f64),
+                f(cor44),
+                realized.to_string(),
+            ]);
+        }
+        t.note(format!(
+            "both program families replay to the correct permutation within the volume bound, \
+             and Corollary 4.4 never exceeds any measured program cost: {}",
+            if ok { "PASS" } else { "FAIL" }
+        ));
+        t
+    })
 }
 
 #[cfg(test)]
@@ -106,7 +130,7 @@ mod tests {
 
     #[test]
     fn t4_passes() {
-        let t = t4(true);
+        let t = t4(true).run_serial();
         assert_eq!(t.rows.len(), 12);
         for n in &t.notes {
             assert!(!n.contains("FAIL"), "{}", n);

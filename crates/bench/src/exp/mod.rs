@@ -1,9 +1,16 @@
 //! Experiment implementations — one module per table/figure family.
 //!
-//! Each module exposes `tables(quick: bool) -> Vec<Table>`; `quick` shrinks
-//! the sweeps for use inside the test suite, the binaries run the full
-//! sizes. All workloads are seeded, all costs exact: tables regenerate
-//! bit-for-bit.
+//! Each module exposes two entry points:
+//!
+//! * `sweeps(quick: bool) -> Vec<Sweep>` — the declarative form consumed
+//!   by the parallel resumable engine ([`crate::sweep::run`]);
+//! * `tables(quick: bool) -> Vec<Table>` — the serial convenience wrapper
+//!   (`sweeps(quick)` executed via [`crate::sweep::Sweep::run_serial`])
+//!   used by the per-experiment binaries and the test suites.
+//!
+//! `quick` shrinks the grids for use inside the test suite; the binaries
+//! run the full sizes. All workloads are seeded, all costs exact: tables
+//! regenerate bit-for-bit regardless of worker count or cache state.
 
 pub mod flash;
 pub mod merge;
@@ -14,18 +21,24 @@ pub mod rounds;
 pub mod sorting;
 pub mod spmv;
 
+use crate::sweep::Sweep;
 use crate::table::Table;
 
-/// Every experiment in DESIGN.md §3 order.
-pub fn all_tables(quick: bool) -> Vec<Table> {
+/// Every experiment in DESIGN.md §3 order, in declarative sweep form.
+pub fn all_sweeps(quick: bool) -> Vec<Sweep> {
     let mut out = Vec::new();
-    out.extend(sorting::tables(quick));
-    out.extend(merge::tables(quick));
-    out.extend(rounds::tables(quick));
-    out.extend(flash::tables(quick));
-    out.extend(permute::tables(quick));
-    out.extend(spmv::tables(quick));
-    out.extend(model::tables(quick));
-    out.extend(optimality::tables(quick));
+    out.extend(sorting::sweeps(quick));
+    out.extend(merge::sweeps(quick));
+    out.extend(rounds::sweeps(quick));
+    out.extend(flash::sweeps(quick));
+    out.extend(permute::sweeps(quick));
+    out.extend(spmv::sweeps(quick));
+    out.extend(model::sweeps(quick));
+    out.extend(optimality::sweeps(quick));
     out
+}
+
+/// Every experiment in DESIGN.md §3 order, executed serially.
+pub fn all_tables(quick: bool) -> Vec<Table> {
+    all_sweeps(quick).iter().map(Sweep::run_serial).collect()
 }

@@ -12,61 +12,80 @@ use aem_core::sort::merge_sort;
 use aem_machine::{AemAccess, AemConfig, Machine};
 use aem_workloads::{KeyDist, PermKind};
 
-use crate::parallel_map;
+use crate::sweep::{Cell, CellOut, Sweep};
 use crate::table::{f, Table};
 
-/// All model tables.
-pub fn tables(quick: bool) -> Vec<Table> {
+/// All model sweeps.
+pub fn sweeps(quick: bool) -> Vec<Sweep> {
     vec![f3(quick)]
 }
 
+/// All model tables (serial execution of [`sweeps`]).
+pub fn tables(quick: bool) -> Vec<Table> {
+    sweeps(quick).iter().map(Sweep::run_serial).collect()
+}
+
 /// F3: ARAM specialization.
-pub fn f3(quick: bool) -> Table {
+pub fn f3(quick: bool) -> Sweep {
     let mem = 32usize;
     let n = if quick { 1 << 10 } else { 1 << 13 };
     let omegas: Vec<u64> = vec![1, 4, 16, 64];
-    let mut t = Table::new(
-        "F3",
-        &format!("§2 — (M,ω)-ARAM ≡ (M,1,ω)-AEM: sorting and permuting at B=1, M={mem}, N={n}"),
-        &[
-            "ω",
-            "Q sort",
-            "Q sort / ωN⌈log_ωM N⌉",
-            "permute strategy",
-            "Q permute",
-        ],
-    );
-    let rows = parallel_map(omegas, |omega| {
-        let cfg = AemConfig::aram(mem, omega).unwrap();
-        assert_eq!(cfg.block, 1);
-        let input = KeyDist::Uniform { seed: 70 }.generate(n);
-        let mut m: Machine<u64> = Machine::new(cfg);
-        let r = m.install(&input);
-        merge_sort(&mut m, r).expect("sort");
-        let q_sort = m.cost().q(omega);
+    let cells = omegas
+        .iter()
+        .map(|&omega| {
+            Cell::new(format!("omega={omega}"), move || {
+                let cfg = AemConfig::aram(mem, omega).unwrap();
+                assert_eq!(cfg.block, 1);
+                let input = KeyDist::Uniform { seed: 70 }.generate(n);
+                let mut m: Machine<u64> = Machine::new(cfg);
+                let r = m.install(&input);
+                merge_sort(&mut m, r).expect("sort");
+                let q_sort = m.cost().q(omega);
 
-        let pi = PermKind::Random { seed: 71 }.generate(n);
-        let values: Vec<u64> = (0..n as u64).collect();
-        let (run, strategy) = permute_auto(cfg, &values, &pi).expect("permute");
-        (omega, cfg, q_sort, strategy, run.q())
-    });
-    let mut ok = true;
-    for (omega, cfg, q_sort, strategy, q_perm) in rows {
-        let norm = q_sort as f64 / (omega as f64 * n as f64 * cfg.log_fan_in(n as f64).ceil());
-        ok &= norm < 40.0;
-        t.row(vec![
-            omega.to_string(),
-            q_sort.to_string(),
-            f(norm),
-            format!("{strategy:?}"),
-            q_perm.to_string(),
-        ]);
-    }
-    t.note(format!(
-        "at B = 1 the machine reproduces the ARAM accounting (n = N, m = M): {}",
-        if ok { "PASS" } else { "FAIL" }
-    ));
-    t
+                let pi = PermKind::Random { seed: 71 }.generate(n);
+                let values: Vec<u64> = (0..n as u64).collect();
+                let (run, strategy) = permute_auto(cfg, &values, &pi).expect("permute");
+                CellOut::new()
+                    .with_u64("omega", omega)
+                    .with_u64("q_sort", q_sort)
+                    .with_str("strategy", format!("{strategy:?}"))
+                    .with_u64("q_perm", run.q())
+            })
+        })
+        .collect();
+    Sweep::new("F3", cells, move |outs| {
+        let mut t = Table::new(
+            "F3",
+            &format!("§2 — (M,ω)-ARAM ≡ (M,1,ω)-AEM: sorting and permuting at B=1, M={mem}, N={n}"),
+            &[
+                "ω",
+                "Q sort",
+                "Q sort / ωN⌈log_ωM N⌉",
+                "permute strategy",
+                "Q permute",
+            ],
+        );
+        let mut ok = true;
+        for o in outs {
+            let omega = o.u64("omega");
+            let cfg = AemConfig::aram(mem, omega).unwrap();
+            let q_sort = o.u64("q_sort");
+            let norm = q_sort as f64 / (omega as f64 * n as f64 * cfg.log_fan_in(n as f64).ceil());
+            ok &= norm < 40.0;
+            t.row(vec![
+                omega.to_string(),
+                q_sort.to_string(),
+                f(norm),
+                o.str("strategy").to_string(),
+                o.u64("q_perm").to_string(),
+            ]);
+        }
+        t.note(format!(
+            "at B = 1 the machine reproduces the ARAM accounting (n = N, m = M): {}",
+            if ok { "PASS" } else { "FAIL" }
+        ));
+        t
+    })
 }
 
 #[cfg(test)]
@@ -75,7 +94,7 @@ mod tests {
 
     #[test]
     fn f3_passes() {
-        let t = f3(true);
+        let t = f3(true).run_serial();
         assert!(!t.rows.is_empty());
         for n in &t.notes {
             assert!(!n.contains("FAIL"), "{}", n);

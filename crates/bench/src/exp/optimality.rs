@@ -22,16 +22,21 @@
 use aem_core::bounds::{permute as pbounds, predict};
 use aem_machine::AemConfig;
 
-use crate::parallel_map;
+use crate::sweep::{Cell, CellOut, Sweep};
 use crate::table::{f, Table};
 
-/// All optimality-map tables.
-pub fn tables(quick: bool) -> Vec<Table> {
+/// All optimality-map sweeps.
+pub fn sweeps(quick: bool) -> Vec<Sweep> {
     vec![f5(quick)]
 }
 
+/// All optimality-map tables (serial execution of [`sweeps`]).
+pub fn tables(quick: bool) -> Vec<Table> {
+    sweeps(quick).iter().map(Sweep::run_serial).collect()
+}
+
 /// F5: the optimality gap across the parameter grid.
-pub fn f5(quick: bool) -> Table {
+pub fn f5(quick: bool) -> Sweep {
     let n_exps: Vec<u32> = if quick {
         vec![20, 24]
     } else {
@@ -39,20 +44,6 @@ pub fn f5(quick: bool) -> Table {
     };
     let shapes: Vec<(usize, usize)> = vec![(1 << 14, 1 << 8), (1 << 20, 1 << 12)]; // (M, B)
     let omegas: Vec<u64> = vec![1, 4, 16, 64, 256, 4096];
-    let mut t = Table::new(
-        "F5",
-        "§1.1 headline — sorting UB vs permuting LB across the parameter grid (closed forms)",
-        &[
-            "N",
-            "M",
-            "B",
-            "ω",
-            "ω ≤ N/B",
-            "UB (pred)",
-            "LB (Thm 4.5)",
-            "gap UB/LB",
-        ],
-    );
     let mut grid: Vec<(u32, usize, usize, u64)> = Vec::new();
     for &ne in &n_exps {
         for &(m, b) in &shapes {
@@ -61,51 +52,81 @@ pub fn f5(quick: bool) -> Table {
             }
         }
     }
-    let rows = parallel_map(grid, |(ne, mem, b, omega)| {
-        let cfg = AemConfig::new(mem, b, omega).unwrap();
-        let n = 1u64 << ne;
-        let ub = predict::merge_sort_cost(cfg, n as usize).q(omega) as f64;
-        let lb = pbounds::permute_cost_lower_bound(n, cfg);
-        let in_range = omega <= n / b as u64;
-        (n, mem, b, omega, in_range, ub, lb)
-    });
-    let mut gaps: Vec<f64> = Vec::new();
-    for (n, mem, b, omega, in_range, ub, lb) in rows {
-        let gap = if lb > 0.0 { ub / lb } else { f64::INFINITY };
-        if in_range && lb > 0.0 {
-            gaps.push(gap);
+    let cells = grid
+        .iter()
+        .map(|&(ne, mem, b, omega)| {
+            Cell::new(format!("n=2^{ne},m={mem},b={b},omega={omega}"), move || {
+                let cfg = AemConfig::new(mem, b, omega).unwrap();
+                let n = 1u64 << ne;
+                let ub = predict::merge_sort_cost(cfg, n as usize).q(omega) as f64;
+                let lb = pbounds::permute_cost_lower_bound(n, cfg);
+                let in_range = omega <= n / b as u64;
+                CellOut::new()
+                    .with_u64("n", n)
+                    .with_u64("m", mem as u64)
+                    .with_u64("b", b as u64)
+                    .with_u64("omega", omega)
+                    .with_bool("in_range", in_range)
+                    .with_f64("ub", ub)
+                    .with_f64("lb", lb)
+            })
+        })
+        .collect();
+    Sweep::new("F5", cells, move |outs| {
+        let mut t = Table::new(
+            "F5",
+            "§1.1 headline — sorting UB vs permuting LB across the parameter grid (closed forms)",
+            &[
+                "N",
+                "M",
+                "B",
+                "ω",
+                "ω ≤ N/B",
+                "UB (pred)",
+                "LB (Thm 4.5)",
+                "gap UB/LB",
+            ],
+        );
+        let mut gaps: Vec<f64> = Vec::new();
+        for o in outs {
+            let (ub, lb) = (o.f64("ub"), o.f64("lb"));
+            let in_range = o.bool("in_range");
+            let gap = if lb > 0.0 { ub / lb } else { f64::INFINITY };
+            if in_range && lb > 0.0 {
+                gaps.push(gap);
+            }
+            t.row(vec![
+                format!("2^{}", (o.u64("n") as f64).log2() as u32),
+                o.u64("m").to_string(),
+                o.u64("b").to_string(),
+                o.u64("omega").to_string(),
+                in_range.to_string(),
+                f(ub),
+                f(lb),
+                if gap.is_finite() {
+                    f(gap)
+                } else {
+                    "∞ (bound trivial)".into()
+                },
+            ]);
         }
-        t.row(vec![
-            format!("2^{}", (n as f64).log2() as u32),
-            mem.to_string(),
-            b.to_string(),
-            omega.to_string(),
-            in_range.to_string(),
-            f(ub),
-            f(lb),
-            if gap.is_finite() {
-                f(gap)
-            } else {
-                "∞ (bound trivial)".into()
-            },
-        ]);
-    }
-    let (lo, hi) = (
-        gaps.iter().cloned().fold(f64::MAX, f64::min),
-        gaps.iter().cloned().fold(f64::MIN, f64::max),
-    );
-    // "Constant factor" here: the gap band across 4096x of ω and 4096x of
-    // N stays within two orders of magnitude — the product of the counting
-    // argument's slack (~8-80x, see T5) and the algorithm's constants —
-    // and, crucially, does NOT grow with N: optimality in the theorem's
-    // sense (the per-N flatness is asserted in this module's tests).
-    let ok = !gaps.is_empty() && hi / lo < 150.0;
-    t.note(format!(
-        "gap band over the in-range grid: [{lo:.1}, {hi:.1}] — bounded, and flat in N \
-         (the claim of §1.1): {}",
-        if ok { "PASS" } else { "FAIL" }
-    ));
-    t
+        let (lo, hi) = (
+            gaps.iter().cloned().fold(f64::MAX, f64::min),
+            gaps.iter().cloned().fold(f64::MIN, f64::max),
+        );
+        // "Constant factor" here: the gap band across 4096x of ω and 4096x of
+        // N stays within two orders of magnitude — the product of the counting
+        // argument's slack (~8-80x, see T5) and the algorithm's constants —
+        // and, crucially, does NOT grow with N: optimality in the theorem's
+        // sense (the per-N flatness is asserted in this module's tests).
+        let ok = !gaps.is_empty() && hi / lo < 150.0;
+        t.note(format!(
+            "gap band over the in-range grid: [{lo:.1}, {hi:.1}] — bounded, and flat in N \
+             (the claim of §1.1): {}",
+            if ok { "PASS" } else { "FAIL" }
+        ));
+        t
+    })
 }
 
 #[cfg(test)]
@@ -114,7 +135,7 @@ mod tests {
 
     #[test]
     fn f5_passes() {
-        let t = f5(true);
+        let t = f5(true).run_serial();
         assert!(!t.rows.is_empty());
         for n in &t.notes {
             assert!(!n.contains("FAIL"), "{}", n);

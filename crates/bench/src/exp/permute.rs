@@ -6,89 +6,97 @@ use aem_core::permute::{choose_strategy, permute_auto, PermuteStrategy};
 use aem_machine::AemConfig;
 use aem_workloads::{perm, PermKind};
 
-use crate::parallel_map;
+use crate::sweep::{Cell, CellOut, Sweep};
 use crate::table::{f, Table};
 
-/// All permuting tables.
-pub fn tables(quick: bool) -> Vec<Table> {
+/// All permuting sweeps.
+pub fn sweeps(quick: bool) -> Vec<Sweep> {
     vec![t5(quick), f2(quick), t8(quick), f4_transpose(quick)]
+}
+
+/// All permuting tables (serial execution of [`sweeps`]).
+pub fn tables(quick: bool) -> Vec<Table> {
+    sweeps(quick).iter().map(Sweep::run_serial).collect()
 }
 
 /// F4 (extension): structured vs general permuting. Matrix transposition
 /// is a permutation, so Theorem 4.5 applies — but its structure admits a
 /// single-pass tiled algorithm whenever a `B × B` tile fits in `M`,
 /// recovering the `log` factor the general bound charges.
-pub fn f4_transpose(quick: bool) -> Table {
+pub fn f4_transpose(quick: bool) -> Sweep {
     use aem_core::permute::{permute_by_sort, permute_naive, transpose_auto};
     let side = if quick { 32usize } else { 128 };
     let n = side * side;
     let omegas: Vec<u64> = vec![1, 8, 64];
-    let mut t = Table::new(
-        "F4",
-        &format!("Extension — {side}x{side} transpose: tiled vs general permuting, M=B²+2B"),
-        &[
-            "ω",
-            "Q tiled",
-            "Q naive permute",
-            "Q sort permute",
-            "tiled speedup",
-            "counting LB",
-        ],
-    );
-    let rows = parallel_map(omegas, |omega| {
-        let b = 8usize;
-        let cfg = AemConfig::new(b * b + 2 * b, b, omega).unwrap();
-        let values: Vec<u64> = (0..n as u64).collect();
-        let (tiled, used_tiled) = transpose_auto(cfg, &values, side, side).expect("transpose");
-        assert!(used_tiled);
-        let pi = PermKind::Transpose { rows: side }.generate(n);
-        let naive = permute_naive(cfg, &values, &pi).expect("naive");
-        assert_eq!(tiled.output, naive.output);
-        let sort = permute_by_sort(cfg, &values, &pi).expect("sort");
-        let lb = pbounds::permute_cost_lower_bound(n as u64, cfg);
-        (omega, tiled.q(), naive.q(), sort.q(), lb)
-    });
-    let mut ok = true;
-    for (omega, tq, nq, sq, lb) in rows {
-        let best_general = nq.min(sq);
-        ok &= tq <= best_general && tq as f64 >= lb;
-        t.row(vec![
-            omega.to_string(),
-            tq.to_string(),
-            nq.to_string(),
-            sq.to_string(),
-            f(best_general as f64 / tq as f64),
-            f(lb),
-        ]);
-    }
-    t.note(format!(
-        "the tiled transpose beats both general permuters yet never beats the counting \
-         bound (structure pays for the log factor, not for the bound): {}",
-        if ok { "PASS" } else { "FAIL" }
-    ));
-    t
+    let cells = omegas
+        .iter()
+        .map(|&omega| {
+            Cell::new(format!("omega={omega}"), move || {
+                let b = 8usize;
+                let cfg = AemConfig::new(b * b + 2 * b, b, omega).unwrap();
+                let values: Vec<u64> = (0..n as u64).collect();
+                let (tiled, used_tiled) =
+                    transpose_auto(cfg, &values, side, side).expect("transpose");
+                assert!(used_tiled);
+                let pi = PermKind::Transpose { rows: side }.generate(n);
+                let naive = permute_naive(cfg, &values, &pi).expect("naive");
+                assert_eq!(tiled.output, naive.output);
+                let sort = permute_by_sort(cfg, &values, &pi).expect("sort");
+                let lb = pbounds::permute_cost_lower_bound(n as u64, cfg);
+                CellOut::new()
+                    .with_u64("omega", omega)
+                    .with_u64("q_tiled", tiled.q())
+                    .with_u64("q_naive", naive.q())
+                    .with_u64("q_sort", sort.q())
+                    .with_f64("lb", lb)
+            })
+        })
+        .collect();
+    Sweep::new("F4", cells, move |outs| {
+        let mut t = Table::new(
+            "F4",
+            &format!("Extension — {side}x{side} transpose: tiled vs general permuting, M=B²+2B"),
+            &[
+                "ω",
+                "Q tiled",
+                "Q naive permute",
+                "Q sort permute",
+                "tiled speedup",
+                "counting LB",
+            ],
+        );
+        let mut ok = true;
+        for o in outs {
+            let (tq, nq, sq) = (o.u64("q_tiled"), o.u64("q_naive"), o.u64("q_sort"));
+            let lb = o.f64("lb");
+            let best_general = nq.min(sq);
+            ok &= tq <= best_general && tq as f64 >= lb;
+            t.row(vec![
+                o.u64("omega").to_string(),
+                tq.to_string(),
+                nq.to_string(),
+                sq.to_string(),
+                f(best_general as f64 / tq as f64),
+                f(lb),
+            ]);
+        }
+        t.note(format!(
+            "the tiled transpose beats both general permuters yet never beats the counting \
+             bound (structure pays for the log factor, not for the bound): {}",
+            if ok { "PASS" } else { "FAIL" }
+        ));
+        t
+    })
 }
 
 /// T8 (extension): exhaustive optimal-program search on tiny instances —
 /// the sandwich `counting bound ≤ OPTIMAL ≤ best algorithm`, with the
 /// middle quantity exact (Dijkstra over the full move-semantics state
 /// space).
-pub fn t8(quick: bool) -> Table {
+pub fn t8(quick: bool) -> Sweep {
     use aem_core::bounds::exhaustive::optimal_permutation_cost;
     let cfg = AemConfig::new(4, 2, 4).unwrap();
     let n = if quick { 6 } else { 8 };
-    let mut t = Table::new(
-        "T8",
-        &format!("Extension — provably optimal program cost, N={n}, {cfg}"),
-        &[
-            "permutation",
-            "counting LB",
-            "OPTIMAL (exhaustive)",
-            "Q naive",
-            "Q by-sort",
-            "opt/naive",
-        ],
-    );
     let rotation: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
     let cases: Vec<(String, Vec<usize>)> = vec![
         ("identity".into(), PermKind::Identity.generate(n)),
@@ -98,43 +106,69 @@ pub fn t8(quick: bool) -> Table {
         ("random(2)".into(), PermKind::Random { seed: 2 }.generate(n)),
         ("random(3)".into(), PermKind::Random { seed: 3 }.generate(n)),
     ];
-    let rows = parallel_map(cases, |(name, pi)| {
-        let opt = optimal_permutation_cost(&pi, cfg, 2).expect("searchable size");
-        let values: Vec<u64> = (0..n as u64).collect();
-        let naive = aem_core::permute::permute_naive(cfg, &values, &pi)
-            .expect("naive")
-            .q();
-        let sort = aem_core::permute::permute_by_sort(cfg, &values, &pi)
-            .expect("sort")
-            .q();
-        let lb = pbounds::permute_cost_lower_bound(n as u64, cfg);
-        (name, lb, opt, naive, sort)
-    });
-    let mut ok = true;
-    for (name, lb, opt, naive, sort) in rows {
-        ok &= opt as f64 >= lb && opt <= naive.min(sort);
-        t.row(vec![
-            name,
-            f(lb),
-            opt.to_string(),
-            naive.to_string(),
-            sort.to_string(),
-            if naive > 0 {
-                f(opt as f64 / naive as f64)
-            } else {
-                "—".into()
-            },
-        ]);
-    }
-    t.note(format!(
-        "counting bound ≤ exhaustively optimal program ≤ every algorithm, on every instance: {}",
-        if ok { "PASS" } else { "FAIL" }
-    ));
-    t
+    let cells = cases
+        .into_iter()
+        .map(|(name, pi)| {
+            Cell::new(name.clone(), move || {
+                let opt = optimal_permutation_cost(&pi, cfg, 2).expect("searchable size");
+                let values: Vec<u64> = (0..n as u64).collect();
+                let naive = aem_core::permute::permute_naive(cfg, &values, &pi)
+                    .expect("naive")
+                    .q();
+                let sort = aem_core::permute::permute_by_sort(cfg, &values, &pi)
+                    .expect("sort")
+                    .q();
+                let lb = pbounds::permute_cost_lower_bound(n as u64, cfg);
+                CellOut::new()
+                    .with_str("name", name.clone())
+                    .with_f64("lb", lb)
+                    .with_u64("opt", opt)
+                    .with_u64("naive", naive)
+                    .with_u64("sort", sort)
+            })
+        })
+        .collect();
+    Sweep::new("T8", cells, move |outs| {
+        let mut t = Table::new(
+            "T8",
+            &format!("Extension — provably optimal program cost, N={n}, {cfg}"),
+            &[
+                "permutation",
+                "counting LB",
+                "OPTIMAL (exhaustive)",
+                "Q naive",
+                "Q by-sort",
+                "opt/naive",
+            ],
+        );
+        let mut ok = true;
+        for o in outs {
+            let (opt, naive, sort) = (o.u64("opt"), o.u64("naive"), o.u64("sort"));
+            let lb = o.f64("lb");
+            ok &= opt as f64 >= lb && opt <= naive.min(sort);
+            t.row(vec![
+                o.str("name").to_string(),
+                f(lb),
+                opt.to_string(),
+                naive.to_string(),
+                sort.to_string(),
+                if naive > 0 {
+                    f(opt as f64 / naive as f64)
+                } else {
+                    "—".into()
+                },
+            ]);
+        }
+        t.note(format!(
+            "counting bound ≤ exhaustively optimal program ≤ every algorithm, on every instance: {}",
+            if ok { "PASS" } else { "FAIL" }
+        ));
+        t
+    })
 }
 
 /// T5: measured best-of-strategies cost vs the exact counting bound.
-pub fn t5(quick: bool) -> Table {
+pub fn t5(quick: bool) -> Sweep {
     let (mem, b) = (64usize, 8usize);
     let sizes: Vec<usize> = if quick {
         vec![1 << 11, 1 << 13]
@@ -142,122 +176,149 @@ pub fn t5(quick: bool) -> Table {
         vec![1 << 12, 1 << 15, 1 << 18]
     };
     let omegas: Vec<u64> = vec![1, 4, 16, 64, 256];
-    let mut t = Table::new(
-        "T5",
-        &format!("Thm 4.5 — permuting: measured cost vs counting lower bound, M={mem}, B={b}"),
-        &[
-            "N",
-            "ω",
-            "strategy",
-            "Q measured",
-            "counting LB",
-            "asymptotic min{N,ωn·log}",
-            "measured/LB",
-        ],
-    );
     let grid: Vec<(usize, u64)> = sizes
         .iter()
         .flat_map(|&n| omegas.iter().map(move |&w| (n, w)))
         .collect();
-    let rows = parallel_map(grid, |(n, omega)| {
-        let cfg = AemConfig::new(mem, b, omega).unwrap();
-        let pi = PermKind::Random { seed: 50 }.generate(n);
-        let values: Vec<u64> = (0..n as u64).collect();
-        let (run, strategy) = permute_auto(cfg, &values, &pi).expect("permute");
-        assert_eq!(run.output, perm::apply(&pi, &values), "must realize pi");
-        let lb = pbounds::permute_cost_lower_bound(n as u64, cfg);
-        let asym = pbounds::permute_lower_bound_asymptotic(n as u64, cfg);
-        (n, omega, strategy, run.q(), lb, asym)
-    });
-    let mut ok = true;
-    for (n, omega, strategy, q, lb, asym) in rows {
-        // The fundamental soundness check of the whole reproduction:
-        // no program may beat the lower bound.
-        ok &= (q as f64) >= lb;
-        t.row(vec![
-            n.to_string(),
-            omega.to_string(),
-            format!("{strategy:?}"),
-            q.to_string(),
-            f(lb),
-            f(asym),
-            if lb > 0.0 {
-                f(q as f64 / lb)
-            } else {
-                "—".into()
-            },
-        ]);
-    }
-    t.note(format!(
-        "no measured program beats the Theorem 4.5 counting bound: {}",
-        if ok { "PASS" } else { "FAIL" }
-    ));
-    t
+    let cells = grid
+        .iter()
+        .map(|&(n, omega)| {
+            Cell::new(format!("n={n},omega={omega}"), move || {
+                let cfg = AemConfig::new(mem, b, omega).unwrap();
+                let pi = PermKind::Random { seed: 50 }.generate(n);
+                let values: Vec<u64> = (0..n as u64).collect();
+                let (run, strategy) = permute_auto(cfg, &values, &pi).expect("permute");
+                assert_eq!(run.output, perm::apply(&pi, &values), "must realize pi");
+                let lb = pbounds::permute_cost_lower_bound(n as u64, cfg);
+                let asym = pbounds::permute_lower_bound_asymptotic(n as u64, cfg);
+                CellOut::new()
+                    .with_u64("n", n as u64)
+                    .with_u64("omega", omega)
+                    .with_str("strategy", format!("{strategy:?}"))
+                    .with_u64("q", run.q())
+                    .with_f64("lb", lb)
+                    .with_f64("asym", asym)
+            })
+        })
+        .collect();
+    Sweep::new("T5", cells, move |outs| {
+        let mut t = Table::new(
+            "T5",
+            &format!("Thm 4.5 — permuting: measured cost vs counting lower bound, M={mem}, B={b}"),
+            &[
+                "N",
+                "ω",
+                "strategy",
+                "Q measured",
+                "counting LB",
+                "asymptotic min{N,ωn·log}",
+                "measured/LB",
+            ],
+        );
+        let mut ok = true;
+        for o in outs {
+            let q = o.u64("q");
+            let lb = o.f64("lb");
+            // The fundamental soundness check of the whole reproduction:
+            // no program may beat the lower bound.
+            ok &= (q as f64) >= lb;
+            t.row(vec![
+                o.u64("n").to_string(),
+                o.u64("omega").to_string(),
+                o.str("strategy").to_string(),
+                q.to_string(),
+                f(lb),
+                f(o.f64("asym")),
+                if lb > 0.0 {
+                    f(q as f64 / lb)
+                } else {
+                    "—".into()
+                },
+            ]);
+        }
+        t.note(format!(
+            "no measured program beats the Theorem 4.5 counting bound: {}",
+            if ok { "PASS" } else { "FAIL" }
+        ));
+        t
+    })
 }
 
 /// F2: the `min{·,·}` branch crossover across the `(ω, B)` grid — the
 /// paper's case split `B ≷ c·ω·log N / log(3eωm)` — against which strategy
 /// *measures* cheaper.
-pub fn f2(quick: bool) -> Table {
+pub fn f2(quick: bool) -> Sweep {
     let n = if quick { 1 << 12 } else { 1 << 15 };
     let omegas: Vec<u64> = vec![1, 4, 16, 64, 256, 1024];
     let blocks: Vec<usize> = vec![4, 16, 64];
-    let mut t = Table::new(
-        "F2",
-        &format!("Thm 4.5 — active bound branch and measured winner, N={n}, M=8B"),
-        &[
-            "B",
-            "ω",
-            "bound branch",
-            "predicted winner",
-            "measured winner",
-            "agree",
-        ],
-    );
     let grid: Vec<(usize, u64)> = blocks
         .iter()
         .flat_map(|&b| omegas.iter().map(move |&w| (b, w)))
         .collect();
-    let rows = parallel_map(grid, |(b, omega)| {
-        let cfg = AemConfig::new(8 * b, b, omega).unwrap();
-        let pi = PermKind::Random { seed: 51 }.generate(n);
-        let values: Vec<u64> = (0..n as u64).collect();
-        let branch = pbounds::active_branch(n as u64, cfg);
-        let predicted = choose_strategy(cfg, n);
-        let naive = aem_core::permute::permute_naive(cfg, &values, &pi).expect("naive");
-        let sort = aem_core::permute::permute_by_sort(cfg, &values, &pi).expect("sort");
-        let measured = if naive.q() <= sort.q() {
-            PermuteStrategy::Naive
-        } else {
-            PermuteStrategy::BySort
-        };
-        (b, omega, branch, predicted, measured)
-    });
-    let mut agreements = 0usize;
-    let total = rows.len();
-    for (b, omega, branch, predicted, measured) in rows {
-        let agree = predicted == measured;
-        agreements += agree as usize;
-        t.row(vec![
-            b.to_string(),
-            omega.to_string(),
-            format!("{branch:?}"),
-            format!("{predicted:?}"),
-            format!("{measured:?}"),
-            agree.to_string(),
-        ]);
-    }
-    t.note(format!(
-        "predictor agrees with measurement on {agreements}/{total} grid points \
-         (disagreements cluster at the crossover, where both strategies cost the same \
-         within constants): {}",
-        if agreements * 3 >= total * 2 {
-            "PASS"
-        } else {
-            "FAIL"
+    let cells = grid
+        .iter()
+        .map(|&(b, omega)| {
+            Cell::new(format!("b={b},omega={omega}"), move || {
+                let cfg = AemConfig::new(8 * b, b, omega).unwrap();
+                let pi = PermKind::Random { seed: 51 }.generate(n);
+                let values: Vec<u64> = (0..n as u64).collect();
+                let branch = pbounds::active_branch(n as u64, cfg);
+                let predicted = choose_strategy(cfg, n);
+                let naive = aem_core::permute::permute_naive(cfg, &values, &pi).expect("naive");
+                let sort = aem_core::permute::permute_by_sort(cfg, &values, &pi).expect("sort");
+                let measured = if naive.q() <= sort.q() {
+                    PermuteStrategy::Naive
+                } else {
+                    PermuteStrategy::BySort
+                };
+                CellOut::new()
+                    .with_u64("b", b as u64)
+                    .with_u64("omega", omega)
+                    .with_str("branch", format!("{branch:?}"))
+                    .with_str("predicted", format!("{predicted:?}"))
+                    .with_str("measured", format!("{measured:?}"))
+            })
+        })
+        .collect();
+    Sweep::new("F2", cells, move |outs| {
+        let mut t = Table::new(
+            "F2",
+            &format!("Thm 4.5 — active bound branch and measured winner, N={n}, M=8B"),
+            &[
+                "B",
+                "ω",
+                "bound branch",
+                "predicted winner",
+                "measured winner",
+                "agree",
+            ],
+        );
+        let mut agreements = 0usize;
+        let total = outs.len();
+        for o in outs {
+            let agree = o.str("predicted") == o.str("measured");
+            agreements += agree as usize;
+            t.row(vec![
+                o.u64("b").to_string(),
+                o.u64("omega").to_string(),
+                o.str("branch").to_string(),
+                o.str("predicted").to_string(),
+                o.str("measured").to_string(),
+                agree.to_string(),
+            ]);
         }
-    ));
-    t
+        t.note(format!(
+            "predictor agrees with measurement on {agreements}/{total} grid points \
+             (disagreements cluster at the crossover, where both strategies cost the same \
+             within constants): {}",
+            if agreements * 3 >= total * 2 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        ));
+        t
+    })
 }
 
 #[cfg(test)]

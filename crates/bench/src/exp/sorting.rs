@@ -1,5 +1,9 @@
 //! T1 / F1 — Theorem 3.2: the §3 mergesort's cost, for any `ω`, against
 //! the `ω`-oblivious EM baseline, plus the fan-in ablation.
+//!
+//! Each table is a [`Sweep`]: independent cells over the `(N, ω, d)` grid
+//! plus a pure renderer, so the engine can run cells in parallel and cache
+//! them (see [`crate::sweep`]).
 
 use aem_core::bounds::predict;
 use aem_core::sort::{
@@ -9,7 +13,7 @@ use aem_machine::{AemAccess, AemConfig, Cost, Machine};
 use aem_obs::{node_depth, InstrumentedMachine};
 use aem_workloads::KeyDist;
 
-use crate::parallel_map;
+use crate::sweep::{Cell, CellOut, Sweep};
 use crate::table::{f, ratio, Table};
 
 /// Run the §3 mergesort on a fresh machine; returns the exact cost.
@@ -46,8 +50,8 @@ fn thm32(cfg: AemConfig, n: usize) -> f64 {
     cfg.omega as f64 * nb * cfg.log_fan_in(nb).ceil()
 }
 
-/// All sorting tables.
-pub fn tables(quick: bool) -> Vec<Table> {
+/// All sorting sweeps, in presentation order.
+pub fn sweeps(quick: bool) -> Vec<Sweep> {
     vec![
         t1_n_sweep(quick),
         t1_omega_sweep(quick),
@@ -59,388 +63,485 @@ pub fn tables(quick: bool) -> Vec<Table> {
     ]
 }
 
+/// All sorting tables (serial execution of [`sweeps`]).
+pub fn tables(quick: bool) -> Vec<Table> {
+    sweeps(quick).iter().map(Sweep::run_serial).collect()
+}
+
 /// T1f: where the §3 mergesort's cost goes, phase by phase. An
 /// instrumented run attributes every I/O to the enclosing span; the
 /// top-level spans (base runs, then each merge level) partition the
 /// execution, so their inclusive costs must sum to the total.
-pub fn t1_phase_attribution(quick: bool) -> Table {
+pub fn t1_phase_attribution(quick: bool) -> Sweep {
     let cfg = AemConfig::new(64, 8, 32).unwrap();
     let n = if quick { 1 << 12 } else { 1 << 16 };
-    let input = KeyDist::Uniform { seed: 7 }.generate(n);
-    let mut im = InstrumentedMachine::new(Machine::<u64>::new(cfg));
-    let r = im.inner_mut().install(&input);
-    merge_sort(&mut im, r).expect("sort");
-    let total = im.inner().cost();
-    let rec = im.into_record(aem_obs::WorkloadMeta::new("sort", "aem", n as u64));
-
-    let mut t = Table::new(
-        "T1f",
-        &format!("Phase attribution — AEM mergesort on {cfg}, N={n}"),
-        &[
-            "phase", "Q", "reads", "writes", "aux I/Os", "volume", "% of Q",
-        ],
-    );
-    let q_total = total.q(cfg.omega).max(1);
-    let mut top_level_q = 0u64;
-    for (i, p) in rec.phases.iter().enumerate() {
-        let depth = node_depth(&rec.phases, i);
-        if depth == 0 {
-            top_level_q += p.q(cfg.omega);
+    let cells = vec![Cell::new("instrumented", move || {
+        let input = KeyDist::Uniform { seed: 7 }.generate(n);
+        let mut im = InstrumentedMachine::new(Machine::<u64>::new(cfg));
+        let r = im.inner_mut().install(&input);
+        merge_sort(&mut im, r).expect("sort");
+        let total = im.inner().cost();
+        let rec = im.into_record(aem_obs::WorkloadMeta::new("sort", "aem", n as u64));
+        let q_total = total.q(cfg.omega).max(1);
+        let mut out = CellOut::new();
+        let mut top_level_q = 0u64;
+        for (i, p) in rec.phases.iter().enumerate() {
+            let depth = node_depth(&rec.phases, i);
+            if depth == 0 {
+                top_level_q += p.q(cfg.omega);
+            }
+            out = out.with_row(vec![
+                format!("{}{}", "· ".repeat(depth), p.name),
+                p.q(cfg.omega).to_string(),
+                p.cost.reads.to_string(),
+                p.cost.writes.to_string(),
+                (p.aux_reads + p.aux_writes).to_string(),
+                p.volume.to_string(),
+                format!("{:.1}%", 100.0 * p.q(cfg.omega) as f64 / q_total as f64),
+            ]);
         }
-        t.row(vec![
-            format!("{}{}", "· ".repeat(depth), p.name),
-            p.q(cfg.omega).to_string(),
-            p.cost.reads.to_string(),
-            p.cost.writes.to_string(),
-            (p.aux_reads + p.aux_writes).to_string(),
-            p.volume.to_string(),
-            format!("{:.1}%", 100.0 * p.q(cfg.omega) as f64 / q_total as f64),
-        ]);
-    }
-    t.note(format!(
-        "top-level phases partition the run: Σ Q_phase = {top_level_q} vs total Q = {}: {}",
-        total.q(cfg.omega),
-        if top_level_q == total.q(cfg.omega) {
-            "PASS"
-        } else {
-            "FAIL"
+        out.with_u64("top_level_q", top_level_q)
+            .with_u64("total_q", total.q(cfg.omega))
+    })];
+    Sweep::new("T1f", cells, move |outs| {
+        let mut t = Table::new(
+            "T1f",
+            &format!("Phase attribution — AEM mergesort on {cfg}, N={n}"),
+            &[
+                "phase", "Q", "reads", "writes", "aux I/Os", "volume", "% of Q",
+            ],
+        );
+        let o = &outs[0];
+        for row in o.rows() {
+            t.row(row.clone());
         }
-    ));
-    t
+        let (top_level_q, total_q) = (o.u64("top_level_q"), o.u64("total_q"));
+        t.note(format!(
+            "top-level phases partition the run: Σ Q_phase = {top_level_q} vs total Q = {total_q}: {}",
+            if top_level_q == total_q { "PASS" } else { "FAIL" }
+        ));
+        t
+    })
 }
 
 /// T1e: all four sorter families side by side across ω. The AEM mergesort
 /// and the PQ-backed heapsort share the write-lean profile (both move data
 /// through the §3.1 merge); the two ω-oblivious baselines pay ω on every
 /// level's writes.
-pub fn t1_sorter_zoo(quick: bool) -> Table {
+pub fn t1_sorter_zoo(quick: bool) -> Sweep {
     let (mem, b) = (64usize, 8usize);
     let n = if quick { 1 << 11 } else { 1 << 14 };
     let omegas: Vec<u64> = vec![1, 8, 64, 256];
-    let mut t = Table::new(
-        "T1e",
-        &format!("Sorter families across ω at N={n}, M={mem}, B={b}"),
-        &[
-            "ω",
-            "Q AEM-merge",
-            "Q heapsort (PQ)",
-            "Q EM-merge",
-            "Q distribution",
-            "best",
-        ],
-    );
-    let rows = parallel_map(omegas, |omega| {
-        let cfg = AemConfig::new(mem, b, omega).unwrap();
-        let input = KeyDist::Uniform { seed: 6 }.generate(n);
-        let run = |which: usize| -> u64 {
-            let mut m: Machine<u64> = Machine::new(cfg);
-            let r = m.install(&input);
-            match which {
-                0 => drop(merge_sort(&mut m, r).expect("sort")),
-                1 => drop(heap_sort(&mut m, r).expect("sort")),
-                2 => drop(em_merge_sort(&mut m, r).expect("sort")),
-                _ => drop(distribution_sort(&mut m, r).expect("sort")),
+    let cells = omegas
+        .iter()
+        .map(|&omega| {
+            Cell::new(format!("omega={omega}"), move || {
+                let cfg = AemConfig::new(mem, b, omega).unwrap();
+                let input = KeyDist::Uniform { seed: 6 }.generate(n);
+                let run = |which: usize| -> u64 {
+                    let mut m: Machine<u64> = Machine::new(cfg);
+                    let r = m.install(&input);
+                    match which {
+                        0 => drop(merge_sort(&mut m, r).expect("sort")),
+                        1 => drop(heap_sort(&mut m, r).expect("sort")),
+                        2 => drop(em_merge_sort(&mut m, r).expect("sort")),
+                        _ => drop(distribution_sort(&mut m, r).expect("sort")),
+                    }
+                    m.cost().q(omega)
+                };
+                CellOut::new()
+                    .with_u64("omega", omega)
+                    .with_u64("q_aem", run(0))
+                    .with_u64("q_heap", run(1))
+                    .with_u64("q_em", run(2))
+                    .with_u64("q_dist", run(3))
+            })
+        })
+        .collect();
+    Sweep::new("T1e", cells, move |outs| {
+        let mut t = Table::new(
+            "T1e",
+            &format!("Sorter families across ω at N={n}, M={mem}, B={b}"),
+            &[
+                "ω",
+                "Q AEM-merge",
+                "Q heapsort (PQ)",
+                "Q EM-merge",
+                "Q distribution",
+                "best",
+            ],
+        );
+        let names = ["AEM-merge", "heapsort", "EM-merge", "distribution"];
+        let mut ok = true;
+        for o in outs {
+            let omega = o.u64("omega");
+            let qs = [
+                o.u64("q_aem"),
+                o.u64("q_heap"),
+                o.u64("q_em"),
+                o.u64("q_dist"),
+            ];
+            let best = qs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, q)| **q)
+                .expect("4 entries")
+                .0;
+            // At severe asymmetry one of the write-lean families must win.
+            if omega >= 256 {
+                ok &= best == 0 || best == 1;
             }
-            m.cost().q(omega)
-        };
-        (omega, [run(0), run(1), run(2), run(3)])
-    });
-    let names = ["AEM-merge", "heapsort", "EM-merge", "distribution"];
-    let mut ok = true;
-    for (omega, qs) in rows {
-        let best = qs
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, q)| **q)
-            .expect("4 entries")
-            .0;
-        // At severe asymmetry one of the write-lean families must win.
-        if omega >= 256 {
-            ok &= best == 0 || best == 1;
+            t.row(vec![
+                omega.to_string(),
+                qs[0].to_string(),
+                qs[1].to_string(),
+                qs[2].to_string(),
+                qs[3].to_string(),
+                names[best].to_string(),
+            ]);
         }
-        t.row(vec![
-            omega.to_string(),
-            qs[0].to_string(),
-            qs[1].to_string(),
-            qs[2].to_string(),
-            qs[3].to_string(),
-            names[best].to_string(),
-        ]);
-    }
-    t.note(format!(
-        "at ω ≥ 256 a write-lean (merge-§3.1-based) family wins: {}",
-        if ok { "PASS" } else { "FAIL" }
-    ));
-    t
+        t.note(format!(
+            "at ω ≥ 256 a write-lean (merge-§3.1-based) family wins: {}",
+            if ok { "PASS" } else { "FAIL" }
+        ));
+        t
+    })
 }
 
 /// Ablation: pointer placement in the §3.1 merge. External `b[i]` blocks
 /// (the paper) vs memory-resident cursors (the `ω < B` assumption of
 /// earlier work). The resident variant *honestly fails* once the cursor
 /// table exceeds `M`.
-pub fn ablation_pointers(quick: bool) -> Table {
+pub fn ablation_pointers(quick: bool) -> Sweep {
     use aem_core::sort::{merge_runs, merge_runs_resident};
     let (mem, b) = (64usize, 8usize);
     let each = if quick { 32 } else { 128 };
     let omegas: Vec<u64> = vec![1, 4, 8, 32, 128];
-    let mut t = Table::new(
-        "T1d",
-        &format!("Ablation — pointer placement in the merge, M={mem}, B={b}, full fan-in"),
-        &[
-            "ω",
-            "k = ωm",
-            "Q external b[i] (paper)",
-            "Q resident cursors",
-            "resident outcome",
-        ],
-    );
-    let rows = parallel_map(omegas, |omega| {
-        let cfg = AemConfig::new(mem, b, omega).unwrap();
-        let k = cfg.fan_in().min(512);
-        let mk_runs = |m: &mut Machine<u64>| {
-            (0..k)
-                .map(|i| {
-                    let mut v = KeyDist::Uniform {
-                        seed: 500 + i as u64,
-                    }
-                    .generate(each);
-                    v.sort();
-                    m.install(&v)
-                })
-                .collect::<Vec<_>>()
-        };
-        let mut m1: Machine<u64> = Machine::new(cfg);
-        let r1 = mk_runs(&mut m1);
-        merge_runs(&mut m1, &r1).expect("external-pointer merge always works");
-        let q_ext = m1.cost().q(omega);
+    let cells = omegas
+        .iter()
+        .map(|&omega| {
+            Cell::new(format!("omega={omega}"), move || {
+                let cfg = AemConfig::new(mem, b, omega).unwrap();
+                let k = cfg.fan_in().min(512);
+                let mk_runs = |m: &mut Machine<u64>| {
+                    (0..k)
+                        .map(|i| {
+                            let mut v = KeyDist::Uniform {
+                                seed: 500 + i as u64,
+                            }
+                            .generate(each);
+                            v.sort();
+                            m.install(&v)
+                        })
+                        .collect::<Vec<_>>()
+                };
+                let mut m1: Machine<u64> = Machine::new(cfg);
+                let r1 = mk_runs(&mut m1);
+                merge_runs(&mut m1, &r1).expect("external-pointer merge always works");
+                let q_ext = m1.cost().q(omega);
 
-        let mut m2: Machine<u64> = Machine::new(cfg);
-        let r2 = mk_runs(&mut m2);
-        let resident = merge_runs_resident(&mut m2, &r2).map(|_| m2.cost().q(omega));
-        (omega, k, q_ext, resident)
-    });
-    let mut saw_failure = false;
-    let mut saw_success = false;
-    for (omega, k, q_ext, resident) in rows {
-        let (q_res, outcome) = match resident {
-            Ok(q) => {
+                let mut m2: Machine<u64> = Machine::new(cfg);
+                let r2 = mk_runs(&mut m2);
+                let out = CellOut::new()
+                    .with_u64("omega", omega)
+                    .with_u64("k", k as u64)
+                    .with_u64("q_ext", q_ext);
+                match merge_runs_resident(&mut m2, &r2) {
+                    Ok(_) => out
+                        .with_bool("resident_ok", true)
+                        .with_u64("q_res", m2.cost().q(omega)),
+                    Err(e) => out
+                        .with_bool("resident_ok", false)
+                        .with_str("resident_err", e.to_string()),
+                }
+            })
+        })
+        .collect();
+    Sweep::new("T1d", cells, move |outs| {
+        let mut t = Table::new(
+            "T1d",
+            &format!("Ablation — pointer placement in the merge, M={mem}, B={b}, full fan-in"),
+            &[
+                "ω",
+                "k = ωm",
+                "Q external b[i] (paper)",
+                "Q resident cursors",
+                "resident outcome",
+            ],
+        );
+        let mut saw_failure = false;
+        let mut saw_success = false;
+        for o in outs {
+            let (q_res, outcome) = if o.bool("resident_ok") {
                 saw_success = true;
-                (q.to_string(), "ok".to_string())
-            }
-            Err(e) => {
+                (o.u64("q_res").to_string(), "ok".to_string())
+            } else {
                 saw_failure = true;
-                ("—".to_string(), format!("FAILS: {e}"))
-            }
-        };
-        t.row(vec![
-            omega.to_string(),
-            k.to_string(),
-            q_ext.to_string(),
-            q_res,
-            outcome,
-        ]);
-    }
-    t.note(format!(
-        "resident cursors work for small ω and overflow internal memory at large ω, \
-         while the paper's external pointers handle every row: {}",
-        if saw_failure && saw_success {
-            "PASS"
-        } else {
-            "FAIL"
+                ("—".to_string(), format!("FAILS: {}", o.str("resident_err")))
+            };
+            t.row(vec![
+                o.u64("omega").to_string(),
+                o.u64("k").to_string(),
+                o.u64("q_ext").to_string(),
+                q_res,
+                outcome,
+            ]);
         }
-    ));
-    t
+        t.note(format!(
+            "resident cursors work for small ω and overflow internal memory at large ω, \
+             while the paper's external pointers handle every row: {}",
+            if saw_failure && saw_success {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        ));
+        t
+    })
 }
 
 /// T1a: cost vs `N` at fixed `(M, B, ω)`.
-pub fn t1_n_sweep(quick: bool) -> Table {
+pub fn t1_n_sweep(quick: bool) -> Sweep {
     let cfg = AemConfig::new(256, 16, 16).unwrap();
     let sizes: Vec<usize> = if quick {
         vec![1 << 10, 1 << 12]
     } else {
         vec![1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20]
     };
-    let mut t = Table::new(
-        "T1a",
-        &format!("Thm 3.2 — AEM mergesort cost vs N on {cfg}"),
-        &["N", "reads", "writes", "Q", "pred Q", "Q / ωn⌈log_ωm n⌉"],
-    );
-    let rows = parallel_map(sizes, |n| {
-        let c = run_merge_sort(cfg, n, 1);
-        (n, c)
-    });
-    let mut norms = Vec::new();
-    for (n, c) in rows {
-        let q = c.q(cfg.omega);
-        let pred = predict::merge_sort_cost(cfg, n).q(cfg.omega);
-        let norm = q as f64 / thm32(cfg, n);
-        norms.push(norm);
-        t.row(vec![
-            n.to_string(),
-            c.reads.to_string(),
-            c.writes.to_string(),
-            q.to_string(),
-            pred.to_string(),
-            f(norm),
-        ]);
-    }
-    let spread = norms.iter().cloned().fold(f64::MIN, f64::max)
-        / norms.iter().cloned().fold(f64::MAX, f64::min);
-    t.note(format!(
-        "normalized-cost spread across the sweep: {:.2}x ({}) — Thm 3.2 predicts a constant",
-        spread,
-        if spread < 4.0 { "PASS" } else { "FAIL" }
-    ));
-    t
+    let cells = sizes
+        .iter()
+        .map(|&n| {
+            Cell::new(format!("n={n}"), move || {
+                let c = run_merge_sort(cfg, n, 1);
+                CellOut::new()
+                    .with_u64("n", n as u64)
+                    .with_u64("reads", c.reads)
+                    .with_u64("writes", c.writes)
+                    .with_u64("pred", predict::merge_sort_cost(cfg, n).q(cfg.omega))
+            })
+        })
+        .collect();
+    Sweep::new("T1a", cells, move |outs| {
+        let mut t = Table::new(
+            "T1a",
+            &format!("Thm 3.2 — AEM mergesort cost vs N on {cfg}"),
+            &["N", "reads", "writes", "Q", "pred Q", "Q / ωn⌈log_ωm n⌉"],
+        );
+        let mut norms = Vec::new();
+        for o in outs {
+            let n = o.u64("n") as usize;
+            let c = Cost::new(o.u64("reads"), o.u64("writes"));
+            let q = c.q(cfg.omega);
+            let norm = q as f64 / thm32(cfg, n);
+            norms.push(norm);
+            t.row(vec![
+                n.to_string(),
+                c.reads.to_string(),
+                c.writes.to_string(),
+                q.to_string(),
+                o.u64("pred").to_string(),
+                f(norm),
+            ]);
+        }
+        let spread = norms.iter().cloned().fold(f64::MIN, f64::max)
+            / norms.iter().cloned().fold(f64::MAX, f64::min);
+        t.note(format!(
+            "normalized-cost spread across the sweep: {:.2}x ({}) — Thm 3.2 predicts a constant",
+            spread,
+            if spread < 4.0 { "PASS" } else { "FAIL" }
+        ));
+        t
+    })
 }
 
 /// T1b: cost vs `ω` at fixed `N, M, B` — including `ω > B`, the regime the
 /// paper's mergesort newly covers.
-pub fn t1_omega_sweep(quick: bool) -> Table {
+pub fn t1_omega_sweep(quick: bool) -> Sweep {
     let (mem, b) = (64usize, 8usize);
     let n = if quick { 1 << 12 } else { 1 << 16 };
     let omegas: Vec<u64> = vec![1, 2, 4, 8, 16, 64, 256, 1024];
-    let mut t = Table::new(
-        "T1b",
-        &format!("Thm 3.2 — AEM mergesort vs ω at N={n}, M={mem}, B={b} (ω>B from ω=16 on)"),
-        &[
-            "ω",
-            "ω>B",
-            "reads",
-            "writes",
-            "Q",
-            "Q / ωn⌈log_ωm n⌉",
-            "writes / n⌈log⌉",
-        ],
-    );
-    let rows = parallel_map(omegas, |omega| {
-        let cfg = AemConfig::new(mem, b, omega).unwrap();
-        (omega, cfg, run_merge_sort(cfg, n, 2))
-    });
-    let mut ok = true;
-    for (omega, cfg, c) in rows {
-        let nb = cfg.blocks_for(n) as f64;
-        let lev = cfg.log_fan_in(nb).ceil();
-        let norm_q = c.q(omega) as f64 / thm32(cfg, n);
-        let norm_w = c.writes as f64 / (nb * lev);
-        ok &= norm_q < 40.0 && norm_w < 8.0;
-        t.row(vec![
-            omega.to_string(),
-            if omega > b as u64 {
-                "yes".into()
-            } else {
-                "no".into()
-            },
-            c.reads.to_string(),
-            c.writes.to_string(),
-            c.q(omega).to_string(),
-            f(norm_q),
-            f(norm_w),
-        ]);
-    }
-    t.note(format!(
-        "both normalizations bounded across four orders of magnitude of ω, incl. ω ≫ B: {}",
-        if ok { "PASS" } else { "FAIL" }
-    ));
-    t
+    let cells = omegas
+        .iter()
+        .map(|&omega| {
+            Cell::new(format!("omega={omega}"), move || {
+                let cfg = AemConfig::new(mem, b, omega).unwrap();
+                let c = run_merge_sort(cfg, n, 2);
+                CellOut::new()
+                    .with_u64("omega", omega)
+                    .with_u64("reads", c.reads)
+                    .with_u64("writes", c.writes)
+            })
+        })
+        .collect();
+    Sweep::new("T1b", cells, move |outs| {
+        let mut t = Table::new(
+            "T1b",
+            &format!("Thm 3.2 — AEM mergesort vs ω at N={n}, M={mem}, B={b} (ω>B from ω=16 on)"),
+            &[
+                "ω",
+                "ω>B",
+                "reads",
+                "writes",
+                "Q",
+                "Q / ωn⌈log_ωm n⌉",
+                "writes / n⌈log⌉",
+            ],
+        );
+        let mut ok = true;
+        for o in outs {
+            let omega = o.u64("omega");
+            let cfg = AemConfig::new(mem, b, omega).unwrap();
+            let c = Cost::new(o.u64("reads"), o.u64("writes"));
+            let nb = cfg.blocks_for(n) as f64;
+            let lev = cfg.log_fan_in(nb).ceil();
+            let norm_q = c.q(omega) as f64 / thm32(cfg, n);
+            let norm_w = c.writes as f64 / (nb * lev);
+            ok &= norm_q < 40.0 && norm_w < 8.0;
+            t.row(vec![
+                omega.to_string(),
+                if omega > b as u64 {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
+                c.reads.to_string(),
+                c.writes.to_string(),
+                c.q(omega).to_string(),
+                f(norm_q),
+                f(norm_w),
+            ]);
+        }
+        t.note(format!(
+            "both normalizations bounded across four orders of magnitude of ω, incl. ω ≫ B: {}",
+            if ok { "PASS" } else { "FAIL" }
+        ));
+        t
+    })
 }
 
 /// F1: the separation against the `ω`-oblivious EM mergesort.
-pub fn f1_vs_em(quick: bool) -> Table {
+pub fn f1_vs_em(quick: bool) -> Sweep {
     let (mem, b) = (64usize, 8usize);
     let n = if quick { 1 << 12 } else { 1 << 16 };
     let omegas: Vec<u64> = vec![1, 4, 16, 64, 256];
-    let mut t = Table::new(
-        "F1",
-        &format!("AEM mergesort vs ω-oblivious baselines at N={n}, M={mem}, B={b}"),
-        &[
-            "ω",
-            "Q(AEM sort)",
-            "Q(EM merge)",
-            "Q(EM distrib)",
-            "EM-merge/AEM",
-            "writes AEM",
-            "writes EM",
-        ],
-    );
-    let rows = parallel_map(omegas, |omega| {
-        let cfg = AemConfig::new(mem, b, omega).unwrap();
-        (
-            omega,
-            run_merge_sort(cfg, n, 3),
-            run_em_sort(cfg, n, 3),
-            run_distribution_sort(cfg, n, 3),
-        )
-    });
-    let mut last_ratio = 0.0;
-    for (omega, aem, em, dist) in rows {
-        let (qa, qe, qd) = (aem.q(omega), em.q(omega), dist.q(omega));
-        last_ratio = qe as f64 / qa as f64;
-        t.row(vec![
-            omega.to_string(),
-            qa.to_string(),
-            qe.to_string(),
-            qd.to_string(),
-            ratio(qe as f64, qa as f64),
-            aem.writes.to_string(),
-            em.writes.to_string(),
-        ]);
-    }
-    t.note(format!(
-        "both ω-oblivious baselines (merge- and distribution-family) fall behind as ω \
-         grows (EM-merge/AEM at ω=256: {:.1}x); the win is the fewer merge levels \
-         (log ωm vs log m) and the read-heavy profile: {}",
-        last_ratio,
-        if last_ratio > 1.0 { "PASS" } else { "FAIL" }
-    ));
-    t
+    let cells = omegas
+        .iter()
+        .map(|&omega| {
+            Cell::new(format!("omega={omega}"), move || {
+                let cfg = AemConfig::new(mem, b, omega).unwrap();
+                let aem = run_merge_sort(cfg, n, 3);
+                let em = run_em_sort(cfg, n, 3);
+                let dist = run_distribution_sort(cfg, n, 3);
+                CellOut::new()
+                    .with_u64("omega", omega)
+                    .with_u64("aem_reads", aem.reads)
+                    .with_u64("aem_writes", aem.writes)
+                    .with_u64("em_reads", em.reads)
+                    .with_u64("em_writes", em.writes)
+                    .with_u64("dist_reads", dist.reads)
+                    .with_u64("dist_writes", dist.writes)
+            })
+        })
+        .collect();
+    Sweep::new("F1", cells, move |outs| {
+        let mut t = Table::new(
+            "F1",
+            &format!("AEM mergesort vs ω-oblivious baselines at N={n}, M={mem}, B={b}"),
+            &[
+                "ω",
+                "Q(AEM sort)",
+                "Q(EM merge)",
+                "Q(EM distrib)",
+                "EM-merge/AEM",
+                "writes AEM",
+                "writes EM",
+            ],
+        );
+        let mut last_ratio = 0.0;
+        for o in outs {
+            let omega = o.u64("omega");
+            let aem = Cost::new(o.u64("aem_reads"), o.u64("aem_writes"));
+            let em = Cost::new(o.u64("em_reads"), o.u64("em_writes"));
+            let dist = Cost::new(o.u64("dist_reads"), o.u64("dist_writes"));
+            let (qa, qe, qd) = (aem.q(omega), em.q(omega), dist.q(omega));
+            last_ratio = qe as f64 / qa as f64;
+            t.row(vec![
+                omega.to_string(),
+                qa.to_string(),
+                qe.to_string(),
+                qd.to_string(),
+                ratio(qe as f64, qa as f64),
+                aem.writes.to_string(),
+                em.writes.to_string(),
+            ]);
+        }
+        t.note(format!(
+            "both ω-oblivious baselines (merge- and distribution-family) fall behind as ω \
+             grows (EM-merge/AEM at ω=256: {:.1}x); the win is the fewer merge levels \
+             (log ωm vs log m) and the read-heavy profile: {}",
+            last_ratio,
+            if last_ratio > 1.0 { "PASS" } else { "FAIL" }
+        ));
+        t
+    })
 }
 
 /// Ablation: merge fan-in `d ∈ {2, m, ωm}` — the `log_d n` level count in
 /// measured costs.
-pub fn ablation_fan_in(quick: bool) -> Table {
+pub fn ablation_fan_in(quick: bool) -> Sweep {
     let cfg = AemConfig::new(64, 8, 32).unwrap(); // fan-in ωm = 256
     let n = if quick { 1 << 12 } else { 1 << 16 };
-    let fans = vec![2usize, cfg.m(), cfg.fan_in()];
+    let fans = [2usize, cfg.m(), cfg.fan_in()];
     let labels = ["2 (binary)", "m (EM classic)", "ωm (paper)"];
-    let mut t = Table::new(
-        "T1c",
-        &format!("Ablation — merge fan-in on {cfg}, N={n}"),
-        &["fan-in", "reads", "writes", "Q"],
-    );
-    let input = KeyDist::Uniform { seed: 4 }.generate(n);
-    let rows = parallel_map(fans, |d| {
-        let mut m: Machine<u64> = Machine::new(cfg);
-        let r = m.install(&input);
-        merge_sort_with_fan_in(&mut m, r, d).expect("sort");
-        (d, m.cost())
-    });
-    let mut writes = Vec::new();
-    for ((d, c), label) in rows.into_iter().zip(labels) {
-        writes.push(c.writes);
-        t.row(vec![
-            format!("{d} = {label}"),
-            c.reads.to_string(),
-            c.writes.to_string(),
-            c.q(cfg.omega).to_string(),
-        ]);
-    }
-    // Larger fan-in means fewer merge levels, so the paper's d = ωm
-    // minimizes the expensive writes unconditionally. Total Q, however,
-    // trades those against the ωm-way merge's re-scan reads (a ~6x
-    // constant on the read term), so Q only favours d = ωm once
-    // log(ωm)/log(m) exceeds that constant — a genuinely useful datum
-    // about the algorithm's constants that the asymptotic statement hides.
-    t.note(format!(
-        "writes decrease monotonically with fan-in (d = ωm minimizes the expensive \
-         operation): {}",
-        if writes[2] <= writes[1] && writes[1] <= writes[0] {
-            "PASS"
-        } else {
-            "FAIL"
+    let cells = fans
+        .iter()
+        .map(|&d| {
+            Cell::new(format!("d={d}"), move || {
+                let input = KeyDist::Uniform { seed: 4 }.generate(n);
+                let mut m: Machine<u64> = Machine::new(cfg);
+                let r = m.install(&input);
+                merge_sort_with_fan_in(&mut m, r, d).expect("sort");
+                CellOut::new()
+                    .with_u64("d", d as u64)
+                    .with_u64("reads", m.cost().reads)
+                    .with_u64("writes", m.cost().writes)
+            })
+        })
+        .collect();
+    Sweep::new("T1c", cells, move |outs| {
+        let mut t = Table::new(
+            "T1c",
+            &format!("Ablation — merge fan-in on {cfg}, N={n}"),
+            &["fan-in", "reads", "writes", "Q"],
+        );
+        let mut writes = Vec::new();
+        for (o, label) in outs.iter().zip(labels) {
+            let c = Cost::new(o.u64("reads"), o.u64("writes"));
+            writes.push(c.writes);
+            t.row(vec![
+                format!("{} = {label}", o.u64("d")),
+                c.reads.to_string(),
+                c.writes.to_string(),
+                c.q(cfg.omega).to_string(),
+            ]);
         }
-    ));
-    t
+        // Larger fan-in means fewer merge levels, so the paper's d = ωm
+        // minimizes the expensive writes unconditionally. Total Q, however,
+        // trades those against the ωm-way merge's re-scan reads (a ~6x
+        // constant on the read term), so Q only favours d = ωm once
+        // log(ωm)/log(m) exceeds that constant — a genuinely useful datum
+        // about the algorithm's constants that the asymptotic statement hides.
+        t.note(format!(
+            "writes decrease monotonically with fan-in (d = ωm minimizes the expensive \
+             operation): {}",
+            if writes[2] <= writes[1] && writes[1] <= writes[0] {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        ));
+        t
+    })
 }
 
 #[cfg(test)]

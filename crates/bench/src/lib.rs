@@ -18,11 +18,17 @@
 //! metering), so the emitted tables are reproducible bit-for-bit. Each
 //! also has a binary (`cargo run --release --bin exp_*`) and `run_all`
 //! regenerates the data behind `EXPERIMENTS.md`.
+//!
+//! Experiments are declared as [`sweep::Sweep`]s — grids of independent,
+//! cached, keyed cells — and executed either serially
+//! ([`sweep::Sweep::run_serial`]) or on the parallel resumable engine
+//! ([`sweep::run`]); `run_all --jobs N --cache FILE` drives the latter.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod sweep;
 pub mod table;
 pub mod timing;
 

@@ -1,0 +1,353 @@
+//! The parallel, resumable sweep executor.
+//!
+//! Takes a list of [`Sweep`]s, flattens them into independent cells,
+//! subtracts the cells already present in the result cache, and executes
+//! the remainder on a pool of `std::thread::scope` workers pulling from a
+//! shared queue (work stealing at cell granularity — no static
+//! partitioning, so one slow table cannot idle the other workers).
+//!
+//! Determinism: execution order is whatever the pool produces, but results
+//! are reassembled **in cell-declaration order** (each cell is keyed, and
+//! the per-sweep `render` always sees the sorted sequence), so the tables
+//! a parallel run prints are byte-identical to a `--jobs 1` run — and to a
+//! fully cached run. Wall-clock timings never enter a table cell; they are
+//! reported separately via [`RunReport::stats_table`] and the
+//! [`aem_obs::Metrics`] registry.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use aem_obs::Metrics;
+
+use super::cache::{self, Cache, CacheWriter};
+use super::value::CellOut;
+use super::Sweep;
+use crate::table::Table;
+
+/// Options controlling one engine run (the `run_all` / `aemsim exp`
+/// flags, in struct form).
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker threads; `0` means one per available core.
+    pub jobs: usize,
+    /// Result-cache file (JSONL). `None` disables caching.
+    pub cache: Option<PathBuf>,
+    /// Truncate the cache before running (`--fresh`).
+    pub fresh: bool,
+    /// Restrict to experiments whose id matches one of these patterns
+    /// (case-insensitive exact match or prefix, so `t1` selects T1a–T1f).
+    pub only: Option<Vec<String>>,
+}
+
+impl RunOptions {
+    /// `true` if `id` is selected by the `only` filter (everything is
+    /// selected when no filter is set).
+    pub fn selects(&self, id: &str) -> bool {
+        match &self.only {
+            None => true,
+            Some(pats) => pats
+                .iter()
+                .any(|p| id.len() >= p.len() && id[..p.len()].eq_ignore_ascii_case(p)),
+        }
+    }
+
+    /// The effective worker count.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Per-experiment outcome of an engine run.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Experiment id (e.g. "T1a").
+    pub id: String,
+    /// The rendered table, unless a cell or the renderer panicked.
+    pub table: Option<Table>,
+    /// First panic message observed, if any.
+    pub panic: Option<String>,
+    /// Total cells in the sweep's grid.
+    pub cells: usize,
+    /// Cells simulated in this run.
+    pub executed: usize,
+    /// Cells served from the result cache.
+    pub cached: usize,
+    /// Summed wall time of this sweep's executed cells.
+    pub cell_nanos: u128,
+}
+
+impl SweepOutcome {
+    /// Machine-checked verdict: `PANIC` if any cell or the renderer
+    /// panicked, `FAIL` if a rendered note carries a failed check,
+    /// `PASS` otherwise.
+    pub fn verdict(&self) -> &'static str {
+        if self.panic.is_some() {
+            "PANIC"
+        } else if self
+            .table
+            .as_ref()
+            .is_some_and(|t| t.notes.iter().any(|n| n.contains("FAIL")))
+        {
+            "FAIL"
+        } else {
+            "PASS"
+        }
+    }
+}
+
+/// The result of one engine run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Per-experiment outcomes, in declaration order.
+    pub outcomes: Vec<SweepOutcome>,
+    /// Total cells simulated.
+    pub executed: usize,
+    /// Total cells served from cache.
+    pub cached: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock time of the execution phase.
+    pub wall: Duration,
+    /// Summed busy time across all workers.
+    pub busy_nanos: u128,
+    /// Phase-attributed engine metrics (cell timings, utilization).
+    pub metrics: Metrics,
+}
+
+impl RunReport {
+    /// `true` when every experiment's verdict is PASS.
+    pub fn all_pass(&self) -> bool {
+        self.outcomes.iter().all(|o| o.verdict() == "PASS")
+    }
+
+    /// Worker utilization in `[0, 1]`: busy time / (wall × workers).
+    pub fn utilization(&self) -> f64 {
+        let denom = self.wall.as_nanos() as f64 * self.jobs as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (self.busy_nanos as f64 / denom).min(1.0)
+    }
+
+    /// The engine's own report: per-experiment cell counts, cache hits and
+    /// wall time, plus pool totals. Timings are wall-clock, so this table
+    /// is diagnostic output (stderr), never part of the deterministic
+    /// experiment document.
+    pub fn stats_table(&self) -> Table {
+        let mut t = Table::new(
+            "SWEEP",
+            &format!(
+                "sweep engine — {} workers, {} cells simulated, {} cached",
+                self.jobs, self.executed, self.cached
+            ),
+            &[
+                "experiment",
+                "verdict",
+                "cells",
+                "executed",
+                "cached",
+                "cell time (ms)",
+            ],
+        );
+        for o in &self.outcomes {
+            t.row(vec![
+                o.id.clone(),
+                o.verdict().to_string(),
+                o.cells.to_string(),
+                o.executed.to_string(),
+                o.cached.to_string(),
+                format!("{:.1}", o.cell_nanos as f64 / 1e6),
+            ]);
+        }
+        let serial_ms = self.busy_nanos as f64 / 1e6;
+        let wall_ms = self.wall.as_nanos() as f64 / 1e6;
+        t.note(format!(
+            "wall {:.1} ms vs {:.1} ms of cell work — speedup {:.2}x at {:.0}% worker utilization",
+            wall_ms,
+            serial_ms,
+            if wall_ms > 0.0 {
+                serial_ms / wall_ms
+            } else {
+                0.0
+            },
+            100.0 * self.utilization(),
+        ));
+        t
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Execute `sweeps` under `opts`: subtract cached cells, run the rest on
+/// the worker pool (appending each completed cell to the cache), then
+/// render every table from results in declaration order.
+///
+/// # Errors
+///
+/// Returns `Err` only for cache-file I/O failures; cell and renderer
+/// panics are captured per experiment in the report instead.
+pub fn run(sweeps: &[Sweep], opts: &RunOptions) -> Result<RunReport, String> {
+    let salt = cache::code_salt();
+    let selected: Vec<&Sweep> = sweeps.iter().filter(|s| opts.selects(&s.id)).collect();
+
+    let cache_map = match (&opts.cache, opts.fresh) {
+        (Some(path), false) => Cache::load(path),
+        _ => Cache::new(),
+    };
+    let writer = match &opts.cache {
+        Some(path) => Some(
+            CacheWriter::open(path, opts.fresh)
+                .map_err(|e| format!("cannot open cache {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+
+    // Slot per cell: cache hits pre-filled, the rest queued as tasks.
+    let mut slots: Vec<Vec<Option<Result<CellOut, String>>>> = Vec::new();
+    let mut tasks: Vec<(usize, usize)> = Vec::new();
+    let mut cached_total = 0usize;
+    for (si, sweep) in selected.iter().enumerate() {
+        let mut row = Vec::with_capacity(sweep.cells.len());
+        for (ci, cell) in sweep.cells.iter().enumerate() {
+            let hash = cache::cell_hash(&sweep.id, &cell.key, salt);
+            match cache_map.get(&hash) {
+                Some(out) => {
+                    cached_total += 1;
+                    row.push(Some(Ok(out.clone())));
+                }
+                None => {
+                    tasks.push((si, ci));
+                    row.push(None);
+                }
+            }
+        }
+        slots.push(row);
+    }
+
+    let jobs = opts.effective_jobs();
+    let next = AtomicUsize::new(0);
+    let busy = AtomicU64::new(0);
+    // (sweep idx, cell idx, run result, elapsed nanos) per finished cell.
+    type Finished = (usize, usize, Result<CellOut, String>, u128);
+    let done: Mutex<Vec<Finished>> = Mutex::new(Vec::with_capacity(tasks.len()));
+    let writer = Mutex::new(writer);
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(tasks.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let Some(&(si, ci)) = tasks.get(i) else { break };
+                let cell = &selected[si].cells[ci];
+                let start = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| (cell.run)()));
+                let nanos = start.elapsed().as_nanos();
+                busy.fetch_add(nanos as u64, Ordering::Relaxed);
+                let result = match result {
+                    Ok(out) => {
+                        if let Some(w) = writer.lock().expect("cache writer").as_mut() {
+                            // A failed append degrades resumability, not
+                            // correctness; the in-memory result survives.
+                            let _ = w.append(&selected[si].id, &cell.key, salt, &out);
+                        }
+                        Ok(out)
+                    }
+                    Err(payload) => Err(panic_message(payload)),
+                };
+                done.lock().expect("results").push((si, ci, result, nanos));
+            });
+        }
+    });
+    let wall = t0.elapsed();
+
+    let mut metrics = Metrics::new();
+    metrics.histogram_with_bounds(
+        "sweep.cell.micros",
+        vec![100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+    );
+    let mut cell_nanos: Vec<u128> = vec![0; selected.len()];
+    let mut executed: Vec<usize> = vec![0; selected.len()];
+    let mut executed_total = 0usize;
+    for (si, ci, result, nanos) in done.into_inner().expect("results") {
+        metrics.observe("sweep.cell.micros", (nanos / 1_000) as u64);
+        cell_nanos[si] += nanos;
+        executed[si] += 1;
+        executed_total += 1;
+        slots[si][ci] = Some(result);
+    }
+
+    let mut outcomes = Vec::with_capacity(selected.len());
+    for (si, sweep) in selected.iter().enumerate() {
+        let row = std::mem::take(&mut slots[si]);
+        let mut outs = Vec::with_capacity(row.len());
+        let mut panic = None;
+        for slot in row {
+            match slot.expect("every cell executed or cached") {
+                Ok(out) => outs.push(out),
+                Err(msg) => {
+                    if panic.is_none() {
+                        panic = Some(msg);
+                    }
+                }
+            }
+        }
+        let table = if panic.is_none() {
+            match catch_unwind(AssertUnwindSafe(|| (sweep.render)(&outs))) {
+                Ok(table) => Some(table),
+                Err(payload) => {
+                    panic = Some(panic_message(payload));
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        metrics.add(
+            &format!("sweep.cell_nanos.{}", sweep.id),
+            cell_nanos[si] as u64,
+        );
+        outcomes.push(SweepOutcome {
+            id: sweep.id.clone(),
+            table,
+            panic,
+            cells: sweep.cells.len(),
+            executed: executed[si],
+            cached: sweep.cells.len() - executed[si],
+            cell_nanos: cell_nanos[si],
+        });
+    }
+
+    metrics.add("sweep.cells.executed", executed_total as u64);
+    metrics.add("sweep.cells.cached", cached_total as u64);
+    metrics.gauge_set("sweep.jobs", jobs as u64);
+    let busy_nanos = busy.load(Ordering::Relaxed) as u128;
+    let mut report = RunReport {
+        outcomes,
+        executed: executed_total,
+        cached: cached_total,
+        jobs,
+        wall,
+        busy_nanos,
+        metrics,
+    };
+    let util_pct = (100.0 * report.utilization()).round() as u64;
+    report.metrics.gauge_set("sweep.utilization.pct", util_pct);
+    Ok(report)
+}

@@ -1,0 +1,242 @@
+//! Typed cell outputs with an exact JSONL round-trip.
+//!
+//! A sweep cell returns a [`CellOut`]: an ordered list of named scalar
+//! fields plus (optionally) pre-rendered table rows, for experiments whose
+//! per-cell row count is only known at run time (e.g. the T1f phase
+//! attribution). The representation is deliberately flat so that a cell's
+//! result can be cached as one JSONL record and replayed later with
+//! bit-identical rendering: `u64` survives as JSON integers, `f64` is
+//! stored as its shortest round-tripping decimal string (Rust's `{:?}`
+//! float formatting), so a cache hit reproduces *exactly* the bytes a
+//! fresh simulation would have produced.
+
+use aem_obs::json::Json;
+
+/// A single typed scalar stored in a [`CellOut`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer (costs, sizes, counts).
+    U64(u64),
+    /// A float, serialized via its shortest round-trip representation.
+    F64(f64),
+    /// A boolean verdict.
+    Bool(bool),
+    /// A label or pre-formatted fragment.
+    Str(String),
+}
+
+/// The result of one sweep cell: ordered named fields plus optional
+/// pre-rendered rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellOut {
+    fields: Vec<(String, Value)>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CellOut {
+    /// An empty output.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an unsigned-integer field (builder style).
+    pub fn with_u64(mut self, name: &str, v: u64) -> Self {
+        self.fields.push((name.to_string(), Value::U64(v)));
+        self
+    }
+
+    /// Append a float field (builder style).
+    pub fn with_f64(mut self, name: &str, v: f64) -> Self {
+        self.fields.push((name.to_string(), Value::F64(v)));
+        self
+    }
+
+    /// Append a boolean field (builder style).
+    pub fn with_bool(mut self, name: &str, v: bool) -> Self {
+        self.fields.push((name.to_string(), Value::Bool(v)));
+        self
+    }
+
+    /// Append a string field (builder style).
+    pub fn with_str(mut self, name: &str, v: impl Into<String>) -> Self {
+        self.fields.push((name.to_string(), Value::Str(v.into())));
+        self
+    }
+
+    /// Append one pre-rendered table row (builder style).
+    pub fn with_row(mut self, row: Vec<String>) -> Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// The pre-rendered rows (empty for purely scalar cells).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    fn field(&self, name: &str) -> &Value {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("cell output has no field {name:?}"))
+    }
+
+    /// Read back a `u64` field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field is absent or has a different type — a sweep's
+    /// `render` reading a field its own cells never wrote is a programming
+    /// error, not a runtime condition.
+    pub fn u64(&self, name: &str) -> u64 {
+        match self.field(name) {
+            Value::U64(v) => *v,
+            other => panic!("field {name:?} is {other:?}, not u64"),
+        }
+    }
+
+    /// Read back an `f64` field (see [`CellOut::u64`] for panics).
+    pub fn f64(&self, name: &str) -> f64 {
+        match self.field(name) {
+            Value::F64(v) => *v,
+            other => panic!("field {name:?} is {other:?}, not f64"),
+        }
+    }
+
+    /// Read back a boolean field (see [`CellOut::u64`] for panics).
+    pub fn bool(&self, name: &str) -> bool {
+        match self.field(name) {
+            Value::Bool(v) => *v,
+            other => panic!("field {name:?} is {other:?}, not bool"),
+        }
+    }
+
+    /// Read back a string field (see [`CellOut::u64`] for panics).
+    pub fn str(&self, name: &str) -> &str {
+        match self.field(name) {
+            Value::Str(v) => v,
+            other => panic!("field {name:?} is {other:?}, not str"),
+        }
+    }
+
+    /// Serialize to a JSON object (used by the result cache).
+    pub fn to_json(&self) -> Json {
+        let fields = self
+            .fields
+            .iter()
+            .map(|(k, v)| {
+                let (tag, val) = match v {
+                    Value::U64(x) => ("u", Json::UInt(*x)),
+                    // {:?} is Rust's shortest round-trip float repr; going
+                    // through a string keeps 2.0 distinguishable from 2u64.
+                    Value::F64(x) => ("f", Json::Str(format!("{x:?}"))),
+                    Value::Bool(x) => ("b", Json::Bool(*x)),
+                    Value::Str(x) => ("s", Json::Str(x.clone())),
+                };
+                Json::Arr(vec![Json::Str(k.clone()), Json::Str(tag.to_string()), val])
+            })
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| Json::Arr(r.iter().map(|c| Json::Str(c.clone())).collect()))
+            .collect();
+        Json::Obj(vec![
+            ("fields".to_string(), Json::Arr(fields)),
+            ("rows".to_string(), Json::Arr(rows)),
+        ])
+    }
+
+    /// Parse back from [`CellOut::to_json`]'s representation.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let mut out = CellOut::new();
+        let fields = j
+            .get("fields")
+            .and_then(Json::as_array)
+            .ok_or("cell output missing 'fields' array")?;
+        for f in fields {
+            let triple = f.as_array().ok_or("field is not an array")?;
+            let [name, tag, val] = triple else {
+                return Err("field is not a [name, tag, value] triple".into());
+            };
+            let name = name.as_str().ok_or("field name is not a string")?;
+            let value = match tag.as_str().ok_or("field tag is not a string")? {
+                "u" => Value::U64(val.as_u64().ok_or("u-field is not a u64")?),
+                "f" => Value::F64(
+                    val.as_str()
+                        .ok_or("f-field is not a string")?
+                        .parse()
+                        .map_err(|e| format!("bad float: {e}"))?,
+                ),
+                "b" => Value::Bool(val.as_bool().ok_or("b-field is not a bool")?),
+                "s" => Value::Str(val.as_str().ok_or("s-field is not a string")?.to_string()),
+                other => return Err(format!("unknown field tag {other:?}")),
+            };
+            out.fields.push((name.to_string(), value));
+        }
+        let rows = j
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or("cell output missing 'rows' array")?;
+        for r in rows {
+            let cells = r.as_array().ok_or("row is not an array")?;
+            let mut row = Vec::with_capacity(cells.len());
+            for c in cells {
+                row.push(c.as_str().ok_or("row cell is not a string")?.to_string());
+            }
+            out.rows.push(row);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aem_obs::json::parse;
+
+    #[test]
+    fn round_trips_all_types_exactly() {
+        let out = CellOut::new()
+            .with_u64("n", u64::MAX)
+            .with_f64("ratio", 0.1 + 0.2) // not exactly 0.3
+            .with_f64("whole", 2.0) // would collide with u64 in naive JSON
+            .with_bool("ok", true)
+            .with_str("label", "ωm — \"quoted\"")
+            .with_row(vec!["a".into(), "b".into()]);
+        let text = out.to_json().to_string_compact();
+        let back = CellOut::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, out);
+        assert_eq!(back.u64("n"), u64::MAX);
+        assert_eq!(back.f64("ratio"), 0.1 + 0.2);
+        assert_eq!(back.f64("whole"), 2.0);
+        assert!(back.bool("ok"));
+        assert_eq!(back.str("label"), "ωm — \"quoted\"");
+        assert_eq!(back.rows().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no field")]
+    fn missing_field_panics() {
+        CellOut::new().u64("absent");
+    }
+
+    #[test]
+    #[should_panic(expected = "not u64")]
+    fn wrong_type_panics() {
+        CellOut::new().with_f64("x", 1.0).u64("x");
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        for bad in [
+            "{}",
+            "{\"fields\":[[\"a\",\"u\",\"nope\"]],\"rows\":[]}",
+            "{\"fields\":[[\"a\",\"z\",1]],\"rows\":[]}",
+            "{\"fields\":[],\"rows\":[[1]]}",
+        ] {
+            assert!(CellOut::from_json(&parse(bad).unwrap()).is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Integration tests for the sweep engine against the real experiment
+//! grids: parallel determinism, cache resume, `--fresh` invalidation and
+//! code-version-salt invalidation.
+
+use std::path::PathBuf;
+
+use aem_bench::exp;
+use aem_bench::sweep::{self, cache, RunOptions, RunReport};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("aem-sweep-it-{}-{name}", std::process::id()))
+}
+
+fn render(report: &RunReport) -> String {
+    let mut doc = String::new();
+    for o in &report.outcomes {
+        doc.push_str(
+            &o.table
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} panicked: {:?}", o.id, o.panic))
+                .to_markdown(),
+        );
+    }
+    doc
+}
+
+/// A small but real subset of the quick grids (kept cheap: these are the
+/// experiments whose quick cells run in milliseconds).
+fn subset() -> RunOptions {
+    RunOptions {
+        only: Some(vec!["T2".into(), "T5".into(), "F5".into()]),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn parallel_is_byte_identical_to_serial() {
+    let serial = sweep::run(
+        &exp::all_sweeps(true),
+        &RunOptions {
+            jobs: 1,
+            ..subset()
+        },
+    )
+    .unwrap();
+    let parallel = sweep::run(
+        &exp::all_sweeps(true),
+        &RunOptions {
+            jobs: 4,
+            ..subset()
+        },
+    )
+    .unwrap();
+    assert!(serial.executed > 0);
+    assert_eq!(render(&serial), render(&parallel));
+
+    // And both match the pre-engine serial path (`tables(quick)`).
+    let legacy: String = exp::all_sweeps(true)
+        .iter()
+        .filter(|s| subset().selects(&s.id))
+        .map(|s| s.run_serial().to_markdown())
+        .collect();
+    assert_eq!(render(&serial), legacy);
+}
+
+#[test]
+fn warm_cache_runs_zero_simulations() {
+    let path = tmp("warm.jsonl");
+    std::fs::remove_file(&path).ok();
+    let opts = RunOptions {
+        jobs: 4,
+        cache: Some(path.clone()),
+        ..subset()
+    };
+    let cold = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    assert!(cold.executed > 0);
+    assert_eq!(cold.cached, 0);
+
+    let warm = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    assert_eq!(warm.executed, 0, "second run must simulate nothing");
+    assert_eq!(warm.cached, cold.executed);
+    assert_eq!(render(&cold), render(&warm));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn fresh_invalidates_the_cache() {
+    let path = tmp("fresh.jsonl");
+    std::fs::remove_file(&path).ok();
+    let opts = RunOptions {
+        jobs: 4,
+        cache: Some(path.clone()),
+        only: Some(vec!["T2a".into()]),
+        ..Default::default()
+    };
+    let cold = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    assert!(cold.executed > 0);
+
+    let fresh = sweep::run(
+        &exp::all_sweeps(true),
+        &RunOptions {
+            fresh: true,
+            ..opts.clone()
+        },
+    )
+    .unwrap();
+    assert_eq!(fresh.executed, cold.executed, "--fresh must re-simulate");
+    assert_eq!(fresh.cached, 0);
+
+    // After the fresh run the cache is warm again.
+    let warm = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    assert_eq!(warm.executed, 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stale_code_salt_invalidates_cached_cells() {
+    let path = tmp("stale.jsonl");
+    std::fs::remove_file(&path).ok();
+    let opts = RunOptions {
+        jobs: 2,
+        cache: Some(path.clone()),
+        only: Some(vec!["T2a".into()]),
+        ..Default::default()
+    };
+    let cold = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    assert!(cold.executed > 0);
+
+    // Rewrite every cache line as if produced by an older code version:
+    // same experiment ids and cell keys, different salt. The engine must
+    // treat all of them as misses.
+    let sweeps = exp::all_sweeps(true);
+    let t2a = sweeps.iter().find(|s| s.id == "T2a").unwrap();
+    let mut stale = String::new();
+    for cell in &t2a.cells {
+        let out = (cell.run)();
+        stale.push_str(&cache::record_line(
+            &t2a.id,
+            &cell.key,
+            "0000deadbeef0000",
+            &out,
+        ));
+        stale.push('\n');
+    }
+    std::fs::write(&path, stale).unwrap();
+
+    let rerun = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    assert_eq!(
+        rerun.executed, cold.executed,
+        "stale-salt records must not count as hits"
+    );
+    assert_eq!(rerun.cached, 0);
+
+    // Sanity: with the *current* salt the very same records do hit.
+    let current = cache::code_salt();
+    assert_ne!(current, "0000deadbeef0000");
+    let warm = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    assert_eq!(warm.executed, 0);
+    std::fs::remove_file(&path).ok();
+}

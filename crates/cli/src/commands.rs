@@ -494,6 +494,53 @@ pub fn cmd_trace(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// `aemsim exp` — run EXPERIMENTS.md experiments on the parallel,
+/// resumable sweep engine (`aem_bench::sweep`).
+pub fn cmd_exp(args: &Args) -> Result<String, String> {
+    let opts = aem_bench::sweep::RunOptions {
+        jobs: args.get_or("jobs", 0usize)?,
+        cache: args.get("cache").map(std::path::PathBuf::from),
+        fresh: args.flag("fresh"),
+        only: args.get("only").map(|s| {
+            s.split(',')
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect()
+        }),
+    };
+    let quick = args.flag("quick");
+    let sweeps = aem_bench::exp::all_sweeps(quick);
+    let report = aem_bench::sweep::run(&sweeps, &opts)?;
+
+    let mut out = String::new();
+    for o in &report.outcomes {
+        if let Some(t) = &o.table {
+            out.push_str(&t.to_markdown());
+        }
+    }
+    for o in &report.outcomes {
+        match &o.panic {
+            Some(msg) => out.push_str(&format!("{:5} PANIC  {}\n", o.id, msg)),
+            None => out.push_str(&format!("{:5} {}\n", o.id, o.verdict())),
+        }
+    }
+    out.push_str(&format!(
+        "{} experiments, {} cells simulated, {} cached\n",
+        report.outcomes.len(),
+        report.executed,
+        report.cached
+    ));
+    if args.flag("stats") {
+        out.push('\n');
+        out.push_str(&report.stats_table().to_markdown());
+    }
+    if report.all_pass() {
+        Ok(out)
+    } else {
+        Err(format!("{out}\nsome experiments did not PASS"))
+    }
+}
+
 /// `aemsim report` — load a JSONL run record, re-check the paper
 /// invariants, and render the phase-attributed cost report.
 pub fn cmd_report(args: &Args) -> Result<String, String> {
@@ -526,6 +573,9 @@ COMMANDS
   trace     record + analyze   --n --algo aem|em|dist|heap
   lemma43   flash reduction    --n
   report    render a trace     --in FILE [--format text|md]
+  exp       run experiments    [--quick --jobs N --cache FILE --fresh
+                                --only IDS --stats]  (parallel sweep
+                               engine; --cache resumes interrupted runs)
 
 MACHINE OPTIONS (all commands)
   --mem M      internal memory in elements   (default 1024)
@@ -559,6 +609,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("trace") => cmd_trace(args),
         Some("lemma43") => cmd_lemma43(args),
         Some("report") => cmd_report(args),
+        Some("exp") => cmd_exp(args),
         Some(other) => Err(format!("unknown command '{other}'\n\n{}", usage())),
         None => Ok(usage()),
     }
@@ -651,6 +702,32 @@ mod tests {
         let out = run("lemma43 --n 512 --mem 64 --block 16 --omega 4").unwrap();
         assert!(out.contains("layout verified"));
         assert!(out.contains("% of bound"));
+    }
+
+    #[test]
+    fn exp_quick_only_runs_selected_and_caches() {
+        let path = tmp_path("exp-cache.jsonl");
+        let p = path.to_str().unwrap();
+        let out = run(&format!("exp --quick --only t2 --jobs 2 --cache {p}")).unwrap();
+        assert!(out.contains("### T2a"), "{out}");
+        assert!(out.contains("### T2b"), "{out}");
+        assert!(!out.contains("### T1a"), "{out}");
+        assert!(
+            out.contains("2 experiments, 8 cells simulated, 0 cached"),
+            "{out}"
+        );
+
+        let warm = run(&format!("exp --quick --only t2 --jobs 2 --cache {p}")).unwrap();
+        assert!(
+            warm.contains("2 experiments, 0 cells simulated, 8 cached"),
+            "{warm}"
+        );
+        // The rendered document must be identical from cache.
+        assert_eq!(
+            out.split("experiments,").next(),
+            warm.split("experiments,").next()
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -24,7 +24,28 @@ use super::small::small_sort;
 ///
 /// Cost: `O(ω n log_{ωm} n)` reads and `O(n log_{ωm} n)` writes — verified
 /// against the closed-form predictor in the test suite and measured by
-/// `exp_sorting`.
+/// `exp_sorting`. The write term has no `ω` factor: that is Theorem 3.2's
+/// point, and what the `ωm`-way merge of §3.1 buys over the classical
+/// `m`-way EM mergesort.
+///
+/// ```
+/// use aem_core::sort::merge_sort;
+/// use aem_machine::{AemAccess, AemConfig, Machine};
+///
+/// let cfg = AemConfig::new(64, 8, 16).unwrap();
+/// let mut m: Machine<u64> = Machine::new(cfg);
+/// let input: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(2654435761) % 997).collect();
+/// let r = m.install(&input);
+///
+/// let sorted = merge_sort(&mut m, r).unwrap();
+///
+/// let out = m.inspect(sorted);
+/// assert!(out.windows(2).all(|w| w[0] <= w[1]));
+/// let mut want = input.clone();
+/// want.sort();
+/// assert_eq!(out, want);
+/// assert!(m.cost().q(cfg.omega) > 0);
+/// ```
 pub fn merge_sort<T, A>(machine: &mut A, input: Region) -> Result<Region>
 where
     T: Ord + Clone,

@@ -140,6 +140,25 @@ impl<T, M: AemAccess<T> + ?Sized> AemAccess<T> for &mut M {
 }
 
 /// The plain `(M, B, ω)`-AEM machine with copy semantics.
+///
+/// Implements the §2 cost measure exactly: reading a block charges 1,
+/// writing a block charges `ω` (via [`Cost::q`]), and internal memory is
+/// capacity-enforced at `M` elements.
+///
+/// ```
+/// use aem_machine::{AemAccess, AemConfig, Machine};
+///
+/// let cfg = AemConfig::new(64, 8, 16).unwrap(); // M = 64, B = 8, ω = 16
+/// let mut m: Machine<u64> = Machine::new(cfg);
+/// let r = m.install(&(0..32).collect::<Vec<u64>>()); // setup is free (§2)
+///
+/// let block = m.read_block(r.block(0)).unwrap();
+/// m.write_block(r.block(1), block).unwrap();
+///
+/// let c = m.cost();
+/// assert_eq!((c.reads, c.writes), (1, 1));
+/// assert_eq!(c.q(cfg.omega), 1 + 16); // Q = reads + ω·writes
+/// ```
 #[derive(Debug)]
 pub struct Machine<T> {
     cfg: AemConfig,

@@ -70,6 +70,27 @@ fn occupancy_bounds(b: usize) -> Vec<u64> {
 /// constants), a phase tree fed by [`enter`](Self::enter)/[`exit`](Self::exit)
 /// (or the `phase_enter`/`phase_exit` hooks algorithms call through
 /// `AemAccess`), and fan-out to registered [`Observer`]s.
+///
+/// ```
+/// use aem_machine::{AemAccess, AemConfig, Machine};
+/// use aem_obs::{InstrumentedMachine, WorkloadMeta};
+///
+/// let cfg = AemConfig::new(64, 8, 16).unwrap();
+/// let mut im = InstrumentedMachine::new(Machine::<u64>::new(cfg));
+/// let r = im.inner_mut().install(&(0..16).collect::<Vec<u64>>());
+///
+/// im.enter("copy-block");
+/// let block = im.read_block(r.block(0)).unwrap();
+/// im.write_block(r.block(1), block).unwrap();
+/// im.exit();
+///
+/// // The wrapper charged nothing extra and attributed the I/O to the span.
+/// assert_eq!(im.inner().cost().q(cfg.omega), 1 + 16);
+/// let rec = im.into_record(WorkloadMeta::new("demo", "copy", 16));
+/// assert_eq!(rec.phases.len(), 1);
+/// assert_eq!(rec.phases[0].name, "copy-block");
+/// assert_eq!((rec.phases[0].cost.reads, rec.phases[0].cost.writes), (1, 1));
+/// ```
 pub struct InstrumentedMachine<T, A: AemAccess<T>> {
     inner: A,
     trace: Trace,
