@@ -201,10 +201,30 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// # Errors
 ///
-/// Returns `Err` only for cache-file I/O failures; cell and renderer
+/// Returns `Err` for cache-file I/O failures and for `--only` patterns
+/// that match no experiment (listing the valid ids); cell and renderer
 /// panics are captured per experiment in the report instead.
 pub fn run(sweeps: &[Sweep], opts: &RunOptions) -> Result<RunReport, String> {
     let salt = cache::code_salt();
+    if let Some(pats) = &opts.only {
+        let unmatched: Vec<&str> = pats
+            .iter()
+            .filter(|p| {
+                !sweeps
+                    .iter()
+                    .any(|s| s.id.len() >= p.len() && s.id[..p.len()].eq_ignore_ascii_case(p))
+            })
+            .map(String::as_str)
+            .collect();
+        if !unmatched.is_empty() {
+            let ids: Vec<&str> = sweeps.iter().map(|s| s.id.as_str()).collect();
+            return Err(format!(
+                "--only pattern(s) {} match no experiment; valid ids: {}",
+                unmatched.join(", "),
+                ids.join(", ")
+            ));
+        }
+    }
     let selected: Vec<&Sweep> = sweeps.iter().filter(|s| opts.selects(&s.id)).collect();
 
     let cache_map = match (&opts.cache, opts.fresh) {

@@ -243,4 +243,24 @@ mod tests {
         assert!(!opts.selects("F2"));
         assert!(RunOptions::default().selects("anything"));
     }
+
+    #[test]
+    fn only_filter_with_unknown_id_is_an_error_listing_valid_ids() {
+        let sweep = Sweep::new(
+            "T9",
+            vec![Cell::new("c", || CellOut::new().with_u64("v", 1))],
+            |_| Table::new("T9", "", &["v"]),
+        );
+        let opts = RunOptions {
+            only: Some(vec!["t9".into(), "nope".into()]),
+            ..Default::default()
+        };
+        let err = run(&[sweep], &opts).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        assert!(err.contains("valid ids: T9"), "{err}");
+        assert!(
+            !err.contains("t9,"),
+            "matched patterns are not reported: {err}"
+        );
+    }
 }

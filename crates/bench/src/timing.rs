@@ -79,7 +79,9 @@ pub fn bench_with_elems<R>(name: &str, elems: u64, mut f: impl FnMut() -> R) -> 
     let m = Measurement {
         name: name.to_string(),
         iters,
-        per_iter: total / iters,
+        // Floor at 1ns: a closure the optimizer reduces to nearly nothing
+        // can otherwise truncate to a zero Duration and lose throughput.
+        per_iter: (total / iters).max(Duration::from_nanos(1)),
         elems,
     };
     println!("{m}");

@@ -13,6 +13,7 @@ use aem_core::spmv::{
 };
 use aem_flash::driver::naive_atom_permutation;
 use aem_flash::verify_lemma_4_3;
+use aem_fuzz::{DistKind, FuzzCase, FuzzOptions};
 use aem_machine::{AemAccess, AemConfig, Cost, Machine};
 use aem_obs::{
     render_markdown, render_text, run_all, InstrumentedMachine, RunRecord, WorkloadMeta,
@@ -541,6 +542,85 @@ pub fn cmd_exp(args: &Args) -> Result<String, String> {
     }
 }
 
+/// Render the result of replaying one fuzz case.
+fn render_fuzz_replay(
+    target: &str,
+    case: &FuzzCase,
+    outcome: aem_fuzz::Outcome,
+) -> Result<String, String> {
+    let head = format!("replay: target '{target}' on {case}\n");
+    match outcome {
+        aem_fuzz::Outcome::Pass => Ok(format!("{head}result: PASS\n")),
+        aem_fuzz::Outcome::Skip(why) => Ok(format!("{head}result: SKIP ({why})\n")),
+        aem_fuzz::Outcome::Fail(msg) => Err(format!("{head}result: FAIL\n  {msg}\n")),
+    }
+}
+
+/// `aemsim fuzz` — deterministic differential fuzzing of every algorithm
+/// against the in-memory oracles and the paper's theorem bounds.
+///
+/// Three modes:
+/// * generative (default): sample `--iters` corner-biased cases from
+///   `--seed` and run them through every (or `--target`-filtered) check;
+/// * seed-file replay: `--replay FILE` re-runs one corpus/repro JSON;
+/// * inline replay: the `--target … --case-seed …` shape that failure
+///   reports emit as their one-line repro command.
+pub fn cmd_fuzz(args: &Args) -> Result<String, String> {
+    if let Some(path) = args.get("replay") {
+        let entry = aem_fuzz::corpus::load_file(std::path::Path::new(path))?;
+        let outcome = aem_fuzz::corpus::replay(&entry)?;
+        return render_fuzz_replay(&entry.target, &entry.case, outcome);
+    }
+
+    if args.get("case-seed").is_some() {
+        let target = args
+            .get("target")
+            .ok_or("inline replay requires --target (alongside --case-seed)")?;
+        let dist = DistKind::from_name(
+            args.get("dist").unwrap_or("uniform"),
+            args.get_or("distinct", 1u64)?,
+        )?;
+        let case = FuzzCase {
+            mem: args.get_or("mem", 1024usize)?,
+            block: args.get_or("block", 64usize)?,
+            omega: args.get_or("omega", 16u64)?,
+            n: args.get_or("n", 100usize)?,
+            case_seed: args.get_or("case-seed", 0u64)?,
+            dist,
+            delta: args.get_or("delta", 4usize)?,
+        };
+        let outcome = aem_fuzz::runner::replay(target, &case)?;
+        return render_fuzz_replay(target, &case, outcome);
+    }
+
+    let opts = FuzzOptions {
+        seed: args.get_or("seed", 42u64)?,
+        iters: args.get_or("iters", 200u64)?,
+        time_budget_secs: match args.get("time-budget-secs") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value for --time-budget-secs: '{v}'"))?,
+            ),
+        },
+        targets: args.get("target").map(|s| {
+            s.split(',')
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect()
+        }),
+    };
+    let report = aem_fuzz::run(&opts)?;
+    if let Some(f) = &report.failure {
+        if let Some(path) = args.get("repro-out") {
+            std::fs::write(path, format!("{}\n", f.repro_json()))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        return Err(report.render());
+    }
+    Ok(report.render())
+}
+
 /// `aemsim report` — load a JSONL run record, re-check the paper
 /// invariants, and render the phase-attributed cost report.
 pub fn cmd_report(args: &Args) -> Result<String, String> {
@@ -576,6 +656,11 @@ COMMANDS
   exp       run experiments    [--quick --jobs N --cache FILE --fresh
                                 --only IDS --stats]  (parallel sweep
                                engine; --cache resumes interrupted runs)
+  fuzz      differential fuzz  [--seed S --iters N --target NAMES
+                                --time-budget-secs T --repro-out FILE]
+                               or --replay FILE, or the inline
+                               --target/--case-seed repro shape failure
+                               reports print
 
 MACHINE OPTIONS (all commands)
   --mem M      internal memory in elements   (default 1024)
@@ -610,6 +695,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("lemma43") => cmd_lemma43(args),
         Some("report") => cmd_report(args),
         Some("exp") => cmd_exp(args),
+        Some("fuzz") => cmd_fuzz(args),
         Some(other) => Err(format!("unknown command '{other}'\n\n{}", usage())),
         None => Ok(usage()),
     }
@@ -728,6 +814,47 @@ mod tests {
             warm.split("experiments,").next()
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fuzz_generative_is_deterministic_and_passes() {
+        let a = run("fuzz --seed 42 --iters 20").unwrap();
+        let b = run("fuzz --seed 42 --iters 20").unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("result: PASS"), "{a}");
+        assert!(a.contains("seed 42"), "{a}");
+        let c = run("fuzz --seed 43 --iters 20").unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fuzz_target_filter_and_unknown_target() {
+        let out = run("fuzz --seed 1 --iters 5 --target spmv").unwrap();
+        assert!(out.contains("targets: spmv_direct, spmv_sorted"), "{out}");
+        let err = run("fuzz --seed 1 --iters 5 --target bogus").unwrap_err();
+        assert!(err.contains("valid targets"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_inline_replay_shape() {
+        let out = run(
+            "fuzz --target merge_sort --mem 8 --block 4 --omega 64 --n 33 \
+             --case-seed 11 --dist uniform --distinct 1 --delta 4",
+        )
+        .unwrap();
+        assert!(out.contains("result: PASS"), "{out}");
+        assert!(run("fuzz --case-seed 1 --n 5").is_err()); // missing --target
+    }
+
+    #[test]
+    fn fuzz_replay_corpus_file() {
+        // The corpus lives in the fuzz crate; resolve it relative to this
+        // crate's manifest so the test runs from any working directory.
+        let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../fuzz/corpus/omega_ge_block_merge_sort.json");
+        let out = run(&format!("fuzz --replay {}", corpus.display())).unwrap();
+        assert!(out.contains("result: PASS"), "{out}");
+        assert!(run("fuzz --replay /nonexistent.json").is_err());
     }
 
     #[test]

@@ -157,9 +157,16 @@ pub fn spmv_sorted_cost(cfg: AemConfig, n: usize, delta: usize) -> Cost {
         reads: h_blocks + n_blocks,
         writes: h_blocks + delta as u64,
     };
-    // Meta-column sorts: δ sorts of ⌈H/δ⌉ ≈ N entries.
-    let per_meta = h.div_ceil(delta);
-    cost += scale(merge_sort_cost(cfg, per_meta), delta as u64);
+    // Meta-column sorts: the implementation groups ⌈N/δ⌉ *columns* per
+    // meta-column, so the entry count each sort sees is data-dependent —
+    // a heavy column group can hold far more than the even-split H/δ.
+    // Bound the group sorts by their convexity worst case (every entry
+    // in one meta-column) plus per-sort block-rounding overhead for the
+    // rest; merge-sort cost is superadditive in the entry count, so the
+    // lopsided split dominates any other distribution.
+    let num_meta = n.div_ceil(n.div_ceil(delta)) as u64;
+    cost += merge_sort_cost(cfg, h);
+    cost += scale(small_sort_cost(cfg, cfg.block), num_meta);
     // Merge-add levels with streaming fan-in m − 2.
     let fan_in = cfg.m().saturating_sub(2).max(2);
     let mut lists = delta;

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod oracle;
 pub mod permute;
 pub mod pq;
 pub mod relational;

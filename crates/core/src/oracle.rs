@@ -1,0 +1,69 @@
+//! In-memory reference oracles for differential testing.
+//!
+//! Every algorithm in this crate computes something that also has a
+//! trivial RAM-model implementation: sorting is `slice::sort`, permuting
+//! is an index gather, SpMxV is a dense accumulation loop
+//! ([`crate::spmv::reference_multiply`]). The fuzzing and property-test
+//! harnesses run the external-memory algorithms *differentially* against
+//! these oracles: the metered machine execution must produce exactly the
+//! oracle's output, on every `(M, B, ω, n)` point the generator samples.
+//!
+//! The oracles deliberately share no code with the algorithms under test
+//! (no machine, no blocks, no cost accounting) so that a bug in the block
+//! layer cannot cancel out of the comparison.
+
+pub use crate::spmv::reference_multiply;
+
+/// The sorted copy of `input` — the oracle for every sorter in
+/// [`crate::sort`].
+pub fn sorted_reference<T: Ord + Clone>(input: &[T]) -> Vec<T> {
+    let mut out = input.to_vec();
+    out.sort();
+    out
+}
+
+/// Apply permutation `pi` to `values`: output position `pi[i]` receives
+/// `values[i]` — the oracle for every permuter in [`crate::permute`].
+///
+/// This is the same destination convention the permuting algorithms use
+/// (`π` maps source index to destination index).
+pub fn permuted_reference<T: Clone>(pi: &[usize], values: &[T]) -> Vec<T> {
+    assert_eq!(
+        pi.len(),
+        values.len(),
+        "pi and values must have equal length"
+    );
+    let mut out: Vec<Option<T>> = vec![None; values.len()];
+    for (i, &dest) in pi.iter().enumerate() {
+        assert!(out[dest].is_none(), "pi is not a permutation");
+        out[dest] = Some(values[i].clone());
+    }
+    out.into_iter()
+        .map(|v| v.expect("pi covers range"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_reference_sorts() {
+        assert_eq!(sorted_reference(&[3u64, 1, 2]), vec![1, 2, 3]);
+        assert_eq!(sorted_reference::<u64>(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn permuted_reference_matches_workloads_apply() {
+        let pi = vec![2usize, 0, 1, 3];
+        let vals = vec![10u64, 20, 30, 40];
+        let want = aem_workloads::perm::apply(&pi, &vals);
+        assert_eq!(permuted_reference(&pi, &vals), want);
+    }
+
+    #[test]
+    #[should_panic]
+    fn permuted_reference_rejects_non_permutations() {
+        permuted_reference(&[0usize, 0], &[1u64, 2]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Corpus loading and replay.
+//!
+//! `crates/fuzz/corpus/` holds one single-line JSON seed file per
+//! previously-interesting case (minimized failures, hand-seeded
+//! degenerate corners). Every file replays as an ordinary `cargo test`
+//! regression via the `corpus_replay` integration test, and
+//! `aemsim fuzz --replay <file>` replays one on demand.
+
+use std::path::{Path, PathBuf};
+
+use crate::case::FuzzCase;
+use crate::runner;
+use crate::targets::Outcome;
+
+/// One parsed corpus entry.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Source file.
+    pub path: PathBuf,
+    /// Target the case is pinned to.
+    pub target: String,
+    /// The case itself.
+    pub case: FuzzCase,
+}
+
+/// The in-repo corpus directory (valid when running from the workspace,
+/// e.g. under `cargo test`).
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Parse one seed file.
+pub fn load_file(path: &Path) -> Result<CorpusEntry, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (target, case) =
+        FuzzCase::from_json(text.trim()).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(CorpusEntry {
+        path: path.to_path_buf(),
+        target,
+        case,
+    })
+}
+
+/// Load every `*.json` seed file in `dir`, sorted by file name so replay
+/// order (and therefore output) is deterministic.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| load_file(p)).collect()
+}
+
+/// Replay one entry against its pinned target.
+pub fn replay(entry: &CorpusEntry) -> Result<Outcome, String> {
+    runner::replay(&entry.target, &entry.case)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_dir_exists_and_is_nonempty() {
+        let entries = load_dir(&default_dir()).expect("corpus dir must load");
+        assert!(!entries.is_empty(), "corpus must ship at least one seed");
+    }
+
+    #[test]
+    fn corpus_covers_the_degenerate_corners() {
+        let entries = load_dir(&default_dir()).unwrap();
+        assert!(entries.iter().any(|e| e.case.omega >= e.case.block as u64));
+        assert!(entries.iter().any(|e| e.case.block == 1));
+        assert!(entries.iter().any(|e| e.case.mem == 2 * e.case.block));
+        assert!(entries
+            .iter()
+            .any(|e| e.case.block > 1 && e.case.n % e.case.block != 0));
+    }
+
+    #[test]
+    fn load_reports_missing_dir() {
+        let err = load_dir(Path::new("/nonexistent-corpus-dir")).unwrap_err();
+        assert!(err.contains("nonexistent-corpus-dir"));
+    }
+}

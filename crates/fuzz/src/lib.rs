@@ -1,0 +1,41 @@
+//! # aem-fuzz — deterministic differential fuzzing against the paper
+//!
+//! A generative harness that hammers every algorithm in the workspace
+//! with `(M, B, ω, n)` configurations biased toward the degenerate
+//! corners the paper's theorems must survive — `B = 1`, `ω ≥ B`, `M`
+//! barely above `2B`, non-block-aligned `n`, duplicate-heavy keys — and
+//! checks each run three ways:
+//!
+//! * **differentially** against the trivial in-memory oracles in
+//!   [`aem_core::oracle`] (sorted order, gathered permutation, Theorem
+//!   5.1 semiring-output equality);
+//! * against the **paper's cost bounds** via the `aem-obs` invariant
+//!   checkers (Theorem 3.2 upper bound, Theorem 4.5 lower bound, §3
+//!   pointer-rewrite discipline, Lemma 4.1 round structure and exact
+//!   cost conservation);
+//! * against the **Lemma 4.3 flash-simulation volume bound**
+//!   `≤ 2N + 2QB/ω` by compiling a recorded permutation program to the
+//!   unit-cost flash model.
+//!
+//! Everything is a pure function of the master seed (the shared
+//! [`aem_workloads::SplitMix64`] stream): same seed, same cases, same
+//! report, byte for byte. On failure the harness greedily shrinks the
+//! case to a local minimum ([`shrink()`]) and emits a one-line replay
+//! command plus a single-line JSON seed file; minimized seeds live in
+//! `crates/fuzz/corpus/` and replay as ordinary `cargo test` regressions
+//! ([`corpus`]). The CLI front end is `aemsim fuzz`; see
+//! `docs/FUZZING.md` for the design discussion.
+
+pub mod case;
+pub mod corpus;
+pub mod fault;
+pub mod runner;
+pub mod sample;
+pub mod shrink;
+pub mod targets;
+
+pub use case::{DistKind, FuzzCase};
+pub use runner::{run, Failure, FuzzOptions, FuzzReport};
+pub use sample::{sample_case, MAX_N};
+pub use shrink::shrink;
+pub use targets::{all_targets, select_targets, Outcome, Target};

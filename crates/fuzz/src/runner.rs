@@ -1,0 +1,269 @@
+//! The fuzz loop: sample → check all targets → on failure, shrink and
+//! emit a replay recipe.
+//!
+//! The loop is seed-deterministic: the case stream is a pure function of
+//! `--seed`, targets run in a fixed order, and the report renders no
+//! timestamps or durations — two runs with the same seed and iteration
+//! count produce byte-identical output. The optional
+//! `--time-budget-secs` cap is the one escape hatch: it may stop the
+//! loop early on a slow machine, so CI determinism checks leave it
+//! unset.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use aem_workloads::SplitMix64;
+
+use crate::case::FuzzCase;
+use crate::sample::sample_case;
+use crate::shrink::shrink;
+use crate::targets::{select_targets, Outcome, Target};
+
+/// Options for one fuzz session.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Master seed of the case stream.
+    pub seed: u64,
+    /// Number of cases to sample.
+    pub iters: u64,
+    /// Optional wall-clock cap in seconds; `None` (the default) keeps
+    /// the session fully deterministic.
+    pub time_budget_secs: Option<u64>,
+    /// `--target` filter patterns (prefix match); `None` runs all.
+    pub targets: Option<Vec<String>>,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 0,
+            iters: 100,
+            time_budget_secs: None,
+            targets: None,
+        }
+    }
+}
+
+/// A failing case, original and minimized.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Target that failed.
+    pub target: String,
+    /// Iteration (0-based) at which the failure was sampled.
+    pub iteration: u64,
+    /// The case as sampled.
+    pub original: FuzzCase,
+    /// The case after greedy shrinking.
+    pub shrunk: FuzzCase,
+    /// Failure message on the shrunk case.
+    pub message: String,
+}
+
+impl Failure {
+    /// The single-line JSON seed-file form of the shrunk case.
+    pub fn repro_json(&self) -> String {
+        self.shrunk.to_json(&self.target)
+    }
+
+    /// The one-line command that replays the shrunk case.
+    pub fn replay_command(&self) -> String {
+        self.shrunk.replay_command(&self.target)
+    }
+}
+
+/// What a fuzz session did.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Seed the session ran with.
+    pub seed: u64,
+    /// Iterations actually executed (< requested iff a failure stopped
+    /// the loop or the time budget ran out).
+    pub iters_run: u64,
+    /// Iterations requested.
+    pub iters_requested: u64,
+    /// Names of the targets exercised, in run order.
+    pub target_names: Vec<String>,
+    /// Total (case, target) checks that passed.
+    pub passes: u64,
+    /// Total checks skipped (config outside a target's range).
+    pub skips: u64,
+    /// The first failure, if any (the loop stops at the first).
+    pub failure: Option<Failure>,
+    /// `true` if the loop stopped because the time budget ran out.
+    pub budget_exhausted: bool,
+}
+
+impl FuzzReport {
+    /// Deterministic multi-line human rendering (no timings).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "aem-fuzz: seed {} · {}/{} iterations · targets: {}\n",
+            self.seed,
+            self.iters_run,
+            self.iters_requested,
+            self.target_names.join(", ")
+        ));
+        out.push_str(&format!(
+            "checks: {} passed, {} skipped\n",
+            self.passes, self.skips
+        ));
+        if self.budget_exhausted {
+            out.push_str("note: time budget exhausted before all iterations ran\n");
+        }
+        match &self.failure {
+            None => out.push_str("result: PASS\n"),
+            Some(f) => {
+                out.push_str(&format!(
+                    "result: FAIL in target '{}' at iteration {}\n",
+                    f.target, f.iteration
+                ));
+                out.push_str(&format!("  original case: {}\n", f.original));
+                out.push_str(&format!("  shrunk case:   {}\n", f.shrunk));
+                out.push_str(&format!("  failure:       {}\n", f.message));
+                out.push_str(&format!("  replay:        {}\n", f.replay_command()));
+                out.push_str(&format!("  seed file:     {}\n", f.repro_json()));
+            }
+        }
+        out
+    }
+}
+
+/// Run one target on one case, converting panics into failures.
+pub fn check_case(target: &Target, case: &FuzzCase) -> Outcome {
+    match catch_unwind(AssertUnwindSafe(|| (target.check)(case))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Outcome::Fail(format!("{}: panic: {msg}", target.name))
+        }
+    }
+}
+
+/// Run a fuzz session. Returns an error only for invalid options
+/// (e.g. an unknown `--target`); a failing check is reported inside the
+/// [`FuzzReport`], not as an `Err`.
+pub fn run(opts: &FuzzOptions) -> Result<FuzzReport, String> {
+    let targets = select_targets(opts.targets.as_deref())?;
+    let started = Instant::now();
+    let mut rng = SplitMix64::seed_from_u64(opts.seed);
+    let mut report = FuzzReport {
+        seed: opts.seed,
+        iters_run: 0,
+        iters_requested: opts.iters,
+        target_names: targets.iter().map(|t| t.name.to_string()).collect(),
+        passes: 0,
+        skips: 0,
+        failure: None,
+        budget_exhausted: false,
+    };
+
+    'outer: for iter in 0..opts.iters {
+        if let Some(budget) = opts.time_budget_secs {
+            if started.elapsed().as_secs() >= budget {
+                report.budget_exhausted = true;
+                break;
+            }
+        }
+        let case = sample_case(&mut rng);
+        report.iters_run = iter + 1;
+        for target in &targets {
+            match check_case(target, &case) {
+                Outcome::Pass => report.passes += 1,
+                Outcome::Skip(_) => report.skips += 1,
+                Outcome::Fail(_) => {
+                    let check = |c: &FuzzCase| check_case(target, c);
+                    let shrunk = shrink(&case, &check);
+                    let message = match check_case(target, &shrunk) {
+                        Outcome::Fail(msg) => msg,
+                        other => {
+                            format!("shrunk case no longer fails deterministically ({other:?})")
+                        }
+                    };
+                    report.failure = Some(Failure {
+                        target: target.name.to_string(),
+                        iteration: iter,
+                        original: case.clone(),
+                        shrunk,
+                        message,
+                    });
+                    break 'outer;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Run a single explicit case against one named target (the replay
+/// path behind `aemsim fuzz --target … --n …` and corpus regression
+/// tests). Returns the outcome of that one check.
+pub fn replay(target_name: &str, case: &FuzzCase) -> Result<Outcome, String> {
+    let targets = select_targets(Some(&[target_name.to_string()]))?;
+    let mut last = Outcome::Skip("no target ran".to_string());
+    for t in &targets {
+        last = check_case(t, case);
+        if last.is_fail() {
+            return Ok(last);
+        }
+    }
+    Ok(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::broken_merge_check;
+
+    #[test]
+    fn same_seed_same_report() {
+        let opts = FuzzOptions {
+            seed: 7,
+            iters: 25,
+            ..FuzzOptions::default()
+        };
+        let a = run(&opts).unwrap().render();
+        let b = run(&opts).unwrap().render();
+        assert_eq!(a, b);
+        assert!(a.contains("result: PASS"), "{a}");
+    }
+
+    #[test]
+    fn unknown_target_is_an_error() {
+        let opts = FuzzOptions {
+            targets: Some(vec!["no_such_target".to_string()]),
+            ..FuzzOptions::default()
+        };
+        let err = run(&opts).unwrap_err();
+        assert!(err.contains("valid targets"), "{err}");
+    }
+
+    #[test]
+    fn failure_report_carries_replay_recipe() {
+        // Drive the loop with the deliberately broken merge as the sole
+        // target by reproducing the loop manually through check/shrink.
+        // The corrupted machine may make the algorithm panic, so every
+        // probe goes through the panic-safe `fails`.
+        use crate::shrink::fails;
+        let mut rng = aem_workloads::SplitMix64::seed_from_u64(3);
+        let case = (0..200)
+            .map(|_| crate::sample::sample_case(&mut rng))
+            .find(|c| fails(&broken_merge_check, c))
+            .expect("off-by-one fault must fail within 200 sampled cases");
+        let shrunk = shrink(&case, &broken_merge_check);
+        assert!(fails(&broken_merge_check, &shrunk));
+        let f = Failure {
+            target: "merge_sort".to_string(),
+            iteration: 0,
+            original: case,
+            shrunk,
+            message: "x".to_string(),
+        };
+        assert!(f.replay_command().contains("--target merge_sort"));
+        assert!(f.repro_json().contains("\"target\":"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Corner-biased sampling of `(M, B, ω, n)` configurations.
+//!
+//! A uniform sampler would spend almost all its budget in the benign
+//! interior of the parameter space, where `ω < B ≪ M` and `n` is a round
+//! multiple of everything. The regimes this paper exists for — and where
+//! the asymmetric-sorting line of Blelloch et al. shows implementations
+//! actually break — are the edges:
+//!
+//! * `B = 1` (the ARAM specialization of §2),
+//! * `ω ≥ B` (the case Theorem 3.2 removes the classical assumption for),
+//! * `M = 2B` (the minimum memory any block algorithm can run in),
+//! * `n` not a multiple of `B` (partial tail blocks),
+//! * duplicate-heavy keys (tie handling in every merge).
+//!
+//! So the sampler draws each dimension from a small weighted palette in
+//! which those corners dominate. Everything is a pure function of the
+//! shared [`SplitMix64`] stream: same seed, same cases, forever — the
+//! determinism contract `aemsim fuzz` advertises.
+
+use aem_workloads::SplitMix64;
+
+use crate::case::{DistKind, FuzzCase};
+
+/// Upper bound on sampled input sizes, in elements. Kept small enough
+/// that a full sweep of all targets over hundreds of cases stays within
+/// a CI smoke budget, yet large enough to force several merge levels at
+/// the tiny `M`, `B` the sampler prefers.
+pub const MAX_N: usize = 1200;
+
+fn pick(rng: &mut SplitMix64, palette: &[u64]) -> u64 {
+    palette[rng.next_below_usize(palette.len())]
+}
+
+/// Draw the next case from the stream.
+///
+/// The palette weights are encoded by repetition: `B = 1` appears three
+/// times in the block palette, so roughly a third of all cases run in
+/// ARAM mode, and so on.
+pub fn sample_case(rng: &mut SplitMix64) -> FuzzCase {
+    // Block size: heavy on 1 and tiny blocks, occasional "normal" 8/16.
+    let block = pick(rng, &[1, 1, 1, 2, 2, 3, 4, 4, 5, 8, 8, 16]) as usize;
+
+    // Memory: mostly barely above the M >= 2B floor.
+    let mem = match rng.next_below(6) {
+        0 | 1 => 2 * block,                                 // the floor itself
+        2 => 2 * block + 1,                                 // just off the floor
+        3 => 3 * block,                                     //
+        4 => 4 * block,                                     //
+        _ => (2 + rng.next_below_usize(15)) * block.max(1), // roomier
+    };
+
+    // ω: biased toward ω ≥ B — the regime the paper's mergesort exists
+    // for — with the classical ω = 1 and mild ratios still present.
+    let b = block as u64;
+    let omega = pick(
+        rng,
+        &[1, 1, 2, b.max(1), b + 1, 2 * b.max(1), 4 * b.max(1), 16, 64],
+    )
+    .max(1);
+
+    // n: mostly near block multiples, ±1 to force partial tail blocks,
+    // plus the empty/singleton edge cases.
+    let blocks = rng.next_below_usize(MAX_N / block.max(1)) + 1;
+    let aligned = blocks * block;
+    let n = match rng.next_below(8) {
+        0 => 0,
+        1 => 1,
+        2 | 3 => aligned,
+        4 | 5 => aligned.saturating_sub(1),
+        _ => aligned + 1,
+    }
+    .min(MAX_N);
+
+    // Key shape: half duplicate-heavy.
+    let dist = match rng.next_below(8) {
+        0 => DistKind::Sorted,
+        1 => DistKind::Reversed,
+        2 => DistKind::OrganPipe,
+        3 => DistKind::Uniform,
+        _ => DistKind::FewDistinct(pick(rng, &[1, 2, 2, 3, 5, 16])),
+    };
+
+    FuzzCase {
+        mem,
+        block,
+        omega,
+        n,
+        case_seed: rng.next_u64(),
+        dist,
+        delta: rng.next_below_usize(8) + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cases(seed: u64, count: usize) -> Vec<FuzzCase> {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        (0..count).map(|_| sample_case(&mut rng)).collect()
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        assert_eq!(cases(42, 200), cases(42, 200));
+        assert_ne!(cases(42, 200), cases(43, 200));
+    }
+
+    #[test]
+    fn every_sampled_config_is_valid() {
+        for c in cases(7, 500) {
+            let cfg = c.cfg().expect("sampler must emit valid configs");
+            assert!(cfg.block >= 1);
+            assert!(cfg.memory >= 2 * cfg.block);
+            assert!(cfg.omega >= 1);
+            assert!(c.n <= MAX_N);
+        }
+    }
+
+    #[test]
+    fn corners_actually_dominate() {
+        let all = cases(1, 500);
+        let degenerate = all.iter().filter(|c| c.is_degenerate()).count();
+        assert!(
+            degenerate * 2 > all.len(),
+            "only {degenerate}/{} cases hit a degenerate corner",
+            all.len()
+        );
+        assert!(all.iter().any(|c| c.block == 1));
+        assert!(all.iter().any(|c| c.omega >= c.block as u64));
+        assert!(all.iter().any(|c| c.mem == 2 * c.block));
+        assert!(all.iter().any(|c| c.block > 1 && c.n % c.block != 0));
+        assert!(all.iter().any(|c| c.n == 0));
+        assert!(all
+            .iter()
+            .any(|c| matches!(c.dist, DistKind::FewDistinct(_))));
+    }
+}

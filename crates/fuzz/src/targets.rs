@@ -1,0 +1,468 @@
+//! Fuzz targets: one differential check per algorithm family.
+//!
+//! Every target takes a [`FuzzCase`], runs one `aem-core`/`aem-flash`
+//! algorithm on an enforcing machine, and checks three layers:
+//!
+//! 1. **Differential correctness** — the machine output must equal the
+//!    in-memory oracle ([`aem_core::oracle`]) exactly: sorted order for
+//!    sorters, the gathered permutation for permuters, semiring output
+//!    equality for SpMxV (Theorem 5.1's statement of correctness).
+//! 2. **Paper invariants on the metered cost** — via the `aem-obs`
+//!    checkers: the Theorem 3.2 / closed-form predictor upper bound, the
+//!    Theorem 4.5 counting lower bound, the §3 pointer-rewrite
+//!    discipline, and Lemma 4.1's round structure; plus the round
+//!    decomposition's exact cost conservation
+//!    ([`aem_machine::rounds::rounds_cost`] must equal `Q`).
+//! 3. **Model-level bounds** — the Lemma 4.3 flash-simulation target
+//!    compiles a recorded permutation program to the unit-cost flash
+//!    model and checks the I/O volume against `2N + 2QB/ω`.
+//!
+//! A target never panics by design; the runner additionally wraps every
+//! call in `catch_unwind` so that a panicking algorithm is reported as an
+//! ordinary failure with a shrunk repro, not a harness crash.
+
+use aem_core::bounds::predict;
+use aem_core::oracle;
+use aem_core::permute::{permute_by_sort_on, permute_naive, DestTagged};
+use aem_core::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort};
+use aem_core::spmv::{reference_multiply, spmv_direct, spmv_sorted, U64Ring};
+use aem_flash::driver::naive_atom_permutation;
+use aem_flash::verify_lemma_4_3;
+use aem_machine::rounds::{round_decompose, rounds_cost};
+use aem_machine::{AemAccess, AemConfig, Machine, MachineError, Region};
+use aem_obs::{first_failure, InstrumentedMachine, RunRecord, WorkloadMeta};
+use aem_workloads::{Conformation, MatrixShape, PermKind};
+
+use crate::case::FuzzCase;
+
+/// Outcome of one target on one case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// All checks held.
+    Pass,
+    /// The case cannot run on this target (e.g. the config is outside the
+    /// algorithm's declared parameter range). Not a failure.
+    Skip(String),
+    /// A check failed; the message says which and with what numbers.
+    Fail(String),
+}
+
+impl Outcome {
+    /// `true` for [`Outcome::Fail`].
+    pub fn is_fail(&self) -> bool {
+        matches!(self, Outcome::Fail(_))
+    }
+}
+
+/// A named fuzz target.
+#[derive(Clone, Copy)]
+pub struct Target {
+    /// Stable name, used by `--target` filters, seed files and replay
+    /// commands.
+    pub name: &'static str,
+    /// The check itself.
+    pub check: fn(&FuzzCase) -> Outcome,
+}
+
+impl std::fmt::Debug for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Target").field("name", &self.name).finish()
+    }
+}
+
+/// Every built-in target, in report order.
+pub fn all_targets() -> Vec<Target> {
+    vec![
+        Target {
+            name: "merge_sort",
+            check: |c| sort_check(c, "aem"),
+        },
+        Target {
+            name: "em_sort",
+            check: |c| sort_check(c, "em"),
+        },
+        Target {
+            name: "dist_sort",
+            check: |c| sort_check(c, "dist"),
+        },
+        Target {
+            name: "heap_sort",
+            check: |c| sort_check(c, "heap"),
+        },
+        Target {
+            name: "permute_naive",
+            check: permute_naive_check,
+        },
+        Target {
+            name: "permute_by_sort",
+            check: permute_by_sort_check,
+        },
+        Target {
+            name: "spmv_direct",
+            check: |c| spmv_check(c, "direct"),
+        },
+        Target {
+            name: "spmv_sorted",
+            check: |c| spmv_check(c, "sorted"),
+        },
+        Target {
+            name: "flash_lemma43",
+            check: flash_check,
+        },
+    ]
+}
+
+/// Resolve `--target` filter patterns (exact names or prefixes, comma
+/// logic handled by the caller) to targets. Unknown patterns are an
+/// error listing the valid names.
+pub fn select_targets(patterns: Option<&[String]>) -> Result<Vec<Target>, String> {
+    let all = all_targets();
+    let Some(pats) = patterns else { return Ok(all) };
+    let mut out: Vec<Target> = Vec::new();
+    for p in pats {
+        let matched: Vec<&Target> = all
+            .iter()
+            .filter(|t| t.name.len() >= p.len() && t.name[..p.len()].eq_ignore_ascii_case(p))
+            .collect();
+        if matched.is_empty() {
+            let names: Vec<&str> = all.iter().map(|t| t.name).collect();
+            return Err(format!(
+                "unknown fuzz target '{p}'; valid targets: {}",
+                names.join(", ")
+            ));
+        }
+        for t in matched {
+            if !out.iter().any(|o| o.name == t.name) {
+                out.push(*t);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Classify a machine error: configs an algorithm explicitly rejects are
+/// skips, everything else (overflow, underflow, malformed traces) is the
+/// kind of bug the fuzzer exists to find.
+fn machine_error(context: &str, e: MachineError) -> Outcome {
+    match e {
+        MachineError::InvalidConfig(_) => Outcome::Skip(format!("{context}: {e}")),
+        other => Outcome::Fail(format!("{context}: machine error: {other}")),
+    }
+}
+
+/// Shared invariant suite on an instrumented record: the obs checkers
+/// (pointer rewrites, Lemma 4.1 round structure, cost sandwich) plus
+/// exact round-cost conservation.
+fn record_invariants(rec: &RunRecord) -> Result<(), String> {
+    if let Some(c) = first_failure(rec) {
+        return Err(format!("invariant {}: {}", c.name, c.detail));
+    }
+    let cfg = rec.config;
+    let q = rec.trace.cost().q(cfg.omega);
+    let split = rounds_cost(&round_decompose(&rec.trace, cfg));
+    if split != q {
+        return Err(format!(
+            "Lemma 4.1 conservation: round costs sum to {split}, trace Q = {q}"
+        ));
+    }
+    Ok(())
+}
+
+fn run_sorter<A: AemAccess<u64>>(algo: &str, m: &mut A, r: Region) -> Result<Region, MachineError> {
+    match algo {
+        "aem" => merge_sort(m, r),
+        "em" => em_merge_sort(m, r),
+        "dist" => distribution_sort(m, r),
+        "heap" => heap_sort(m, r),
+        other => unreachable!("unknown sorter {other}"),
+    }
+}
+
+fn sort_check(case: &FuzzCase, algo: &str) -> Outcome {
+    let cfg = match case.cfg() {
+        Ok(cfg) => cfg,
+        Err(e) => return Outcome::Skip(format!("config: {e}")),
+    };
+    let input = case.keys();
+    let want = oracle::sorted_reference(&input);
+
+    let mut im = InstrumentedMachine::new(Machine::<u64>::new(cfg));
+    let region = im.inner_mut().install(&input);
+    let out = match run_sorter(algo, &mut im, region) {
+        Ok(out) => out,
+        Err(e) => return machine_error(algo, e),
+    };
+    let got = im.inner().inspect(out);
+    if got != want {
+        return Outcome::Fail(differential_message(algo, &got, &want));
+    }
+    let rec = im.into_record(WorkloadMeta::new("sort", algo, case.n as u64));
+    match record_invariants(&rec) {
+        Ok(()) => Outcome::Pass,
+        Err(msg) => Outcome::Fail(format!("{algo}: {msg}")),
+    }
+}
+
+fn permute_naive_check(case: &FuzzCase) -> Outcome {
+    let cfg = match case.cfg() {
+        Ok(cfg) => cfg,
+        Err(e) => return Outcome::Skip(format!("config: {e}")),
+    };
+    let pi = PermKind::Random {
+        seed: case.case_seed,
+    }
+    .generate(case.n);
+    let values: Vec<u64> = (0..case.n as u64).collect();
+    let want = oracle::permuted_reference(&pi, &values);
+    let run = match permute_naive(cfg, &values, &pi) {
+        Ok(run) => run,
+        Err(e) => return machine_error("naive", e),
+    };
+    if run.output != want {
+        return Outcome::Fail(differential_message("naive", &run.output, &want));
+    }
+    // Thm 4.5 upper branch: the gather must stay within its closed form.
+    let bound = predict::permute_naive_cost(cfg, case.n).q(cfg.omega);
+    if run.q() > bound {
+        return Outcome::Fail(format!(
+            "naive: measured Q {} exceeds N + ωn predictor {bound}",
+            run.q()
+        ));
+    }
+    Outcome::Pass
+}
+
+fn permute_by_sort_check(case: &FuzzCase) -> Outcome {
+    let cfg = match case.cfg() {
+        Ok(cfg) => cfg,
+        Err(e) => return Outcome::Skip(format!("config: {e}")),
+    };
+    let pi = PermKind::Random {
+        seed: case.case_seed,
+    }
+    .generate(case.n);
+    let values: Vec<u64> = (0..case.n as u64).collect();
+    let want = oracle::permuted_reference(&pi, &values);
+    let tagged: Vec<DestTagged<u64>> = values
+        .iter()
+        .zip(pi.iter())
+        .map(|(v, &d)| DestTagged {
+            dest: d as u64,
+            value: *v,
+        })
+        .collect();
+
+    let mut im = InstrumentedMachine::new(Machine::<DestTagged<u64>>::new(cfg));
+    let region = im.inner_mut().install(&tagged);
+    let out = match permute_by_sort_on(&mut im, region) {
+        Ok(out) => out,
+        Err(e) => return machine_error("by_sort", e),
+    };
+    let got: Vec<u64> = im
+        .inner()
+        .inspect(out)
+        .into_iter()
+        .map(|t| t.value)
+        .collect();
+    if got != want {
+        return Outcome::Fail(differential_message("by_sort", &got, &want));
+    }
+    let rec = im.into_record(WorkloadMeta::new("permute", "by_sort", case.n as u64));
+    match record_invariants(&rec) {
+        Ok(()) => Outcome::Pass,
+        Err(msg) => Outcome::Fail(format!("by_sort: {msg}")),
+    }
+}
+
+/// SpMxV matrix dimension for a case: tracks `n` (so shrinking the case
+/// shrinks the instance) but capped to keep `nnz = δ·dim` small.
+fn spmv_dim(case: &FuzzCase) -> usize {
+    case.n.clamp(1, 256)
+}
+
+fn spmv_check(case: &FuzzCase, which: &str) -> Outcome {
+    let cfg = match case.cfg() {
+        Ok(cfg) => cfg,
+        Err(e) => return Outcome::Skip(format!("config: {e}")),
+    };
+    let dim = spmv_dim(case);
+    let delta = case.delta.clamp(1, dim);
+    let conf = Conformation::generate(
+        MatrixShape::Random {
+            seed: case.case_seed,
+        },
+        dim,
+        delta,
+    );
+    let a: Vec<U64Ring> = (0..conf.nnz())
+        .map(|i| U64Ring((i as u64).wrapping_mul(case.case_seed | 1) % 251))
+        .collect();
+    let x: Vec<U64Ring> = (0..dim)
+        .map(|j| U64Ring((j as u64).wrapping_add(case.case_seed) % 241))
+        .collect();
+    let want = reference_multiply(&conf, &a, &x);
+    let run = match which {
+        "direct" => spmv_direct(cfg, &conf, &a, &x),
+        "sorted" => spmv_sorted(cfg, &conf, &a, &x),
+        other => unreachable!("unknown spmv variant {other}"),
+    };
+    let run = match run {
+        Ok(run) => run,
+        Err(e) => return machine_error(which, e),
+    };
+    // Theorem 5.1 correctness: semiring-output equality with the oracle.
+    if run.output != want {
+        return Outcome::Fail(format!(
+            "{which}: semiring output mismatch at dim {dim}, δ {delta} \
+             (first diff at row {})",
+            run.output
+                .iter()
+                .zip(want.iter())
+                .position(|(g, w)| g != w)
+                .unwrap_or(usize::MAX)
+        ));
+    }
+    let bound = match which {
+        "direct" => predict::spmv_direct_cost(cfg, dim, delta),
+        _ => predict::spmv_sorted_cost(cfg, dim, delta),
+    }
+    .q(cfg.omega);
+    if run.q() > bound {
+        return Outcome::Fail(format!(
+            "{which}: measured Q {} exceeds predictor {bound} at dim {dim}, δ {delta}",
+            run.q()
+        ));
+    }
+    Outcome::Pass
+}
+
+/// Derive a flash-compatible configuration from a case: Lemma 4.3 needs
+/// `B > ω` and `ω | B`, so the target keeps the case's block size (raised
+/// to 2 if needed), sets `ω` to its largest proper divisor, and gives the
+/// gather driver the `M ≥ B` it requires.
+pub fn flash_config(case: &FuzzCase) -> AemConfig {
+    let block = case.block.max(2);
+    let omega = (1..block as u64)
+        .rev()
+        .find(|d| block as u64 % d == 0)
+        .unwrap_or(1);
+    let mem = case.mem.max(2 * block);
+    AemConfig::new(mem, block, omega).expect("derived flash config is valid")
+}
+
+fn flash_check(case: &FuzzCase) -> Outcome {
+    let cfg = flash_config(case);
+    // Compilation walks every recorded event with hash maps; cap the
+    // instance so a full fuzz session stays inside the smoke budget.
+    let n = case.n.min(512);
+    let pi = PermKind::Random {
+        seed: case.case_seed,
+    }
+    .generate(n);
+    let (prog, _) = match naive_atom_permutation(cfg, &pi) {
+        Ok(p) => p,
+        Err(e) => return machine_error("flash driver", e),
+    };
+    if !prog.realizes(&pi) {
+        return Outcome::Fail("flash driver: atom program does not realize π".into());
+    }
+    let report = match verify_lemma_4_3(&prog.program, cfg) {
+        Ok(r) => r,
+        Err(e) => return Outcome::Fail(format!("lemma 4.3 compile/replay: {e}")),
+    };
+    if !report.bound_holds() {
+        return Outcome::Fail(format!(
+            "lemma 4.3: flash volume {} exceeds 2N + 2QB/ω = {} (N = {n}, Q = {})",
+            report.flash_volume, report.volume_bound, report.aem_q
+        ));
+    }
+    Outcome::Pass
+}
+
+fn differential_message<T: std::fmt::Debug>(algo: &str, got: &[T], want: &[T]) -> String {
+    if got.len() != want.len() {
+        return format!(
+            "{algo}: output length {} differs from oracle length {}",
+            got.len(),
+            want.len()
+        );
+    }
+    let at = got
+        .iter()
+        .zip(want.iter())
+        .position(|(g, w)| format!("{g:?}") != format!("{w:?}"))
+        .unwrap_or(usize::MAX);
+    format!(
+        "{algo}: output diverges from oracle at position {at} \
+         (got {:?}, oracle {:?})",
+        got.get(at),
+        want.get(at)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::DistKind;
+
+    fn tame_case() -> FuzzCase {
+        FuzzCase {
+            mem: 64,
+            block: 8,
+            omega: 16,
+            n: 300,
+            case_seed: 5,
+            dist: DistKind::Uniform,
+            delta: 3,
+        }
+    }
+
+    #[test]
+    fn all_targets_pass_on_a_tame_case() {
+        let case = tame_case();
+        for t in all_targets() {
+            let outcome = (t.check)(&case);
+            assert_eq!(outcome, Outcome::Pass, "{}: {:?}", t.name, outcome);
+        }
+    }
+
+    #[test]
+    fn all_targets_pass_on_empty_and_singleton_inputs() {
+        for n in [0usize, 1] {
+            let case = FuzzCase { n, ..tame_case() };
+            for t in all_targets() {
+                let outcome = (t.check)(&case);
+                assert!(!outcome.is_fail(), "{} at n={n}: {:?}", t.name, outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn target_selection_by_prefix_and_unknown_error() {
+        let sel = select_targets(Some(&["spmv".to_string()])).unwrap();
+        let names: Vec<&str> = sel.iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["spmv_direct", "spmv_sorted"]);
+        let err = select_targets(Some(&["bogus".to_string()])).unwrap_err();
+        assert!(err.contains("valid targets"), "{err}");
+        assert!(err.contains("merge_sort"), "{err}");
+        assert_eq!(select_targets(None).unwrap().len(), all_targets().len());
+    }
+
+    #[test]
+    fn flash_config_always_satisfies_lemma_preconditions() {
+        for block in [1usize, 2, 3, 4, 5, 8, 16] {
+            let case = FuzzCase {
+                block,
+                ..tame_case()
+            };
+            let cfg = flash_config(&case);
+            assert!(
+                cfg.block as u64 > cfg.omega,
+                "B={} ω={}",
+                cfg.block,
+                cfg.omega
+            );
+            assert_eq!(cfg.block as u64 % cfg.omega, 0);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! End-to-end validation that the harness catches a planted bug.
+//!
+//! The ISSUE's acceptance criterion: a deliberately broken merge (an
+//! off-by-one block pointer) must be caught by the differential check
+//! and shrunk to a repro of at most `4B` elements. This is the
+//! mutation-test for the whole pipeline — sampler, differential oracle,
+//! panic containment, shrinker, and replay-recipe rendering.
+
+use aem_fuzz::fault::broken_merge_check;
+use aem_fuzz::shrink::{fails, shrink};
+use aem_fuzz::{sample_case, FuzzCase};
+use aem_workloads::SplitMix64;
+
+/// Sampled cases that actually exercise data reads (n > B so the sort
+/// cannot stay within one block).
+fn failing_case(seed: u64) -> FuzzCase {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    (0..500)
+        .map(|_| sample_case(&mut rng))
+        .find(|c| fails(&broken_merge_check, c))
+        .expect("an off-by-one block pointer must be caught within 500 cases")
+}
+
+#[test]
+fn broken_merge_is_caught_and_shrinks_small() {
+    for seed in [42, 7, 1000] {
+        let case = failing_case(seed);
+        let shrunk = shrink(&case, &broken_merge_check);
+        assert!(
+            fails(&broken_merge_check, &shrunk),
+            "shrunk case must still fail"
+        );
+        assert!(
+            shrunk.n <= 4 * shrunk.block.max(1),
+            "seed {seed}: shrunk repro n = {} exceeds 4B = {} ({shrunk})",
+            shrunk.n,
+            4 * shrunk.block.max(1)
+        );
+        // The recipe must be replayable: JSON round-trips to the same case.
+        let json = shrunk.to_json("merge_sort");
+        let (target, back) = FuzzCase::from_json(&json).unwrap();
+        assert_eq!(target, "merge_sort");
+        assert_eq!(back, shrunk);
+    }
+}
+
+#[test]
+fn shrinking_is_deterministic() {
+    let case = failing_case(42);
+    let a = shrink(&case, &broken_merge_check);
+    let b = shrink(&case, &broken_merge_check);
+    assert_eq!(a, b);
+}

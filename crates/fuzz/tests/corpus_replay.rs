@@ -1,0 +1,48 @@
+//! Every corpus seed file replays as an ordinary regression test.
+//!
+//! The corpus is the fuzzer's long-term memory: each file is either a
+//! minimized failure from a past session (fixed since, or it would not
+//! be on main) or a hand-seeded degenerate corner. Replaying them here
+//! keeps the whole set green on every `cargo test`.
+
+use aem_fuzz::corpus;
+
+#[test]
+fn every_corpus_entry_replays_clean() {
+    let entries = corpus::load_dir(&corpus::default_dir()).expect("corpus dir must load");
+    assert!(!entries.is_empty(), "corpus must ship at least one seed");
+    let mut failures = Vec::new();
+    for entry in &entries {
+        match corpus::replay(entry) {
+            Ok(outcome) if !outcome.is_fail() => {}
+            Ok(outcome) => failures.push(format!("{}: {:?}", entry.path.display(), outcome)),
+            Err(e) => failures.push(format!("{}: {e}", entry.path.display())),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus regressions:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn corpus_files_are_canonical_single_line_json() {
+    for entry in corpus::load_dir(&corpus::default_dir()).unwrap() {
+        let text = std::fs::read_to_string(&entry.path).unwrap();
+        let trimmed = text.trim_end();
+        assert!(
+            !trimmed.contains('\n'),
+            "{} must be single-line JSON",
+            entry.path.display()
+        );
+        // Round-tripping through FuzzCase must reproduce the file exactly
+        // (field order and all), so corpus diffs stay minimal.
+        assert_eq!(
+            trimmed,
+            entry.case.to_json(&entry.target),
+            "{} is not in canonical form",
+            entry.path.display()
+        );
+    }
+}

@@ -80,6 +80,17 @@ pub fn round_decompose(trace: &Trace, cfg: AemConfig) -> Vec<RoundSpan> {
     rounds
 }
 
+/// Summed cost of a round decomposition.
+///
+/// Because [`round_decompose`] partitions the trace, this sum must equal
+/// the trace's total `Q = Q_r + ω·Q_w` exactly — the conservation half of
+/// Lemma 4.1 that the fuzzing harness asserts on every sampled config
+/// (splitting into rounds re-labels the cost, it never creates or
+/// destroys any).
+pub fn rounds_cost(rounds: &[RoundSpan]) -> u64 {
+    rounds.iter().map(|r| r.cost).sum()
+}
+
 /// Exact cost of the Lemma 4.1 round-based conversion of `trace`, assuming
 /// worst-case `M'` occupancy (a full internal memory snapshot of `m` blocks
 /// at every interior round boundary).

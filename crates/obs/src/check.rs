@@ -274,6 +274,15 @@ pub fn run_all(rec: &RunRecord) -> Vec<CheckResult> {
     ]
 }
 
+/// Run all checkers and return the first failing one, if any.
+///
+/// The convenience used by gates that need a verdict plus one message —
+/// the fuzzing harness turns the returned check into a `Failure` and the
+/// CI smoke steps into an exit code — without rendering a full report.
+pub fn first_failure(rec: &RunRecord) -> Option<CheckResult> {
+    run_all(rec).into_iter().find(|c| !c.passed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

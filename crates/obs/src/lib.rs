@@ -45,7 +45,8 @@ pub mod record;
 pub mod report;
 
 pub use check::{
-    check_cost_sandwich, check_pointer_rewrites, check_round_structure, run_all, CheckResult,
+    check_cost_sandwich, check_pointer_rewrites, check_round_structure, first_failure, run_all,
+    CheckResult,
 };
 pub use error::ObsError;
 pub use instrument::InstrumentedMachine;
