@@ -1,14 +1,123 @@
 //! Raw simulator overhead: block transfers per second, plain vs
-//! round-based machines, and the flash replay path.
+//! round-based machines, the flash replay path — and, since the
+//! pluggable-store refactor, the same block-I/O loops per storage
+//! backend (vec vs arena vs ghost), which is where the arena's buffer
+//! reuse and the ghost store's payload elision show up as wall-clock.
+//!
+//! `--json PATH` additionally writes the backend comparison (ops/sec per
+//! backend plus the quick-sweep wall time per backend) as a JSON
+//! document; `BENCH_PR4.json` at the repo root is a committed snapshot.
 
-use aem_bench::timing::{bench, bench_with_elems};
+use std::time::Instant;
+
+use aem_bench::timing::{bench, bench_with_elems, Measurement};
+use aem_core::permute::permute_naive_on;
 use aem_core::sort::merge_sort;
 use aem_flash::driver::naive_atom_permutation;
 use aem_flash::verify_lemma_4_3;
-use aem_machine::{AemAccess, AemConfig, Machine, RoundBasedMachine};
+use aem_machine::{
+    with_backend_machine, AemAccess, AemConfig, Backend, Machine, RoundBasedMachine,
+};
+use aem_obs::json::{obj, Json};
 use aem_workloads::{KeyDist, PermKind};
 
+/// Block-scan copy (read every block, write every block) on one backend.
+fn scan_copy_backend(backend: Backend, cfg: AemConfig, data: &[u64]) -> Measurement {
+    with_backend_machine!(backend, u64, |M| {
+        bench_with_elems(
+            &format!("machine_io/scan_copy_{}", backend.name()),
+            data.len() as u64,
+            || {
+                let mut m = M::new(cfg);
+                let r = m.install(data);
+                let out = m.alloc_region(r.elems);
+                for i in 0..r.blocks {
+                    let d = m.read_block(r.block(i)).unwrap();
+                    m.write_block(out.block(i), d).unwrap();
+                }
+            },
+        )
+    })
+}
+
+/// The payload-oblivious naive permuter on one backend (the workload the
+/// ghost frontier sweep T5X runs at scale).
+fn permute_backend(backend: Backend, cfg: AemConfig, n: usize) -> Measurement {
+    let pi = PermKind::Random { seed: 9 }.generate(n);
+    let values: Vec<u64> = (0..n as u64).collect();
+    with_backend_machine!(backend, u64, |M| {
+        bench_with_elems(
+            &format!("permute_naive/{}", backend.name()),
+            n as u64,
+            || {
+                let mut m = M::new(cfg);
+                let r = m.install(&values);
+                permute_naive_on(&mut m, r, &pi).unwrap()
+            },
+        )
+    })
+}
+
+/// One full quick-grid sweep run for a backend, timed once (seconds).
+fn quick_sweep_secs(backend: Backend) -> f64 {
+    let sweeps = aem_bench::exp::all_sweeps(true, backend);
+    let opts = aem_bench::sweep::RunOptions {
+        backend,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let report = aem_bench::sweep::run(&sweeps, &opts).unwrap();
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(report.executed > 0);
+    secs
+}
+
+fn json_f64(v: f64) -> Json {
+    // The obs JSON writer keeps floats verbatim; round to keep the
+    // committed artifact diff-friendly.
+    Json::Num((v * 1000.0).round() / 1000.0)
+}
+
+/// A one-level pretty printer (the obs writer is compact-only), so the
+/// committed BENCH_PR4.json diffs line-by-line across refreshes.
+fn pretty(doc: &Json) -> String {
+    let Json::Obj(members) = doc else {
+        return doc.to_string_compact();
+    };
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in members.iter().enumerate() {
+        let body = match v {
+            Json::Obj(inner) => {
+                let rows: Vec<String> = inner
+                    .iter()
+                    .map(|(ik, iv)| format!("    {:?}: {}", ik, iv.to_string_compact()))
+                    .collect();
+                format!("{{\n{}\n  }}", rows.join(",\n"))
+            }
+            other => other.to_string_compact(),
+        };
+        out.push_str(&format!(
+            "  {:?}: {}{}\n",
+            k,
+            body,
+            if i + 1 < members.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--json=").map(str::to_string))
+        });
+
     let cfg = AemConfig::new(64, 8, 8).unwrap();
     let data: Vec<u64> = (0..1u64 << 13).collect();
     bench_with_elems("machine_io/scan_copy_plain", data.len() as u64, || {
@@ -35,6 +144,33 @@ fn main() {
         },
     );
 
+    // The backend comparison: identical loops, different stores.
+    let mut backend_json: Vec<(&str, Json)> = Vec::new();
+    for backend in Backend::ALL {
+        let scan = scan_copy_backend(backend, cfg, &data);
+        let perm = permute_backend(backend, cfg, 1 << 13);
+        let sweep_secs = quick_sweep_secs(backend);
+        println!(
+            "{:<44} {:>12.3}s  (full quick grid)",
+            format!("quick_sweep/{}", backend.name()),
+            sweep_secs
+        );
+        backend_json.push((
+            backend.name(),
+            obj(vec![
+                (
+                    "scan_copy_elems_per_sec",
+                    json_f64(scan.throughput().unwrap_or(0.0)),
+                ),
+                (
+                    "permute_naive_elems_per_sec",
+                    json_f64(perm.throughput().unwrap_or(0.0)),
+                ),
+                ("quick_sweep_secs", json_f64(sweep_secs)),
+            ]),
+        ));
+    }
+
     let input = KeyDist::Uniform { seed: 1 }.generate(1 << 12);
     bench("merge_sort_round_based", || {
         let mut m: RoundBasedMachine<u64> = RoundBasedMachine::new(cfg);
@@ -43,10 +179,29 @@ fn main() {
         m.finish().unwrap()
     });
 
-    let cfg = AemConfig::new(64, 16, 4).unwrap();
+    let flash_cfg = AemConfig::new(64, 16, 4).unwrap();
     let pi = PermKind::Random { seed: 2 }.generate(1 << 11);
     bench("lemma_4_3_full_chain", || {
-        let (prog, _) = naive_atom_permutation(cfg, &pi).unwrap();
-        verify_lemma_4_3(&prog.program, cfg).unwrap()
+        let (prog, _) = naive_atom_permutation(flash_cfg, &pi).unwrap();
+        verify_lemma_4_3(&prog.program, flash_cfg).unwrap()
     });
+
+    if let Some(path) = json_path {
+        let doc = obj(vec![
+            ("bench", Json::Str("backend-comparison".to_string())),
+            (
+                "config",
+                obj(vec![
+                    ("mem", Json::UInt(64)),
+                    ("block", Json::UInt(8)),
+                    ("omega", Json::UInt(8)),
+                    ("scan_elems", Json::UInt(1 << 13)),
+                    ("permute_elems", Json::UInt(1 << 13)),
+                ]),
+            ),
+            ("backends", obj(backend_json)),
+        ]);
+        std::fs::write(&path, pretty(&doc)).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
 }

@@ -1,7 +1,10 @@
-//! T4: Lemma 4.3 flash simulation. `--quick` shrinks the sweep.
+//! T4: Lemma 4.3 flash simulation. `--quick` shrinks the sweep;
+//! `--backend {vec,arena,ghost}` picks the storage backend.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    for t in aem_bench::exp::flash::tables(quick) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let backend = aem_bench::backend_from_args(&args);
+    for t in aem_bench::exp::flash::tables(quick, backend) {
         t.print();
     }
 }

@@ -1,7 +1,10 @@
-//! T2: Theorem 3.2 merging experiments. `--quick` shrinks the sweep.
+//! T2: Theorem 3.2 merging experiments. `--quick` shrinks the sweep;
+//! `--backend {vec,arena,ghost}` picks the storage backend.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    for t in aem_bench::exp::merge::tables(quick) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let backend = aem_bench::backend_from_args(&args);
+    for t in aem_bench::exp::merge::tables(quick, backend) {
         t.print();
     }
 }

@@ -1,7 +1,10 @@
-//! T3: Lemma 4.1 round-based overhead. `--quick` shrinks the sweep.
+//! T3: Lemma 4.1 round-based overhead. `--quick` shrinks the sweep;
+//! `--backend {vec,arena,ghost}` picks the storage backend.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    for t in aem_bench::exp::rounds::tables(quick) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let backend = aem_bench::backend_from_args(&args);
+    for t in aem_bench::exp::rounds::tables(quick, backend) {
         t.print();
     }
 }

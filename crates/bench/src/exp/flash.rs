@@ -12,20 +12,26 @@
 use aem_core::bounds::flash as flash_bounds;
 use aem_flash::driver::{naive_atom_permutation, two_pass_atom_permutation};
 use aem_flash::verify_lemma_4_3;
-use aem_machine::AemConfig;
+use aem_machine::{AemConfig, Backend};
 use aem_workloads::PermKind;
 
 use crate::sweep::{Cell, CellOut, Sweep};
 use crate::table::{f, Table};
 
-/// All flash sweeps.
-pub fn sweeps(quick: bool) -> Vec<Sweep> {
+/// All flash sweeps. These run on the move-semantics atom machine and the
+/// flash replay machine — neither stores payloads through a
+/// [`aem_machine::BlockStore`] — so the cells are backend-neutral and run
+/// identically for every backend (including ghost).
+pub fn sweeps(quick: bool, _backend: Backend) -> Vec<Sweep> {
     vec![t4(quick)]
 }
 
 /// All flash tables (serial execution of [`sweeps`]).
-pub fn tables(quick: bool) -> Vec<Table> {
-    sweeps(quick).iter().map(Sweep::run_serial).collect()
+pub fn tables(quick: bool, backend: Backend) -> Vec<Table> {
+    sweeps(quick, backend)
+        .iter()
+        .map(Sweep::run_serial)
+        .collect()
 }
 
 /// T4: volume of the simulated programs vs the Lemma 4.3 bound, for two

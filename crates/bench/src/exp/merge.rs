@@ -2,7 +2,7 @@
 //! writes for one `ωm`-way merge.
 
 use aem_core::sort::{merge_runs, MergeStats};
-use aem_machine::{AemAccess, AemConfig, Cost, Machine, Region};
+use aem_machine::{with_payload_machine, AemAccess, AemConfig, Backend, Cost, Region};
 use aem_workloads::KeyDist;
 
 use crate::sweep::{Cell, CellOut, Sweep};
@@ -10,35 +10,52 @@ use crate::table::{f, Table};
 
 /// Merge `k` pre-sorted runs of `each` elements; return the cost and the
 /// merge statistics (including the measured Lemma 3.1 active-run maximum).
-pub fn run_merge(cfg: AemConfig, k: usize, each: usize, seed: u64) -> (Cost, MergeStats) {
-    let mut m: Machine<u64> = Machine::new(cfg);
-    let regions: Vec<Region> = (0..k)
-        .map(|i| {
-            let mut run = KeyDist::Uniform {
-                seed: seed + i as u64,
-            }
-            .generate(each);
-            run.sort();
-            m.install(&run)
-        })
-        .collect();
-    let (out, stats) = merge_runs(&mut m, &regions).expect("merge");
-    debug_assert_eq!(out.elems, k * each);
-    (m.cost(), stats)
+/// The merge compares keys and chases external pointers, so `backend` must
+/// carry payloads.
+pub fn run_merge(
+    backend: Backend,
+    cfg: AemConfig,
+    k: usize,
+    each: usize,
+    seed: u64,
+) -> (Cost, MergeStats) {
+    with_payload_machine!(backend, u64, |M| {
+        let mut m = M::new(cfg);
+        let regions: Vec<Region> = (0..k)
+            .map(|i| {
+                let mut run = KeyDist::Uniform {
+                    seed: seed + i as u64,
+                }
+                .generate(each);
+                run.sort();
+                m.install(&run)
+            })
+            .collect();
+        let (out, stats) = merge_runs(&mut m, &regions).expect("merge");
+        debug_assert_eq!(out.elems, k * each);
+        (m.cost(), stats)
+    }, ghost => unreachable!("the merge reads keys and pointers; not payload-oblivious"))
 }
 
-/// All merging sweeps.
-pub fn sweeps(quick: bool) -> Vec<Sweep> {
-    vec![t2_fan_sweep(quick), t2_omega_sweep(quick)]
+/// All merging sweeps. Merging steers on key comparisons, so the ghost
+/// backend runs none of them.
+pub fn sweeps(quick: bool, backend: Backend) -> Vec<Sweep> {
+    if !backend.carries_payload() {
+        return Vec::new();
+    }
+    vec![t2_fan_sweep(quick, backend), t2_omega_sweep(quick, backend)]
 }
 
 /// All merging tables (serial execution of [`sweeps`]).
-pub fn tables(quick: bool) -> Vec<Table> {
-    sweeps(quick).iter().map(Sweep::run_serial).collect()
+pub fn tables(quick: bool, backend: Backend) -> Vec<Table> {
+    sweeps(quick, backend)
+        .iter()
+        .map(Sweep::run_serial)
+        .collect()
 }
 
 /// T2a: merging cost vs the number of runs `k` up to the full fan-in.
-pub fn t2_fan_sweep(quick: bool) -> Sweep {
+pub fn t2_fan_sweep(quick: bool, backend: Backend) -> Sweep {
     let cfg = AemConfig::new(64, 8, 16).unwrap(); // fan-in = 128
     let each = if quick { 64 } else { 512 };
     let ks: Vec<usize> = vec![2, 8, 32, 128];
@@ -46,7 +63,7 @@ pub fn t2_fan_sweep(quick: bool) -> Sweep {
         .iter()
         .map(|&k| {
             Cell::new(format!("k={k}"), move || {
-                let (c, stats) = run_merge(cfg, k, each, 10);
+                let (c, stats) = run_merge(backend, cfg, k, each, 10);
                 CellOut::new()
                     .with_u64("k", k as u64)
                     .with_u64("reads", c.reads)
@@ -102,7 +119,7 @@ pub fn t2_fan_sweep(quick: bool) -> Sweep {
 
 /// T2b: merging at the full fan-in as `ω` grows (the pointer-array regime
 /// `ωm > M` from ω = 16 on for this configuration).
-pub fn t2_omega_sweep(quick: bool) -> Sweep {
+pub fn t2_omega_sweep(quick: bool, backend: Backend) -> Sweep {
     let (mem, b) = (64usize, 8usize);
     let total = if quick { 1 << 12 } else { 1 << 15 };
     let omegas: Vec<u64> = vec![1, 4, 16, 64];
@@ -113,7 +130,7 @@ pub fn t2_omega_sweep(quick: bool) -> Sweep {
                 let cfg = AemConfig::new(mem, b, omega).unwrap();
                 let k = cfg.fan_in().min(total / 4).max(2);
                 let each = total / k;
-                let c = run_merge(cfg, k, each, 20).0;
+                let c = run_merge(backend, cfg, k, each, 20).0;
                 CellOut::new()
                     .with_u64("omega", omega)
                     .with_u64("reads", c.reads)
@@ -174,7 +191,7 @@ mod tests {
 
     #[test]
     fn all_merge_tables_pass() {
-        for t in tables(true) {
+        for t in tables(true, Backend::Vec) {
             assert!(!t.rows.is_empty());
             for n in &t.notes {
                 assert!(!n.contains("FAIL"), "{}: {}", t.id, n);

@@ -2,15 +2,30 @@
 //!
 //! Each module exposes two entry points:
 //!
-//! * `sweeps(quick: bool) -> Vec<Sweep>` — the declarative form consumed
-//!   by the parallel resumable engine ([`crate::sweep::run`]);
-//! * `tables(quick: bool) -> Vec<Table>` — the serial convenience wrapper
-//!   (`sweeps(quick)` executed via [`crate::sweep::Sweep::run_serial`])
-//!   used by the per-experiment binaries and the test suites.
+//! * `sweeps(quick: bool, backend: Backend) -> Vec<Sweep>` — the
+//!   declarative form consumed by the parallel resumable engine
+//!   ([`crate::sweep::run`]);
+//! * `tables(quick: bool, backend: Backend) -> Vec<Table>` — the serial
+//!   convenience wrapper (`sweeps(quick, backend)` executed via
+//!   [`crate::sweep::Sweep::run_serial`]) used by the per-experiment
+//!   binaries and the test suites.
 //!
 //! `quick` shrinks the grids for use inside the test suite; the binaries
 //! run the full sizes. All workloads are seeded, all costs exact: tables
 //! regenerate bit-for-bit regardless of worker count or cache state.
+//!
+//! The `backend` axis selects the [`aem_machine::BlockStore`] the machine
+//! runs on. Cost metering is backend-independent, so every sweep a backend
+//! supports renders byte-identically across backends — CI enforces this
+//! for `vec` vs `ghost`. Not every sweep runs on every backend:
+//!
+//! * `vec` / `arena` carry payloads and run **everything**;
+//! * `ghost` carries no payload, so only *payload-oblivious* workloads are
+//!   sound on it (see `aem_machine::store`): the naive permuter, the tiled
+//!   transpose, and machine-free analyses. Merge-based sorting reads keys
+//!   and aux pointers to steer control flow and is excluded; ghost instead
+//!   adds the frontier sweep `T5X` at sizes the copying backends cannot
+//!   reach.
 
 pub mod flash;
 pub mod merge;
@@ -21,24 +36,58 @@ pub mod rounds;
 pub mod sorting;
 pub mod spmv;
 
+use aem_machine::Backend;
+
 use crate::sweep::Sweep;
 use crate::table::Table;
 
-/// Every experiment in DESIGN.md §3 order, in declarative sweep form.
-pub fn all_sweeps(quick: bool) -> Vec<Sweep> {
+/// Every experiment in DESIGN.md §3 order that `backend` supports, in
+/// declarative sweep form.
+pub fn all_sweeps(quick: bool, backend: Backend) -> Vec<Sweep> {
     let mut out = Vec::new();
-    out.extend(sorting::sweeps(quick));
-    out.extend(merge::sweeps(quick));
-    out.extend(rounds::sweeps(quick));
-    out.extend(flash::sweeps(quick));
-    out.extend(permute::sweeps(quick));
-    out.extend(spmv::sweeps(quick));
-    out.extend(model::sweeps(quick));
-    out.extend(optimality::sweeps(quick));
+    out.extend(sorting::sweeps(quick, backend));
+    out.extend(merge::sweeps(quick, backend));
+    out.extend(rounds::sweeps(quick, backend));
+    out.extend(flash::sweeps(quick, backend));
+    out.extend(permute::sweeps(quick, backend));
+    out.extend(spmv::sweeps(quick, backend));
+    out.extend(model::sweeps(quick, backend));
+    out.extend(optimality::sweeps(quick, backend));
     out
 }
 
 /// Every experiment in DESIGN.md §3 order, executed serially.
-pub fn all_tables(quick: bool) -> Vec<Table> {
-    all_sweeps(quick).iter().map(Sweep::run_serial).collect()
+pub fn all_tables(quick: bool, backend: Backend) -> Vec<Table> {
+    all_sweeps(quick, backend)
+        .iter()
+        .map(Sweep::run_serial)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_sweep_sets_are_consistent() {
+        let vec_ids: Vec<String> = all_sweeps(true, Backend::Vec)
+            .iter()
+            .map(|s| s.id.clone())
+            .collect();
+        let arena_ids: Vec<String> = all_sweeps(true, Backend::Arena)
+            .iter()
+            .map(|s| s.id.clone())
+            .collect();
+        // The payload-carrying backends run the identical experiment set.
+        assert_eq!(vec_ids, arena_ids);
+        // Ghost runs a strict subset of the shared grid plus its exclusive
+        // frontier sweep T5X.
+        for s in all_sweeps(true, Backend::Ghost) {
+            if s.id == "T5X" {
+                assert!(!vec_ids.contains(&s.id), "T5X is ghost-only");
+            } else {
+                assert!(vec_ids.contains(&s.id), "{} missing from vec set", s.id);
+            }
+        }
+    }
 }

@@ -7,26 +7,33 @@
 //! and permuting stack at `B = 1` and reports costs against the ARAM-form
 //! expressions (`log` base `ωM`, since `m = M` at `B = 1`).
 
-use aem_core::permute::permute_auto;
 use aem_core::sort::merge_sort;
-use aem_machine::{AemAccess, AemConfig, Machine};
+use aem_machine::{with_payload_machine, AemAccess, AemConfig, Backend};
 use aem_workloads::{KeyDist, PermKind};
 
 use crate::sweep::{Cell, CellOut, Sweep};
 use crate::table::{f, Table};
 
-/// All model sweeps.
-pub fn sweeps(quick: bool) -> Vec<Sweep> {
-    vec![f3(quick)]
+/// All model sweeps. F3 sorts keys and permutes through the auto
+/// strategy (which may pick the tag-steered sort), so the ghost backend
+/// runs none of them.
+pub fn sweeps(quick: bool, backend: Backend) -> Vec<Sweep> {
+    if !backend.carries_payload() {
+        return Vec::new();
+    }
+    vec![f3(quick, backend)]
 }
 
 /// All model tables (serial execution of [`sweeps`]).
-pub fn tables(quick: bool) -> Vec<Table> {
-    sweeps(quick).iter().map(Sweep::run_serial).collect()
+pub fn tables(quick: bool, backend: Backend) -> Vec<Table> {
+    sweeps(quick, backend)
+        .iter()
+        .map(Sweep::run_serial)
+        .collect()
 }
 
 /// F3: ARAM specialization.
-pub fn f3(quick: bool) -> Sweep {
+pub fn f3(quick: bool, backend: Backend) -> Sweep {
     let mem = 32usize;
     let n = if quick { 1 << 10 } else { 1 << 13 };
     let omegas: Vec<u64> = vec![1, 4, 16, 64];
@@ -37,19 +44,21 @@ pub fn f3(quick: bool) -> Sweep {
                 let cfg = AemConfig::aram(mem, omega).unwrap();
                 assert_eq!(cfg.block, 1);
                 let input = KeyDist::Uniform { seed: 70 }.generate(n);
-                let mut m: Machine<u64> = Machine::new(cfg);
-                let r = m.install(&input);
-                merge_sort(&mut m, r).expect("sort");
-                let q_sort = m.cost().q(omega);
+                let q_sort = with_payload_machine!(backend, u64, |M| {
+                    let mut m = M::new(cfg);
+                    let r = m.install(&input);
+                    merge_sort(&mut m, r).expect("sort");
+                    m.cost().q(omega)
+                }, ghost => unreachable!("F3 is not built for ghost"));
 
                 let pi = PermKind::Random { seed: 71 }.generate(n);
                 let values: Vec<u64> = (0..n as u64).collect();
-                let (run, strategy) = permute_auto(cfg, &values, &pi).expect("permute");
+                let (_, cost, strategy) = crate::exp::permute::run_auto(backend, cfg, &values, &pi);
                 CellOut::new()
                     .with_u64("omega", omega)
                     .with_u64("q_sort", q_sort)
                     .with_str("strategy", format!("{strategy:?}"))
-                    .with_u64("q_perm", run.q())
+                    .with_u64("q_perm", cost.q(omega))
             })
         })
         .collect();
@@ -94,10 +103,15 @@ mod tests {
 
     #[test]
     fn f3_passes() {
-        let t = f3(true).run_serial();
+        let t = f3(true, Backend::Vec).run_serial();
         assert!(!t.rows.is_empty());
         for n in &t.notes {
             assert!(!n.contains("FAIL"), "{}", n);
         }
+    }
+
+    #[test]
+    fn ghost_runs_no_model_sweeps() {
+        assert!(sweeps(true, Backend::Ghost).is_empty());
     }
 }

@@ -20,19 +20,24 @@
 //! simulator cannot reach is calibrated extrapolation, not guesswork.
 
 use aem_core::bounds::{permute as pbounds, predict};
-use aem_machine::AemConfig;
+use aem_machine::{AemConfig, Backend};
 
 use crate::sweep::{Cell, CellOut, Sweep};
 use crate::table::{f, Table};
 
-/// All optimality-map sweeps.
-pub fn sweeps(quick: bool) -> Vec<Sweep> {
+/// All optimality-map sweeps. Both sides of the gap are closed-form
+/// evaluations — no machine runs at all — so the cells are backend-neutral
+/// and run identically for every backend (including ghost).
+pub fn sweeps(quick: bool, _backend: Backend) -> Vec<Sweep> {
     vec![f5(quick)]
 }
 
 /// All optimality-map tables (serial execution of [`sweeps`]).
-pub fn tables(quick: bool) -> Vec<Table> {
-    sweeps(quick).iter().map(Sweep::run_serial).collect()
+pub fn tables(quick: bool, backend: Backend) -> Vec<Table> {
+    sweeps(quick, backend)
+        .iter()
+        .map(Sweep::run_serial)
+        .collect()
 }
 
 /// F5: the optimality gap across the parameter grid.

@@ -9,7 +9,7 @@ use aem_core::bounds::predict;
 use aem_core::sort::{
     distribution_sort, em_merge_sort, heap_sort, merge_sort, merge_sort_with_fan_in,
 };
-use aem_machine::{AemAccess, AemConfig, Cost, Machine};
+use aem_machine::{with_payload_machine, AemAccess, AemConfig, Backend, Cost};
 use aem_obs::{node_depth, InstrumentedMachine};
 use aem_workloads::KeyDist;
 
@@ -17,31 +17,38 @@ use crate::sweep::{Cell, CellOut, Sweep};
 use crate::table::{f, ratio, Table};
 
 /// Run the §3 mergesort on a fresh machine; returns the exact cost.
-pub fn run_merge_sort(cfg: AemConfig, n: usize, seed: u64) -> Cost {
+/// Sorting steers on key comparisons, so `backend` must carry payloads.
+pub fn run_merge_sort(backend: Backend, cfg: AemConfig, n: usize, seed: u64) -> Cost {
     let input = KeyDist::Uniform { seed }.generate(n);
-    let mut m: Machine<u64> = Machine::new(cfg);
-    let r = m.install(&input);
-    let out = merge_sort(&mut m, r).expect("merge_sort");
-    debug_assert_eq!(m.inspect(out).len(), n);
-    m.cost()
+    with_payload_machine!(backend, u64, |M| {
+        let mut m = M::new(cfg);
+        let r = m.install(&input);
+        let out = merge_sort(&mut m, r).expect("merge_sort");
+        debug_assert_eq!(m.inspect(out).len(), n);
+        m.cost()
+    }, ghost => unreachable!("merge sort reads keys; not payload-oblivious"))
 }
 
 /// Run the EM baseline; returns the exact cost.
-pub fn run_em_sort(cfg: AemConfig, n: usize, seed: u64) -> Cost {
+pub fn run_em_sort(backend: Backend, cfg: AemConfig, n: usize, seed: u64) -> Cost {
     let input = KeyDist::Uniform { seed }.generate(n);
-    let mut m: Machine<u64> = Machine::new(cfg);
-    let r = m.install(&input);
-    em_merge_sort(&mut m, r).expect("em_merge_sort");
-    m.cost()
+    with_payload_machine!(backend, u64, |M| {
+        let mut m = M::new(cfg);
+        let r = m.install(&input);
+        em_merge_sort(&mut m, r).expect("em_merge_sort");
+        m.cost()
+    }, ghost => unreachable!("merge sort reads keys; not payload-oblivious"))
 }
 
 /// Run the distribution-sort baseline; returns the exact cost.
-pub fn run_distribution_sort(cfg: AemConfig, n: usize, seed: u64) -> Cost {
+pub fn run_distribution_sort(backend: Backend, cfg: AemConfig, n: usize, seed: u64) -> Cost {
     let input = KeyDist::Uniform { seed }.generate(n);
-    let mut m: Machine<u64> = Machine::new(cfg);
-    let r = m.install(&input);
-    distribution_sort(&mut m, r).expect("distribution_sort");
-    m.cost()
+    with_payload_machine!(backend, u64, |M| {
+        let mut m = M::new(cfg);
+        let r = m.install(&input);
+        distribution_sort(&mut m, r).expect("distribution_sort");
+        m.cost()
+    }, ghost => unreachable!("distribution sort reads keys; not payload-oblivious"))
 }
 
 /// The normalization denominator of Theorem 3.2: `ω n ⌈log_{ωm} n⌉`.
@@ -50,38 +57,48 @@ fn thm32(cfg: AemConfig, n: usize) -> f64 {
     cfg.omega as f64 * nb * cfg.log_fan_in(nb).ceil()
 }
 
-/// All sorting sweeps, in presentation order.
-pub fn sweeps(quick: bool) -> Vec<Sweep> {
+/// All sorting sweeps, in presentation order. Every sorter here steers on
+/// key comparisons, so the ghost backend runs none of them.
+pub fn sweeps(quick: bool, backend: Backend) -> Vec<Sweep> {
+    if !backend.carries_payload() {
+        return Vec::new();
+    }
     vec![
-        t1_n_sweep(quick),
-        t1_omega_sweep(quick),
-        f1_vs_em(quick),
-        ablation_fan_in(quick),
-        ablation_pointers(quick),
-        t1_sorter_zoo(quick),
-        t1_phase_attribution(quick),
+        t1_n_sweep(quick, backend),
+        t1_omega_sweep(quick, backend),
+        f1_vs_em(quick, backend),
+        ablation_fan_in(quick, backend),
+        ablation_pointers(quick, backend),
+        t1_sorter_zoo(quick, backend),
+        t1_phase_attribution(quick, backend),
     ]
 }
 
 /// All sorting tables (serial execution of [`sweeps`]).
-pub fn tables(quick: bool) -> Vec<Table> {
-    sweeps(quick).iter().map(Sweep::run_serial).collect()
+pub fn tables(quick: bool, backend: Backend) -> Vec<Table> {
+    sweeps(quick, backend)
+        .iter()
+        .map(Sweep::run_serial)
+        .collect()
 }
 
 /// T1f: where the §3 mergesort's cost goes, phase by phase. An
 /// instrumented run attributes every I/O to the enclosing span; the
 /// top-level spans (base runs, then each merge level) partition the
 /// execution, so their inclusive costs must sum to the total.
-pub fn t1_phase_attribution(quick: bool) -> Sweep {
+pub fn t1_phase_attribution(quick: bool, backend: Backend) -> Sweep {
     let cfg = AemConfig::new(64, 8, 32).unwrap();
     let n = if quick { 1 << 12 } else { 1 << 16 };
     let cells = vec![Cell::new("instrumented", move || {
         let input = KeyDist::Uniform { seed: 7 }.generate(n);
-        let mut im = InstrumentedMachine::new(Machine::<u64>::new(cfg));
-        let r = im.inner_mut().install(&input);
-        merge_sort(&mut im, r).expect("sort");
-        let total = im.inner().cost();
-        let rec = im.into_record(aem_obs::WorkloadMeta::new("sort", "aem", n as u64));
+        let (total, rec) = with_payload_machine!(backend, u64, |M| {
+            let mut im = InstrumentedMachine::new(M::new(cfg));
+            let r = im.inner_mut().install(&input);
+            merge_sort(&mut im, r).expect("sort");
+            let total = im.inner().cost();
+            let rec = im.into_record(aem_obs::WorkloadMeta::new("sort", "aem", n as u64));
+            (total, rec)
+        }, ghost => unreachable!("sorting sweeps are not built for ghost"));
         let q_total = total.q(cfg.omega).max(1);
         let mut out = CellOut::new();
         let mut top_level_q = 0u64;
@@ -128,7 +145,7 @@ pub fn t1_phase_attribution(quick: bool) -> Sweep {
 /// and the PQ-backed heapsort share the write-lean profile (both move data
 /// through the §3.1 merge); the two ω-oblivious baselines pay ω on every
 /// level's writes.
-pub fn t1_sorter_zoo(quick: bool) -> Sweep {
+pub fn t1_sorter_zoo(quick: bool, backend: Backend) -> Sweep {
     let (mem, b) = (64usize, 8usize);
     let n = if quick { 1 << 11 } else { 1 << 14 };
     let omegas: Vec<u64> = vec![1, 8, 64, 256];
@@ -139,15 +156,17 @@ pub fn t1_sorter_zoo(quick: bool) -> Sweep {
                 let cfg = AemConfig::new(mem, b, omega).unwrap();
                 let input = KeyDist::Uniform { seed: 6 }.generate(n);
                 let run = |which: usize| -> u64 {
-                    let mut m: Machine<u64> = Machine::new(cfg);
-                    let r = m.install(&input);
-                    match which {
-                        0 => drop(merge_sort(&mut m, r).expect("sort")),
-                        1 => drop(heap_sort(&mut m, r).expect("sort")),
-                        2 => drop(em_merge_sort(&mut m, r).expect("sort")),
-                        _ => drop(distribution_sort(&mut m, r).expect("sort")),
-                    }
-                    m.cost().q(omega)
+                    with_payload_machine!(backend, u64, |M| {
+                        let mut m = M::new(cfg);
+                        let r = m.install(&input);
+                        match which {
+                            0 => drop(merge_sort(&mut m, r).expect("sort")),
+                            1 => drop(heap_sort(&mut m, r).expect("sort")),
+                            2 => drop(em_merge_sort(&mut m, r).expect("sort")),
+                            _ => drop(distribution_sort(&mut m, r).expect("sort")),
+                        }
+                        m.cost().q(omega)
+                    }, ghost => unreachable!("sorting sweeps are not built for ghost"))
                 };
                 CellOut::new()
                     .with_u64("omega", omega)
@@ -212,7 +231,7 @@ pub fn t1_sorter_zoo(quick: bool) -> Sweep {
 /// (the paper) vs memory-resident cursors (the `ω < B` assumption of
 /// earlier work). The resident variant *honestly fails* once the cursor
 /// table exceeds `M`.
-pub fn ablation_pointers(quick: bool) -> Sweep {
+pub fn ablation_pointers(quick: bool, backend: Backend) -> Sweep {
     use aem_core::sort::{merge_runs, merge_runs_resident};
     let (mem, b) = (64usize, 8usize);
     let each = if quick { 32 } else { 128 };
@@ -223,37 +242,39 @@ pub fn ablation_pointers(quick: bool) -> Sweep {
             Cell::new(format!("omega={omega}"), move || {
                 let cfg = AemConfig::new(mem, b, omega).unwrap();
                 let k = cfg.fan_in().min(512);
-                let mk_runs = |m: &mut Machine<u64>| {
-                    (0..k)
-                        .map(|i| {
-                            let mut v = KeyDist::Uniform {
-                                seed: 500 + i as u64,
-                            }
-                            .generate(each);
-                            v.sort();
-                            m.install(&v)
-                        })
-                        .collect::<Vec<_>>()
-                };
-                let mut m1: Machine<u64> = Machine::new(cfg);
-                let r1 = mk_runs(&mut m1);
-                merge_runs(&mut m1, &r1).expect("external-pointer merge always works");
-                let q_ext = m1.cost().q(omega);
+                with_payload_machine!(backend, u64, |M| {
+                    let mk_runs = |m: &mut M| {
+                        (0..k)
+                            .map(|i| {
+                                let mut v = KeyDist::Uniform {
+                                    seed: 500 + i as u64,
+                                }
+                                .generate(each);
+                                v.sort();
+                                m.install(&v)
+                            })
+                            .collect::<Vec<_>>()
+                    };
+                    let mut m1 = M::new(cfg);
+                    let r1 = mk_runs(&mut m1);
+                    merge_runs(&mut m1, &r1).expect("external-pointer merge always works");
+                    let q_ext = m1.cost().q(omega);
 
-                let mut m2: Machine<u64> = Machine::new(cfg);
-                let r2 = mk_runs(&mut m2);
-                let out = CellOut::new()
-                    .with_u64("omega", omega)
-                    .with_u64("k", k as u64)
-                    .with_u64("q_ext", q_ext);
-                match merge_runs_resident(&mut m2, &r2) {
-                    Ok(_) => out
-                        .with_bool("resident_ok", true)
-                        .with_u64("q_res", m2.cost().q(omega)),
-                    Err(e) => out
-                        .with_bool("resident_ok", false)
-                        .with_str("resident_err", e.to_string()),
-                }
+                    let mut m2 = M::new(cfg);
+                    let r2 = mk_runs(&mut m2);
+                    let out = CellOut::new()
+                        .with_u64("omega", omega)
+                        .with_u64("k", k as u64)
+                        .with_u64("q_ext", q_ext);
+                    match merge_runs_resident(&mut m2, &r2) {
+                        Ok(_) => out
+                            .with_bool("resident_ok", true)
+                            .with_u64("q_res", m2.cost().q(omega)),
+                        Err(e) => out
+                            .with_bool("resident_ok", false)
+                            .with_str("resident_err", e.to_string()),
+                    }
+                }, ghost => unreachable!("sorting sweeps are not built for ghost"))
             })
         })
         .collect();
@@ -301,7 +322,7 @@ pub fn ablation_pointers(quick: bool) -> Sweep {
 }
 
 /// T1a: cost vs `N` at fixed `(M, B, ω)`.
-pub fn t1_n_sweep(quick: bool) -> Sweep {
+pub fn t1_n_sweep(quick: bool, backend: Backend) -> Sweep {
     let cfg = AemConfig::new(256, 16, 16).unwrap();
     let sizes: Vec<usize> = if quick {
         vec![1 << 10, 1 << 12]
@@ -312,7 +333,7 @@ pub fn t1_n_sweep(quick: bool) -> Sweep {
         .iter()
         .map(|&n| {
             Cell::new(format!("n={n}"), move || {
-                let c = run_merge_sort(cfg, n, 1);
+                let c = run_merge_sort(backend, cfg, n, 1);
                 CellOut::new()
                     .with_u64("n", n as u64)
                     .with_u64("reads", c.reads)
@@ -356,7 +377,7 @@ pub fn t1_n_sweep(quick: bool) -> Sweep {
 
 /// T1b: cost vs `ω` at fixed `N, M, B` — including `ω > B`, the regime the
 /// paper's mergesort newly covers.
-pub fn t1_omega_sweep(quick: bool) -> Sweep {
+pub fn t1_omega_sweep(quick: bool, backend: Backend) -> Sweep {
     let (mem, b) = (64usize, 8usize);
     let n = if quick { 1 << 12 } else { 1 << 16 };
     let omegas: Vec<u64> = vec![1, 2, 4, 8, 16, 64, 256, 1024];
@@ -365,7 +386,7 @@ pub fn t1_omega_sweep(quick: bool) -> Sweep {
         .map(|&omega| {
             Cell::new(format!("omega={omega}"), move || {
                 let cfg = AemConfig::new(mem, b, omega).unwrap();
-                let c = run_merge_sort(cfg, n, 2);
+                let c = run_merge_sort(backend, cfg, n, 2);
                 CellOut::new()
                     .with_u64("omega", omega)
                     .with_u64("reads", c.reads)
@@ -420,7 +441,7 @@ pub fn t1_omega_sweep(quick: bool) -> Sweep {
 }
 
 /// F1: the separation against the `ω`-oblivious EM mergesort.
-pub fn f1_vs_em(quick: bool) -> Sweep {
+pub fn f1_vs_em(quick: bool, backend: Backend) -> Sweep {
     let (mem, b) = (64usize, 8usize);
     let n = if quick { 1 << 12 } else { 1 << 16 };
     let omegas: Vec<u64> = vec![1, 4, 16, 64, 256];
@@ -429,9 +450,9 @@ pub fn f1_vs_em(quick: bool) -> Sweep {
         .map(|&omega| {
             Cell::new(format!("omega={omega}"), move || {
                 let cfg = AemConfig::new(mem, b, omega).unwrap();
-                let aem = run_merge_sort(cfg, n, 3);
-                let em = run_em_sort(cfg, n, 3);
-                let dist = run_distribution_sort(cfg, n, 3);
+                let aem = run_merge_sort(backend, cfg, n, 3);
+                let em = run_em_sort(backend, cfg, n, 3);
+                let dist = run_distribution_sort(backend, cfg, n, 3);
                 CellOut::new()
                     .with_u64("omega", omega)
                     .with_u64("aem_reads", aem.reads)
@@ -488,7 +509,7 @@ pub fn f1_vs_em(quick: bool) -> Sweep {
 
 /// Ablation: merge fan-in `d ∈ {2, m, ωm}` — the `log_d n` level count in
 /// measured costs.
-pub fn ablation_fan_in(quick: bool) -> Sweep {
+pub fn ablation_fan_in(quick: bool, backend: Backend) -> Sweep {
     let cfg = AemConfig::new(64, 8, 32).unwrap(); // fan-in ωm = 256
     let n = if quick { 1 << 12 } else { 1 << 16 };
     let fans = [2usize, cfg.m(), cfg.fan_in()];
@@ -498,13 +519,15 @@ pub fn ablation_fan_in(quick: bool) -> Sweep {
         .map(|&d| {
             Cell::new(format!("d={d}"), move || {
                 let input = KeyDist::Uniform { seed: 4 }.generate(n);
-                let mut m: Machine<u64> = Machine::new(cfg);
-                let r = m.install(&input);
-                merge_sort_with_fan_in(&mut m, r, d).expect("sort");
-                CellOut::new()
-                    .with_u64("d", d as u64)
-                    .with_u64("reads", m.cost().reads)
-                    .with_u64("writes", m.cost().writes)
+                with_payload_machine!(backend, u64, |M| {
+                    let mut m = M::new(cfg);
+                    let r = m.install(&input);
+                    merge_sort_with_fan_in(&mut m, r, d).expect("sort");
+                    CellOut::new()
+                        .with_u64("d", d as u64)
+                        .with_u64("reads", m.cost().reads)
+                        .with_u64("writes", m.cost().writes)
+                }, ghost => unreachable!("sorting sweeps are not built for ghost"))
             })
         })
         .collect();
@@ -550,11 +573,33 @@ mod tests {
 
     #[test]
     fn all_sorting_tables_pass() {
-        for t in tables(true) {
+        for t in tables(true, Backend::Vec) {
             assert!(!t.rows.is_empty(), "{} has rows", t.id);
             for n in &t.notes {
                 assert!(!n.contains("FAIL"), "{}: {}", t.id, n);
             }
         }
+    }
+
+    #[test]
+    fn arena_renders_identically_to_vec() {
+        // The differential invariant at table granularity: the arena
+        // backend reproduces every vec table byte-for-byte.
+        let vec_tables = tables(true, Backend::Vec);
+        let arena_tables = tables(true, Backend::Arena);
+        assert_eq!(vec_tables.len(), arena_tables.len());
+        for (v, a) in vec_tables.iter().zip(&arena_tables) {
+            assert_eq!(
+                v.to_markdown(),
+                a.to_markdown(),
+                "{} diverges on arena",
+                v.id
+            );
+        }
+    }
+
+    #[test]
+    fn ghost_runs_no_sorting_sweeps() {
+        assert!(sweeps(true, Backend::Ghost).is_empty());
     }
 }

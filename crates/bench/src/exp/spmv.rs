@@ -3,33 +3,68 @@
 
 use aem_core::bounds::spmv as sbounds;
 use aem_core::spmv::{
-    choose_strategy, reference_multiply, spmv_direct, spmv_sorted, SpmvStrategy, U64Ring,
+    choose_strategy, install_instance, reference_multiply, spmv_direct_on, spmv_sorted_on,
+    MatEntry, SpmvInstance, SpmvRun, SpmvStrategy, U64Ring,
 };
-use aem_machine::AemConfig;
+use aem_machine::{with_payload_machine, AemAccess, AemConfig, Backend};
 use aem_workloads::{Conformation, MatrixShape};
 
 use crate::sweep::{Cell, CellOut, Sweep};
 use crate::table::{f, Table};
 
-/// All SpMxV sweeps.
-pub fn sweeps(quick: bool) -> Vec<Sweep> {
+/// All SpMxV sweeps. Both algorithms move semiring values (and the sorted
+/// one merge-sorts them), so the ghost backend runs none of them.
+pub fn sweeps(quick: bool, backend: Backend) -> Vec<Sweep> {
+    if !backend.carries_payload() {
+        return Vec::new();
+    }
     vec![
-        t6_delta_sweep(quick),
-        t6_omega_sweep(quick),
-        t6_big_blocks(quick),
-        t7(quick),
+        t6_delta_sweep(quick, backend),
+        t6_omega_sweep(quick, backend),
+        t6_big_blocks(quick, backend),
+        t7(quick, backend),
     ]
 }
 
 /// All SpMxV tables (serial execution of [`sweeps`]).
-pub fn tables(quick: bool) -> Vec<Table> {
-    sweeps(quick).iter().map(Sweep::run_serial).collect()
+pub fn tables(quick: bool, backend: Backend) -> Vec<Table> {
+    sweeps(quick, backend)
+        .iter()
+        .map(Sweep::run_serial)
+        .collect()
+}
+
+/// Run one SpMxV strategy on the selected payload-carrying backend.
+fn run_spmv(
+    backend: Backend,
+    cfg: AemConfig,
+    conf: &Conformation,
+    a: &[U64Ring],
+    x: &[U64Ring],
+    strategy: SpmvStrategy,
+) -> SpmvRun<U64Ring> {
+    let inst = SpmvInstance { conf, a_vals: a, x };
+    inst.validate().expect("instance dimensions");
+    with_payload_machine!(backend, MatEntry<U64Ring>, |M| {
+        let mut m = M::new(cfg);
+        let (ra, rx) = install_instance(&mut m, &inst);
+        let y = match strategy {
+            SpmvStrategy::Direct => spmv_direct_on(&mut m, conf, ra, rx).expect("direct"),
+            SpmvStrategy::Sorted => spmv_sorted_on(&mut m, conf, ra, rx).expect("sorted"),
+        };
+        let output = m.inspect(y).into_iter().map(|e| e.val).collect();
+        SpmvRun {
+            output,
+            cost: m.cost(),
+            cfg,
+        }
+    }, ghost => unreachable!("SpMxV sweeps are not built for ghost"))
 }
 
 /// T6c: the sorting-based algorithm's home turf — large blocks, mild
 /// asymmetry. Direct gathering pays ≈ 2 reads per non-zero regardless of
 /// `B`, while sorting moves whole blocks: `ω·lev/B ≪ 1` flips the winner.
-pub fn t6_big_blocks(quick: bool) -> Sweep {
+pub fn t6_big_blocks(quick: bool, backend: Backend) -> Sweep {
     let (mem, b) = (1024usize, 128usize);
     let n = if quick { 1024 } else { 4096 };
     let delta = 2usize;
@@ -40,8 +75,8 @@ pub fn t6_big_blocks(quick: bool) -> Sweep {
             Cell::new(format!("omega={omega}"), move || {
                 let cfg = AemConfig::new(mem, b, omega).unwrap();
                 let (conf, a, x) = instance(n, delta, 63);
-                let d = spmv_direct(cfg, &conf, &a, &x).expect("direct");
-                let s = spmv_sorted(cfg, &conf, &a, &x).expect("sorted");
+                let d = run_spmv(backend, cfg, &conf, &a, &x, SpmvStrategy::Direct);
+                let s = run_spmv(backend, cfg, &conf, &a, &x, SpmvStrategy::Sorted);
                 CellOut::new()
                     .with_u64("omega", omega)
                     .with_u64("q_direct", d.q())
@@ -98,7 +133,7 @@ fn instance(n: usize, delta: usize, seed: u64) -> (Conformation, Vec<U64Ring>, V
 }
 
 /// T6a: direct vs sorting-based cost across the density sweep.
-pub fn t6_delta_sweep(quick: bool) -> Sweep {
+pub fn t6_delta_sweep(quick: bool, backend: Backend) -> Sweep {
     let cfg = AemConfig::new(64, 8, 8).unwrap();
     let n = if quick { 256 } else { 2048 };
     let deltas: Vec<usize> = if quick {
@@ -112,8 +147,8 @@ pub fn t6_delta_sweep(quick: bool) -> Sweep {
             Cell::new(format!("delta={delta}"), move || {
                 let (conf, a, x) = instance(n, delta, 60 + delta as u64);
                 let want = reference_multiply(&conf, &a, &x);
-                let d = spmv_direct(cfg, &conf, &a, &x).expect("direct");
-                let s = spmv_sorted(cfg, &conf, &a, &x).expect("sorted");
+                let d = run_spmv(backend, cfg, &conf, &a, &x, SpmvStrategy::Direct);
+                let s = run_spmv(backend, cfg, &conf, &a, &x, SpmvStrategy::Sorted);
                 assert_eq!(d.output, want);
                 assert_eq!(s.output, want);
                 CellOut::new()
@@ -165,7 +200,7 @@ pub fn t6_delta_sweep(quick: bool) -> Sweep {
 }
 
 /// T6b: the same crossover in `ω` at fixed δ.
-pub fn t6_omega_sweep(quick: bool) -> Sweep {
+pub fn t6_omega_sweep(quick: bool, backend: Backend) -> Sweep {
     let (mem, b) = (64usize, 8usize);
     let n = if quick { 256 } else { 2048 };
     let delta = 4usize;
@@ -176,8 +211,8 @@ pub fn t6_omega_sweep(quick: bool) -> Sweep {
             Cell::new(format!("omega={omega}"), move || {
                 let cfg = AemConfig::new(mem, b, omega).unwrap();
                 let (conf, a, x) = instance(n, delta, 61);
-                let d = spmv_direct(cfg, &conf, &a, &x).expect("direct");
-                let s = spmv_sorted(cfg, &conf, &a, &x).expect("sorted");
+                let d = run_spmv(backend, cfg, &conf, &a, &x, SpmvStrategy::Direct);
+                let s = run_spmv(backend, cfg, &conf, &a, &x, SpmvStrategy::Sorted);
                 CellOut::new()
                     .with_u64("omega", omega)
                     .with_u64("q_direct", d.q())
@@ -221,7 +256,7 @@ pub fn t6_omega_sweep(quick: bool) -> Sweep {
 
 /// T7: the Theorem 5.1 numeric lower bound vs measured costs, within the
 /// theorem's parameter range.
-pub fn t7(quick: bool) -> Sweep {
+pub fn t7(quick: bool, backend: Backend) -> Sweep {
     let cfg = AemConfig::new(64, 8, 2).unwrap();
     let n = if quick { 1 << 10 } else { 1 << 13 };
     let deltas: Vec<usize> = vec![1, 2, 4];
@@ -230,8 +265,8 @@ pub fn t7(quick: bool) -> Sweep {
         .map(|&delta| {
             Cell::new(format!("delta={delta}"), move || {
                 let (conf, a, x) = instance(n, delta, 62 + delta as u64);
-                let d = spmv_direct(cfg, &conf, &a, &x).expect("direct");
-                let s = spmv_sorted(cfg, &conf, &a, &x).expect("sorted");
+                let d = run_spmv(backend, cfg, &conf, &a, &x, SpmvStrategy::Direct);
+                let s = run_spmv(backend, cfg, &conf, &a, &x, SpmvStrategy::Sorted);
                 let lb = sbounds::spmv_cost_lower_bound(n as u64, delta as u64, cfg);
                 let asym = sbounds::spmv_lower_bound_asymptotic(n as u64, delta as u64, cfg);
                 let applies = sbounds::theorem_applies(n as u64, delta as u64, cfg, 0.05);
@@ -295,7 +330,7 @@ mod tests {
 
     #[test]
     fn spmv_tables_pass() {
-        for t in tables(true) {
+        for t in tables(true, Backend::Vec) {
             assert!(!t.rows.is_empty());
             for n in &t.notes {
                 assert!(!n.contains("FAIL"), "{}: {}", t.id, n);

@@ -34,6 +34,34 @@ pub mod timing;
 
 pub use table::Table;
 
+/// Parse `--backend NAME` / `--backend=NAME` from a CLI argument list
+/// (shared by the `exp_*` binaries and `run_all`). Defaults to the vec
+/// backend; exits with a diagnostic on an unknown name.
+pub fn backend_from_args(args: &[String]) -> aem_machine::Backend {
+    let mut i = 0;
+    while i < args.len() {
+        let name = if let Some(v) = args[i].strip_prefix("--backend=") {
+            Some(v.to_string())
+        } else if args[i] == "--backend" {
+            i += 1;
+            args.get(i).cloned()
+        } else {
+            None
+        };
+        if let Some(name) = name {
+            match aem_machine::Backend::from_name(&name) {
+                Ok(b) => return b,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        i += 1;
+    }
+    aem_machine::Backend::Vec
+}
+
 /// Run `f` over `items` on up to `threads` OS threads, preserving input
 /// order. The simulators are single-threaded by design; sweeps are
 /// embarrassingly parallel at the (machine, workload) granularity, which

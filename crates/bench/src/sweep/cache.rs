@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::Path;
 
+use aem_machine::Backend;
 use aem_obs::json::{parse, Json};
 
 use super::value::CellOut;
@@ -37,8 +38,12 @@ pub fn code_salt() -> &'static str {
 }
 
 /// The stable cache key of a cell: FNV-1a over
-/// `(experiment id, cell key, salt)`, hex-encoded.
-pub fn cell_hash(exp_id: &str, cell_key: &str, salt: &str) -> String {
+/// `(experiment id, cell key, storage backend, salt)`, hex-encoded. The
+/// backend is part of the key because the build-time salt only covers the
+/// bench sources: a ghost run must never be served a cell simulated on the
+/// payload-carrying `vec` backend (or vice versa), even though their cell
+/// keys and grids coincide.
+pub fn cell_hash(exp_id: &str, cell_key: &str, backend: Backend, salt: &str) -> String {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -46,6 +51,8 @@ pub fn cell_hash(exp_id: &str, cell_key: &str, salt: &str) -> String {
         exp_id.as_bytes(),
         b"\x00",
         cell_key.as_bytes(),
+        b"\x00",
+        backend.name().as_bytes(),
         b"\x00",
         salt.as_bytes(),
     ] {
@@ -113,15 +120,22 @@ impl Cache {
 }
 
 /// Render one cache line (no trailing newline).
-pub fn record_line(exp_id: &str, cell_key: &str, salt: &str, out: &CellOut) -> String {
+pub fn record_line(
+    exp_id: &str,
+    cell_key: &str,
+    backend: Backend,
+    salt: &str,
+    out: &CellOut,
+) -> String {
     Json::Obj(vec![
         ("v".to_string(), Json::UInt(CACHE_VERSION)),
         (
             "key".to_string(),
-            Json::Str(cell_hash(exp_id, cell_key, salt)),
+            Json::Str(cell_hash(exp_id, cell_key, backend, salt)),
         ),
         ("exp".to_string(), Json::Str(exp_id.to_string())),
         ("cell".to_string(), Json::Str(cell_key.to_string())),
+        ("backend".to_string(), Json::Str(backend.name().to_string())),
         ("salt".to_string(), Json::Str(salt.to_string())),
         ("out".to_string(), out.to_json()),
     ])
@@ -158,10 +172,11 @@ impl CacheWriter {
         &mut self,
         exp_id: &str,
         cell_key: &str,
+        backend: Backend,
         salt: &str,
         out: &CellOut,
     ) -> std::io::Result<()> {
-        let mut line = record_line(exp_id, cell_key, salt, out);
+        let mut line = record_line(exp_id, cell_key, backend, salt, out);
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
         self.file.flush()
@@ -178,13 +193,29 @@ mod tests {
 
     #[test]
     fn hash_is_stable_and_sensitive() {
-        let h = cell_hash("T1a", "n=4096", "salt-1");
-        assert_eq!(h, cell_hash("T1a", "n=4096", "salt-1"));
-        assert_ne!(h, cell_hash("T1b", "n=4096", "salt-1"));
-        assert_ne!(h, cell_hash("T1a", "n=8192", "salt-1"));
-        assert_ne!(h, cell_hash("T1a", "n=4096", "salt-2"));
+        let h = cell_hash("T1a", "n=4096", Backend::Vec, "salt-1");
+        assert_eq!(h, cell_hash("T1a", "n=4096", Backend::Vec, "salt-1"));
+        assert_ne!(h, cell_hash("T1b", "n=4096", Backend::Vec, "salt-1"));
+        assert_ne!(h, cell_hash("T1a", "n=8192", Backend::Vec, "salt-1"));
+        assert_ne!(h, cell_hash("T1a", "n=4096", Backend::Vec, "salt-2"));
         // The separator prevents concatenation collisions.
-        assert_ne!(cell_hash("ab", "c", "s"), cell_hash("a", "bc", "s"));
+        assert_ne!(
+            cell_hash("ab", "c", Backend::Vec, "s"),
+            cell_hash("a", "bc", Backend::Vec, "s")
+        );
+    }
+
+    #[test]
+    fn hash_is_backend_sensitive() {
+        // A ghost run must never be served a cached vec cell: every pair of
+        // distinct backends keys to a distinct hash for the same cell.
+        for a in Backend::ALL {
+            for b in Backend::ALL {
+                let ha = cell_hash("T5N", "n=1024", a, "s");
+                let hb = cell_hash("T5N", "n=1024", b, "s");
+                assert_eq!(a == b, ha == hb, "{a} vs {b}");
+            }
+        }
     }
 
     #[test]
@@ -193,12 +224,20 @@ mod tests {
         std::fs::remove_file(&path).ok();
         let out = CellOut::new().with_u64("q", 42).with_f64("norm", 1.5);
         let mut w = CacheWriter::open(&path, false).unwrap();
-        w.append("T1a", "n=4096", "s", &out).unwrap();
+        w.append("T1a", "n=4096", Backend::Vec, "s", &out).unwrap();
         drop(w);
         let cache = Cache::load(&path);
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.get(&cell_hash("T1a", "n=4096", "s")), Some(&out));
-        assert!(cache.get(&cell_hash("T1a", "n=4096", "other")).is_none());
+        assert_eq!(
+            cache.get(&cell_hash("T1a", "n=4096", Backend::Vec, "s")),
+            Some(&out)
+        );
+        assert!(cache
+            .get(&cell_hash("T1a", "n=4096", Backend::Vec, "other"))
+            .is_none());
+        assert!(cache
+            .get(&cell_hash("T1a", "n=4096", Backend::Ghost, "s"))
+            .is_none());
         std::fs::remove_file(&path).ok();
     }
 
@@ -208,7 +247,7 @@ mod tests {
         std::fs::remove_file(&path).ok();
         let out = CellOut::new().with_u64("q", 1);
         let mut w = CacheWriter::open(&path, false).unwrap();
-        w.append("T", "a", "s", &out).unwrap();
+        w.append("T", "a", Backend::Vec, "s", &out).unwrap();
         drop(w);
         // Simulate a torn write from an interrupted run.
         let mut text = std::fs::read_to_string(&path).unwrap();

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use aem_machine::Backend;
 use aem_obs::Metrics;
 
 use super::cache::{self, Cache, CacheWriter};
@@ -40,6 +41,9 @@ pub struct RunOptions {
     /// Restrict to experiments whose id matches one of these patterns
     /// (case-insensitive exact match or prefix, so `t1` selects T1a–T1f).
     pub only: Option<Vec<String>>,
+    /// Storage backend the sweeps were built for; part of every cache key
+    /// so runs on different backends never share cached cells.
+    pub backend: Backend,
 }
 
 impl RunOptions {
@@ -246,7 +250,7 @@ pub fn run(sweeps: &[Sweep], opts: &RunOptions) -> Result<RunReport, String> {
     for (si, sweep) in selected.iter().enumerate() {
         let mut row = Vec::with_capacity(sweep.cells.len());
         for (ci, cell) in sweep.cells.iter().enumerate() {
-            let hash = cache::cell_hash(&sweep.id, &cell.key, salt);
+            let hash = cache::cell_hash(&sweep.id, &cell.key, opts.backend, salt);
             match cache_map.get(&hash) {
                 Some(out) => {
                     cached_total += 1;
@@ -285,7 +289,7 @@ pub fn run(sweeps: &[Sweep], opts: &RunOptions) -> Result<RunReport, String> {
                         if let Some(w) = writer.lock().expect("cache writer").as_mut() {
                             // A failed append degrades resumability, not
                             // correctness; the in-memory result survives.
-                            let _ = w.append(&selected[si].id, &cell.key, salt, &out);
+                            let _ = w.append(&selected[si].id, &cell.key, opts.backend, salt, &out);
                         }
                         Ok(out)
                     }

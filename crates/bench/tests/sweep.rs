@@ -6,6 +6,7 @@ use std::path::PathBuf;
 
 use aem_bench::exp;
 use aem_bench::sweep::{self, cache, RunOptions, RunReport};
+use aem_machine::Backend;
 
 fn tmp(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("aem-sweep-it-{}-{name}", std::process::id()))
@@ -36,7 +37,7 @@ fn subset() -> RunOptions {
 #[test]
 fn parallel_is_byte_identical_to_serial() {
     let serial = sweep::run(
-        &exp::all_sweeps(true),
+        &exp::all_sweeps(true, Backend::Vec),
         &RunOptions {
             jobs: 1,
             ..subset()
@@ -44,7 +45,7 @@ fn parallel_is_byte_identical_to_serial() {
     )
     .unwrap();
     let parallel = sweep::run(
-        &exp::all_sweeps(true),
+        &exp::all_sweeps(true, Backend::Vec),
         &RunOptions {
             jobs: 4,
             ..subset()
@@ -55,12 +56,44 @@ fn parallel_is_byte_identical_to_serial() {
     assert_eq!(render(&serial), render(&parallel));
 
     // And both match the pre-engine serial path (`tables(quick)`).
-    let legacy: String = exp::all_sweeps(true)
+    let legacy: String = exp::all_sweeps(true, Backend::Vec)
         .iter()
         .filter(|s| subset().selects(&s.id))
         .map(|s| s.run_serial().to_markdown())
         .collect();
     assert_eq!(render(&serial), legacy);
+}
+
+#[test]
+fn ghost_engine_run_is_byte_identical_to_vec_on_shared_sweeps() {
+    // The CI smoke in script form: the backend-neutral T8 and the
+    // payload-oblivious T5N are in every backend's sweep set, keyed and
+    // rendered without backend names, so a ghost document must equal the
+    // vec document byte for byte.
+    let only = Some(vec!["T8".into(), "T5N".into()]);
+    let vec_doc = render(
+        &sweep::run(
+            &exp::all_sweeps(true, Backend::Vec),
+            &RunOptions {
+                only: only.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let ghost_doc = render(
+        &sweep::run(
+            &exp::all_sweeps(true, Backend::Ghost),
+            &RunOptions {
+                only,
+                backend: Backend::Ghost,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    assert!(!vec_doc.is_empty());
+    assert_eq!(vec_doc, ghost_doc);
 }
 
 #[test]
@@ -72,11 +105,11 @@ fn warm_cache_runs_zero_simulations() {
         cache: Some(path.clone()),
         ..subset()
     };
-    let cold = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    let cold = sweep::run(&exp::all_sweeps(true, Backend::Vec), &opts).unwrap();
     assert!(cold.executed > 0);
     assert_eq!(cold.cached, 0);
 
-    let warm = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    let warm = sweep::run(&exp::all_sweeps(true, Backend::Vec), &opts).unwrap();
     assert_eq!(warm.executed, 0, "second run must simulate nothing");
     assert_eq!(warm.cached, cold.executed);
     assert_eq!(render(&cold), render(&warm));
@@ -93,11 +126,11 @@ fn fresh_invalidates_the_cache() {
         only: Some(vec!["T2a".into()]),
         ..Default::default()
     };
-    let cold = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    let cold = sweep::run(&exp::all_sweeps(true, Backend::Vec), &opts).unwrap();
     assert!(cold.executed > 0);
 
     let fresh = sweep::run(
-        &exp::all_sweeps(true),
+        &exp::all_sweeps(true, Backend::Vec),
         &RunOptions {
             fresh: true,
             ..opts.clone()
@@ -108,7 +141,7 @@ fn fresh_invalidates_the_cache() {
     assert_eq!(fresh.cached, 0);
 
     // After the fresh run the cache is warm again.
-    let warm = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    let warm = sweep::run(&exp::all_sweeps(true, Backend::Vec), &opts).unwrap();
     assert_eq!(warm.executed, 0);
     std::fs::remove_file(&path).ok();
 }
@@ -123,13 +156,13 @@ fn stale_code_salt_invalidates_cached_cells() {
         only: Some(vec!["T2a".into()]),
         ..Default::default()
     };
-    let cold = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    let cold = sweep::run(&exp::all_sweeps(true, Backend::Vec), &opts).unwrap();
     assert!(cold.executed > 0);
 
     // Rewrite every cache line as if produced by an older code version:
     // same experiment ids and cell keys, different salt. The engine must
     // treat all of them as misses.
-    let sweeps = exp::all_sweeps(true);
+    let sweeps = exp::all_sweeps(true, Backend::Vec);
     let t2a = sweeps.iter().find(|s| s.id == "T2a").unwrap();
     let mut stale = String::new();
     for cell in &t2a.cells {
@@ -137,6 +170,7 @@ fn stale_code_salt_invalidates_cached_cells() {
         stale.push_str(&cache::record_line(
             &t2a.id,
             &cell.key,
+            Backend::Vec,
             "0000deadbeef0000",
             &out,
         ));
@@ -144,7 +178,7 @@ fn stale_code_salt_invalidates_cached_cells() {
     }
     std::fs::write(&path, stale).unwrap();
 
-    let rerun = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    let rerun = sweep::run(&exp::all_sweeps(true, Backend::Vec), &opts).unwrap();
     assert_eq!(
         rerun.executed, cold.executed,
         "stale-salt records must not count as hits"
@@ -154,7 +188,7 @@ fn stale_code_salt_invalidates_cached_cells() {
     // Sanity: with the *current* salt the very same records do hit.
     let current = cache::code_salt();
     assert_ne!(current, "0000deadbeef0000");
-    let warm = sweep::run(&exp::all_sweeps(true), &opts).unwrap();
+    let warm = sweep::run(&exp::all_sweeps(true, Backend::Vec), &opts).unwrap();
     assert_eq!(warm.executed, 0);
     std::fs::remove_file(&path).ok();
 }

@@ -495,9 +495,18 @@ pub fn cmd_trace(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// Parse the `--backend {vec,arena,ghost}` option (default: vec).
+fn parse_backend(args: &Args) -> Result<aem_machine::Backend, String> {
+    match args.get("backend") {
+        None => Ok(aem_machine::Backend::Vec),
+        Some(name) => aem_machine::Backend::from_name(name),
+    }
+}
+
 /// `aemsim exp` — run EXPERIMENTS.md experiments on the parallel,
 /// resumable sweep engine (`aem_bench::sweep`).
 pub fn cmd_exp(args: &Args) -> Result<String, String> {
+    let backend = parse_backend(args)?;
     let opts = aem_bench::sweep::RunOptions {
         jobs: args.get_or("jobs", 0usize)?,
         cache: args.get("cache").map(std::path::PathBuf::from),
@@ -508,9 +517,10 @@ pub fn cmd_exp(args: &Args) -> Result<String, String> {
                 .map(str::to_string)
                 .collect()
         }),
+        backend,
     };
     let quick = args.flag("quick");
-    let sweeps = aem_bench::exp::all_sweeps(quick);
+    let sweeps = aem_bench::exp::all_sweeps(quick, backend);
     let report = aem_bench::sweep::run(&sweeps, &opts)?;
 
     let mut out = String::new();
@@ -589,11 +599,12 @@ pub fn cmd_fuzz(args: &Args) -> Result<String, String> {
             dist,
             delta: args.get_or("delta", 4usize)?,
         };
-        let outcome = aem_fuzz::runner::replay(target, &case)?;
+        let outcome = aem_fuzz::runner::replay_on(target, &case, parse_backend(args)?)?;
         return render_fuzz_replay(target, &case, outcome);
     }
 
     let opts = FuzzOptions {
+        backend: parse_backend(args)?,
         seed: args.get_or("seed", 42u64)?,
         iters: args.get_or("iters", 200u64)?,
         time_budget_secs: match args.get("time-budget-secs") {
@@ -654,10 +665,12 @@ COMMANDS
   lemma43   flash reduction    --n
   report    render a trace     --in FILE [--format text|md]
   exp       run experiments    [--quick --jobs N --cache FILE --fresh
-                                --only IDS --stats]  (parallel sweep
-                               engine; --cache resumes interrupted runs)
+                                --only IDS --stats --backend vec|arena|ghost]
+                               (parallel sweep engine; --cache resumes
+                               interrupted runs)
   fuzz      differential fuzz  [--seed S --iters N --target NAMES
-                                --time-budget-secs T --repro-out FILE]
+                                --time-budget-secs T --repro-out FILE
+                                --backend vec|arena|ghost]
                                or --replay FILE, or the inline
                                --target/--case-seed repro shape failure
                                reports print

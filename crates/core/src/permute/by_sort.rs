@@ -15,7 +15,7 @@ use super::PermuteRun;
 use crate::sort::merge_sort;
 
 /// An element tagged with its destination; ordered by destination alone.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DestTagged<T> {
     /// Output position of the payload.
     pub dest: u64,

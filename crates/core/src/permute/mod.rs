@@ -28,7 +28,7 @@ pub mod transpose;
 
 pub use auto::{choose_strategy, permute_auto, PermuteStrategy};
 pub use by_sort::{permute_by_sort, permute_by_sort_on, DestTagged};
-pub use naive::permute_naive;
+pub use naive::{permute_naive, permute_naive_on};
 pub use transpose::{transpose_auto, transpose_tiled};
 
 use aem_machine::{AemConfig, Cost};

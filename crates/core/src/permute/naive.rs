@@ -37,24 +37,24 @@ where
     // the program's structure (free), not data movement.
     let inv = perm::invert(pi);
 
-    let mut cur_block: Option<(usize, Vec<T>)> = None; // (block index, contents)
+    // One reusable gather buffer for the currently loaded source block —
+    // reloads go through `read_block_into`, so the hot loop allocates no
+    // per-I/O `Vec` on buffer-reusing backends.
+    let mut cur_block: Option<usize> = None;
+    let mut data: Vec<T> = Vec::new();
     for ob in 0..out.blocks {
         let len = out.elems_in_block(ob, b);
         let mut buf: Vec<T> = Vec::with_capacity(len);
         for t in 0..len {
             let src = inv[ob * b + t];
             let sb = src / b;
-            let reload = match &cur_block {
-                Some((idx, _)) => *idx != sb,
-                None => true,
-            };
-            if reload {
-                if let Some((_, old)) = cur_block.take() {
-                    machine.discard(old.len())?;
+            if cur_block != Some(sb) {
+                if cur_block.take().is_some() {
+                    machine.discard(data.len())?;
                 }
-                cur_block = Some((sb, machine.read_block(input.block(sb))?));
+                machine.read_block_into(input.block(sb), &mut data)?;
+                cur_block = Some(sb);
             }
-            let (_, data) = cur_block.as_ref().expect("just loaded");
             // Copy the one element we need; its budget slot is accounted to
             // the loaded block until that block is swapped out, and to the
             // output buffer from here on.
@@ -63,8 +63,8 @@ where
         }
         machine.write_block(out.block(ob), buf)?;
     }
-    if let Some((_, old)) = cur_block.take() {
-        machine.discard(old.len())?;
+    if cur_block.take().is_some() {
+        machine.discard(data.len())?;
     }
     Ok(out)
 }

@@ -118,13 +118,23 @@ pub trait InstallExt<T> {
     fn install_atoms(&mut self, data: &[T]) -> Region;
 }
 
-impl<T: Clone> InstallExt<T> for aem_machine::Machine<T> {
+impl<T, S, A> InstallExt<T> for aem_machine::MachineCore<T, S, A>
+where
+    T: Clone,
+    S: aem_machine::BlockStore<T>,
+    A: aem_machine::BlockStore<u64>,
+{
     fn install_atoms(&mut self, data: &[T]) -> Region {
         self.install(data)
     }
 }
 
-impl<T: Clone> InstallExt<T> for aem_machine::RoundBasedMachine<T> {
+impl<T, S, A> InstallExt<T> for aem_machine::RoundBasedMachine<T, S, A>
+where
+    T: Clone,
+    S: aem_machine::BlockStore<T>,
+    A: aem_machine::BlockStore<u64>,
+{
     fn install_atoms(&mut self, data: &[T]) -> Region {
         self.install(data)
     }

@@ -35,7 +35,7 @@ pub mod shrink;
 pub mod targets;
 
 pub use case::{DistKind, FuzzCase};
-pub use runner::{run, Failure, FuzzOptions, FuzzReport};
+pub use runner::{replay_on, run, Failure, FuzzOptions, FuzzReport};
 pub use sample::{sample_case, MAX_N};
 pub use shrink::shrink;
 pub use targets::{all_targets, select_targets, Outcome, Target};

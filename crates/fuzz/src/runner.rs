@@ -12,6 +12,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+use aem_machine::Backend;
 use aem_workloads::SplitMix64;
 
 use crate::case::FuzzCase;
@@ -31,6 +32,9 @@ pub struct FuzzOptions {
     pub time_budget_secs: Option<u64>,
     /// `--target` filter patterns (prefix match); `None` runs all.
     pub targets: Option<Vec<String>>,
+    /// Storage backend every check runs against (default: vec). Targets
+    /// whose algorithm reads payloads skip on the ghost backend.
+    pub backend: Backend,
 }
 
 impl Default for FuzzOptions {
@@ -40,6 +44,7 @@ impl Default for FuzzOptions {
             iters: 100,
             time_budget_secs: None,
             targets: None,
+            backend: Backend::Vec,
         }
     }
 }
@@ -129,9 +134,10 @@ impl FuzzReport {
     }
 }
 
-/// Run one target on one case, converting panics into failures.
-pub fn check_case(target: &Target, case: &FuzzCase) -> Outcome {
-    match catch_unwind(AssertUnwindSafe(|| (target.check)(case))) {
+/// Run one target on one case against one backend, converting panics
+/// into failures.
+pub fn check_case(target: &Target, case: &FuzzCase, backend: Backend) -> Outcome {
+    match catch_unwind(AssertUnwindSafe(|| (target.check)(case, backend))) {
         Ok(outcome) => outcome,
         Err(payload) => {
             let msg = payload
@@ -172,13 +178,13 @@ pub fn run(opts: &FuzzOptions) -> Result<FuzzReport, String> {
         let case = sample_case(&mut rng);
         report.iters_run = iter + 1;
         for target in &targets {
-            match check_case(target, &case) {
+            match check_case(target, &case, opts.backend) {
                 Outcome::Pass => report.passes += 1,
                 Outcome::Skip(_) => report.skips += 1,
                 Outcome::Fail(_) => {
-                    let check = |c: &FuzzCase| check_case(target, c);
+                    let check = |c: &FuzzCase| check_case(target, c, opts.backend);
                     let shrunk = shrink(&case, &check);
-                    let message = match check_case(target, &shrunk) {
+                    let message = match check_case(target, &shrunk, opts.backend) {
                         Outcome::Fail(msg) => msg,
                         other => {
                             format!("shrunk case no longer fails deterministically ({other:?})")
@@ -203,10 +209,15 @@ pub fn run(opts: &FuzzOptions) -> Result<FuzzReport, String> {
 /// path behind `aemsim fuzz --target … --n …` and corpus regression
 /// tests). Returns the outcome of that one check.
 pub fn replay(target_name: &str, case: &FuzzCase) -> Result<Outcome, String> {
+    replay_on(target_name, case, Backend::Vec)
+}
+
+/// [`replay`] against an explicit storage backend.
+pub fn replay_on(target_name: &str, case: &FuzzCase, backend: Backend) -> Result<Outcome, String> {
     let targets = select_targets(Some(&[target_name.to_string()]))?;
     let mut last = Outcome::Skip("no target ran".to_string());
     for t in &targets {
-        last = check_case(t, case);
+        last = check_case(t, case, backend);
         if last.is_fail() {
             return Ok(last);
         }
@@ -230,6 +241,20 @@ mod tests {
         let b = run(&opts).unwrap().render();
         assert_eq!(a, b);
         assert!(a.contains("result: PASS"), "{a}");
+    }
+
+    #[test]
+    fn ghost_session_skips_payload_targets_but_passes() {
+        let opts = FuzzOptions {
+            seed: 7,
+            iters: 10,
+            backend: Backend::Ghost,
+            ..FuzzOptions::default()
+        };
+        let r = run(&opts).unwrap();
+        assert!(r.failure.is_none(), "{}", r.render());
+        assert!(r.skips > 0, "payload targets must skip on ghost");
+        assert!(r.passes > 0, "oblivious targets must still run on ghost");
     }
 
     #[test]

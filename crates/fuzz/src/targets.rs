@@ -23,13 +23,19 @@
 
 use aem_core::bounds::predict;
 use aem_core::oracle;
-use aem_core::permute::{permute_by_sort_on, permute_naive, DestTagged};
+use aem_core::permute::{permute_by_sort_on, permute_naive_on, DestTagged};
 use aem_core::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort};
-use aem_core::spmv::{reference_multiply, spmv_direct, spmv_sorted, U64Ring};
+use aem_core::spmv::{
+    install_instance, reference_multiply, spmv_direct_on, spmv_sorted_on, MatEntry, SpmvInstance,
+    U64Ring,
+};
 use aem_flash::driver::naive_atom_permutation;
 use aem_flash::verify_lemma_4_3;
 use aem_machine::rounds::{round_decompose, rounds_cost};
-use aem_machine::{AemAccess, AemConfig, Machine, MachineError, Region};
+use aem_machine::{
+    with_backend_machine, with_payload_machine, AemAccess, AemConfig, Backend, Cost, MachineError,
+    Region,
+};
 use aem_obs::{first_failure, InstrumentedMachine, RunRecord, WorkloadMeta};
 use aem_workloads::{Conformation, MatrixShape, PermKind};
 
@@ -60,8 +66,10 @@ pub struct Target {
     /// Stable name, used by `--target` filters, seed files and replay
     /// commands.
     pub name: &'static str,
-    /// The check itself.
-    pub check: fn(&FuzzCase) -> Outcome,
+    /// The check itself, run against one storage backend. Targets whose
+    /// algorithm reads payloads return [`Outcome::Skip`] on the ghost
+    /// backend rather than comparing placeholder data to the oracle.
+    pub check: fn(&FuzzCase, Backend) -> Outcome,
 }
 
 impl std::fmt::Debug for Target {
@@ -75,19 +83,19 @@ pub fn all_targets() -> Vec<Target> {
     vec![
         Target {
             name: "merge_sort",
-            check: |c| sort_check(c, "aem"),
+            check: |c, b| sort_check(c, b, "aem"),
         },
         Target {
             name: "em_sort",
-            check: |c| sort_check(c, "em"),
+            check: |c, b| sort_check(c, b, "em"),
         },
         Target {
             name: "dist_sort",
-            check: |c| sort_check(c, "dist"),
+            check: |c, b| sort_check(c, b, "dist"),
         },
         Target {
             name: "heap_sort",
-            check: |c| sort_check(c, "heap"),
+            check: |c, b| sort_check(c, b, "heap"),
         },
         Target {
             name: "permute_naive",
@@ -99,15 +107,19 @@ pub fn all_targets() -> Vec<Target> {
         },
         Target {
             name: "spmv_direct",
-            check: |c| spmv_check(c, "direct"),
+            check: |c, b| spmv_check(c, b, "direct"),
         },
         Target {
             name: "spmv_sorted",
-            check: |c| spmv_check(c, "sorted"),
+            check: |c, b| spmv_check(c, b, "sorted"),
         },
         Target {
             name: "flash_lemma43",
             check: flash_check,
+        },
+        Target {
+            name: "backend_diff",
+            check: backend_diff_check,
         },
     ]
 }
@@ -178,32 +190,55 @@ fn run_sorter<A: AemAccess<u64>>(algo: &str, m: &mut A, r: Region) -> Result<Reg
     }
 }
 
-fn sort_check(case: &FuzzCase, algo: &str) -> Outcome {
+fn sort_check(case: &FuzzCase, backend: Backend, algo: &str) -> Outcome {
     let cfg = match case.cfg() {
         Ok(cfg) => cfg,
         Err(e) => return Outcome::Skip(format!("config: {e}")),
     };
+    if !backend.carries_payload() {
+        return Outcome::Skip(format!("{algo}: sorting reads keys; ghost backend skipped"));
+    }
     let input = case.keys();
     let want = oracle::sorted_reference(&input);
 
-    let mut im = InstrumentedMachine::new(Machine::<u64>::new(cfg));
-    let region = im.inner_mut().install(&input);
-    let out = match run_sorter(algo, &mut im, region) {
-        Ok(out) => out,
-        Err(e) => return machine_error(algo, e),
-    };
-    let got = im.inner().inspect(out);
-    if got != want {
-        return Outcome::Fail(differential_message(algo, &got, &want));
-    }
-    let rec = im.into_record(WorkloadMeta::new("sort", algo, case.n as u64));
-    match record_invariants(&rec) {
-        Ok(()) => Outcome::Pass,
-        Err(msg) => Outcome::Fail(format!("{algo}: {msg}")),
-    }
+    with_payload_machine!(backend, u64, |M| {
+        let mut im = InstrumentedMachine::new(M::new(cfg));
+        let region = im.inner_mut().install(&input);
+        let out = match run_sorter(algo, &mut im, region) {
+            Ok(out) => out,
+            Err(e) => return machine_error(algo, e),
+        };
+        let got = im.inner().inspect(out);
+        if got != want {
+            return Outcome::Fail(differential_message(algo, &got, &want));
+        }
+        let rec = im.into_record(WorkloadMeta::new("sort", algo, case.n as u64));
+        match record_invariants(&rec) {
+            Ok(()) => Outcome::Pass,
+            Err(msg) => Outcome::Fail(format!("{algo}: {msg}")),
+        }
+    }, ghost => unreachable!("skipped above"))
 }
 
-fn permute_naive_check(case: &FuzzCase) -> Outcome {
+/// Run the naive permuter for a case on one backend; returns
+/// `(output, cost)`. Payload-oblivious, so this is the one algorithmic
+/// target (besides the machine-free flash reduction) that runs on the
+/// ghost backend — where the returned output holds placeholders.
+fn naive_permute_on_backend(
+    backend: Backend,
+    cfg: AemConfig,
+    values: &[u64],
+    pi: &[usize],
+) -> Result<(Vec<u64>, Cost), MachineError> {
+    with_backend_machine!(backend, u64, |M| {
+        let mut m = M::new(cfg);
+        let r = m.install(values);
+        let out = permute_naive_on(&mut m, r, pi)?;
+        Ok((m.inspect(out), m.cost()))
+    })
+}
+
+fn permute_naive_check(case: &FuzzCase, backend: Backend) -> Outcome {
     let cfg = match case.cfg() {
         Ok(cfg) => cfg,
         Err(e) => return Outcome::Skip(format!("config: {e}")),
@@ -214,29 +249,34 @@ fn permute_naive_check(case: &FuzzCase) -> Outcome {
     .generate(case.n);
     let values: Vec<u64> = (0..case.n as u64).collect();
     let want = oracle::permuted_reference(&pi, &values);
-    let run = match permute_naive(cfg, &values, &pi) {
-        Ok(run) => run,
+    let (got, cost) = match naive_permute_on_backend(backend, cfg, &values, &pi) {
+        Ok(r) => r,
         Err(e) => return machine_error("naive", e),
     };
-    if run.output != want {
-        return Outcome::Fail(differential_message("naive", &run.output, &want));
+    // On ghost the output is placeholder data; the cost checks below
+    // still apply in full (the I/O schedule is payload-independent).
+    if backend.carries_payload() && got != want {
+        return Outcome::Fail(differential_message("naive", &got, &want));
     }
     // Thm 4.5 upper branch: the gather must stay within its closed form.
+    let q = cost.q(cfg.omega);
     let bound = predict::permute_naive_cost(cfg, case.n).q(cfg.omega);
-    if run.q() > bound {
+    if q > bound {
         return Outcome::Fail(format!(
-            "naive: measured Q {} exceeds N + ωn predictor {bound}",
-            run.q()
+            "naive: measured Q {q} exceeds N + ωn predictor {bound}"
         ));
     }
     Outcome::Pass
 }
 
-fn permute_by_sort_check(case: &FuzzCase) -> Outcome {
+fn permute_by_sort_check(case: &FuzzCase, backend: Backend) -> Outcome {
     let cfg = match case.cfg() {
         Ok(cfg) => cfg,
         Err(e) => return Outcome::Skip(format!("config: {e}")),
     };
+    if !backend.carries_payload() {
+        return Outcome::Skip("by_sort: merge reads tags; ghost backend skipped".into());
+    }
     let pi = PermKind::Random {
         seed: case.case_seed,
     }
@@ -252,26 +292,28 @@ fn permute_by_sort_check(case: &FuzzCase) -> Outcome {
         })
         .collect();
 
-    let mut im = InstrumentedMachine::new(Machine::<DestTagged<u64>>::new(cfg));
-    let region = im.inner_mut().install(&tagged);
-    let out = match permute_by_sort_on(&mut im, region) {
-        Ok(out) => out,
-        Err(e) => return machine_error("by_sort", e),
-    };
-    let got: Vec<u64> = im
-        .inner()
-        .inspect(out)
-        .into_iter()
-        .map(|t| t.value)
-        .collect();
-    if got != want {
-        return Outcome::Fail(differential_message("by_sort", &got, &want));
-    }
-    let rec = im.into_record(WorkloadMeta::new("permute", "by_sort", case.n as u64));
-    match record_invariants(&rec) {
-        Ok(()) => Outcome::Pass,
-        Err(msg) => Outcome::Fail(format!("by_sort: {msg}")),
-    }
+    with_payload_machine!(backend, DestTagged<u64>, |M| {
+        let mut im = InstrumentedMachine::new(M::new(cfg));
+        let region = im.inner_mut().install(&tagged);
+        let out = match permute_by_sort_on(&mut im, region) {
+            Ok(out) => out,
+            Err(e) => return machine_error("by_sort", e),
+        };
+        let got: Vec<u64> = im
+            .inner()
+            .inspect(out)
+            .into_iter()
+            .map(|t| t.value)
+            .collect();
+        if got != want {
+            return Outcome::Fail(differential_message("by_sort", &got, &want));
+        }
+        let rec = im.into_record(WorkloadMeta::new("permute", "by_sort", case.n as u64));
+        match record_invariants(&rec) {
+            Ok(()) => Outcome::Pass,
+            Err(msg) => Outcome::Fail(format!("by_sort: {msg}")),
+        }
+    }, ghost => unreachable!("skipped above"))
 }
 
 /// SpMxV matrix dimension for a case: tracks `n` (so shrinking the case
@@ -280,11 +322,16 @@ fn spmv_dim(case: &FuzzCase) -> usize {
     case.n.clamp(1, 256)
 }
 
-fn spmv_check(case: &FuzzCase, which: &str) -> Outcome {
+fn spmv_check(case: &FuzzCase, backend: Backend, which: &str) -> Outcome {
     let cfg = match case.cfg() {
         Ok(cfg) => cfg,
         Err(e) => return Outcome::Skip(format!("config: {e}")),
     };
+    if !backend.carries_payload() {
+        return Outcome::Skip(format!(
+            "{which}: SpMxV moves semiring atoms; ghost backend skipped"
+        ));
+    }
     let dim = spmv_dim(case);
     let delta = case.delta.clamp(1, dim);
     let conf = Conformation::generate(
@@ -301,21 +348,34 @@ fn spmv_check(case: &FuzzCase, which: &str) -> Outcome {
         .map(|j| U64Ring((j as u64).wrapping_add(case.case_seed) % 241))
         .collect();
     let want = reference_multiply(&conf, &a, &x);
-    let run = match which {
-        "direct" => spmv_direct(cfg, &conf, &a, &x),
-        "sorted" => spmv_sorted(cfg, &conf, &a, &x),
-        other => unreachable!("unknown spmv variant {other}"),
+    let inst = SpmvInstance {
+        conf: &conf,
+        a_vals: &a,
+        x: &x,
     };
-    let run = match run {
+    let run = with_payload_machine!(backend, MatEntry<U64Ring>, |M| {
+        let mut m = M::new(cfg);
+        let (ra, rx) = install_instance(&mut m, &inst);
+        let y = match which {
+            "direct" => spmv_direct_on(&mut m, &conf, ra, rx),
+            "sorted" => spmv_sorted_on(&mut m, &conf, ra, rx),
+            other => unreachable!("unknown spmv variant {other}"),
+        };
+        y.map(|y| {
+            let output: Vec<U64Ring> = m.inspect(y).into_iter().map(|e| e.val).collect();
+            (output, m.cost())
+        })
+    }, ghost => unreachable!("skipped above"));
+    let (output, cost) = match run {
         Ok(run) => run,
         Err(e) => return machine_error(which, e),
     };
     // Theorem 5.1 correctness: semiring-output equality with the oracle.
-    if run.output != want {
+    if output != want {
         return Outcome::Fail(format!(
             "{which}: semiring output mismatch at dim {dim}, δ {delta} \
              (first diff at row {})",
-            run.output
+            output
                 .iter()
                 .zip(want.iter())
                 .position(|(g, w)| g != w)
@@ -327,10 +387,10 @@ fn spmv_check(case: &FuzzCase, which: &str) -> Outcome {
         _ => predict::spmv_sorted_cost(cfg, dim, delta),
     }
     .q(cfg.omega);
-    if run.q() > bound {
+    let q = cost.q(cfg.omega);
+    if q > bound {
         return Outcome::Fail(format!(
-            "{which}: measured Q {} exceeds predictor {bound} at dim {dim}, δ {delta}",
-            run.q()
+            "{which}: measured Q {q} exceeds predictor {bound} at dim {dim}, δ {delta}"
         ));
     }
     Outcome::Pass
@@ -350,7 +410,9 @@ pub fn flash_config(case: &FuzzCase) -> AemConfig {
     AemConfig::new(mem, block, omega).expect("derived flash config is valid")
 }
 
-fn flash_check(case: &FuzzCase) -> Outcome {
+/// Backend-neutral: the flash reduction records and replays programs on
+/// the move-semantics atom machine, which stores no payloads at all.
+fn flash_check(case: &FuzzCase, _backend: Backend) -> Outcome {
     let cfg = flash_config(case);
     // Compilation walks every recorded event with hash maps; cap the
     // instance so a full fuzz session stays inside the smoke budget.
@@ -375,6 +437,81 @@ fn flash_check(case: &FuzzCase) -> Outcome {
             "lemma 4.3: flash volume {} exceeds 2N + 2QB/ω = {} (N = {n}, Q = {})",
             report.flash_volume, report.volume_bound, report.aem_q
         ));
+    }
+    Outcome::Pass
+}
+
+/// The tentpole invariant of the pluggable-store refactor, fuzzed: one
+/// program, every backend, identical metered [`Cost`] — and identical
+/// output wherever the store actually carries payloads. Two program
+/// families per case: the §3 mergesort across the payload-carrying
+/// backends, and the payload-oblivious naive permuter across all three
+/// (including ghost). This target ignores the session's `--backend`; it
+/// *is* the cross-backend comparison.
+fn backend_diff_check(case: &FuzzCase, _backend: Backend) -> Outcome {
+    let cfg = match case.cfg() {
+        Ok(cfg) => cfg,
+        Err(e) => return Outcome::Skip(format!("config: {e}")),
+    };
+
+    // Mergesort: vec vs arena, cost and output.
+    let input = case.keys();
+    let mut sort_runs: Vec<(Backend, Vec<u64>, Cost)> = Vec::new();
+    for b in [Backend::Vec, Backend::Arena] {
+        let run = with_payload_machine!(b, u64, |M| {
+            let mut m = M::new(cfg);
+            let r = m.install(&input);
+            merge_sort(&mut m, r).map(|out| (m.inspect(out), m.cost()))
+        }, ghost => unreachable!("loop covers payload backends only"));
+        match run {
+            Ok((out, cost)) => sort_runs.push((b, out, cost)),
+            Err(e) => return machine_error("backend_diff/merge_sort", e),
+        }
+    }
+    let (_, vec_out, vec_cost) = &sort_runs[0];
+    for (b, out, cost) in &sort_runs[1..] {
+        if cost != vec_cost {
+            return Outcome::Fail(format!(
+                "backend_diff: merge_sort cost diverges — vec {vec_cost:?} vs {} {cost:?}",
+                b.name()
+            ));
+        }
+        if out != vec_out {
+            return Outcome::Fail(format!(
+                "backend_diff: merge_sort output diverges between vec and {}",
+                b.name()
+            ));
+        }
+    }
+
+    // Naive permute: all three backends must meter the identical cost;
+    // the payload-carrying pair must agree on output too.
+    let pi = PermKind::Random {
+        seed: case.case_seed,
+    }
+    .generate(case.n);
+    let values: Vec<u64> = (0..case.n as u64).collect();
+    let mut perm_runs: Vec<(Backend, Vec<u64>, Cost)> = Vec::new();
+    for b in Backend::ALL {
+        match naive_permute_on_backend(b, cfg, &values, &pi) {
+            Ok((out, cost)) => perm_runs.push((b, out, cost)),
+            Err(e) => return machine_error("backend_diff/permute_naive", e),
+        }
+    }
+    let (_, vec_out, vec_cost) = &perm_runs[0];
+    for (b, out, cost) in &perm_runs[1..] {
+        if cost != vec_cost {
+            return Outcome::Fail(format!(
+                "backend_diff: permute_naive cost diverges — vec {vec_cost:?} vs {} {cost:?}",
+                b.name()
+            ));
+        }
+        if b.carries_payload() && out != vec_out {
+            return Outcome::Fail(format!(
+                "backend_diff: permute_naive output diverges between vec and {}",
+                b.name()
+            ));
+        }
     }
     Outcome::Pass
 }
@@ -421,8 +558,37 @@ mod tests {
     fn all_targets_pass_on_a_tame_case() {
         let case = tame_case();
         for t in all_targets() {
-            let outcome = (t.check)(&case);
+            let outcome = (t.check)(&case, Backend::Vec);
             assert_eq!(outcome, Outcome::Pass, "{}: {:?}", t.name, outcome);
+        }
+    }
+
+    #[test]
+    fn all_targets_pass_on_the_arena_backend() {
+        let case = tame_case();
+        for t in all_targets() {
+            let outcome = (t.check)(&case, Backend::Arena);
+            assert_eq!(outcome, Outcome::Pass, "{}: {:?}", t.name, outcome);
+        }
+    }
+
+    #[test]
+    fn ghost_backend_skips_payload_targets_and_passes_the_rest() {
+        let case = tame_case();
+        for t in all_targets() {
+            let outcome = (t.check)(&case, Backend::Ghost);
+            match t.name {
+                // Payload-oblivious or machine-free targets must still run.
+                "permute_naive" | "flash_lemma43" | "backend_diff" => {
+                    assert_eq!(outcome, Outcome::Pass, "{}: {:?}", t.name, outcome)
+                }
+                _ => assert!(
+                    matches!(outcome, Outcome::Skip(_)),
+                    "{} must skip on ghost: {:?}",
+                    t.name,
+                    outcome
+                ),
+            }
         }
     }
 
@@ -431,7 +597,7 @@ mod tests {
         for n in [0usize, 1] {
             let case = FuzzCase { n, ..tame_case() };
             for t in all_targets() {
-                let outcome = (t.check)(&case);
+                let outcome = (t.check)(&case, Backend::Vec);
                 assert!(!outcome.is_fail(), "{} at n={n}: {:?}", t.name, outcome);
             }
         }

@@ -27,6 +27,12 @@
 //!   block-granular I/O, enforced internal-memory capacity, exact metering of
 //!   reads/writes, optional trace recording. Algorithms access it through the
 //!   [`AemAccess`] trait so they run unmodified on instrumentation wrappers.
+//! * [`MachineCore`] / [`BlockStore`] — the meter behind [`Machine`],
+//!   generic over pluggable storage backends: the copying [`VecStore`]
+//!   (default), the buffer-recycling [`ArenaStore`] ([`ArenaMachine`]) and
+//!   the cost-only [`GhostStore`] ([`GhostMachine`]), which carries no data
+//!   payload and lets pure cost sweeps scale `N` by two orders of
+//!   magnitude. See [`store`] for when each backend is sound.
 //! * [`AtomMachine`] — the *move-semantics* machine of §4.2 of the paper,
 //!   used for the lower-bound machinery: elements are indivisible **atoms**,
 //!   a read chooses the subset of atoms to keep (destroying their external
@@ -78,6 +84,7 @@ pub mod error;
 pub mod external;
 pub mod machine;
 pub mod rounds;
+pub mod store;
 pub mod trace;
 
 pub use atom::{AtomId, AtomMachine};
@@ -85,6 +92,7 @@ pub use block::{Block, BlockId, Region};
 pub use config::AemConfig;
 pub use cost::{Cost, IoCounter};
 pub use error::{MachineError, Result};
-pub use machine::{AemAccess, Machine};
+pub use machine::{AemAccess, ArenaMachine, GhostMachine, Machine, MachineCore};
 pub use rounds::RoundBasedMachine;
+pub use store::{ArenaStore, Backend, BlockStore, GhostStore, VecStore};
 pub use trace::{IoEvent, Trace, TraceStats};

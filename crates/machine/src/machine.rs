@@ -1,9 +1,17 @@
-//! The copy-semantics AEM machine that algorithms run on.
+//! The metered AEM machine that algorithms run on.
 //!
 //! This machine is the work-horse of the workspace: every algorithm in
 //! `aem-core` is written against the [`AemAccess`] trait and can therefore
 //! run on the plain [`Machine`] or on instrumentation wrappers such as
 //! [`crate::rounds::RoundBasedMachine`] without modification.
+//!
+//! Since the storage-backend split, the machine itself is [`MachineCore`]:
+//! the §2 cost meter, the internal-memory ledger and trace recording,
+//! generic over a [`BlockStore`] that decides what payload movement costs
+//! *the simulator* (not the model). [`Machine`] is the copying default;
+//! [`ArenaMachine`] recycles buffers; [`GhostMachine`] carries no data
+//! payload at all and exists to push cost sweeps to `N` two orders of
+//! magnitude larger.
 //!
 //! ## Semantics
 //!
@@ -23,11 +31,14 @@
 //!   charged to the same cost meter and the same internal budget (one word
 //!   counts as one element, the usual I/O-model convention).
 
+use std::marker::PhantomData;
+
 use crate::block::{BlockId, Region};
 use crate::config::AemConfig;
 use crate::cost::{Cost, IoCounter};
 use crate::error::{MachineError, Result};
 use crate::external::ExternalMemory;
+use crate::store::{ArenaStore, Backend, BlockStore, GhostStore};
 use crate::trace::{IoEvent, Trace};
 
 /// Uniform access interface to an AEM machine.
@@ -42,6 +53,16 @@ pub trait AemAccess<T> {
     /// Read a data block into internal memory (cost: 1 read I/O; charges the
     /// internal budget by the block's occupancy).
     fn read_block(&mut self, id: BlockId) -> Result<Vec<T>>;
+
+    /// Read a data block into a caller-supplied buffer, clearing it first
+    /// and returning the occupancy. Semantically identical to
+    /// [`AemAccess::read_block`] (same cost, same budget charge, same trace
+    /// event); machines that can reuse `buf`'s capacity override the
+    /// default to skip the per-I/O allocation on the hot path.
+    fn read_block_into(&mut self, id: BlockId, buf: &mut Vec<T>) -> Result<usize> {
+        *buf = self.read_block(id)?;
+        Ok(buf.len())
+    }
 
     /// Write `data` (≤ `B` elements) to a data block (cost: 1 write I/O;
     /// releases the internal budget by `data.len()`).
@@ -101,6 +122,9 @@ impl<T, M: AemAccess<T> + ?Sized> AemAccess<T> for &mut M {
     fn read_block(&mut self, id: BlockId) -> Result<Vec<T>> {
         (**self).read_block(id)
     }
+    fn read_block_into(&mut self, id: BlockId, buf: &mut Vec<T>) -> Result<usize> {
+        (**self).read_block_into(id, buf)
+    }
     fn write_block(&mut self, id: BlockId, data: Vec<T>) -> Result<()> {
         (**self).write_block(id, data)
     }
@@ -139,11 +163,26 @@ impl<T, M: AemAccess<T> + ?Sized> AemAccess<T> for &mut M {
     }
 }
 
-/// The plain `(M, B, ω)`-AEM machine with copy semantics.
+/// The `(M, B, ω)`-AEM cost meter, generic over storage backends.
 ///
 /// Implements the §2 cost measure exactly: reading a block charges 1,
 /// writing a block charges `ω` (via [`Cost::q`]), and internal memory is
-/// capacity-enforced at `M` elements.
+/// capacity-enforced at `M` elements. `S` stores data payloads, `A` stores
+/// auxiliary machine words; both default to the copying [`ExternalMemory`]
+/// so [`Machine`] behaves exactly as it always has.
+#[derive(Debug)]
+pub struct MachineCore<T, S = ExternalMemory<T>, A = ExternalMemory<u64>> {
+    cfg: AemConfig,
+    data: S,
+    aux: A,
+    internal_used: usize,
+    counter: IoCounter,
+    trace: Option<Trace>,
+    _elem: PhantomData<fn() -> T>,
+}
+
+/// The plain copy-semantics AEM machine — [`MachineCore`] over
+/// [`crate::VecStore`], the default backend.
 ///
 /// ```
 /// use aem_machine::{AemAccess, AemConfig, Machine};
@@ -159,17 +198,28 @@ impl<T, M: AemAccess<T> + ?Sized> AemAccess<T> for &mut M {
 /// assert_eq!((c.reads, c.writes), (1, 1));
 /// assert_eq!(c.q(cfg.omega), 1 + 16); // Q = reads + ω·writes
 /// ```
-#[derive(Debug)]
-pub struct Machine<T> {
-    cfg: AemConfig,
-    data: ExternalMemory<T>,
-    aux: ExternalMemory<u64>,
-    internal_used: usize,
-    counter: IoCounter,
-    trace: Option<Trace>,
-}
+pub type Machine<T> = MachineCore<T>;
 
-impl<T: Clone> Machine<T> {
+/// [`MachineCore`] over [`ArenaStore`]: identical semantics and cost to
+/// [`Machine`], zero per-I/O allocation in steady state.
+pub type ArenaMachine<T> = MachineCore<T, ArenaStore<T>, ArenaStore<u64>>;
+
+/// [`MachineCore`] over a cost-only [`GhostStore`] for data and a *real*
+/// [`ExternalMemory`] for auxiliary words.
+///
+/// Data reads return `T::default()` placeholders; auxiliary words
+/// (pointers, counters — addressing metadata by design) stay real so that
+/// algorithms which spill metadata keep working. Cost equality with
+/// [`Machine`] holds only for payload-oblivious workloads — see
+/// [`crate::store`] for the soundness argument.
+pub type GhostMachine<T> = MachineCore<T, GhostStore<T>, ExternalMemory<u64>>;
+
+impl<T, S, A> MachineCore<T, S, A>
+where
+    T: Clone,
+    S: BlockStore<T>,
+    A: BlockStore<u64>,
+{
     /// A fresh machine.
     pub fn new(cfg: AemConfig) -> Self {
         Self::with_counter(cfg, IoCounter::new())
@@ -179,12 +229,18 @@ impl<T: Clone> Machine<T> {
     pub fn with_counter(cfg: AemConfig, counter: IoCounter) -> Self {
         Self {
             cfg,
-            data: ExternalMemory::new(cfg.block),
-            aux: ExternalMemory::new(cfg.block),
+            data: S::new_store(cfg.block),
+            aux: A::new_store(cfg.block),
             internal_used: 0,
             counter,
             trace: None,
+            _elem: PhantomData,
         }
+    }
+
+    /// The storage backend of the data store.
+    pub fn backend() -> Backend {
+        S::BACKEND
     }
 
     /// Begin recording every I/O into a [`Trace`]. Any previously recorded
@@ -210,30 +266,38 @@ impl<T: Clone> Machine<T> {
     }
 
     /// Inspect a region's contents without charging I/O (result
-    /// verification; outside the metered computation).
+    /// verification; outside the metered computation). On a ghost backend
+    /// the returned values are placeholders — only the length is
+    /// meaningful.
     pub fn inspect(&self, region: Region) -> Vec<T> {
         self.data.inspect(region)
     }
 
     /// Inspect a single block without charging I/O.
     pub fn inspect_block(&self, id: BlockId) -> Result<Vec<T>> {
-        Ok(self.data.get(id)?.to_vec())
+        self.data.inspect_block(id)
     }
 
     /// Occupancy of a single block (elements currently stored), free of
     /// charge — used by validators, not by algorithms.
     pub fn block_len(&self, id: BlockId) -> Result<usize> {
-        Ok(self.data.get(id)?.len())
+        self.data.occupancy(id)
     }
 
     /// Occupancy of a single auxiliary block, free of charge.
     pub fn aux_block_len(&self, id: BlockId) -> Result<usize> {
-        Ok(self.aux.get(id)?.len())
+        self.aux.occupancy(id)
     }
 
     /// Number of data blocks allocated so far.
     pub fn allocated_blocks(&self) -> usize {
         self.data.allocated()
+    }
+
+    /// Direct access to the data store (backend-specific telemetry such as
+    /// [`ArenaStore::free_buffers`]).
+    pub fn data_store(&self) -> &S {
+        &self.data
     }
 
     /// Charge the internal budget without an I/O (used by in-crate wrappers
@@ -273,21 +337,42 @@ impl<T: Clone> Machine<T> {
     }
 }
 
-impl<T: Clone> AemAccess<T> for Machine<T> {
+impl<T, S, A> AemAccess<T> for MachineCore<T, S, A>
+where
+    T: Clone,
+    S: BlockStore<T>,
+    A: BlockStore<u64>,
+{
     fn cfg(&self) -> AemConfig {
         self.cfg
     }
 
     fn read_block(&mut self, id: BlockId) -> Result<Vec<T>> {
-        let contents = self.data.get(id)?.to_vec();
-        self.charge_internal(contents.len())?;
+        // Validate the target (BadBlock) before the ledger (InternalOverflow)
+        // so error precedence matches the pre-backend machine exactly.
+        let len = self.data.occupancy(id)?;
+        self.charge_internal(len)?;
+        let contents = self.data.read(id)?;
         self.counter.charge_read();
         self.record(IoEvent::Read {
             block: id,
-            len: contents.len(),
+            len,
             aux: false,
         });
         Ok(contents)
+    }
+
+    fn read_block_into(&mut self, id: BlockId, buf: &mut Vec<T>) -> Result<usize> {
+        let len = self.data.occupancy(id)?;
+        self.charge_internal(len)?;
+        self.data.read_into(id, buf)?;
+        self.counter.charge_read();
+        self.record(IoEvent::Read {
+            block: id,
+            len,
+            aux: false,
+        });
+        Ok(len)
     }
 
     fn write_block(&mut self, id: BlockId, data: Vec<T>) -> Result<()> {
@@ -300,9 +385,9 @@ impl<T: Clone> AemAccess<T> for Machine<T> {
         }
         // Validate the target before touching the ledger: a failed write
         // must leave the accounting unchanged.
-        self.data.get(id)?;
+        self.data.occupancy(id)?;
         self.release_internal(len)?;
-        self.data.put(id, data)?;
+        self.data.write(id, data)?;
         self.counter.charge_write();
         self.record(IoEvent::Write {
             block: id,
@@ -329,12 +414,13 @@ impl<T: Clone> AemAccess<T> for Machine<T> {
     }
 
     fn read_aux_block(&mut self, id: BlockId) -> Result<Vec<u64>> {
-        let contents = self.aux.get(id)?.to_vec();
-        self.charge_internal(contents.len())?;
+        let len = self.aux.occupancy(id)?;
+        self.charge_internal(len)?;
+        let contents = self.aux.read(id)?;
         self.counter.charge_read();
         self.record(IoEvent::Read {
             block: id,
-            len: contents.len(),
+            len,
             aux: true,
         });
         Ok(contents)
@@ -348,9 +434,9 @@ impl<T: Clone> AemAccess<T> for Machine<T> {
                 block: self.cfg.block,
             });
         }
-        self.aux.get(id)?;
+        self.aux.occupancy(id)?;
         self.release_internal(len)?;
-        self.aux.put(id, data)?;
+        self.aux.write(id, data)?;
         self.counter.charge_write();
         self.record(IoEvent::Write {
             block: id,
@@ -483,5 +569,98 @@ mod tests {
         let r = b.install(&[1]);
         b.read_block(r.block(0)).unwrap();
         assert_eq!(a.cost(), Cost::new(1, 0));
+    }
+
+    #[test]
+    fn read_block_into_matches_read_block() {
+        let mut m: Machine<u32> = Machine::new(cfg());
+        let r = m.install(&[1, 2, 3, 4, 5]);
+        m.start_trace();
+        let mut buf = vec![99; 4];
+        let len = m.read_block_into(r.block(1), &mut buf).unwrap();
+        assert_eq!((len, buf.as_slice()), (1, &[5][..]));
+        assert_eq!(m.internal_used(), 1);
+        m.discard(1).unwrap();
+        let via_read = m.read_block(r.block(1)).unwrap();
+        assert_eq!(via_read, buf);
+        let t = m.take_trace().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cost(), Cost::new(2, 0));
+    }
+
+    // The same scripted workload on every backend: costs, ledger and error
+    // sites must agree exactly; payloads must agree on the payload-carrying
+    // backends.
+    fn scripted<M>(mut m: M) -> (Cost, usize, Vec<MachineError>, Vec<u32>)
+    where
+        M: AemAccess<u32>,
+    {
+        let mut errs = Vec::new();
+        let r = m.alloc_region(10);
+        errs.push(m.read_block(BlockId(42)).unwrap_err());
+        for (i, chunk) in [vec![1u32, 2, 3, 4], vec![5, 6, 7, 8], vec![9, 10]]
+            .into_iter()
+            .enumerate()
+        {
+            m.reserve(chunk.len()).unwrap();
+            m.write_block(r.block(i), chunk).unwrap();
+        }
+        errs.push(m.write_block(r.block(0), vec![0; 5]).unwrap_err());
+        let out = m.alloc_region(10);
+        let mut payload = Vec::new();
+        let mut buf = Vec::new();
+        for i in 0..3 {
+            let len = m.read_block_into(r.block(i), &mut buf).unwrap();
+            payload.extend_from_slice(&buf);
+            m.write_block(out.block(i), std::mem::take(&mut buf))
+                .unwrap();
+            assert!(len <= 4);
+        }
+        errs.push(m.discard(1).unwrap_err());
+        (m.cost(), m.internal_used(), errs, payload)
+    }
+
+    #[test]
+    fn backends_agree_on_cost_ledger_and_errors() {
+        let c = cfg();
+        let vec_run = scripted(Machine::<u32>::new(c));
+        let arena_run = scripted(ArenaMachine::<u32>::new(c));
+        let ghost_run = scripted(GhostMachine::<u32>::new(c));
+        assert_eq!(vec_run.0, arena_run.0);
+        assert_eq!(vec_run.0, ghost_run.0);
+        assert_eq!(vec_run.1, arena_run.1);
+        assert_eq!(vec_run.1, ghost_run.1);
+        assert_eq!(vec_run.2, arena_run.2);
+        assert_eq!(vec_run.2, ghost_run.2);
+        // Full payload equality for the payload-carrying backends; length
+        // equality for ghost.
+        assert_eq!(vec_run.3, arena_run.3);
+        assert_eq!(vec_run.3.len(), ghost_run.3.len());
+    }
+
+    #[test]
+    fn ghost_aux_store_carries_real_words() {
+        let mut m: GhostMachine<u32> = GhostMachine::new(cfg());
+        let ar = m.alloc_aux_region(4);
+        m.reserve(3).unwrap();
+        m.write_aux_block(ar.block(0), vec![7, 8, 9]).unwrap();
+        assert_eq!(m.read_aux_block(ar.block(0)).unwrap(), vec![7, 8, 9]);
+        assert_eq!(GhostMachine::<u32>::backend(), Backend::Ghost);
+        assert_eq!(Machine::<u32>::backend(), Backend::Vec);
+        assert_eq!(ArenaMachine::<u32>::backend(), Backend::Arena);
+    }
+
+    #[test]
+    fn arena_machine_recycles_buffers() {
+        let mut m: ArenaMachine<u32> = ArenaMachine::new(cfg());
+        let r = m.install(&[0; 16]);
+        let out = m.alloc_region(16);
+        for i in 0..4 {
+            let b = m.read_block(r.block(i)).unwrap();
+            m.write_block(out.block(i), b).unwrap();
+        }
+        // Each write displaced one (empty) buffer into the pool; each read
+        // drained one. The pool ends balanced and non-aliasing.
+        assert!(m.data_store().free_buffers() <= 4);
     }
 }

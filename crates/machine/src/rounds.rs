@@ -29,7 +29,11 @@ use crate::block::{BlockId, Region};
 use crate::config::AemConfig;
 use crate::cost::Cost;
 use crate::error::{MachineError, Result};
-use crate::machine::{AemAccess, Machine};
+use crate::external::ExternalMemory;
+#[cfg(test)]
+use crate::machine::Machine;
+use crate::machine::{AemAccess, MachineCore};
+use crate::store::BlockStore;
 #[cfg(test)]
 use crate::trace::IoEvent;
 use crate::trace::Trace;
@@ -126,11 +130,15 @@ pub struct RoundStats {
 /// algorithm while running on an inner machine with internal memory `2M`
 /// (`M'` for the algorithm's data, `M''` for the write buffer), exactly as
 /// in the lemma's proof. See the module docs for the full behavior.
+///
+/// Generic over the same storage backends as [`MachineCore`] (defaulting
+/// to the copying store), so Lemma 4.1 measurements run unchanged on the
+/// arena and ghost backends.
 #[derive(Debug)]
-pub struct RoundBasedMachine<T> {
+pub struct RoundBasedMachine<T, S = ExternalMemory<T>, A = ExternalMemory<u64>> {
     /// The algorithm-visible configuration (`M`).
     algo_cfg: AemConfig,
-    inner: Machine<T>,
+    inner: MachineCore<T, S, A>,
     /// Buffered data-block writes of the current round (`M''`).
     buf_data: HashMap<usize, Vec<T>>,
     /// Buffered auxiliary-block writes of the current round (also `M''`).
@@ -143,7 +151,12 @@ pub struct RoundBasedMachine<T> {
     rounds: u64,
 }
 
-impl<T: Clone> RoundBasedMachine<T> {
+impl<T, S, A> RoundBasedMachine<T, S, A>
+where
+    T: Clone,
+    S: BlockStore<T>,
+    A: BlockStore<u64>,
+{
     /// Wrap a fresh machine; the algorithm sees `cfg`, the inner machine has
     /// `2M` internal memory as granted by Lemma 4.1.
     pub fn new(cfg: AemConfig) -> Self {
@@ -153,7 +166,7 @@ impl<T: Clone> RoundBasedMachine<T> {
         };
         Self {
             algo_cfg: cfg,
-            inner: Machine::new(inner_cfg),
+            inner: MachineCore::new(inner_cfg),
             buf_data: HashMap::new(),
             buf_aux: HashMap::new(),
             buffered: 0,
@@ -162,7 +175,7 @@ impl<T: Clone> RoundBasedMachine<T> {
         }
     }
 
-    /// Install an input array (free; see [`Machine::install`]).
+    /// Install an input array (free; see [`MachineCore::install`]).
     pub fn install(&mut self, data: &[T]) -> Region {
         self.inner.install(data)
     }
@@ -243,7 +256,12 @@ impl<T: Clone> RoundBasedMachine<T> {
     }
 }
 
-impl<T: Clone> AemAccess<T> for RoundBasedMachine<T> {
+impl<T, S, A> AemAccess<T> for RoundBasedMachine<T, S, A>
+where
+    T: Clone,
+    S: BlockStore<T>,
+    A: BlockStore<u64>,
+{
     fn cfg(&self) -> AemConfig {
         self.algo_cfg
     }
@@ -373,7 +391,12 @@ impl<T: Clone> AemAccess<T> for RoundBasedMachine<T> {
     }
 }
 
-impl<T: Clone> RoundBasedMachine<T> {
+impl<T, S, A> RoundBasedMachine<T, S, A>
+where
+    T: Clone,
+    S: BlockStore<T>,
+    A: BlockStore<u64>,
+{
     /// The algorithm's own footprint must respect the *original* capacity
     /// `M`: Lemma 4.1 grants the doubled memory to the simulation (`M''`),
     /// not to the algorithm.
@@ -394,6 +417,46 @@ impl<T: Clone> RoundBasedMachine<T> {
 impl<T: Clone> RoundBasedMachine<T> {
     fn inspect_region_block(&self, id: BlockId) -> Vec<T> {
         self.inner.inspect_block(id).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod backend_tests {
+    use super::*;
+    use crate::store::{ArenaStore, GhostStore};
+
+    /// Block-reversal workload; structural, so all three backends must
+    /// agree on cost and round count.
+    fn reverse_blocks<T2, S, A>(rb: &mut RoundBasedMachine<T2, S, A>, input: &[T2]) -> RoundStats
+    where
+        T2: Clone,
+        S: BlockStore<T2>,
+        A: BlockStore<u64>,
+    {
+        let rin = rb.install(input);
+        let rout = rb.alloc_region(input.len());
+        for i in 0..rin.blocks {
+            let mut d = rb.read_block(rin.block(i)).unwrap();
+            d.reverse();
+            rb.write_block(rout.block(i), d).unwrap();
+        }
+        rb.finish().unwrap()
+    }
+
+    #[test]
+    fn round_based_machine_is_backend_generic() {
+        let c = AemConfig::new(16, 4, 4).unwrap();
+        let input: Vec<u32> = (0..32).rev().collect();
+        let mut on_vec: RoundBasedMachine<u32> = RoundBasedMachine::new(c);
+        let mut on_arena: RoundBasedMachine<u32, ArenaStore<u32>, ArenaStore<u64>> =
+            RoundBasedMachine::new(c);
+        let mut on_ghost: RoundBasedMachine<u32, GhostStore<u32>, ExternalMemory<u64>> =
+            RoundBasedMachine::new(c);
+        let sv = reverse_blocks(&mut on_vec, &input);
+        let sa = reverse_blocks(&mut on_arena, &input);
+        let sg = reverse_blocks(&mut on_ghost, &input);
+        assert_eq!(sv, sa);
+        assert_eq!(sv, sg);
     }
 }
 

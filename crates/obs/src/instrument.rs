@@ -252,6 +252,16 @@ impl<T, A: AemAccess<T>> AemAccess<T> for InstrumentedMachine<T, A> {
         Ok(data)
     }
 
+    fn read_block_into(&mut self, id: BlockId, buf: &mut Vec<T>) -> Result<usize> {
+        let len = self.inner.read_block_into(id, buf)?;
+        self.observe_event(IoEvent::Read {
+            block: id,
+            len,
+            aux: false,
+        });
+        Ok(len)
+    }
+
     fn write_block(&mut self, id: BlockId, data: Vec<T>) -> Result<()> {
         let len = data.len();
         self.inner.write_block(id, data)?;
