@@ -25,13 +25,17 @@
 //!   transpose, and machine-free analyses. Merge-based sorting reads keys
 //!   and aux pointers to steer control flow and is excluded; ghost instead
 //!   adds the frontier sweep `T5X` at sizes the copying backends cannot
-//!   reach.
+//!   reach. One PQ grid crosses the divide: `T9G` runs the buffered
+//!   priority queue on **constant keys**, where every comparison resolves
+//!   by deterministic positional tie-breaks, so it is payload-oblivious
+//!   and byte-compares across `vec` and `ghost`.
 
 pub mod flash;
 pub mod merge;
 pub mod model;
 pub mod optimality;
 pub mod permute;
+pub mod pq;
 pub mod rounds;
 pub mod sorting;
 pub mod spmv;
@@ -46,6 +50,7 @@ use crate::table::Table;
 pub fn all_sweeps(quick: bool, backend: Backend) -> Vec<Sweep> {
     let mut out = Vec::new();
     out.extend(sorting::sweeps(quick, backend));
+    out.extend(pq::sweeps(quick, backend));
     out.extend(merge::sweeps(quick, backend));
     out.extend(rounds::sweeps(quick, backend));
     out.extend(flash::sweeps(quick, backend));

@@ -1,12 +1,14 @@
 //! `aemsim` subcommand implementations. Each returns its report as a
 //! `String` so the handlers are unit-testable without capturing stdout.
 
+use aem_core::bounds::predict;
 use aem_core::bounds::{flash as fbounds, permute as pbounds, spmv as sbounds};
 use aem_core::permute::{
     permute_auto, permute_by_sort, permute_by_sort_on, permute_naive, DestTagged,
 };
+use aem_core::pq::replacement_select;
 use aem_core::relational::{group_aggregate, sort_merge_join, Tuple};
-use aem_core::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort};
+use aem_core::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort, sort_via_pq};
 use aem_core::spmv::{
     install_instance, reference_multiply, spmv_direct, spmv_direct_on, spmv_sorted, spmv_sorted_on,
     MatEntry, SpmvInstance, U64Ring,
@@ -107,6 +109,7 @@ pub fn cmd_sort(args: &Args) -> Result<String, String> {
             "em" => em_merge_sort(&mut m, r),
             "dist" => distribution_sort(&mut m, r),
             "heap" => heap_sort(&mut m, r),
+            "pq" => sort_via_pq(&mut m, r),
             _ => unreachable!(),
         }
         .map_err(|e| e.to_string())?;
@@ -123,9 +126,14 @@ pub fn cmd_sort(args: &Args) -> Result<String, String> {
             run("EM mergesort", "em")?;
             run("distribution sort", "dist")?;
             run("heapsort (ext. PQ)", "heap")?;
+            run("PQ sort (buffered)", "pq")?;
         }
-        "aem" | "em" | "dist" | "heap" => run(algo, algo)?,
-        other => return Err(format!("unknown --algo '{other}' (aem|em|dist|heap|all)")),
+        "aem" | "em" | "dist" | "heap" | "pq" => run(algo, algo)?,
+        other => {
+            return Err(format!(
+                "unknown --algo '{other}' (aem|em|dist|heap|pq|all)"
+            ))
+        }
     }
     let lb = pbounds::permute_cost_lower_bound(n as u64, cfg);
     out.push_str(&format!(
@@ -143,6 +151,7 @@ pub fn cmd_sort(args: &Args) -> Result<String, String> {
             "em" => em_merge_sort(&mut im, r),
             "dist" => distribution_sort(&mut im, r),
             "heap" => heap_sort(&mut im, r),
+            "pq" => sort_via_pq(&mut im, r),
             _ => unreachable!(),
         }
         .map_err(|e| e.to_string())?;
@@ -444,7 +453,8 @@ pub fn cmd_trace(args: &Args) -> Result<String, String> {
         "em" => drop(em_merge_sort(&mut m, r).map_err(|e| e.to_string())?),
         "dist" => drop(distribution_sort(&mut m, r).map_err(|e| e.to_string())?),
         "heap" => drop(heap_sort(&mut m, r).map_err(|e| e.to_string())?),
-        other => return Err(format!("unknown --algo '{other}' (aem|em|dist|heap)")),
+        "pq" => drop(sort_via_pq(&mut m, r).map_err(|e| e.to_string())?),
+        other => return Err(format!("unknown --algo '{other}' (aem|em|dist|heap|pq)")),
     }
     let trace = m.take_trace().ok_or("no trace recorded")?;
     let stats = trace.stats();
@@ -463,6 +473,7 @@ pub fn cmd_trace(args: &Args) -> Result<String, String> {
             "em" => drop(em_merge_sort(&mut im, r).map_err(|e| e.to_string())?),
             "dist" => drop(distribution_sort(&mut im, r).map_err(|e| e.to_string())?),
             "heap" => drop(heap_sort(&mut im, r).map_err(|e| e.to_string())?),
+            "pq" => drop(sort_via_pq(&mut im, r).map_err(|e| e.to_string())?),
             _ => unreachable!(),
         }
         let rec = im.into_record(WorkloadMeta::new("sort", algo, n as u64));
@@ -493,6 +504,71 @@ pub fn cmd_trace(args: &Args) -> Result<String, String> {
         q_rb,
         q_rb as f64 / q.max(1) as f64,
     ))
+}
+
+/// `aemsim pq` — exercise the buffered external priority queue: one
+/// replacement-selection pass over the workload, then a full
+/// insert-all/extract-all sort reported against the exact-schedule
+/// predictor and the §3 mergesort.
+pub fn cmd_pq(args: &Args) -> Result<String, String> {
+    let cfg = machine_config(args)?;
+    let n = args.get_or("n", 65_536usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let input = key_dist(args, seed)?.generate(n);
+
+    let mut out = format!(
+        "machine: {cfg}\nworkload: pq N={n} ({})\n\n",
+        args.get("dist").unwrap_or("uniform")
+    );
+
+    // One replacement-selection pass: the run-generation workload.
+    let mut m: Machine<u64> = Machine::new(cfg);
+    let r = m.install(&input);
+    let (runs, stats) = replacement_select(&mut m, r).map_err(|e| e.to_string())?;
+    if runs.iter().map(|r| r.elems).sum::<usize>() != n {
+        return Err("run generation: element count mismatch".into());
+    }
+    let avg = n as f64 / stats.runs.max(1) as f64;
+    out.push_str(&format!(
+        "run generation (replacement selection, h = {}):\n  {} runs, avg length {:.1} ({:.2}x h)\n",
+        stats.heap_capacity,
+        stats.runs,
+        avg,
+        avg / stats.heap_capacity as f64,
+    ));
+    out.push_str(&cost_line("  single pass", m.cost(), cfg.omega));
+
+    // Full sort through the queue, against the predictor and mergesort.
+    let mut mp: Machine<u64> = Machine::new(cfg);
+    let rp = mp.install(&input);
+    let sorted = sort_via_pq(&mut mp, rp).map_err(|e| e.to_string())?;
+    let got = mp.inspect(sorted);
+    if !got.windows(2).all(|w| w[0] <= w[1]) || got.len() != n {
+        return Err("pq sort: output verification failed".into());
+    }
+    let mut mm: Machine<u64> = Machine::new(cfg);
+    let rm = mm.install(&input);
+    merge_sort(&mut mm, rm).map_err(|e| e.to_string())?;
+    out.push('\n');
+    out.push_str(&cost_line("PQ sort (buffered)", mp.cost(), cfg.omega));
+    out.push_str(&cost_line("AEM mergesort (§3)", mm.cost(), cfg.omega));
+    let pred = predict::pq_sort_cost(cfg, n);
+    out.push_str(&format!(
+        "\nexact-schedule predictor: Q = {} (measured = {:.0}% of predicted)\nQ(PQ) / Q(mergesort) = {:.2}\n",
+        pred.q(cfg.omega),
+        100.0 * mp.cost().q(cfg.omega) as f64 / pred.q(cfg.omega).max(1) as f64,
+        mp.cost().q(cfg.omega) as f64 / mm.cost().q(cfg.omega).max(1) as f64,
+    ));
+
+    if let Some(path) = args.get("trace-out") {
+        // Instrumented re-run of the PQ-backed sorter.
+        let mut im = InstrumentedMachine::new(Machine::<u64>::new(cfg));
+        let r = im.inner_mut().install(&input);
+        sort_via_pq(&mut im, r).map_err(|e| e.to_string())?;
+        let rec = im.into_record(WorkloadMeta::new("sort", "pq", n as u64));
+        out.push_str(&export_record(path, &rec)?);
+    }
+    Ok(out)
 }
 
 /// Parse the `--backend {vec,arena,ghost}` option (default: vec).
@@ -648,32 +724,50 @@ pub fn cmd_report(args: &Args) -> Result<String, String> {
     }
 }
 
-/// Usage text.
+/// Usage text. The fuzz-target and backend lists are enumerated from the
+/// registries (`aem_fuzz::targets::all_targets`, `Backend::ALL`) so the
+/// help can never drift from what the binary actually accepts.
 pub fn usage() -> String {
-    "aemsim — the (M, B, ω)-Asymmetric External Memory simulator
+    let backends = aem_machine::Backend::ALL
+        .iter()
+        .map(|b| b.name())
+        .collect::<Vec<_>>()
+        .join("|");
+    let targets = aem_fuzz::targets::all_targets()
+        .iter()
+        .map(|t| t.name)
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "aemsim — the (M, B, ω)-Asymmetric External Memory simulator
 (reproduction of Jacob & Sitchinava, SPAA 2017)
 
 USAGE: aemsim <command> [--key value]...
 
 COMMANDS
-  sort      run sorters        --n --dist --algo aem|em|dist|heap|all
+  sort      run sorters        --n --dist --algo aem|em|dist|heap|pq|all
+  pq        priority queue     --n --dist (replacement-selection run
+                               generation + PQ-backed sort vs predictor)
   permute   run permuters      --n --kind random|identity|reverse|transpose|bit-reversal
   spmv      run SpMxV          --n --delta --shape random|banded|block-diagonal
   bounds    evaluate bounds    --n --delta
   join      relational ops     --left --right --keys
-  trace     record + analyze   --n --algo aem|em|dist|heap
+  trace     record + analyze   --n --algo aem|em|dist|heap|pq
   lemma43   flash reduction    --n
   report    render a trace     --in FILE [--format text|md]
   exp       run experiments    [--quick --jobs N --cache FILE --fresh
-                                --only IDS --stats --backend vec|arena|ghost]
+                                --only IDS --stats --backend {backends}]
                                (parallel sweep engine; --cache resumes
                                interrupted runs)
   fuzz      differential fuzz  [--seed S --iters N --target NAMES
                                 --time-budget-secs T --repro-out FILE
-                                --backend vec|arena|ghost]
+                                --backend {backends}]
                                or --replay FILE, or the inline
                                --target/--case-seed repro shape failure
                                reports print
+
+FUZZ TARGETS (--target takes exact names, prefixes, or comma lists)
+  {targets}
 
 MACHINE OPTIONS (all commands)
   --mem M      internal memory in elements   (default 1024)
@@ -682,15 +776,15 @@ MACHINE OPTIONS (all commands)
   --seed S     workload seed                 (default 1)
 
 OBSERVABILITY
-  sort, permute, spmv and trace accept --trace-out FILE: the workload is
-  re-run on an instrumented machine and the full run record (config,
+  sort, pq, permute, spmv and trace accept --trace-out FILE: the workload
+  is re-run on an instrumented machine and the full run record (config,
   I/O events, phase spans, metrics) is exported as JSONL. The paper
   invariants (§3 pointer rewrites, Lemma 4.1 rounds, cost sandwich) are
   checked on export and again by `report`, which renders the
   phase-attributed cost breakdown. Options use --key value or
   --key=value.
 "
-    .to_string()
+    )
 }
 
 /// Dispatch a parsed command line.
@@ -700,6 +794,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
     }
     match args.command.as_deref() {
         Some("sort") => cmd_sort(args),
+        Some("pq") => cmd_pq(args),
         Some("permute") => cmd_permute(args),
         Some("spmv") => cmd_spmv(args),
         Some("bounds") => cmd_bounds(args),
@@ -748,6 +843,49 @@ mod tests {
         }
         assert!(run("sort --algo nope --n 10 --mem 64 --block 8").is_err());
         assert!(run("sort --dist nope --n 10 --mem 64 --block 8").is_err());
+    }
+
+    #[test]
+    fn pq_command_and_sort_algo() {
+        let out = run("pq --n 2000 --mem 64 --block 8 --omega 16").unwrap();
+        assert!(out.contains("replacement selection"), "{out}");
+        assert!(out.contains("PQ sort (buffered)"), "{out}");
+        assert!(out.contains("exact-schedule predictor"), "{out}");
+
+        let out = run("sort --n 1000 --mem 64 --block 8 --algo pq").unwrap();
+        assert!(out.contains("Q ="), "{out}");
+        let out = run("trace --n 1024 --mem 64 --block 8 --algo pq").unwrap();
+        assert!(out.contains("ωm-rounds"), "{out}");
+    }
+
+    #[test]
+    fn pq_trace_export_checks_pass() {
+        let path = tmp_path("pq.jsonl");
+        let p = path.to_str().unwrap();
+        let out = run(&format!(
+            "pq --n 2048 --mem 64 --block 8 --omega 16 --trace-out {p}"
+        ))
+        .unwrap();
+        assert_eq!(out.matches("[PASS]").count(), 3, "{out}");
+        assert!(!out.contains("[FAIL]"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rec = RunRecord::from_jsonl(&text).unwrap();
+        assert_eq!(rec.workload.algo, "pq");
+        assert!(rec.phases.iter().any(|ph| ph.name == "pq-drain"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn usage_enumerates_registries() {
+        // The help text is generated from the fuzz-target and backend
+        // registries, so every registered name must appear verbatim.
+        let out = usage();
+        for t in aem_fuzz::targets::all_targets() {
+            assert!(out.contains(t.name), "usage missing target {}", t.name);
+        }
+        for b in aem_machine::Backend::ALL {
+            assert!(out.contains(b.name()), "usage missing backend {}", b.name());
+        }
     }
 
     #[test]

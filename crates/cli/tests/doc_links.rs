@@ -1,0 +1,115 @@
+//! Markdown link check over the repo's own documentation.
+//!
+//! Every relative link target in the top-level docs and `docs/*.md` must
+//! exist in the working tree, so renaming or deleting a file without
+//! updating its references is a test failure (CI runs this as a named
+//! step). External links (`http://`, `https://`, `mailto:`) and pure
+//! in-page anchors are out of scope — the gate is offline and
+//! deterministic.
+
+use std::path::{Path, PathBuf};
+
+/// Workspace root, two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/cli sits two levels below the repo root")
+        .to_path_buf()
+}
+
+/// The documents the gate covers: the repo's own prose, not driver
+/// artifacts or generated benchmark dumps.
+fn documents(root: &Path) -> Vec<PathBuf> {
+    let mut docs = vec![
+        root.join("README.md"),
+        root.join("DESIGN.md"),
+        root.join("EXPERIMENTS.md"),
+        root.join("ROADMAP.md"),
+        root.join("CHANGES.md"),
+    ];
+    let dir = root.join("docs");
+    let mut extra: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("docs/ directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    extra.sort();
+    docs.extend(extra);
+    docs
+}
+
+/// Extract inline-link targets `](target)` from one markdown document.
+/// Good enough for this repo's docs: no reference-style links, no
+/// parenthesized relative paths.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(off) = text[i..].find("](") {
+        let start = i + off + 2;
+        match text[start..].find(')') {
+            Some(len) => {
+                // Guard against "](" inside a fenced block mangling the
+                // scan: a target containing whitespace or a newline is
+                // not a link, skip it.
+                let target = &text[start..start + len];
+                if !target.bytes().any(|b| b.is_ascii_whitespace()) {
+                    out.push(target.to_string());
+                }
+                i = start + len + 1;
+            }
+            None => break,
+        }
+        debug_assert!(i <= bytes.len());
+    }
+    out
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = repo_root();
+    let mut broken = Vec::new();
+    for doc in documents(&root) {
+        let text = std::fs::read_to_string(&doc)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", doc.display()));
+        let base = doc.parent().expect("documents live in a directory");
+        for target in link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            // Strip an in-page anchor; a pure anchor has no file to check.
+            let path_part = target.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            if !base.join(path_part).exists() {
+                broken.push(format!("{} -> {target}", doc.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn the_crosswalk_and_architecture_docs_are_linked_from_the_readme() {
+    let root = repo_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    for target in [
+        "docs/PAPER_MAP.md",
+        "docs/ARCHITECTURE.md",
+        "docs/FUZZING.md",
+    ] {
+        assert!(
+            readme.contains(&format!("({target})")),
+            "README.md must link {target}"
+        );
+    }
+}

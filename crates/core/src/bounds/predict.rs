@@ -95,6 +95,100 @@ pub fn merge_sort_cost(cfg: AemConfig, n_elems: usize) -> Cost {
     merge_sort_cost_with_fan_in(cfg, n_elems, cfg.fan_in())
 }
 
+/// Predicted worst-case cost of [`crate::sort::sort_via_pq()`] — sorting
+/// through the multiway-buffered priority queue.
+///
+/// Mirrors the queue's schedule arithmetically. Build: `⌊n/cap⌋` flushes
+/// of exactly `cap = M/4` elements each (pops never interleave during a
+/// sort, so the delete buffer folds in nothing), with the LSM-style
+/// binary-counter cascade simulated merge by merge via [`merge_cost`].
+/// Drain: `⌈ext/cap⌉` refill rounds, each streaming the external pointer
+/// array and scanning every live run at most `cap/B + 2` blocks deep (one
+/// partially consumed head, the candidate window, one overshoot block).
+/// The simulation loop runs `O(n/M)` iterations — fine for experiment
+/// scales, unlike the closed-form `O(log n)` predictors.
+pub fn pq_sort_cost(cfg: AemConfig, n_elems: usize) -> Cost {
+    let Ok(p) = crate::pq::PqParams::for_config(cfg) else {
+        return Cost::ZERO;
+    };
+    if n_elems == 0 {
+        return Cost::ZERO;
+    }
+    let b = cfg.block;
+    let cap = p.insert_cap;
+    let ptr_blocks = (p.max_runs + 1).div_ceil(b) as u64;
+    let n_blocks = cfg.blocks_for(n_elems) as u64;
+    // Input scan and output emission.
+    let mut cost = Cost {
+        reads: n_blocks,
+        writes: n_blocks,
+    };
+
+    // Build phase: replay the flush/cascade schedule.
+    let flushes = n_elems / cap;
+    let mut runs: Vec<(u32, usize)> = Vec::new();
+    for f in 0..flushes {
+        // Run write-out, pointer-array init (first flush only), slot reset.
+        cost.writes += (cap / b) as u64;
+        if f == 0 {
+            cost.writes += ptr_blocks;
+        }
+        cost.reads += 1;
+        cost.writes += 1;
+        runs.push((0, cap));
+        // Equal-level merges: lowest duplicated level, smallest runs first
+        // — the queue's deterministic rule, replayed on (level, size).
+        loop {
+            let lvl = runs
+                .iter()
+                .map(|r| r.0)
+                .filter(|&l| runs.iter().filter(|r| r.0 == l).count() >= 2)
+                .min();
+            let Some(l) = lvl else { break };
+            let mut idx: Vec<usize> = (0..runs.len()).filter(|&i| runs[i].0 == l).collect();
+            idx.sort_by_key(|&i| runs[i].1);
+            idx.truncate(2);
+            let total = runs[idx[0]].1 + runs[idx[1]].1;
+            runs.swap_remove(idx[0].max(idx[1]));
+            runs.swap_remove(idx[0].min(idx[1]));
+            cost += pq_merge_overhead(cfg, total, 2);
+            runs.push((l + 1, total));
+        }
+        // Over the live-run cap: compact the fan_in/2 smallest runs.
+        while runs.len() > p.max_runs {
+            let k = (cfg.fan_in() / 2).max(2).min(runs.len());
+            runs.sort_by_key(|r| (r.1, r.0));
+            let merged: Vec<(u32, usize)> = runs.drain(..k).collect();
+            let total: usize = merged.iter().map(|r| r.1).sum();
+            let top = merged.iter().map(|r| r.0).max().unwrap_or(0) + 1;
+            cost += pq_merge_overhead(cfg, total, k);
+            runs.push((top, total));
+        }
+    }
+
+    // Drain phase: batched refills over the surviving runs.
+    let external: usize = runs.iter().map(|r| r.1).sum();
+    if external > 0 {
+        let refills = external.div_ceil(p.delete_cap) as u64;
+        let live = runs.len() as u64;
+        let scan_blocks = (cap / b + 2) as u64;
+        cost.reads += refills * (2 * ptr_blocks + live * scan_blocks);
+        cost.writes += refills * ptr_blocks;
+    }
+    cost
+}
+
+/// Cost of one [`crate::pq::BufferedPq`] cascade merge of `k` runs holding
+/// `total` elements: per input run one pointer read and one head-block
+/// probe, the §3.1 merge itself, and the merged run's slot registration.
+fn pq_merge_overhead(cfg: AemConfig, total: usize, k: usize) -> Cost {
+    let mut c = merge_cost(cfg, total, k);
+    c.reads += 2 * k as u64; // live_regions: ptr word + head block per run
+    c.reads += 1; // add_run slot reset (read–modify–write)
+    c.writes += 1;
+    c
+}
+
 /// Predicted cost of the classical EM mergesort baseline
 /// ([`crate::sort::em_merge_sort()`]): `n` reads and `n` writes per level.
 pub fn em_sort_cost(cfg: AemConfig, n_elems: usize) -> Cost {
@@ -242,6 +336,44 @@ mod tests {
             let d = spmv_direct_cost(c, 1 << 14, 4).q(omega);
             let s = spmv_sorted_cost(c, 1 << 14, 4).q(omega);
             assert!(d > 0 && s > 0, "omega={omega}");
+        }
+    }
+
+    #[test]
+    fn pq_sort_predictor_basics() {
+        let c = AemConfig::new(64, 8, 16).unwrap();
+        assert_eq!(pq_sort_cost(c, 0), Cost::ZERO);
+        // Below one flush: pure input scan plus output emission.
+        let tiny = pq_sort_cost(c, 10);
+        assert_eq!(
+            tiny,
+            Cost {
+                reads: 2,
+                writes: 2
+            }
+        );
+        // M < 8B: the queue rejects the config, the predictor returns zero.
+        assert_eq!(
+            pq_sort_cost(AemConfig::new(16, 4, 2).unwrap(), 100),
+            Cost::ZERO
+        );
+        // Scales superlinearly but gently, like the merge-sort predictor.
+        let q1 = pq_sort_cost(c, 1 << 12).q(c.omega);
+        let q2 = pq_sort_cost(c, 1 << 14).q(c.omega);
+        assert!(q2 > q1 * 3 && q2 < q1 * 16);
+    }
+
+    #[test]
+    fn pq_sort_predictor_within_constant_of_merge_sort() {
+        // The Thm 3.2 sandwich transfers to the queue: its predicted cost
+        // stays within a constant factor of the merge-sort predictor.
+        for omega in [1u64, 16, 128] {
+            let c = AemConfig::new(64, 8, omega).unwrap();
+            for n in [500usize, 5_000, 50_000] {
+                let pq = pq_sort_cost(c, n).q(omega);
+                let ms = merge_sort_cost(c, n).q(omega).max(1);
+                assert!(pq <= 40 * ms, "omega={omega} n={n}: pq {pq} vs merge {ms}");
+            }
         }
     }
 

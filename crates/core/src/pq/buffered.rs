@@ -1,0 +1,695 @@
+//! The multiway-buffered priority queue with external consumption pointers.
+//!
+//! [`BufferedPq`] batches both directions of the queue:
+//!
+//! * **Inserts** accumulate in an internal buffer of `M/4` elements and are
+//!   flushed as one sorted run (plus the current delete buffer — see below).
+//! * **Deletes** are served from an internal *delete buffer* holding the
+//!   `M/4` globally smallest external elements. When it drains, one
+//!   **refill round** — structured like a round of the §3.1 merge — scans
+//!   every live run and moves the next `M/4` smallest elements in.
+//!
+//! The per-run consumption state follows the §3 mergesort discipline
+//! exactly:
+//!
+//! * each run's **block pointer** `b[i]` (first block that may still hold
+//!   unconsumed elements) lives in an **external auxiliary array**,
+//!   streamed one block at a time during a refill and **rewritten only
+//!   when a block of the run was consumed**, so pointer writes stay `O(n)`
+//!   overall and nothing per-run-persistent needs to fit in memory;
+//! * the mid-block cut is carried by a per-run *boundary* — the largest
+//!   `(key, run, position)` tag moved to the delete buffer so far — the
+//!   same one-element-per-run slack the §3.1 merge keeps for its runs.
+//!
+//! Runs are organized in levels: two runs on the same level merge into the
+//! next level via [`crate::sort::merge_runs()`] (the §3.1 merge, so every
+//! reorganization may fan up to `ωm` ways without assuming `ω < B`), and a
+//! global cap of [`PqParams::max_runs`] live runs triggers a compaction of
+//! the `fan_in/2` smallest runs — small-first, so no element is re-merged
+//! more than a logarithmic number of times.
+//!
+//! **Flush invariant.** A flush folds the current delete buffer into the
+//! new run. This keeps the delete buffer a *prefix of the global external
+//! order* at all times — a freshly flushed run can never undercut it — at
+//! a cost of `≤ M/4` re-written elements per flush (`O(n/B)` block writes
+//! overall), which is what makes interleaved `push`/`pop` correct.
+//!
+//! Budget contract: as for [`crate::pq::ExternalPq`] — `push` charges one
+//! internal slot, `pop` returns the element still charged.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use aem_machine::{AemAccess, AemConfig, MachineError, Region, Result};
+
+use crate::sort::merge_runs;
+
+/// Tagged element `(key, run id, position within run)`: a strict total
+/// order consistent with the key order, shared with the §3.1 merge.
+type Tagged<T> = (T, u32, u64);
+
+/// Sizing of a [`BufferedPq`], derived from the machine configuration.
+///
+/// Public so that the cost predictor ([`crate::bounds::predict`]) and the
+/// experiments can mirror the queue's schedule without re-deriving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PqParams {
+    /// Insert-buffer capacity (block-rounded `M/4`).
+    pub insert_cap: usize,
+    /// Delete-buffer capacity, also the refill batch size (block-rounded
+    /// `M/4`).
+    pub delete_cap: usize,
+    /// Cap on live external runs; exceeding it triggers a compaction of
+    /// the smallest runs. Bounds the per-refill scan work (each live run
+    /// is probed every refill), so it tracks `m`, not the merge fan-in.
+    pub max_runs: usize,
+}
+
+impl PqParams {
+    /// Derive the queue sizing for `cfg`. Requires `M ≥ 8B`: two quarters
+    /// of memory for the buffers, the rest for refill and merge workspace.
+    pub fn for_config(cfg: AemConfig) -> Result<Self> {
+        if cfg.memory < 8 * cfg.block {
+            return Err(MachineError::InvalidConfig("BufferedPq requires M >= 8B"));
+        }
+        let cap = ((cfg.memory / 4) / cfg.block).max(1) * cfg.block;
+        Ok(Self {
+            insert_cap: cap,
+            delete_cap: cap,
+            max_runs: cfg.m().max(4),
+        })
+    }
+}
+
+/// One live external run: an immutable sorted region, its identity tag,
+/// the slot of its external block pointer, and the consumption boundary.
+#[derive(Debug)]
+struct PqRun<T> {
+    region: Region,
+    /// Globally unique id, used in element tags.
+    id: u32,
+    /// Word index of this run's block pointer in the external pointer array.
+    slot: usize,
+    /// Merge level (flushes create level 0; equal levels merge upward).
+    level: u32,
+    /// Largest tag consumed from this run — the §3.1 per-run slack element
+    /// that makes the mid-block cut exact.
+    boundary: Option<Tagged<T>>,
+    /// Unconsumed elements left in the run.
+    remaining: usize,
+}
+
+/// The multiway-buffered external priority queue. Like
+/// [`crate::pq::ExternalPq`], the queue is a structure *on* a machine: the
+/// machine is passed per operation.
+///
+/// # Example
+///
+/// ```
+/// use aem_core::pq::BufferedPq;
+/// use aem_machine::{AemAccess, AemConfig, Machine};
+///
+/// let cfg = AemConfig::new(64, 8, 16).unwrap();
+/// let mut machine: Machine<u64> = Machine::new(cfg);
+/// let mut pq = BufferedPq::new(cfg).unwrap();
+///
+/// for x in [41u64, 7, 29, 7, 3] {
+///     pq.push(&mut machine, x).unwrap();
+/// }
+/// let mut out = Vec::new();
+/// while let Some(x) = pq.pop(&mut machine).unwrap() {
+///     out.push(x);
+///     machine.discard(1).unwrap(); // the caller releases popped elements
+/// }
+/// assert_eq!(out, vec![3, 7, 7, 29, 41]);
+/// assert_eq!(machine.internal_used(), 0);
+/// ```
+#[derive(Debug)]
+pub struct BufferedPq<T> {
+    insert_buf: Vec<T>,
+    /// Sorted ascending; always a prefix of the global external order.
+    delete_buf: VecDeque<T>,
+    runs: Vec<PqRun<T>>,
+    /// External pointer array (`max_runs + 1` words; the extra slot covers
+    /// the transient run that exists while a cascade is in flight).
+    ptrs: Option<Region>,
+    /// Slot occupancy map (program metadata, like the run regions).
+    slots: Vec<bool>,
+    params: PqParams,
+    next_id: u32,
+    len: usize,
+}
+
+impl<T: Ord + Clone> BufferedPq<T> {
+    /// Create a queue for the given machine configuration (`M ≥ 8B`).
+    pub fn new(cfg: AemConfig) -> Result<Self> {
+        let params = PqParams::for_config(cfg)?;
+        Ok(Self {
+            insert_buf: Vec::new(),
+            delete_buf: VecDeque::new(),
+            runs: Vec::new(),
+            ptrs: None,
+            slots: vec![false; params.max_runs + 1],
+            params,
+            next_id: 0,
+            len: 0,
+        })
+    }
+
+    /// The sizing parameters the queue runs with.
+    pub fn params(&self) -> PqParams {
+        self.params
+    }
+
+    /// Number of elements in the queue.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of live external runs (exposed for tests and experiments).
+    pub fn live_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Insert an element (charges one internal slot until flushed).
+    pub fn push<A: AemAccess<T>>(&mut self, machine: &mut A, x: T) -> Result<()> {
+        machine.reserve(1)?;
+        self.insert_buf.push(x);
+        self.len += 1;
+        if self.insert_buf.len() >= self.params.insert_cap {
+            self.flush(machine)?;
+        }
+        Ok(())
+    }
+
+    /// Remove and return the minimum, or `None` when empty. The returned
+    /// element stays charged to the internal budget (see module docs).
+    pub fn pop<A: AemAccess<T>>(&mut self, machine: &mut A) -> Result<Option<T>> {
+        if self.len == 0 {
+            return Ok(None);
+        }
+        if self.delete_buf.is_empty() && self.external_remaining() > 0 {
+            self.refill(machine)?;
+        }
+        let insert_min = self
+            .insert_buf
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.cmp(b))
+            .map(|(i, _)| i);
+        let take_insert = match (
+            insert_min.map(|i| &self.insert_buf[i]),
+            self.delete_buf.front(),
+        ) {
+            (Some(im), Some(dm)) => im <= dm,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!("len > 0 but both buffers empty after refill"),
+        };
+        let x = if take_insert {
+            // Charged at push time; the slot moves to the caller.
+            self.insert_buf.swap_remove(insert_min.expect("non-empty"))
+        } else {
+            // Charged since its refill round; the slot moves to the caller.
+            self.delete_buf.pop_front().expect("non-empty")
+        };
+        self.len -= 1;
+        Ok(Some(x))
+    }
+
+    /// Elements living in external runs (not in either internal buffer).
+    fn external_remaining(&self) -> usize {
+        self.runs.iter().map(|r| r.remaining).sum()
+    }
+
+    /// Flush the insert buffer — folded with the delete buffer, preserving
+    /// the prefix invariant — into a fresh level-0 run, then restructure.
+    fn flush<A: AemAccess<T>>(&mut self, machine: &mut A) -> Result<()> {
+        let mut data: Vec<T> = self.insert_buf.drain(..).collect();
+        data.extend(self.delete_buf.drain(..));
+        if data.is_empty() {
+            return Ok(());
+        }
+        data.sort();
+        let b = machine.cfg().block;
+        let region = machine.alloc_region(data.len());
+        let mut iter = data.into_iter().peekable();
+        let mut blk = 0usize;
+        while iter.peek().is_some() {
+            let chunk: Vec<T> = iter.by_ref().take(b).collect();
+            machine.write_block(region.block(blk), chunk)?;
+            blk += 1;
+        }
+        self.add_run(machine, region, 0)?;
+        self.maintain(machine)
+    }
+
+    /// Register `region` as a live run at `level`, assigning it a pointer
+    /// slot whose external word is reset to zero.
+    fn add_run<A: AemAccess<T>>(
+        &mut self,
+        machine: &mut A,
+        region: Region,
+        level: u32,
+    ) -> Result<()> {
+        let b = machine.cfg().block;
+        let ptrs = match self.ptrs {
+            Some(r) => r,
+            None => {
+                // First run ever: allocate and zero-initialize the pointer
+                // array (the O(⌈k/B⌉) setup writes of §3.1).
+                let r = machine.alloc_aux_region(self.slots.len());
+                for pb in 0..r.blocks {
+                    let words = r.elems_in_block(pb, b);
+                    machine.reserve(words)?;
+                    machine.write_aux_block(r.block(pb), vec![0u64; words])?;
+                }
+                self.ptrs = Some(r);
+                r
+            }
+        };
+        let slot = self
+            .slots
+            .iter()
+            .position(|used| !used)
+            .expect("slot map sized max_runs + 1");
+        self.slots[slot] = true;
+        // Reset the slot's external word (read–modify–write one aux block).
+        let pb = slot / b;
+        let mut words = machine.read_aux_block(ptrs.block(pb))?;
+        words[slot % b] = 0;
+        machine.write_aux_block(ptrs.block(pb), words)?;
+        self.runs.push(PqRun {
+            region,
+            id: self.next_id,
+            slot,
+            level,
+            boundary: None,
+            remaining: region.elems,
+        });
+        self.next_id += 1;
+        Ok(())
+    }
+
+    /// Restructure after a flush: equal-level runs merge upward (lowest
+    /// duplicated level first, smallest runs first — a deterministic rule
+    /// the cost predictor replays); if the live-run cap is then still
+    /// exceeded, compact the `fan_in/2` *smallest* runs. Merging small
+    /// runs keeps each element's merge count logarithmic — compacting
+    /// everything would re-merge the big top run over and over.
+    fn maintain<A: AemAccess<T>>(&mut self, machine: &mut A) -> Result<()> {
+        loop {
+            let lvl = self
+                .runs
+                .iter()
+                .map(|r| r.level)
+                .filter(|&l| self.runs.iter().filter(|r| r.level == l).count() >= 2)
+                .min();
+            let Some(l) = lvl else { break };
+            let mut idx: Vec<usize> = (0..self.runs.len())
+                .filter(|&i| self.runs[i].level == l)
+                .collect();
+            idx.sort_by_key(|&i| self.runs[i].remaining);
+            idx.truncate(2);
+            self.merge_into(machine, idx, l + 1)?;
+        }
+        while self.runs.len() > self.params.max_runs {
+            // ≤ 2 regions per run keeps the compaction within the §3.1
+            // merge's ωm fan-in; fan_in ≥ m ≥ 8 whenever M ≥ 8B.
+            let k = (machine.cfg().fan_in() / 2).max(2).min(self.runs.len());
+            let mut idx: Vec<usize> = (0..self.runs.len()).collect();
+            idx.sort_by_key(|&i| (self.runs[i].remaining, self.runs[i].level));
+            idx.truncate(k);
+            let top = idx.iter().map(|&i| self.runs[i].level).max().unwrap_or(0) + 1;
+            self.merge_into(machine, idx, top)?;
+        }
+        Ok(())
+    }
+
+    /// Merge the runs at `indices` (live suffixes only) into one new run
+    /// at `level`, via the §3.1 merge.
+    fn merge_into<A: AemAccess<T>>(
+        &mut self,
+        machine: &mut A,
+        mut indices: Vec<usize>,
+        level: u32,
+    ) -> Result<()> {
+        indices.sort_unstable_by(|a, b| b.cmp(a));
+        let mut regions: Vec<Region> = Vec::new();
+        for i in indices {
+            let run = self.runs.swap_remove(i);
+            regions.extend(self.live_regions(machine, run)?);
+        }
+        regions.retain(|r| r.elems > 0);
+        let merged = match regions.len() {
+            0 => return Ok(()),
+            1 => regions[0],
+            _ => merge_runs(machine, &regions)?.0,
+        };
+        self.add_run(machine, merged, level)
+    }
+
+    /// Extract the live suffix of a dying run as mergeable regions: the
+    /// partially consumed block's unconsumed remainder becomes a stub run,
+    /// the untouched tail aliases the original region. Frees the slot.
+    fn live_regions<A: AemAccess<T>>(
+        &mut self,
+        machine: &mut A,
+        run: PqRun<T>,
+    ) -> Result<Vec<Region>> {
+        let b = machine.cfg().block;
+        let ptrs = self.ptrs.expect("live run implies pointer array");
+        let p = {
+            let words = machine.read_aux_block(ptrs.block(run.slot / b))?;
+            let p = words[run.slot % b] as usize;
+            machine.discard(words.len())?;
+            p
+        };
+        self.slots[run.slot] = false;
+        if run.remaining == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity(2);
+        let mut suffix_from = p;
+        if p < run.region.blocks {
+            let data = machine.read_block(run.region.block(p))?;
+            let len = data.len();
+            let keep: Vec<T> = data
+                .into_iter()
+                .enumerate()
+                .filter(|(off, x)| {
+                    let tag = (x.clone(), run.id, (p * b + off) as u64);
+                    run.boundary.as_ref().map(|bd| tag > *bd).unwrap_or(true)
+                })
+                .map(|(_, x)| x)
+                .collect();
+            if keep.len() < len {
+                // Partially consumed head block: its live remainder is
+                // resident — write it to a stub run.
+                machine.discard(len - keep.len())?;
+                if !keep.is_empty() {
+                    let stub = machine.alloc_region(keep.len());
+                    machine.write_block(stub.block(0), keep)?;
+                    out.push(stub);
+                }
+                suffix_from = p + 1;
+            } else {
+                // Untouched: release; the merge re-reads it from the tail.
+                machine.discard(len)?;
+            }
+        }
+        let tail = run.region.suffix(suffix_from, b);
+        if tail.elems > 0 {
+            out.push(tail);
+        }
+        Ok(out)
+    }
+
+    /// One refill round: stream the external pointer array, scan each live
+    /// run from its block pointer (skipping elements at or below its
+    /// boundary), and keep the `delete_cap` smallest candidates. Then
+    /// advance boundaries and rewrite only the pointer words whose run had
+    /// a block consumed — the §3 discipline.
+    fn refill<A: AemAccess<T>>(&mut self, machine: &mut A) -> Result<()> {
+        debug_assert!(self.delete_buf.is_empty());
+        let b = machine.cfg().block;
+        let cap = self.params.delete_cap;
+        let ptrs = match self.ptrs {
+            Some(r) => r,
+            None => return Ok(()),
+        };
+        let mut sel: BinaryHeap<Tagged<T>> = BinaryHeap::new();
+        for pb in 0..ptrs.blocks {
+            let words = machine.read_aux_block(ptrs.block(pb))?;
+            for (off, &p) in words.iter().enumerate() {
+                let slot = pb * b + off;
+                let Some(run) = self.runs.iter().find(|r| r.slot == slot && r.remaining > 0) else {
+                    continue;
+                };
+                scan_run(machine, run, p as usize, &mut sel, cap)?;
+            }
+            machine.discard(words.len())?;
+        }
+        let batch = sel.into_sorted_vec();
+        debug_assert!(
+            batch.is_empty() == (self.external_remaining() == 0),
+            "a refill makes progress whenever external elements remain"
+        );
+        // Per-run consumption: the batch's elements of run i form a prefix
+        // of its unconsumed elements (the selection keeps the globally
+        // smallest, and runs are sorted), so the last one fixes the new
+        // boundary and block pointer.
+        let mut last_of: HashMap<u32, Tagged<T>> = HashMap::new();
+        let mut count_of: HashMap<u32, usize> = HashMap::new();
+        for t in &batch {
+            last_of.insert(t.1, t.clone()); // batch is sorted: later wins
+            *count_of.entry(t.1).or_insert(0) += 1;
+        }
+        let mut ptr_updates: HashMap<usize, u64> = HashMap::new();
+        for run in &mut self.runs {
+            let Some(last) = last_of.get(&run.id) else {
+                continue;
+            };
+            run.remaining -= count_of[&run.id];
+            let pos = last.2 as usize;
+            let consumed_block = pos + 1 == run.region.elems || (pos + 1) % b == 0;
+            let new_ptr = if consumed_block { pos / b + 1 } else { pos / b } as u64;
+            run.boundary = Some(last.clone());
+            if run.remaining > 0 {
+                // Exhausted runs are dropped below; their pointer word is
+                // left stale and reset when the slot is reused.
+                ptr_updates.insert(run.slot, new_ptr);
+            }
+        }
+        // Rewrite dirty pointer blocks only; a pointer advances only when a
+        // block of its run was consumed, keeping pointer writes O(n).
+        let mut touched: Vec<usize> = ptr_updates.keys().map(|s| s / b).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for pb in touched {
+            let mut words = machine.read_aux_block(ptrs.block(pb))?;
+            let mut dirty = false;
+            for (off, w) in words.iter_mut().enumerate() {
+                if let Some(&np) = ptr_updates.get(&(pb * b + off)) {
+                    if np > *w {
+                        *w = np;
+                        dirty = true;
+                    }
+                }
+            }
+            let len = words.len();
+            if dirty {
+                machine.write_aux_block(ptrs.block(pb), words)?;
+            } else {
+                machine.discard(len)?;
+            }
+        }
+        // Drop exhausted runs (their external blocks are simply abandoned;
+        // external memory is unbounded in the model).
+        let slots = &mut self.slots;
+        self.runs.retain(|r| {
+            if r.remaining == 0 {
+                slots[r.slot] = false;
+                false
+            } else {
+                true
+            }
+        });
+        self.delete_buf = batch.into_iter().map(|(x, _, _)| x).collect();
+        Ok(())
+    }
+}
+
+/// Scan one run from `first_blk`, merging unconsumed elements into the
+/// capped round buffer. Stops as soon as the buffer is full and the last
+/// block's maximum exceeds its cut — later blocks only hold larger
+/// elements.
+fn scan_run<T, A>(
+    machine: &mut A,
+    run: &PqRun<T>,
+    first_blk: usize,
+    sel: &mut BinaryHeap<Tagged<T>>,
+    cap: usize,
+) -> Result<()>
+where
+    T: Ord + Clone,
+    A: AemAccess<T>,
+{
+    let b = machine.cfg().block;
+    for blk in first_blk..run.region.blocks {
+        let data = machine.read_block(run.region.block(blk))?;
+        let len = data.len();
+        let before = sel.len();
+        let mut block_max: Option<Tagged<T>> = None;
+        for (off, x) in data.into_iter().enumerate() {
+            let tag = (x, run.id, (blk * b + off) as u64);
+            block_max = Some(tag.clone()); // positions increase: last wins
+            if run.boundary.as_ref().map(|bd| tag <= *bd).unwrap_or(false) {
+                continue; // consumed in an earlier refill
+            }
+            if sel.len() < cap {
+                sel.push(tag);
+            } else if tag < *sel.peek().expect("cap >= 1") {
+                sel.pop();
+                sel.push(tag);
+            }
+        }
+        let retained = sel.len() - before;
+        machine.discard(len - retained)?;
+        if sel.len() >= cap {
+            if let (Some(mx), Some(top)) = (&block_max, sel.peek()) {
+                if mx > top {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aem_machine::{AemConfig, Machine};
+    use aem_workloads::KeyDist;
+
+    fn cfg() -> AemConfig {
+        AemConfig::new(64, 8, 8).unwrap()
+    }
+
+    fn drain(m: &mut Machine<u64>, pq: &mut BufferedPq<u64>) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(x) = pq.pop(m).unwrap() {
+            out.push(x);
+            m.discard(1).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn push_pop_sorted_order() {
+        let mut m: Machine<u64> = Machine::new(cfg());
+        let mut pq = BufferedPq::new(cfg()).unwrap();
+        let input = KeyDist::Uniform { seed: 1 }.generate(500);
+        for &x in &input {
+            pq.push(&mut m, x).unwrap();
+        }
+        assert_eq!(pq.len(), 500);
+        let out = drain(&mut m, &mut pq);
+        let mut want = input;
+        want.sort();
+        assert_eq!(out, want);
+        assert_eq!(m.internal_used(), 0, "no leaked budget");
+    }
+
+    #[test]
+    fn interleaved_operations_match_binary_heap() {
+        let mut m: Machine<u64> = Machine::new(cfg());
+        let mut pq = BufferedPq::new(cfg()).unwrap();
+        let mut reference = std::collections::BinaryHeap::new();
+        let keys = KeyDist::Uniform { seed: 2 }.generate(600);
+        for (i, &x) in keys.iter().enumerate() {
+            pq.push(&mut m, x).unwrap();
+            reference.push(std::cmp::Reverse(x));
+            if i % 3 == 2 {
+                let got = pq.pop(&mut m).unwrap().unwrap();
+                m.discard(1).unwrap();
+                assert_eq!(got, reference.pop().unwrap().0, "at step {i}");
+            }
+        }
+        while let Some(std::cmp::Reverse(want)) = reference.pop() {
+            let got = pq.pop(&mut m).unwrap().unwrap();
+            m.discard(1).unwrap();
+            assert_eq!(got, want);
+        }
+        assert!(pq.is_empty());
+        assert_eq!(m.internal_used(), 0);
+    }
+
+    #[test]
+    fn duplicates_and_empty_pops() {
+        let mut m: Machine<u64> = Machine::new(cfg());
+        let mut pq = BufferedPq::new(cfg()).unwrap();
+        assert_eq!(pq.pop(&mut m).unwrap(), None);
+        for _ in 0..300 {
+            pq.push(&mut m, 7).unwrap();
+        }
+        for _ in 0..300 {
+            assert_eq!(pq.pop(&mut m).unwrap(), Some(7));
+            m.discard(1).unwrap();
+        }
+        assert_eq!(pq.pop(&mut m).unwrap(), None);
+        assert_eq!(m.internal_used(), 0);
+    }
+
+    #[test]
+    fn rejects_tiny_memory() {
+        assert!(BufferedPq::<u64>::new(AemConfig::new(16, 4, 2).unwrap()).is_err());
+    }
+
+    #[test]
+    fn large_volume_respects_run_cap() {
+        let mut m: Machine<u64> = Machine::new(cfg());
+        let mut pq = BufferedPq::new(cfg()).unwrap();
+        let params = pq.params();
+        let input = KeyDist::Uniform { seed: 3 }.generate(5000);
+        for &x in &input {
+            pq.push(&mut m, x).unwrap();
+            assert!(pq.live_runs() <= params.max_runs, "run cap violated");
+        }
+        let out = drain(&mut m, &mut pq);
+        let mut want = input;
+        want.sort();
+        assert_eq!(out, want);
+        assert_eq!(m.internal_used(), 0);
+    }
+
+    #[test]
+    fn omega_above_block_works() {
+        // The headline regime of the paper: ω > B. The external pointer
+        // array and the ωm-way merges must carry the structure.
+        let cfg = AemConfig::new(64, 8, 128).unwrap();
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let mut pq = BufferedPq::new(cfg).unwrap();
+        let input = KeyDist::FewDistinct {
+            distinct: 17,
+            seed: 4,
+        }
+        .generate(3000);
+        for &x in &input {
+            pq.push(&mut m, x).unwrap();
+        }
+        let out = drain(&mut m, &mut pq);
+        let mut want = input;
+        want.sort();
+        assert_eq!(out, want);
+        assert_eq!(m.internal_used(), 0);
+        // Write-lean: reads dominate writes, as for the §3 sorters.
+        let cost = m.cost();
+        assert!(cost.reads > cost.writes);
+    }
+
+    #[test]
+    fn descending_stream_interleaved() {
+        // Every push undercuts the delete buffer: exercises the fold-back
+        // flush invariant hard.
+        let mut m: Machine<u64> = Machine::new(cfg());
+        let mut pq = BufferedPq::new(cfg()).unwrap();
+        let n = 800u64;
+        for (i, x) in (0..n).rev().enumerate() {
+            pq.push(&mut m, x).unwrap();
+            if i % 5 == 4 {
+                let got = pq.pop(&mut m).unwrap().unwrap();
+                m.discard(1).unwrap();
+                assert_eq!(got, x, "minimum is always the latest pushed");
+            }
+        }
+        let out = drain(&mut m, &mut pq);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(m.internal_used(), 0);
+    }
+}

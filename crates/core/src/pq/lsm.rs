@@ -1,4 +1,4 @@
-//! An external-memory priority queue with write-efficient merging.
+//! The LSM-style external priority queue (cursor-per-level deletes).
 //!
 //! The paper lists *heapsort* among the AEM sorters of Blelloch et al.
 //! that achieve `O(ω n log_{ωm} n)`; the underlying structure is an
@@ -125,14 +125,9 @@ impl<T: Ord + Clone> RunCursor<T> {
             // suffix region below re-reads it during the merge.
             machine.discard(self.head.len())?;
         }
-        if first_untouched_blk < self.region.blocks {
-            let blocks = self.region.blocks - first_untouched_blk;
-            let elems = self.region.elems - first_untouched_blk * b;
-            out.push(Region {
-                first: self.region.first + first_untouched_blk,
-                blocks,
-                elems,
-            });
+        let tail = self.region.suffix(first_untouched_blk, b);
+        if tail.elems > 0 {
+            out.push(tail);
         }
         Ok(out)
     }

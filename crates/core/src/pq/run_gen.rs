@@ -1,0 +1,332 @@
+//! Run generation by replacement selection under the `(M, B, ω)` measure.
+//!
+//! Mergesort's initial runs do not have to be memory-sized: *replacement
+//! selection* (Knuth's "snow plow") streams the input through an internal
+//! min-heap of `h = M − 2B + 1` elements (the rest of memory holds one
+//! input and one output block) and emits runs of expected length `2h` on
+//! random inputs — twice what a load–sort–store pass produces — in a
+//! **single pass**: `n` block reads and `n` block writes, no `ω`-weighted
+//! reorganization at all. Longer initial runs shave merge levels off the
+//! §3 recursion, where every level costs `Θ(ω)` per block; see Bender et
+//! al., "Run Generation Revisited" (`PAPERS.md`) for the modern treatment.
+//!
+//! Extremes (all pinned by tests, including the degenerate configurations
+//! `B = 1`, `ω ≥ B`, and `M = 2B`):
+//!
+//! * ascending input → one run of length `n`;
+//! * descending input → runs of length exactly `h + 1` (the heap never
+//!   helps: each run is one pass-through leader plus `h` evictions);
+//! * constant input → one run (ties continue the current run);
+//! * random input → expected length `≈ 2h`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use aem_machine::{AemAccess, Region, Result};
+
+/// Statistics reported by [`replacement_select`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunGenStats {
+    /// Number of runs produced.
+    pub runs: usize,
+    /// Total elements streamed.
+    pub elems: usize,
+    /// Heap capacity `h = max(1, M − 2B + 1)` used for the pass.
+    pub heap_capacity: usize,
+}
+
+/// Accumulates one output run from consecutively allocated blocks.
+struct RunBuilder {
+    first: usize,
+    blocks: usize,
+    elems: usize,
+}
+
+/// Generate sorted runs from `input` by replacement selection.
+///
+/// Returns the runs (each a sorted region, in emission order) and the pass
+/// statistics. Cost: exactly `⌈n/B⌉` block reads and one block write per
+/// output block — a single pass, independent of `ω`. Works for every valid
+/// configuration (`M ≥ 2B`), including `B = 1` and `M = 2B` where the heap
+/// degenerates to a single element.
+///
+/// # Example
+///
+/// ```
+/// use aem_core::pq::replacement_select;
+/// use aem_machine::{AemAccess, AemConfig, Machine};
+///
+/// let cfg = AemConfig::new(64, 8, 16).unwrap();
+/// let mut machine: Machine<u64> = Machine::new(cfg);
+/// let region = machine.install(&(0..256).rev().collect::<Vec<u64>>());
+///
+/// let (runs, stats) = replacement_select(&mut machine, region).unwrap();
+/// assert_eq!(stats.heap_capacity, 49); // M − 2B + 1
+/// // Descending input defeats the heap: every full run holds exactly
+/// // h + 1 elements (one pass-through leader plus h heap evictions).
+/// assert!(runs.iter().take(runs.len() - 1).all(|r| r.elems == 50));
+/// assert_eq!(stats.runs, 6);
+/// assert_eq!(stats.elems, 256);
+/// assert_eq!(machine.internal_used(), 0);
+/// ```
+pub fn replacement_select<T, A>(
+    machine: &mut A,
+    input: Region,
+) -> Result<(Vec<Region>, RunGenStats)>
+where
+    T: Ord + Clone,
+    A: AemAccess<T>,
+{
+    let cfg = machine.cfg();
+    let b = cfg.block;
+    // One input block (B) plus an output buffer that can reach B − 1 at
+    // read time leave h = M − 2B + 1 slots for the heap.
+    let h = (cfg.memory + 1).saturating_sub(2 * b).max(1);
+
+    let mut heap: BinaryHeap<Reverse<(u64, T)>> = BinaryHeap::with_capacity(h);
+    let mut gen: u64 = 0;
+    // Last element output in the current run — the one-element slack that
+    // decides whether an incoming element may still join the run.
+    let mut last: Option<T> = None;
+    let mut out_buf: Vec<T> = Vec::with_capacity(b);
+    let mut cur: Option<RunBuilder> = None;
+    let mut runs: Vec<Region> = Vec::new();
+
+    let flush = |machine: &mut A, buf: &mut Vec<T>, cur: &mut Option<RunBuilder>| -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let id = machine.alloc_block();
+        let builder = cur.get_or_insert_with(|| RunBuilder {
+            first: id.index(),
+            blocks: 0,
+            elems: 0,
+        });
+        debug_assert_eq!(id.index(), builder.first + builder.blocks);
+        builder.blocks += 1;
+        builder.elems += buf.len();
+        machine.write_block(id, std::mem::take(buf))?;
+        buf.reserve(b);
+        Ok(())
+    };
+
+    let close = |machine: &mut A,
+                 buf: &mut Vec<T>,
+                 cur: &mut Option<RunBuilder>,
+                 runs: &mut Vec<Region>|
+     -> Result<()> {
+        flush(machine, buf, cur)?;
+        if let Some(done) = cur.take() {
+            runs.push(Region {
+                first: done.first,
+                blocks: done.blocks,
+                elems: done.elems,
+            });
+        }
+        Ok(())
+    };
+
+    for blk in 0..input.blocks {
+        let data = machine.read_block(input.block(blk))?;
+        for x in data {
+            if heap.len() < h {
+                // Initial fill only: once full, the heap stays full until
+                // the input is exhausted.
+                heap.push(Reverse((gen, x)));
+                continue;
+            }
+            // An element at or above the last output may still join the
+            // current run; a smaller one must wait for the next. This is the
+            // classical insert-then-extract step, phrased without ever
+            // letting the heap exceed `h`: if `(x_gen, x)` is the global
+            // minimum, `x` is the next output itself and passes the heap by.
+            let x_gen = if last.as_ref().map(|l| x >= *l).unwrap_or(true) {
+                gen
+            } else {
+                gen + 1
+            };
+            let Reverse((peek_g, peek_min)) = heap.peek().expect("heap full");
+            if (x_gen, &x) <= (*peek_g, peek_min) {
+                if x_gen != gen {
+                    // No current-run element is left in the heap and `x`
+                    // leads the next run: seal the run at `x`, not after it.
+                    close(machine, &mut out_buf, &mut cur, &mut runs)?;
+                    gen = x_gen;
+                }
+                last = Some(x.clone());
+                out_buf.push(x);
+                if out_buf.len() == b {
+                    flush(machine, &mut out_buf, &mut cur)?;
+                }
+                continue;
+            }
+            let Reverse((g, min)) = heap.pop().expect("heap full");
+            if g != gen {
+                // Current run exhausted: seal it, start the next.
+                close(machine, &mut out_buf, &mut cur, &mut runs)?;
+                gen = g;
+            }
+            last = Some(min.clone());
+            out_buf.push(min);
+            if out_buf.len() == b {
+                flush(machine, &mut out_buf, &mut cur)?;
+            }
+            heap.push(Reverse((x_gen, x)));
+        }
+    }
+    // Drain: the heap holds at most two generations.
+    while let Some(Reverse((g, min))) = heap.pop() {
+        if g != gen {
+            close(machine, &mut out_buf, &mut cur, &mut runs)?;
+            gen = g;
+        }
+        out_buf.push(min);
+        if out_buf.len() == b {
+            flush(machine, &mut out_buf, &mut cur)?;
+        }
+    }
+    close(machine, &mut out_buf, &mut cur, &mut runs)?;
+
+    let stats = RunGenStats {
+        runs: runs.len(),
+        elems: input.elems,
+        heap_capacity: h,
+    };
+    Ok((runs, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aem_machine::{AemConfig, Machine};
+    use aem_workloads::keys::{is_sorted, KeyDist};
+
+    /// The three degenerate corners the satellite task pins, plus a
+    /// regular configuration.
+    fn configs() -> Vec<AemConfig> {
+        vec![
+            AemConfig::new(64, 8, 16).unwrap(), // regular
+            AemConfig::aram(8, 4).unwrap(),     // B = 1
+            AemConfig::new(32, 4, 16).unwrap(), // ω ≥ B
+            AemConfig::new(16, 8, 2).unwrap(),  // M = 2B → h = 1
+        ]
+    }
+
+    fn generate(cfg: AemConfig, input: &[u64]) -> (Vec<Vec<u64>>, RunGenStats, aem_machine::Cost) {
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let region = m.install(input);
+        let (runs, stats) = replacement_select(&mut m, region).unwrap();
+        assert_eq!(m.internal_used(), 0, "no leaked budget");
+        let data: Vec<Vec<u64>> = runs.iter().map(|r| m.inspect(*r)).collect();
+        (data, stats, m.cost())
+    }
+
+    fn check_partition(runs: &[Vec<u64>], input: &[u64]) {
+        for r in runs {
+            assert!(is_sorted(r), "every run is sorted");
+        }
+        let mut all: Vec<u64> = runs.iter().flatten().copied().collect();
+        all.sort();
+        let mut want = input.to_vec();
+        want.sort();
+        assert_eq!(all, want, "runs partition the input");
+    }
+
+    #[test]
+    fn ascending_input_gives_one_run() {
+        for cfg in configs() {
+            let input: Vec<u64> = (0..200).collect();
+            let (runs, stats, _) = generate(cfg, &input);
+            assert_eq!(stats.runs, 1, "{cfg:?}");
+            assert_eq!(runs[0], input);
+        }
+    }
+
+    #[test]
+    fn descending_input_gives_heap_sized_runs() {
+        for cfg in configs() {
+            let n = 200usize;
+            let input: Vec<u64> = (0..n as u64).rev().collect();
+            let (runs, stats, _) = generate(cfg, &input);
+            let h = stats.heap_capacity;
+            // Each run is one pass-through leader plus h heap evictions:
+            // exactly h + 1 elements, for every run but possibly the last.
+            assert_eq!(stats.runs, n.div_ceil(h + 1), "{cfg:?}");
+            for r in runs.iter().take(runs.len() - 1) {
+                assert_eq!(r.len(), h + 1, "{cfg:?}: full runs have h + 1 elements");
+            }
+            check_partition(&runs, &input);
+        }
+    }
+
+    #[test]
+    fn duplicate_flood_gives_one_run() {
+        for cfg in configs() {
+            let input = vec![42u64; 300];
+            let (runs, stats, _) = generate(cfg, &input);
+            assert_eq!(stats.runs, 1, "{cfg:?}: ties continue the run");
+            assert_eq!(runs[0].len(), 300);
+        }
+    }
+
+    #[test]
+    fn random_input_snow_plow_effect() {
+        // The classical 2h expectation, pinned as a 1.5h lower bound on the
+        // average (exact counts are pinned per-config below).
+        for cfg in configs() {
+            let input = KeyDist::Uniform { seed: 11 }.generate(2000);
+            let (runs, stats, _) = generate(cfg, &input);
+            let h = stats.heap_capacity;
+            check_partition(&runs, &input);
+            let avg = input.len() as f64 / stats.runs as f64;
+            if input.len() >= 8 * h {
+                assert!(
+                    avg >= 1.5 * h as f64,
+                    "{cfg:?}: avg run {avg:.1} < 1.5h = {}",
+                    1.5 * h as f64
+                );
+            }
+            assert!(stats.runs <= input.len().div_ceil(h), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn pinned_run_counts() {
+        // Exact, seed-pinned counts: any behavioral change to the pass
+        // shows up here first.
+        let input = KeyDist::Uniform { seed: 11 }.generate(2000);
+        let pinned = [
+            (AemConfig::new(64, 8, 16).unwrap(), 21usize), // h = 49
+            (AemConfig::aram(8, 4).unwrap(), 126),         // h = 7
+            (AemConfig::new(32, 4, 16).unwrap(), 40),      // h = 25
+            (AemConfig::new(16, 8, 2).unwrap(), 508),      // h = 1
+        ];
+        for (cfg, want) in pinned {
+            let (_, stats, _) = generate(cfg, &input);
+            assert_eq!(stats.runs, want, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn single_pass_cost() {
+        let cfg = AemConfig::new(64, 8, 64).unwrap();
+        let input = KeyDist::Uniform { seed: 5 }.generate(1000);
+        let (runs, stats, cost) = generate(cfg, &input);
+        let nb = cfg.blocks_for(1000) as u64;
+        assert_eq!(cost.reads, nb, "exactly one read pass");
+        let out_blocks: u64 = runs.iter().map(|r| r.len().div_ceil(8) as u64).sum();
+        assert_eq!(cost.writes, out_blocks, "exactly one write per run block");
+        assert_eq!(stats.elems, 1000);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let cfg = AemConfig::new(64, 8, 4).unwrap();
+        let (runs, stats, cost) = generate(cfg, &[]);
+        assert!(runs.is_empty());
+        assert_eq!(stats.runs, 0);
+        assert_eq!(cost, aem_machine::Cost::ZERO);
+        let (runs, _, _) = generate(cfg, &[3, 1, 2]);
+        assert_eq!(runs, vec![vec![1, 2, 3]]);
+    }
+}

@@ -29,6 +29,7 @@ pub mod merge_sort;
 pub mod resident;
 pub mod sample;
 pub mod small;
+pub mod via_pq;
 
 pub use em_sort::em_merge_sort;
 pub use heap::heap_sort;
@@ -37,6 +38,7 @@ pub use merge_sort::{merge_sort, merge_sort_with_fan_in};
 pub use resident::merge_runs_resident;
 pub use sample::distribution_sort;
 pub use small::small_sort;
+pub use via_pq::sort_via_pq;
 
 /// A key type sortable on the AEM machines of this workspace: the machine
 /// needs `Clone` to move copies of atoms, comparisons are free internal

@@ -1,0 +1,178 @@
+//! Sorting through the multiway-buffered priority queue.
+//!
+//! The PQ/sorting equivalence (see `PAPERS.md`) says a priority queue is
+//! exactly as hard as sorting in external memory — so the workspace sorts
+//! with [`crate::pq::BufferedPq`] too, as a *differential partner* for
+//! [`crate::sort::merge_sort()`]: both must produce byte-identical output,
+//! and the queue's cost must stay within a constant factor of the §3
+//! sandwich even though its schedule (buffered batches, LSM-style
+//! cascades, batched refills) is entirely different from the batch
+//! recursion of the mergesort.
+//!
+//! The run is phase-annotated for `aem-obs`: `pq-build` covers the insert
+//! stream (flushes and cascading merges included), `pq-drain` the batched
+//! extraction.
+
+use aem_machine::{AemAccess, Region, Result};
+
+use crate::pq::BufferedPq;
+
+/// Sort `input` by streaming it through a [`BufferedPq`]. Returns the
+/// sorted region. Requires `M ≥ 8B` (the queue's minimum).
+///
+/// # Example
+///
+/// ```
+/// use aem_core::sort::sort_via_pq;
+/// use aem_machine::{AemAccess, AemConfig, Machine};
+///
+/// let cfg = AemConfig::new(64, 8, 16).unwrap();
+/// let mut machine: Machine<u64> = Machine::new(cfg);
+/// let region = machine.install(&[9u64, 1, 8, 2, 7, 3]);
+/// let out = sort_via_pq(&mut machine, region).unwrap();
+/// assert_eq!(machine.inspect(out), vec![1, 2, 3, 7, 8, 9]);
+/// assert_eq!(machine.internal_used(), 0);
+/// ```
+pub fn sort_via_pq<T, A>(machine: &mut A, input: Region) -> Result<Region>
+where
+    T: Ord + Clone,
+    A: AemAccess<T>,
+{
+    let b = machine.cfg().block;
+    let mut pq = BufferedPq::new(machine.cfg())?;
+
+    // Build phase: stream the input in; the queue flushes and merges on
+    // its own schedule.
+    machine.phase_enter("pq-build");
+    for id in input.iter() {
+        let data = machine.read_block(id)?;
+        let len = data.len();
+        for x in data {
+            pq.push(machine, x)?;
+        }
+        // Each push reserved its own slot; release the read charge.
+        machine.discard(len)?;
+    }
+    machine.phase_exit();
+
+    // Drain phase: pops come out charged; writing them out releases.
+    machine.phase_enter("pq-drain");
+    let out = machine.alloc_region(input.elems);
+    let mut out_blk = 0usize;
+    let mut buf: Vec<T> = Vec::with_capacity(b);
+    while let Some(x) = pq.pop(machine)? {
+        buf.push(x);
+        if buf.len() == b {
+            machine.write_block(out.block(out_blk), std::mem::take(&mut buf))?;
+            buf.reserve(b);
+            out_blk += 1;
+        }
+    }
+    if !buf.is_empty() {
+        machine.write_block(out.block(out_blk), buf)?;
+    }
+    machine.phase_exit();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::predict;
+    use aem_machine::{AemConfig, Machine};
+    use aem_workloads::keys::{is_sorted, KeyDist};
+
+    fn sort_with(cfg: AemConfig, input: &[u64]) -> (Vec<u64>, aem_machine::Cost) {
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(input);
+        let out = sort_via_pq(&mut m, r).unwrap();
+        let got = m.inspect(out);
+        assert_eq!(m.internal_used(), 0, "no leaked budget");
+        (got, m.cost())
+    }
+
+    #[test]
+    fn sorts_across_distributions() {
+        let cfg = AemConfig::new(64, 8, 8).unwrap();
+        for dist in [
+            KeyDist::Uniform { seed: 1 },
+            KeyDist::Sorted,
+            KeyDist::Reversed,
+            KeyDist::FewDistinct {
+                distinct: 3,
+                seed: 2,
+            },
+        ] {
+            let input = dist.generate(2000);
+            let (out, _) = sort_with(cfg, &input);
+            let mut want = input;
+            want.sort();
+            assert_eq!(out, want, "{}", dist.label());
+        }
+    }
+
+    #[test]
+    fn byte_identical_to_merge_sort() {
+        let cfg = AemConfig::new(64, 8, 16).unwrap();
+        let input = KeyDist::FewDistinct {
+            distinct: 9,
+            seed: 7,
+        }
+        .generate(3000);
+        let (pq_out, _) = sort_with(cfg, &input);
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(&input);
+        let out = crate::sort::merge_sort(&mut m, r).unwrap();
+        assert_eq!(pq_out, m.inspect(out), "differential partners must agree");
+    }
+
+    #[test]
+    fn measured_cost_within_predictor() {
+        for cfg in [
+            AemConfig::new(64, 8, 8).unwrap(),
+            AemConfig::new(64, 8, 128).unwrap(), // ω > B
+            AemConfig::new(32, 4, 16).unwrap(),
+            AemConfig::aram(64, 16).unwrap(), // B = 1
+        ] {
+            for dist in [
+                KeyDist::Uniform { seed: 3 },
+                KeyDist::Sorted,
+                KeyDist::Reversed,
+            ] {
+                let input = dist.generate(2500);
+                let (out, cost) = sort_with(cfg, &input);
+                assert!(is_sorted(&out));
+                let bound = predict::pq_sort_cost(cfg, input.len());
+                assert!(
+                    cost.reads <= bound.reads && cost.writes <= bound.writes,
+                    "{cfg:?} {}: measured {cost:?} exceeds predicted {bound:?}",
+                    dist.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn high_omega_write_leanness() {
+        let cfg = AemConfig::new(64, 8, 128).unwrap();
+        let input = KeyDist::Uniform { seed: 5 }.generate(4096);
+        let (out, cost) = sort_with(cfg, &input);
+        assert!(is_sorted(&out));
+        assert!(cost.reads > cost.writes, "write-lean like the §3 sorters");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let cfg = AemConfig::new(64, 8, 4).unwrap();
+        assert!(sort_with(cfg, &[]).0.is_empty());
+        assert_eq!(sort_with(cfg, &[2, 1, 3]).0, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_tiny_memory() {
+        let cfg = AemConfig::new(16, 4, 2).unwrap();
+        let mut m: Machine<u64> = Machine::new(cfg);
+        let r = m.install(&[3u64, 1, 2]);
+        assert!(sort_via_pq(&mut m, r).is_err());
+    }
+}

@@ -24,7 +24,8 @@
 use aem_core::bounds::predict;
 use aem_core::oracle;
 use aem_core::permute::{permute_by_sort_on, permute_naive_on, DestTagged};
-use aem_core::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort};
+use aem_core::pq::BufferedPq;
+use aem_core::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort, sort_via_pq};
 use aem_core::spmv::{
     install_instance, reference_multiply, spmv_direct_on, spmv_sorted_on, MatEntry, SpmvInstance,
     U64Ring,
@@ -96,6 +97,14 @@ pub fn all_targets() -> Vec<Target> {
         Target {
             name: "heap_sort",
             check: |c, b| sort_check(c, b, "heap"),
+        },
+        Target {
+            name: "pq_sort",
+            check: |c, b| sort_check(c, b, "pq"),
+        },
+        Target {
+            name: "pq_ops",
+            check: pq_ops_check,
         },
         Target {
             name: "permute_naive",
@@ -186,6 +195,7 @@ fn run_sorter<A: AemAccess<u64>>(algo: &str, m: &mut A, r: Region) -> Result<Reg
         "em" => em_merge_sort(m, r),
         "dist" => distribution_sort(m, r),
         "heap" => heap_sort(m, r),
+        "pq" => sort_via_pq(m, r),
         other => unreachable!("unknown sorter {other}"),
     }
 }
@@ -217,6 +227,77 @@ fn sort_check(case: &FuzzCase, backend: Backend, algo: &str) -> Outcome {
             Ok(()) => Outcome::Pass,
             Err(msg) => Outcome::Fail(format!("{algo}: {msg}")),
         }
+    }, ghost => unreachable!("skipped above"))
+}
+
+/// Interleaved `push`/`pop` schedule differential: the multiway-buffered
+/// queue against `std::collections::BinaryHeap` as the in-memory oracle.
+///
+/// The schedule is a pure function of the case seed (roughly one pop per
+/// three pushes, plus a full drain), so every divergence replays exactly.
+/// Beyond value equality, the target checks the budget contract: after the
+/// drain every internal slot must be released (`internal_used() == 0`).
+fn pq_ops_check(case: &FuzzCase, backend: Backend) -> Outcome {
+    let cfg = match case.cfg() {
+        Ok(cfg) => cfg,
+        Err(e) => return Outcome::Skip(format!("config: {e}")),
+    };
+    if !backend.carries_payload() {
+        return Outcome::Skip("pq_ops: the queue compares keys; ghost backend skipped".into());
+    }
+    let keys = case.keys();
+
+    with_payload_machine!(backend, u64, |M| {
+        let mut m = M::new(cfg);
+        let mut pq = match BufferedPq::new(cfg) {
+            Ok(pq) => pq,
+            Err(e) => return machine_error("pq_ops", e),
+        };
+        let mut reference = std::collections::BinaryHeap::new();
+        let step = |m: &mut M, pq: &mut BufferedPq<u64>, reference: &mut std::collections::BinaryHeap<std::cmp::Reverse<u64>>| -> Result<Option<String>, MachineError> {
+            let got = pq.pop(m)?;
+            if got.is_some() {
+                m.discard(1)?;
+            }
+            let want = reference.pop().map(|std::cmp::Reverse(x)| x);
+            if got != want {
+                return Ok(Some(format!("pop returned {got:?}, oracle says {want:?}")));
+            }
+            Ok(None)
+        };
+        for (i, &x) in keys.iter().enumerate() {
+            if let Err(e) = pq.push(&mut m, x) {
+                return machine_error("pq_ops push", e);
+            }
+            reference.push(std::cmp::Reverse(x));
+            // Seed-derived schedule: pop after roughly every third push.
+            let roll = case
+                .case_seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                >> 33;
+            if roll % 3 == 0 {
+                match step(&mut m, &mut pq, &mut reference) {
+                    Ok(None) => {}
+                    Ok(Some(msg)) => return Outcome::Fail(format!("pq_ops at step {i}: {msg}")),
+                    Err(e) => return machine_error("pq_ops pop", e),
+                }
+            }
+        }
+        while !reference.is_empty() || !pq.is_empty() {
+            match step(&mut m, &mut pq, &mut reference) {
+                Ok(None) => {}
+                Ok(Some(msg)) => return Outcome::Fail(format!("pq_ops drain: {msg}")),
+                Err(e) => return machine_error("pq_ops drain", e),
+            }
+        }
+        if m.internal_used() != 0 {
+            return Outcome::Fail(format!(
+                "pq_ops: queue leaked {} internal slots after drain",
+                m.internal_used()
+            ));
+        }
+        Outcome::Pass
     }, ghost => unreachable!("skipped above"))
 }
 

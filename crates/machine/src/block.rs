@@ -64,6 +64,23 @@ impl Region {
         b.min(self.elems.saturating_sub(before))
     }
 
+    /// The sub-region that skips the first `skip` blocks, given block size
+    /// `b`. The result aliases the same external blocks — no data moves.
+    ///
+    /// Used by the priority queues to hand the *untouched suffix* of a
+    /// partially consumed run to the §3.1 merge: the consumed prefix is
+    /// dropped at block granularity and only the remainder is re-merged.
+    pub fn suffix(&self, skip: usize, b: usize) -> Region {
+        if skip >= self.blocks {
+            return Region::EMPTY;
+        }
+        Region {
+            first: self.first + skip,
+            blocks: self.blocks - skip,
+            elems: self.elems.saturating_sub(skip * b),
+        }
+    }
+
     /// Split the region into `parts` consecutive sub-regions of as equal
     /// element counts as possible, each aligned to block boundaries.
     ///
@@ -219,6 +236,20 @@ mod tests {
         let parts = r.split_blockwise(8, 8);
         assert!(parts.len() <= 2);
         assert_eq!(parts.iter().map(|p| p.elems).sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn suffix_aliases_the_tail() {
+        let r = Region {
+            first: 4,
+            blocks: 3,
+            elems: 20,
+        };
+        let s = r.suffix(1, 8);
+        assert_eq!((s.first, s.blocks, s.elems), (5, 2, 12));
+        assert_eq!(r.suffix(0, 8), r);
+        assert_eq!(r.suffix(3, 8), Region::EMPTY);
+        assert_eq!(r.suffix(7, 8), Region::EMPTY);
     }
 
     #[test]

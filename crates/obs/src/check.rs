@@ -191,6 +191,7 @@ fn upper_bound(rec: &RunRecord) -> Option<Cost> {
     match (rec.workload.kind.as_str(), rec.workload.algo.as_str()) {
         ("sort", "aem") | ("sort", "merge") => Some(predict::merge_sort_cost(cfg, n)),
         ("sort", "em") => Some(predict::em_sort_cost(cfg, n)),
+        ("sort", "pq") => Some(predict::pq_sort_cost(cfg, n)),
         ("permute", "naive") => Some(predict::permute_naive_cost(cfg, n)),
         ("permute", "by_sort") | ("permute", "sort") => Some(predict::permute_by_sort_cost(cfg, n)),
         ("spmv", "direct") => Some(predict::spmv_direct_cost(
@@ -437,6 +438,29 @@ mod tests {
         let out = aem_core::sort::em_merge_sort(&mut im, region).unwrap();
         assert!(im.inner().inspect(out).windows(2).all(|w| w[0] <= w[1]));
         let rec = im.into_record(WorkloadMeta::new("sort", "em", n as u64));
+        for check in run_all(&rec) {
+            assert!(check.passed, "{}: {}", check.name, check.detail);
+        }
+    }
+
+    #[test]
+    fn pq_sort_passes_with_its_own_predictor() {
+        // The buffered-PQ sorter follows the §3 pointer discipline, so all
+        // three checkers — including the sandwich against its own
+        // predictor — must hold on a real run.
+        let cfg = AemConfig::new(64, 8, 16).unwrap();
+        let mut im = InstrumentedMachine::new(Machine::<u64>::new(cfg));
+        let n = 700usize;
+        let input: Vec<u64> = (0..n as u64).rev().collect();
+        let region = im.inner_mut().install(&input);
+        let out = aem_core::sort::sort_via_pq(&mut im, region).unwrap();
+        assert!(im.inner().inspect(out).windows(2).all(|w| w[0] <= w[1]));
+        let rec = im.into_record(WorkloadMeta::new("sort", "pq", n as u64));
+        assert!(
+            rec.phases.iter().any(|p| p.name == "pq-build")
+                && rec.phases.iter().any(|p| p.name == "pq-drain"),
+            "sorter phases are annotated"
+        );
         for check in run_all(&rec) {
             assert!(check.passed, "{}: {}", check.name, check.detail);
         }
