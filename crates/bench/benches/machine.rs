@@ -6,13 +6,16 @@
 //!
 //! `--json PATH` additionally writes the backend comparison (ops/sec per
 //! backend plus the quick-sweep wall time per backend) as a JSON
-//! document; `BENCH_PR4.json` at the repo root is a committed snapshot.
+//! document; `BENCH_PR4.json` and `BENCH_PR6.json` at the repo root are
+//! committed snapshots (PR6 adds the PQ-sort row), and
+//! `cargo run -p aem-bench --bin perf_gate` compares a fresh run against
+//! the newest committed baseline (see README, "Bench baselines").
 
 use std::time::Instant;
 
 use aem_bench::timing::{bench, bench_with_elems, Measurement};
 use aem_core::permute::permute_naive_on;
-use aem_core::sort::merge_sort;
+use aem_core::sort::{merge_sort, sort_via_pq};
 use aem_flash::driver::naive_atom_permutation;
 use aem_flash::verify_lemma_4_3;
 use aem_machine::{
@@ -55,6 +58,22 @@ fn permute_backend(backend: Backend, cfg: AemConfig, n: usize) -> Measurement {
                 permute_naive_on(&mut m, r, &pi).unwrap()
             },
         )
+    })
+}
+
+/// The PQ-backed sorter on one backend. Sound on the ghost store too:
+/// placeholder payloads mean constant keys, and the buffered queue's
+/// merges resolve ties positionally (the T9G experiment runs the same
+/// degenerate workload), so the schedule is well-defined and the cost
+/// is the structural cost of the queue machinery.
+fn pq_sort_backend(backend: Backend, cfg: AemConfig, n: usize) -> Measurement {
+    let input = KeyDist::Uniform { seed: 5 }.generate(n);
+    with_backend_machine!(backend, u64, |M| {
+        bench_with_elems(&format!("pq_sort/{}", backend.name()), n as u64, || {
+            let mut m = M::new(cfg);
+            let r = m.install(&input);
+            sort_via_pq(&mut m, r).unwrap()
+        })
     })
 }
 
@@ -149,6 +168,7 @@ fn main() {
     for backend in Backend::ALL {
         let scan = scan_copy_backend(backend, cfg, &data);
         let perm = permute_backend(backend, cfg, 1 << 13);
+        let pq = pq_sort_backend(backend, cfg, 1 << 13);
         let sweep_secs = quick_sweep_secs(backend);
         println!(
             "{:<44} {:>12.3}s  (full quick grid)",
@@ -165,6 +185,10 @@ fn main() {
                 (
                     "permute_naive_elems_per_sec",
                     json_f64(perm.throughput().unwrap_or(0.0)),
+                ),
+                (
+                    "pq_sort_elems_per_sec",
+                    json_f64(pq.throughput().unwrap_or(0.0)),
                 ),
                 ("quick_sweep_secs", json_f64(sweep_secs)),
             ]),
@@ -197,6 +221,7 @@ fn main() {
                     ("omega", Json::UInt(8)),
                     ("scan_elems", Json::UInt(1 << 13)),
                     ("permute_elems", Json::UInt(1 << 13)),
+                    ("pq_elems", Json::UInt(1 << 13)),
                 ]),
             ),
             ("backends", obj(backend_json)),

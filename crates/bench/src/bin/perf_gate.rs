@@ -1,0 +1,61 @@
+//! `perf_gate` — compare a fresh `machine` bench JSON against the newest
+//! committed `BENCH_PR<k>.json` baseline.
+//!
+//! ```text
+//! cargo bench -p aem-bench --bench machine -- --json BENCH_CI.json
+//! cargo run -p aem-bench --bin perf_gate -- --current BENCH_CI.json
+//! ```
+//!
+//! Report-only by default (prints the verdict table, exits 0); pass
+//! `--strict` to exit nonzero on any regression. `--baseline-dir DIR`
+//! overrides where baselines are searched (default: the working
+//! directory), `--tolerance F` the relative slack (default 0.5).
+
+use std::path::Path;
+
+use aem_bench::perfgate::{run_gate, DEFAULT_TOLERANCE};
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    let eq = format!("{key}=");
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix(&eq) {
+            return Some(v.to_string());
+        }
+        if args[i] == key {
+            return args.get(i + 1).cloned();
+        }
+        i += 1;
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current = arg_value(&args, "--current").unwrap_or_else(|| {
+        eprintln!("perf_gate: --current FILE required (a `--json` bench export)");
+        std::process::exit(2);
+    });
+    let baseline_dir = arg_value(&args, "--baseline-dir").unwrap_or_else(|| ".".to_string());
+    let tolerance = match arg_value(&args, "--tolerance") {
+        None => DEFAULT_TOLERANCE,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("perf_gate: invalid --tolerance '{v}'");
+            std::process::exit(2);
+        }),
+    };
+    let strict = args.iter().any(|a| a == "--strict");
+
+    match run_gate(Path::new(&baseline_dir), Path::new(&current), tolerance) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if strict && !report.regressions().is_empty() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod perfgate;
 pub mod sweep;
 pub mod table;
 pub mod timing;

@@ -11,12 +11,16 @@ fn is_number(tok: &str) -> bool {
     tok.parse::<f64>().is_ok()
 }
 
-/// Parsed arguments: a subcommand plus `--key value` / `--key=value`
+/// Parsed arguments: a subcommand, an optional operand (second
+/// positional, e.g. `profile sort`), plus `--key value` / `--key=value`
 /// options and bare `--flag` switches.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The subcommand (first non-flag token).
     pub command: Option<String>,
+    /// The operand (second non-flag token), for commands like
+    /// `profile <workload>`.
+    pub operand: Option<String>,
     opts: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -58,6 +62,8 @@ impl Args {
                 return Err(format!("unknown option '{tok}' (options use --name)"));
             } else if out.command.is_none() {
                 out.command = Some(tok);
+            } else if out.operand.is_none() {
+                out.operand = Some(tok);
             } else {
                 return Err(format!("unexpected positional argument '{tok}'"));
             }
@@ -145,10 +151,20 @@ mod tests {
 
     #[test]
     fn rejects_stray_positionals_and_empty_options() {
-        assert!(Args::parse(toks("sort extra")).is_err());
+        assert!(Args::parse(toks("sort extra surplus")).is_err());
         assert!(Args::parse(toks("sort --")).is_err());
         assert!(Args::parse(toks("sort --=3")).is_err());
         assert!(Args::parse(toks("sort -v")).is_err());
+    }
+
+    #[test]
+    fn second_positional_is_the_operand() {
+        let a = Args::parse(toks("profile sort --backend vec")).unwrap();
+        assert_eq!(a.command.as_deref(), Some("profile"));
+        assert_eq!(a.operand.as_deref(), Some("sort"));
+        assert_eq!(a.get("backend"), Some("vec"));
+        let b = Args::parse(toks("sort --n 8")).unwrap();
+        assert_eq!(b.operand, None);
     }
 
     #[test]

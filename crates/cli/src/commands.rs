@@ -16,9 +16,12 @@ use aem_core::spmv::{
 use aem_flash::driver::naive_atom_permutation;
 use aem_flash::verify_lemma_4_3;
 use aem_fuzz::{DistKind, FuzzCase, FuzzOptions};
-use aem_machine::{AemAccess, AemConfig, Cost, Machine};
+use aem_machine::{
+    with_backend_machine, with_payload_machine, AemAccess, AemConfig, Backend, Cost, Machine,
+};
 use aem_obs::{
-    render_markdown, render_text, run_all, InstrumentedMachine, RunRecord, WorkloadMeta,
+    render_markdown, render_text, run_all, tail_from_record, InstrumentedMachine, Profile,
+    RunRecord, WorkloadMeta,
 };
 use aem_workloads::{perm, Conformation, KeyDist, MatrixShape, PermKind};
 
@@ -709,7 +712,10 @@ pub fn cmd_fuzz(args: &Args) -> Result<String, String> {
 }
 
 /// `aemsim report` — load a JSONL run record, re-check the paper
-/// invariants, and render the phase-attributed cost report.
+/// invariants, and render the phase-attributed cost report. Exits
+/// nonzero (an `Err`) when any paper-invariant checker fails, naming the
+/// failing checker and attaching the I/O tail, so the command is usable
+/// as a CI gate over exported traces.
 pub fn cmd_report(args: &Args) -> Result<String, String> {
     let path = args
         .get("in")
@@ -717,11 +723,218 @@ pub fn cmd_report(args: &Args) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let rec = RunRecord::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
     let checks = run_all(&rec);
-    match args.get("format").unwrap_or("text") {
-        "text" => Ok(render_text(&rec, &checks)),
-        "md" | "markdown" => Ok(render_markdown(&rec, &checks)),
-        other => Err(format!("unknown --format '{other}' (text|md)")),
+    let rendered = match args.get("format").unwrap_or("text") {
+        "text" => render_text(&rec, &checks),
+        "md" | "markdown" => render_markdown(&rec, &checks),
+        other => return Err(format!("unknown --format '{other}' (text|md)")),
+    };
+    if let Some(bad) = checks.iter().find(|c| !c.passed) {
+        return Err(format!(
+            "{rendered}\npaper-invariant checker FAILED: {} — {}\n{}",
+            bad.name,
+            bad.detail,
+            tail_from_record(&rec, aem_obs::DEFAULT_FLIGHT_CAPACITY),
+        ));
     }
+    Ok(rendered)
+}
+
+/// Build the instrumented run record — plus the live flight-recorder
+/// tail, which only exists machine-side — for one `profile` workload on
+/// one backend.
+fn profile_record(
+    workload: &str,
+    backend: Backend,
+    args: &Args,
+) -> Result<(RunRecord, String), String> {
+    let cfg = machine_config(args)?;
+    let seed = args.get_or("seed", 1u64)?;
+    match workload {
+        // `profile pq` is shorthand for the PQ-backed sorter; both land
+        // on the ("sort", algo) predictors the residual gauge knows.
+        "sort" | "pq" => {
+            let n = args.get_or("n", 8192usize)?;
+            let algo = if workload == "pq" {
+                "pq"
+            } else {
+                args.get("algo").unwrap_or("aem")
+            };
+            let input = key_dist(args, seed)?.generate(n);
+            with_backend_machine!(backend, u64, |M| {
+                let mut im = InstrumentedMachine::new(M::new(cfg));
+                im.flight_mut()
+                    .set_label(&format!("sort/{algo} n={n} backend={}", backend.name()));
+                let r = im.inner_mut().install(&input);
+                let sorted = match algo {
+                    "aem" => merge_sort(&mut im, r),
+                    "em" => em_merge_sort(&mut im, r),
+                    "dist" => distribution_sort(&mut im, r),
+                    "heap" => heap_sort(&mut im, r),
+                    "pq" => sort_via_pq(&mut im, r),
+                    other => return Err(format!("unknown --algo '{other}' (aem|em|dist|heap|pq)")),
+                }
+                .map_err(|e| e.to_string())?;
+                // Ghost payloads are placeholders (constant keys): the
+                // schedule and cost are real, the values are not.
+                if backend.carries_payload() {
+                    let got = im.inner().inspect(sorted);
+                    if !got.windows(2).all(|w| w[0] <= w[1]) || got.len() != n {
+                        return Err(format!("{algo}: output verification failed"));
+                    }
+                }
+                let flight = im.flight().to_jsonl();
+                Ok((
+                    im.into_record(WorkloadMeta::new("sort", algo, n as u64)),
+                    flight,
+                ))
+            })
+        }
+        "permute" => {
+            let n = args.get_or("n", 8192usize)?;
+            let kind = perm_kind(args, n, seed)?;
+            let pi = kind.generate(n);
+            let values: Vec<u64> = (0..n as u64).collect();
+            let want = perm::apply(&pi, &values);
+            let tagged: Vec<DestTagged<u64>> = values
+                .iter()
+                .zip(pi.iter())
+                .map(|(v, &d)| DestTagged {
+                    dest: d as u64,
+                    value: *v,
+                })
+                .collect();
+            with_payload_machine!(backend, DestTagged<u64>, |M| {
+                let mut im = InstrumentedMachine::new(M::new(cfg));
+                im.flight_mut()
+                    .set_label(&format!("permute/by_sort n={n} backend={}", backend.name()));
+                let input = im.inner_mut().install(&tagged);
+                let outr = permute_by_sort_on(&mut im, input).map_err(|e| e.to_string())?;
+                let got: Vec<u64> = im
+                    .inner()
+                    .inspect(outr)
+                    .into_iter()
+                    .map(|t| t.value)
+                    .collect();
+                if got != want {
+                    return Err("by_sort: verification failed".into());
+                }
+                let flight = im.flight().to_jsonl();
+                Ok((
+                    im.into_record(WorkloadMeta::new("permute", "by_sort", n as u64)),
+                    flight,
+                ))
+            }, ghost => Err("profile permute routes on destination tags; use --backend vec|arena".into()))
+        }
+        "spmv" => {
+            let n = args.get_or("n", 1024usize)?;
+            let delta = args.get_or("delta", 4usize)?;
+            let algo = args.get("algo").unwrap_or("sorted");
+            let conf = Conformation::generate(MatrixShape::Random { seed }, n, delta);
+            let a: Vec<U64Ring> = (0..conf.nnz())
+                .map(|i| U64Ring((i as u64 * 37 + 1) % 97))
+                .collect();
+            let x: Vec<U64Ring> = (0..n).map(|j| U64Ring((j as u64 * 13 + 5) % 89)).collect();
+            let want = reference_multiply(&conf, &a, &x);
+            let inst = SpmvInstance {
+                conf: &conf,
+                a_vals: &a,
+                x: &x,
+            };
+            with_payload_machine!(backend, MatEntry<U64Ring>, |M| {
+                let mut im = InstrumentedMachine::new(M::new(cfg));
+                im.flight_mut()
+                    .set_label(&format!("spmv/{algo} n={n} backend={}", backend.name()));
+                let (ar, xr) = install_instance(im.inner_mut(), &inst);
+                let y = match algo {
+                    "sorted" => spmv_sorted_on(&mut im, &conf, ar, xr),
+                    "direct" => spmv_direct_on(&mut im, &conf, ar, xr),
+                    other => return Err(format!("unknown --algo '{other}' (sorted|direct)")),
+                }
+                .map_err(|e| e.to_string())?;
+                let got: Vec<U64Ring> =
+                    im.inner().inspect(y).into_iter().map(|e| e.val).collect();
+                if got != want {
+                    return Err(format!("{algo}: verification failed"));
+                }
+                let flight = im.flight().to_jsonl();
+                Ok((
+                    im.into_record(WorkloadMeta::with_delta("spmv", algo, n as u64, delta as u64)),
+                    flight,
+                ))
+            }, ghost => Err("profile spmv moves semiring atoms; use --backend vec|arena".into()))
+        }
+        other => Err(format!(
+            "unknown profile workload '{other}' (sort|permute|spmv|pq)"
+        )),
+    }
+}
+
+/// `aemsim profile <workload>` — run a workload on an instrumented
+/// machine and write its cost-attribution profile: folded stacks
+/// (flamegraph input), the per-block access heatmap, a Prometheus-style
+/// text exposition, and the flight-recorder tail. The summary printed to
+/// stdout carries the predictor-residual gauges and the heatmap.
+pub fn cmd_profile(args: &Args) -> Result<String, String> {
+    let workload = args.operand.as_deref().ok_or(
+        "profile requires a workload operand: aemsim profile sort|permute|spmv|pq [--backend ...]",
+    )?;
+    let backend = parse_backend(args)?;
+    let cfg = machine_config(args)?;
+    let (rec, flight_jsonl) = profile_record(workload, backend, args)?;
+    let profile = Profile::build(&rec, &[("backend", backend.name())]);
+
+    let prefix = args.get("out").unwrap_or("aemsim-profile");
+    for (suffix, content) in [
+        (".folded", profile.folded.as_str()),
+        (".prom", profile.prometheus.as_str()),
+        (".flight.jsonl", flight_jsonl.as_str()),
+    ] {
+        let path = format!("{prefix}{suffix}");
+        std::fs::write(&path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let heat_text = profile.heatmap.render();
+    let heat_path = format!("{prefix}.heatmap.txt");
+    std::fs::write(&heat_path, &heat_text).map_err(|e| format!("cannot write {heat_path}: {e}"))?;
+
+    let cost = rec.trace.cost();
+    let mut out = format!(
+        "machine: {cfg}\nworkload: {}/{} N={} backend={}\n\nQ = {} ({} reads, {} writes)\n",
+        rec.workload.kind,
+        rec.workload.algo,
+        rec.workload.n,
+        backend.name(),
+        rec.q(),
+        cost.reads,
+        cost.writes,
+    );
+    if profile.residuals.is_empty() {
+        out.push_str("\npredictor residuals: no closed-form predictor for this workload\n");
+    } else {
+        out.push_str("\npredictor residuals (measured / predicted Q):\n");
+        for r in &profile.residuals {
+            out.push_str(&format!(
+                "  {:<16} {:>6.3}  ({} / {})\n",
+                r.scope,
+                r.ratio(),
+                r.measured_q,
+                r.predicted_q
+            ));
+        }
+    }
+    out.push('\n');
+    out.push_str(&heat_text);
+    out.push_str(&format!(
+        "\nprofile artifacts (ω-weighted cost attribution):\n  {prefix}.folded        folded stacks, {} frames (flamegraph.pl/inferno input)\n  {prefix}.heatmap.txt   the heatmap above\n  {prefix}.prom          Prometheus text exposition, {} samples\n  {prefix}.flight.jsonl  flight-recorder tail, last {} of {} I/O events\n",
+        profile.folded.lines().count(),
+        profile
+            .prometheus
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .count(),
+        flight_jsonl.lines().count(),
+        rec.trace.len(),
+    ));
+    Ok(out)
 }
 
 /// Usage text. The fuzz-target and backend lists are enumerated from the
@@ -755,6 +968,15 @@ COMMANDS
   trace     record + analyze   --n --algo aem|em|dist|heap|pq
   lemma43   flash reduction    --n
   report    render a trace     --in FILE [--format text|md]
+                               (exits nonzero if a paper-invariant
+                               checker fails, with the I/O tail)
+  profile   cost attribution   <workload> = sort|permute|spmv|pq
+                               [--backend {backends} --out PREFIX
+                                --n --algo --dist --kind --delta]
+                               writes PREFIX.folded (flamegraph input),
+                               PREFIX.heatmap.txt, PREFIX.prom,
+                               PREFIX.flight.jsonl; prints predictor
+                               residuals + the per-block heatmap
   exp       run experiments    [--quick --jobs N --cache FILE --fresh
                                 --only IDS --stats --backend {backends}]
                                (parallel sweep engine; --cache resumes
@@ -802,6 +1024,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("trace") => cmd_trace(args),
         Some("lemma43") => cmd_lemma43(args),
         Some("report") => cmd_report(args),
+        Some("profile") => cmd_profile(args),
         Some("exp") => cmd_exp(args),
         Some("fuzz") => cmd_fuzz(args),
         Some(other) => Err(format!("unknown command '{other}'\n\n{}", usage())),
@@ -1078,6 +1301,84 @@ mod tests {
         let rec = RunRecord::from_jsonl(&text).unwrap();
         assert_eq!(rec.workload.algo, "heap");
         assert!(rec.phases.iter().any(|ph| ph.name == "pq-extract"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profile_sort_writes_artifacts_per_backend() {
+        for b in aem_machine::Backend::ALL {
+            let prefix = tmp_path(&format!("prof-{}", b.name()));
+            let p = prefix.to_str().unwrap();
+            let out = run(&format!(
+                "profile sort --n 2048 --mem 64 --block 8 --omega 16 --backend {} --out {p}",
+                b.name()
+            ))
+            .unwrap();
+            assert!(out.contains("predictor residuals"), "{out}");
+            assert!(out.contains("run"), "{out}");
+            assert!(out.contains("per-block heatmap"), "{out}");
+            let folded = std::fs::read_to_string(format!("{p}.folded")).unwrap();
+            assert!(folded.contains("sort/aem;"), "{folded}");
+            assert!(
+                folded.contains(";read ") || folded.contains(";write "),
+                "{folded}"
+            );
+            let prom = std::fs::read_to_string(format!("{p}.prom")).unwrap();
+            assert!(prom.contains("# TYPE aem_run_q gauge"), "{prom}");
+            assert!(
+                prom.contains(&format!("backend=\"{}\"", b.name())),
+                "{prom}"
+            );
+            let flight = std::fs::read_to_string(format!("{p}.flight.jsonl")).unwrap();
+            assert!(flight.lines().count() <= aem_obs::DEFAULT_FLIGHT_CAPACITY);
+            assert!(flight.contains("\"t\":\"flight\""), "{flight}");
+            assert!(std::fs::read_to_string(format!("{p}.heatmap.txt"))
+                .unwrap()
+                .contains("reads  |"));
+            for suffix in [".folded", ".heatmap.txt", ".prom", ".flight.jsonl"] {
+                std::fs::remove_file(format!("{p}{suffix}")).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn profile_other_workloads_and_ghost_rejection() {
+        let prefix = tmp_path("prof-misc");
+        let p = prefix.to_str().unwrap();
+        for w in ["pq", "permute", "spmv"] {
+            let out = run(&format!("profile {w} --n 512 --mem 64 --block 8 --out {p}")).unwrap();
+            assert!(out.contains("profile artifacts"), "{w}: {out}");
+        }
+        for suffix in [".folded", ".heatmap.txt", ".prom", ".flight.jsonl"] {
+            std::fs::remove_file(format!("{p}{suffix}")).ok();
+        }
+        // Payload-dependent workloads refuse the cost-only backend.
+        assert!(run("profile permute --n 512 --mem 64 --block 8 --backend ghost").is_err());
+        assert!(run("profile spmv --n 128 --mem 64 --block 8 --backend ghost").is_err());
+        // Missing/unknown operand.
+        assert!(run("profile").is_err());
+        assert!(run("profile bogus --n 64 --mem 64 --block 8").is_err());
+    }
+
+    #[test]
+    fn report_fails_nonzero_on_checker_violation() {
+        let path = tmp_path("tampered.jsonl");
+        let p = path.to_str().unwrap();
+        run(&format!(
+            "sort --n 2048 --mem 64 --block 8 --algo aem --trace-out {p}"
+        ))
+        .unwrap();
+        // Shrink the recorded workload size: the Thm 3.2 predictor upper
+        // bound for N=64 is far below the measured N=2048 cost, so the
+        // cost-sandwich checker must fail.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("\"n\":2048", "\"n\":64");
+        assert_ne!(text, tampered, "workload line not found to tamper");
+        std::fs::write(&path, tampered).unwrap();
+        let err = run(&format!("report --in {p}")).unwrap_err();
+        assert!(err.contains("paper-invariant checker FAILED"), "{err}");
+        assert!(err.contains("cost-sandwich"), "{err}");
+        assert!(err.contains("flight recorder"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -47,12 +47,20 @@ pub fn merge_cost(cfg: AemConfig, total: usize, k: usize) -> Cost {
     Cost { reads, writes }
 }
 
-/// Predicted worst-case cost of the §3 mergesort
-/// ([`crate::sort::merge_sort()`]) at the given fan-in (pass
-/// `cfg.fan_in()` for the paper's `d = ωm`).
-pub fn merge_sort_cost_with_fan_in(cfg: AemConfig, n_elems: usize, fan_in: usize) -> Cost {
+/// Per-phase decomposition of [`merge_sort_cost_with_fan_in`]: one
+/// `(phase name, predicted cost)` entry per phase the §3 mergesort
+/// annotates — `"small-sort"` alone below the base-run threshold,
+/// otherwise `"base-runs"` plus one `"merge-level-L"` per merge level.
+/// Summing the entries gives the closed-form total; the observability
+/// profile layer divides measured per-phase cost by these entries to
+/// produce per-phase predictor residuals (Theorem 3.2, level by level).
+pub fn merge_sort_cost_phases(
+    cfg: AemConfig,
+    n_elems: usize,
+    fan_in: usize,
+) -> Vec<(String, Cost)> {
     if n_elems == 0 {
-        return Cost::ZERO;
+        return Vec::new();
     }
     let d = fan_in.clamp(2, cfg.fan_in());
     let omega = usize::try_from(cfg.omega).unwrap_or(usize::MAX);
@@ -62,21 +70,36 @@ pub fn merge_sort_cost_with_fan_in(cfg: AemConfig, n_elems: usize, fan_in: usize
         .saturating_mul(cfg.block);
 
     if n_elems <= base {
-        return small_sort_cost(cfg, n_elems);
+        return vec![("small-sort".to_string(), small_sort_cost(cfg, n_elems))];
     }
     let mut runs = n_elems.div_ceil(base);
-    let mut cost = Cost::ZERO;
     // Base level: `runs` small sorts of ≈ base elements (the last smaller;
     // upper-bound with full size). Closed-form scaling keeps the predictor
     // O(log N) even at N ~ 2^40, where per-run loops would crawl.
     let per_run = small_sort_cost(cfg, base.min(n_elems));
-    cost += scale(per_run, runs as u64);
-    // Merge levels.
+    let mut phases = vec![("base-runs".to_string(), scale(per_run, runs as u64))];
+    // Merge levels, numbered from 1 like the implementation's spans.
+    let mut level = 1usize;
     while runs > 1 {
         let groups = runs.div_ceil(d);
         let per_group = n_elems.div_ceil(groups);
-        cost += scale(merge_cost(cfg, per_group, d.min(runs)), groups as u64);
+        phases.push((
+            format!("merge-level-{level}"),
+            scale(merge_cost(cfg, per_group, d.min(runs)), groups as u64),
+        ));
         runs = groups;
+        level += 1;
+    }
+    phases
+}
+
+/// Predicted worst-case cost of the §3 mergesort
+/// ([`crate::sort::merge_sort()`]) at the given fan-in (pass
+/// `cfg.fan_in()` for the paper's `d = ωm`).
+pub fn merge_sort_cost_with_fan_in(cfg: AemConfig, n_elems: usize, fan_in: usize) -> Cost {
+    let mut cost = Cost::ZERO;
+    for (_, c) in merge_sort_cost_phases(cfg, n_elems, fan_in) {
+        cost += c;
     }
     cost
 }

@@ -31,6 +31,7 @@ pub const READ_BUDGET: u64 = 1_000_000;
 pub struct OffByOneMachine<A> {
     inner: A,
     stride: u64,
+    budget: u64,
     reads_seen: u64,
     /// Number of reads actually redirected.
     pub faults_injected: u64,
@@ -39,9 +40,18 @@ pub struct OffByOneMachine<A> {
 impl<A> OffByOneMachine<A> {
     /// Wrap `inner`, redirecting every `stride`-th data read (`stride ≥ 1`).
     pub fn new(inner: A, stride: u64) -> Self {
+        Self::with_read_budget(inner, stride, READ_BUDGET)
+    }
+
+    /// Like [`OffByOneMachine::new`] but with an explicit read budget —
+    /// tests that want a deterministic mid-phase panic (the flight
+    /// recorder's dump-on-panic test) set a budget far below
+    /// [`READ_BUDGET`].
+    pub fn with_read_budget(inner: A, stride: u64, budget: u64) -> Self {
         OffByOneMachine {
             inner,
             stride: stride.max(1),
+            budget: budget.max(1),
             reads_seen: 0,
             faults_injected: 0,
         }
@@ -66,9 +76,10 @@ impl<T, A: AemAccess<T>> AemAccess<T> for OffByOneMachine<A> {
     fn read_block(&mut self, id: BlockId) -> Result<Vec<T>> {
         self.reads_seen += 1;
         assert!(
-            self.reads_seen <= READ_BUDGET,
-            "OffByOneMachine: read budget exhausted ({READ_BUDGET} reads) — \
-             the injected corruption livelocked the algorithm"
+            self.reads_seen <= self.budget,
+            "OffByOneMachine: read budget exhausted ({} reads) — \
+             the injected corruption livelocked the algorithm",
+            self.budget
         );
         if self.reads_seen % self.stride == 0 {
             if let Ok(data) = self.inner.read_block(BlockId(id.0 + 1)) {

@@ -37,7 +37,7 @@ use aem_machine::{
     with_backend_machine, with_payload_machine, AemAccess, AemConfig, Backend, Cost, MachineError,
     Region,
 };
-use aem_obs::{first_failure, InstrumentedMachine, RunRecord, WorkloadMeta};
+use aem_obs::{first_failure, tail_from_record, InstrumentedMachine, RunRecord, WorkloadMeta};
 use aem_workloads::{Conformation, MatrixShape, PermKind};
 
 use crate::case::FuzzCase;
@@ -220,12 +220,20 @@ fn sort_check(case: &FuzzCase, backend: Backend, algo: &str) -> Outcome {
         };
         let got = im.inner().inspect(out);
         if got != want {
-            return Outcome::Fail(differential_message(algo, &got, &want));
+            // The live flight recorder still has the tail (with phases).
+            return Outcome::Fail(format!(
+                "{}\n{}",
+                differential_message(algo, &got, &want),
+                im.flight().render()
+            ));
         }
         let rec = im.into_record(WorkloadMeta::new("sort", algo, case.n as u64));
         match record_invariants(&rec) {
             Ok(()) => Outcome::Pass,
-            Err(msg) => Outcome::Fail(format!("{algo}: {msg}")),
+            Err(msg) => Outcome::Fail(format!(
+                "{algo}: {msg}\n{}",
+                tail_from_record(&rec, 16)
+            )),
         }
     }, ghost => unreachable!("skipped above"))
 }

@@ -185,7 +185,9 @@ pub fn check_round_structure(rec: &RunRecord) -> CheckResult {
 ///
 /// Returns `None` for algorithms without a predictor (distribution sort,
 /// heap sort, …) — the sandwich check then verifies the lower bound only.
-fn upper_bound(rec: &RunRecord) -> Option<Cost> {
+/// Also the basis of the profile layer's predictor-residual gauges
+/// (measured ÷ predicted per run, [`crate::profile`]).
+pub fn predicted_cost(rec: &RunRecord) -> Option<Cost> {
     let cfg = rec.config;
     let n = rec.workload.n as usize;
     match (rec.workload.kind.as_str(), rec.workload.algo.as_str()) {
@@ -247,7 +249,7 @@ pub fn check_cost_sandwich(rec: &RunRecord) -> CheckResult {
         )),
     }
 
-    match upper_bound(rec) {
+    match predicted_cost(rec) {
         Some(ub) => {
             let ub_q = ub.q(rec.config.omega) as f64;
             if q > ub_q {

@@ -27,6 +27,7 @@ use std::marker::PhantomData;
 use aem_machine::error::Result;
 use aem_machine::{AemAccess, AemConfig, BlockId, Cost, IoEvent, Region, Trace};
 
+use crate::flight::FlightRecorder;
 use crate::metrics::Metrics;
 use crate::observer::Observer;
 use crate::phase::PhaseStack;
@@ -99,6 +100,7 @@ pub struct InstrumentedMachine<T, A: AemAccess<T>> {
     metrics: Metrics,
     read_counts: HashMap<(bool, usize), u64>,
     observers: Vec<Box<dyn Observer>>,
+    flight: FlightRecorder,
     _elem: PhantomData<fn() -> T>,
 }
 
@@ -118,8 +120,21 @@ impl<T, A: AemAccess<T>> InstrumentedMachine<T, A> {
             metrics,
             read_counts: HashMap::new(),
             observers: Vec::new(),
+            flight: FlightRecorder::default(),
             _elem: PhantomData,
         }
+    }
+
+    /// The flight recorder: the bounded tail of recent I/O events, dumped
+    /// automatically if the run panics (see [`crate::flight`]).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The flight recorder, mutable — for setting capacity, label or a
+    /// panic sink before the run.
+    pub fn flight_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flight
     }
 
     /// Attach an observer; it receives callbacks for all subsequent
@@ -205,6 +220,19 @@ impl<T, A: AemAccess<T>> InstrumentedMachine<T, A> {
     fn observe_event(&mut self, ev: IoEvent) {
         let iu = self.inner.internal_used() as u64;
         let len = ev.len() as u64;
+        let omega = self.inner.cfg().omega;
+        self.flight.record(
+            self.trace.len() as u64,
+            ev.is_write(),
+            ev.block().index(),
+            ev.len(),
+            matches!(
+                ev,
+                IoEvent::Read { aux: true, .. } | IoEvent::Write { aux: true, .. }
+            ),
+            self.phases.current_name(),
+            if ev.is_write() { omega } else { 1 },
+        );
         let (is_write, aux) = match ev {
             IoEvent::Read { block, aux, .. } => {
                 self.metrics
@@ -468,6 +496,29 @@ mod tests {
         let text = rec.to_jsonl();
         let back = RunRecord::from_jsonl(&text).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn flight_recorder_tracks_phase_and_cost_delta() {
+        let mut im = InstrumentedMachine::new(Machine::<u32>::new(cfg()));
+        im.flight_mut().set_capacity(2);
+        let r = im.inner_mut().install(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        im.enter("copy");
+        let d = im.read_block(r.block(0)).unwrap();
+        im.write_block(r.block(1), d).unwrap();
+        let d = im.read_block(r.block(1)).unwrap();
+        im.discard(d.len()).unwrap();
+        im.exit();
+        // Capacity 2: only the write and the second read survive.
+        let evs: Vec<_> = im.flight().events().cloned().collect();
+        assert_eq!(im.flight().seen(), 3);
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].write);
+        assert_eq!(evs[0].q_delta, cfg().omega);
+        assert_eq!(evs[0].phase, "copy");
+        assert!(!evs[1].write);
+        assert_eq!(evs[1].q_delta, 1);
+        assert_eq!(evs[1].seq, 2);
     }
 
     #[test]

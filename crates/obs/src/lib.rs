@@ -36,22 +36,26 @@
 
 pub mod check;
 pub mod error;
+pub mod flight;
 pub mod instrument;
 pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod phase;
+pub mod profile;
 pub mod record;
 pub mod report;
 
 pub use check::{
-    check_cost_sandwich, check_pointer_rewrites, check_round_structure, first_failure, run_all,
-    CheckResult,
+    check_cost_sandwich, check_pointer_rewrites, check_round_structure, first_failure,
+    predicted_cost, run_all, CheckResult,
 };
 pub use error::ObsError;
+pub use flight::{tail_from_record, FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use instrument::InstrumentedMachine;
 pub use metrics::{Gauge, Histogram, Metrics};
 pub use observer::Observer;
 pub use phase::{node_depth, PhaseNode, PhaseStack};
+pub use profile::{Heatmap, Profile, Residual};
 pub use record::{RunRecord, WorkloadMeta, FORMAT_VERSION};
 pub use report::{render_markdown, render_text};

@@ -140,6 +140,11 @@ impl PhaseStack {
         self.open.len()
     }
 
+    /// Name of the innermost open span, if any.
+    pub fn current_name(&self) -> Option<&str> {
+        self.open.last().map(|s| self.nodes[s.node].name.as_str())
+    }
+
     /// Close any spans still open (algorithms that early-return may leave
     /// spans unbalanced) and return the finished tree in creation order —
     /// parents always precede children.

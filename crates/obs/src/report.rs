@@ -87,18 +87,29 @@ fn summary_lines(rec: &RunRecord) -> Vec<String> {
     lines
 }
 
+/// Render one histogram as `name: n=.. mean=.. max=.. [buckets]`,
+/// normalized against the metrics.rs layout (`counts.len() ==
+/// bounds.len() + 1`, final entry = overflow): zero buckets are elided,
+/// the overflow count is read from its own slot — never re-read from the
+/// last bounded bucket when a foreign record ships short `counts` — and
+/// a histogram with no bounds labels its single catch-all bucket `all`
+/// rather than the misleading `>0`.
 fn histogram_line(name: &str, h: &crate::metrics::Histogram) -> String {
-    let buckets: Vec<String> = h
+    let mut buckets: Vec<String> = h
         .bounds
         .iter()
         .zip(&h.counts)
+        .filter(|&(_, &c)| c > 0)
         .map(|(b, c)| format!("<={b}:{c}"))
-        .chain(std::iter::once(format!(
-            ">{}:{}",
-            h.bounds.last().copied().unwrap_or(0),
-            h.counts.last().copied().unwrap_or(0)
-        )))
         .collect();
+    match (h.bounds.last(), h.counts.get(h.bounds.len())) {
+        (Some(last), Some(&over)) if over > 0 => buckets.push(format!(">{last}:{over}")),
+        (None, Some(&over)) if over > 0 => buckets.push(format!("all:{over}")),
+        _ => {}
+    }
+    if buckets.is_empty() {
+        buckets.push("empty".into());
+    }
     format!(
         "{name}: n={} mean={:.2} max={} [{}]",
         h.count,
@@ -263,6 +274,48 @@ mod tests {
         assert!(md.starts_with("# AEM run report"));
         assert!(md.contains("| phase | Q |"));
         assert!(md.contains("✅ **cost-sandwich**"));
+    }
+
+    #[test]
+    fn histogram_line_golden() {
+        use crate::metrics::Histogram;
+        // Normal shape: zero buckets elided, overflow from its own slot.
+        let mut h = Histogram::new(vec![1, 4, 16]);
+        for s in [0u64, 1, 5, 9, 1000] {
+            h.observe(s);
+        }
+        assert_eq!(
+            histogram_line("occ", &h),
+            "occ: n=5 mean=203.00 max=1000 [<=1:2 <=16:2 >16:1]"
+        );
+        // No bounds: everything lands in the catch-all bucket, which must
+        // not be labeled ">0" (a 0-valued sample lands there too).
+        let mut all = Histogram::new(vec![]);
+        all.observe(0);
+        all.observe(7);
+        assert_eq!(
+            histogram_line("free", &all),
+            "free: n=2 mean=3.50 max=7 [all:2]"
+        );
+        // No samples at all.
+        let empty = Histogram::new(vec![8, 64]);
+        assert_eq!(
+            histogram_line("idle", &empty),
+            "idle: n=0 mean=0.00 max=0 [empty]"
+        );
+        // A foreign record with a short `counts` (no overflow slot): the
+        // last bounded count must not be re-printed as overflow.
+        let short = Histogram {
+            bounds: vec![8],
+            counts: vec![2],
+            count: 2,
+            sum: 6,
+            max: 5,
+        };
+        assert_eq!(
+            histogram_line("short", &short),
+            "short: n=2 mean=3.00 max=5 [<=8:2]"
+        );
     }
 
     #[test]
