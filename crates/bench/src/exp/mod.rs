@@ -85,6 +85,13 @@ mod tests {
             .collect();
         // The payload-carrying backends run the identical experiment set.
         assert_eq!(vec_ids, arena_ids);
+        // The trace backend records vec-semantics runs, so it gets exactly
+        // the vec sweep set.
+        let trace_ids: Vec<String> = all_sweeps(true, Backend::Trace)
+            .iter()
+            .map(|s| s.id.clone())
+            .collect();
+        assert_eq!(vec_ids, trace_ids);
         // Ghost runs a strict subset of the shared grid plus its exclusive
         // frontier sweep T5X.
         for s in all_sweeps(true, Backend::Ghost) {

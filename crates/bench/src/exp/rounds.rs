@@ -109,7 +109,11 @@ fn both<G: Algo>(
     algo: &G,
 ) -> (u64, u64, u64, bool) {
     match backend {
-        Backend::Vec => both_on::<G, VecStore<u64>, VecStore<u64>>(cfg, input, algo),
+        // The trace backend wraps vec-semantics storage, so the round
+        // sweeps run it on the same store pair as vec.
+        Backend::Vec | Backend::Trace => {
+            both_on::<G, VecStore<u64>, VecStore<u64>>(cfg, input, algo)
+        }
         Backend::Arena => both_on::<G, ArenaStore<u64>, ArenaStore<u64>>(cfg, input, algo),
         Backend::Ghost => unreachable!("round sweeps are not built for ghost"),
     }
@@ -153,7 +157,9 @@ fn both_permute(
     n: usize,
 ) -> (u64, u64, u64, bool) {
     match backend {
-        Backend::Vec => both_permute_on::<VecStore<DestTagged<u64>>, VecStore<u64>>(cfg, input, n),
+        Backend::Vec | Backend::Trace => {
+            both_permute_on::<VecStore<DestTagged<u64>>, VecStore<u64>>(cfg, input, n)
+        }
         Backend::Arena => {
             both_permute_on::<ArenaStore<DestTagged<u64>>, ArenaStore<u64>>(cfg, input, n)
         }

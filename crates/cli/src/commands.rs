@@ -574,7 +574,7 @@ pub fn cmd_pq(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// Parse the `--backend {vec,arena,ghost}` option (default: vec).
+/// Parse the `--backend {vec,arena,ghost,trace}` option (default: vec).
 fn parse_backend(args: &Args) -> Result<aem_machine::Backend, String> {
     match args.get("backend") {
         None => Ok(aem_machine::Backend::Vec),

@@ -11,7 +11,6 @@
 //! `Ω(min{N, ω n log_{ωm} n})`; experiment F2 maps where it wins.
 
 use aem_machine::{AemAccess, Machine, MachineError, Region, Result};
-use aem_workloads::perm;
 
 use super::PermuteRun;
 
@@ -33,37 +32,67 @@ where
     if input.elems == 0 {
         return Ok(out);
     }
-    // inv[p] = source position of output position p. Deriving it is part of
-    // the program's structure (free), not data movement.
-    let inv = perm::invert(pi);
+    // inv[p] = source *address* (block, offset) of output position p,
+    // built by walking input positions in order so no per-element
+    // division survives into the gather loop. Deriving it is part of the
+    // program's structure (free), not data movement.
+    let inv = {
+        let mut inv = vec![(0usize, 0usize); pi.len()];
+        let (mut sb, mut off) = (0usize, 0usize);
+        for &p in pi {
+            inv[p] = (sb, off);
+            off += 1;
+            if off == b {
+                sb += 1;
+                off = 0;
+            }
+        }
+        inv
+    };
 
     // One reusable gather buffer for the currently loaded source block —
-    // reloads go through `read_block_into`, so the hot loop allocates no
-    // per-I/O `Vec` on buffer-reusing backends.
-    let mut cur_block: Option<usize> = None;
+    // reloads go through `exchange_block_into`, so the hot loop allocates
+    // no per-I/O `Vec` on buffer-reusing backends. Assembled output blocks
+    // accumulate in `batch` and leave through `write_run` (payload by
+    // reference, so the batch buffer is reused across flushes) — the same
+    // write count and occupancies as a per-block loop, amortizing the
+    // ledger/meter bookkeeping over up to `(M − B)/B` blocks while the
+    // batch plus one loaded source block stay within `M`.
+    let cap_elems = {
+        let cap_blocks = (machine.cfg().memory.saturating_sub(b) / b).max(1);
+        cap_blocks * b
+    };
+    let mut cur_block = usize::MAX; // sentinel: no source block loaded
     let mut data: Vec<T> = Vec::new();
+    let mut batch: Vec<T> = Vec::with_capacity(cap_elems);
+    let mut flush_at = 0usize; // first output block of the pending batch
     for ob in 0..out.blocks {
         let len = out.elems_in_block(ob, b);
-        let mut buf: Vec<T> = Vec::with_capacity(len);
-        for t in 0..len {
-            let src = inv[ob * b + t];
-            let sb = src / b;
-            if cur_block != Some(sb) {
-                if cur_block.take().is_some() {
-                    machine.discard(data.len())?;
-                }
-                machine.read_block_into(input.block(sb), &mut data)?;
-                cur_block = Some(sb);
+        // The block's output slots are reserved up front (the program
+        // knows it will fill them); totals per block match the former
+        // per-element charges.
+        machine.reserve(len)?;
+        for &(sb, off) in &inv[ob * b..ob * b + len] {
+            if cur_block != sb {
+                // One fused evict-and-load per reload: releases the old
+                // block's budget and charges the new one's in a single
+                // metered read (`data` is empty on the first load, so
+                // nothing is released).
+                machine.exchange_block_into(input.block(sb), &mut data)?;
+                cur_block = sb;
             }
             // Copy the one element we need; its budget slot is accounted to
             // the loaded block until that block is swapped out, and to the
-            // output buffer from here on.
-            buf.push(data[src % b].clone());
-            machine.reserve(1)?;
+            // output batch from here on.
+            batch.push(data[off].clone());
         }
-        machine.write_block(out.block(ob), buf)?;
+        if batch.len() >= cap_elems || ob + 1 == out.blocks {
+            machine.write_run(out.block(flush_at), &batch)?;
+            batch.clear();
+            flush_at = ob + 1;
+        }
     }
-    if cur_block.take().is_some() {
+    if cur_block != usize::MAX {
         machine.discard(data.len())?;
     }
     Ok(out)

@@ -229,12 +229,11 @@ where
             *e = (*e).max(new_ptr);
         }
 
-        let mut iter = batch.into_iter().map(|(x, _, _)| x).peekable();
-        while iter.peek().is_some() {
-            let chunk: Vec<T> = iter.by_ref().take(b).collect();
-            machine.write_block(out.block(out_blk), chunk)?;
-            out_blk += 1;
-        }
+        // One bulk write for the whole round buffer: identical cost and
+        // occupancies to the former per-block loop (chunks of exactly
+        // `b`, final chunk partial), one ledger release, one bounds sweep.
+        let round_out: Vec<T> = batch.into_iter().map(|(x, _, _)| x).collect();
+        out_blk += machine.write_run(out.block(out_blk), &round_out)?;
 
         // Apply pointer updates, rewriting only dirty pointer blocks. A
         // pointer changes only when a block of its run was consumed, so

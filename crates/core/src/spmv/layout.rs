@@ -129,6 +129,12 @@ where
     }
 }
 
+impl<T: Clone> InstallExt<T> for aem_machine::TraceMachine<T> {
+    fn install_atoms(&mut self, data: &[T]) -> Region {
+        self.install(data)
+    }
+}
+
 impl<T, S, A> InstallExt<T> for aem_machine::RoundBasedMachine<T, S, A>
 where
     T: Clone,

@@ -1,0 +1,69 @@
+//! Trace-replay properties at the algorithm level: the compiled schedule
+//! of a recorded workload replays — as pure arithmetic, no payloads —
+//! to exactly the live vec run's cost tuple (`docs/COST_MODEL.md` §5).
+
+use aem_core::permute::permute_naive_on;
+use aem_core::sort::merge_sort;
+use aem_machine::{AemAccess, AemConfig, Machine, TraceMachine};
+use aem_workloads::{KeyDist, PermKind, SplitMix64};
+
+/// A recorded §3 mergesort replays to the live run's `(Q_r, Q_w)` — and
+/// therefore to the same `Q` under any `ω` — across random
+/// configurations, sizes and key distributions.
+#[test]
+fn recorded_sort_replays_to_the_live_cost_tuple() {
+    for case in 0..6u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x50417 + case);
+        let (m, b) = [(32usize, 4usize), (64, 8), (128, 8)][rng.next_below_usize(3)];
+        let cfg = AemConfig::new(m, b, 1 + rng.next_below(64)).unwrap();
+        let n = 64 + rng.next_below_usize(700);
+        let keys = KeyDist::Uniform { seed: case }.generate(n);
+        let mut want = keys.clone();
+        want.sort_unstable();
+
+        let mut live: Machine<u64> = Machine::new(cfg);
+        let lr = live.install(&keys);
+        let lout = merge_sort(&mut live, lr).unwrap();
+        assert_eq!(live.inspect(lout), want, "case {case}");
+
+        let mut rec: TraceMachine<u64> = TraceMachine::new(cfg);
+        let rr = rec.install(&keys);
+        let rout = merge_sort(&mut rec, rr).unwrap();
+        assert_eq!(rec.inspect(rout), want, "case {case}");
+        assert_eq!(rec.cost(), live.cost(), "case {case}: recording is free");
+
+        let schedule = rec.into_schedule(); // debug-asserts verify_replay
+        assert_eq!(schedule.replay(), live.cost(), "case {case}");
+        assert_eq!(schedule.replay_q(), live.cost().q(cfg.omega), "case {case}");
+    }
+}
+
+/// The same property for the bulk-ported naive permuter, whose runs
+/// compile to single multi-block ops: replay still prices exactly what
+/// the live meter charged.
+#[test]
+fn recorded_permute_replays_to_the_live_cost_tuple() {
+    for case in 0..6u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x9e47 + case);
+        let cfg = AemConfig::new(64, 8, 1 + rng.next_below(32)).unwrap();
+        let n = 32 + rng.next_below_usize(600);
+        let pi = PermKind::Random { seed: case }.generate(n);
+        let values: Vec<u64> = (0..n as u64).collect();
+
+        let mut live: Machine<u64> = Machine::new(cfg);
+        let lr = live.install(&values);
+        let lout = permute_naive_on(&mut live, lr, &pi).unwrap();
+
+        let mut rec: TraceMachine<u64> = TraceMachine::new(cfg);
+        let rr = rec.install(&values);
+        let rout = permute_naive_on(&mut rec, rr, &pi).unwrap();
+        assert_eq!(rec.inspect(rout), live.inspect(lout), "case {case}");
+        assert_eq!(rec.cost(), live.cost(), "case {case}");
+
+        let schedule = rec.into_schedule();
+        // Bulk write flushes compile to one op per flush, so the schedule
+        // is shorter than the event count — but replays to the same tuple.
+        assert!(schedule.len() as u64 <= live.cost().reads + live.cost().writes);
+        assert_eq!(schedule.replay(), live.cost(), "case {case}");
+    }
+}

@@ -534,19 +534,22 @@ fn flash_check(case: &FuzzCase, _backend: Backend) -> Outcome {
 /// program, every backend, identical metered [`Cost`] — and identical
 /// output wherever the store actually carries payloads. Two program
 /// families per case: the §3 mergesort across the payload-carrying
-/// backends, and the payload-oblivious naive permuter across all three
-/// (including ghost). This target ignores the session's `--backend`; it
-/// *is* the cross-backend comparison.
+/// backends (vec, arena, trace), and the payload-oblivious naive
+/// permuter across all four (including ghost). The trace backend
+/// additionally checks the compiled-schedule invariant: replaying the
+/// recorded schedule as pure arithmetic must reproduce the live meter
+/// exactly. This target ignores the session's `--backend`; it *is* the
+/// cross-backend comparison.
 fn backend_diff_check(case: &FuzzCase, _backend: Backend) -> Outcome {
     let cfg = match case.cfg() {
         Ok(cfg) => cfg,
         Err(e) => return Outcome::Skip(format!("config: {e}")),
     };
 
-    // Mergesort: vec vs arena, cost and output.
+    // Mergesort: vec vs arena vs trace, cost and output.
     let input = case.keys();
     let mut sort_runs: Vec<(Backend, Vec<u64>, Cost)> = Vec::new();
-    for b in [Backend::Vec, Backend::Arena] {
+    for b in [Backend::Vec, Backend::Arena, Backend::Trace] {
         let run = with_payload_machine!(b, u64, |M| {
             let mut m = M::new(cfg);
             let r = m.install(&input);
@@ -558,6 +561,7 @@ fn backend_diff_check(case: &FuzzCase, _backend: Backend) -> Outcome {
         }
     }
     let (_, vec_out, vec_cost) = &sort_runs[0];
+    let vec_sort_cost = *vec_cost;
     for (b, out, cost) in &sort_runs[1..] {
         if cost != vec_cost {
             return Outcome::Fail(format!(
@@ -601,6 +605,23 @@ fn backend_diff_check(case: &FuzzCase, _backend: Backend) -> Outcome {
                 b.name()
             ));
         }
+    }
+
+    // Compiled-trace replay: record the mergesort schedule once, then
+    // re-evaluate its cost as pure arithmetic. The replayed tuple must be
+    // byte-equal to the live vec meter (which sort_runs[0] holds).
+    let mut tm: aem_machine::TraceMachine<u64> = aem_machine::TraceMachine::new(cfg);
+    let r = tm.install(&input);
+    if let Err(e) = merge_sort(&mut tm, r) {
+        return machine_error("backend_diff/trace_record", e);
+    }
+    let live = tm.cost();
+    let schedule = tm.into_schedule();
+    let replayed = schedule.replay();
+    if replayed != live || replayed != vec_sort_cost {
+        return Outcome::Fail(format!(
+            "backend_diff: replayed schedule cost {replayed:?} diverges from live {live:?} / vec {vec_sort_cost:?}"
+        ));
     }
     Outcome::Pass
 }

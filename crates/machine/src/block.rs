@@ -160,12 +160,26 @@ impl<T> Block<T> {
     pub fn set(&mut self, data: Vec<T>) {
         self.data = data;
     }
+
+    /// Empty the block, keeping its buffer capacity for reuse (the wipe /
+    /// slot-recycling path).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
 }
 
 impl<T: Clone> Block<T> {
     /// Clone the contents out (a read under copy semantics).
     pub fn to_vec(&self) -> Vec<T> {
         self.data.clone()
+    }
+
+    /// Overwrite the contents from a slice, reusing the block's existing
+    /// buffer capacity (the allocation-free write path bulk runs use).
+    /// The caller has checked `data.len() ≤ B`.
+    pub fn set_from_slice(&mut self, data: &[T]) {
+        self.data.clear();
+        self.data.extend_from_slice(data);
     }
 }
 

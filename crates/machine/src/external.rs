@@ -10,10 +10,16 @@ use crate::block::{Block, BlockId, Region};
 use crate::error::{MachineError, Result};
 
 /// An unbounded array of blocks, each holding at most `block_size` elements.
+///
+/// Allocation is watermark-based: `live` counts the blocks currently
+/// allocated, while `blocks` beyond the watermark are retired slots whose
+/// buffer capacity is recycled by the next allocation (see
+/// [`ExternalMemory::wipe`]). Until `wipe` is called the two always agree.
 #[derive(Debug, Clone)]
 pub struct ExternalMemory<T> {
     block_size: usize,
     blocks: Vec<Block<T>>,
+    live: usize,
 }
 
 impl<T> ExternalMemory<T> {
@@ -23,6 +29,7 @@ impl<T> ExternalMemory<T> {
         Self {
             block_size,
             blocks: Vec::new(),
+            live: 0,
         }
     }
 
@@ -35,23 +42,32 @@ impl<T> ExternalMemory<T> {
     /// Number of blocks allocated so far.
     #[inline]
     pub fn allocated(&self) -> usize {
-        self.blocks.len()
+        self.live
     }
 
     /// Allocate one fresh (empty) block. External memory is unbounded, so
     /// allocation always succeeds and is free of I/O cost — cost accrues
-    /// only when blocks are transferred.
+    /// only when blocks are transferred. A retired slot below the buffer
+    /// high-water mark is recycled (cleared, capacity kept) before the
+    /// backing array grows.
     pub fn alloc(&mut self) -> BlockId {
-        self.blocks.push(Block::empty());
-        BlockId(self.blocks.len() - 1)
+        if self.live < self.blocks.len() {
+            self.blocks[self.live].clear();
+        } else {
+            self.blocks.push(Block::empty());
+        }
+        self.live += 1;
+        BlockId(self.live - 1)
     }
 
     /// Allocate `nblocks` consecutive fresh blocks as a region able to hold
     /// `elems` elements.
     pub fn alloc_region(&mut self, elems: usize) -> Region {
         let nblocks = elems.div_ceil(self.block_size);
-        let first = self.blocks.len();
-        self.blocks.extend((0..nblocks).map(|_| Block::empty()));
+        let first = self.live;
+        for _ in 0..nblocks {
+            self.alloc();
+        }
         Region {
             first,
             blocks: nblocks,
@@ -59,11 +75,20 @@ impl<T> ExternalMemory<T> {
         }
     }
 
+    /// Retire every allocated block, keeping the buffers for recycling:
+    /// subsequent allocations hand out the same slots (cleared) instead of
+    /// touching the allocator. This is the storage half of a machine
+    /// [`reset`](crate::MachineCore::reset) — repeated runs on one machine
+    /// reach an allocation-free steady state.
+    pub fn wipe(&mut self) {
+        self.live = 0;
+    }
+
     fn check(&self, id: BlockId) -> Result<()> {
-        if id.index() >= self.blocks.len() {
+        if id.index() >= self.live {
             Err(MachineError::BadBlock {
                 block: id.index(),
-                allocated: self.blocks.len(),
+                allocated: self.live,
             })
         } else {
             Ok(())
@@ -96,11 +121,39 @@ impl<T> ExternalMemory<T> {
 
     /// Total number of elements currently resident across all blocks.
     pub fn resident_elems(&self) -> usize {
-        self.blocks.iter().map(|b| b.len()).sum()
+        self.blocks[..self.live].iter().map(|b| b.len()).sum()
+    }
+
+    /// Borrow a contiguous run of blocks with a single bounds check.
+    /// Blocks are allocated densely from zero, so the run exists iff its
+    /// last id does; the reported offender matches what a per-block loop
+    /// would hit first.
+    pub fn run(&self, first: BlockId, count: usize) -> Result<&[Block<T>]> {
+        if count > 0 && first.index() + count > self.live {
+            return Err(MachineError::BadBlock {
+                block: first.index().max(self.live),
+                allocated: self.live,
+            });
+        }
+        Ok(&self.blocks[first.index()..first.index() + count])
     }
 }
 
 impl<T: Clone> ExternalMemory<T> {
+    /// Overwrite the contents of a block from a slice, reusing the block's
+    /// buffer capacity — the allocation-free counterpart of
+    /// [`ExternalMemory::put`]. Enforces `data.len() ≤ B`.
+    pub fn put_slice(&mut self, id: BlockId, data: &[T]) -> Result<()> {
+        if data.len() > self.block_size {
+            return Err(MachineError::BlockOverflow {
+                len: data.len(),
+                block: self.block_size,
+            });
+        }
+        self.get_mut(id)?.set_from_slice(data);
+        Ok(())
+    }
+
     /// Install an array into freshly allocated blocks without charging I/O.
     ///
     /// This models the problem setup: "the input is stored in `n = ⌈N/B⌉`
@@ -109,7 +162,7 @@ impl<T: Clone> ExternalMemory<T> {
     pub fn install(&mut self, data: &[T]) -> Region {
         let region = self.alloc_region(data.len());
         for (i, chunk) in data.chunks(self.block_size).enumerate() {
-            self.blocks[region.first + i].set(chunk.to_vec());
+            self.blocks[region.first + i].set_from_slice(chunk);
         }
         region
     }
@@ -176,5 +229,25 @@ mod tests {
         let mut ext: ExternalMemory<u32> = ExternalMemory::new(4);
         ext.install(&[1, 2, 3, 4, 5]);
         assert_eq!(ext.resident_elems(), 5);
+    }
+
+    #[test]
+    fn wipe_retires_blocks_and_recycles_slots() {
+        let mut ext: ExternalMemory<u32> = ExternalMemory::new(4);
+        let r = ext.install(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        ext.wipe();
+        assert_eq!(ext.allocated(), 0);
+        assert_eq!(ext.resident_elems(), 0);
+        assert!(matches!(
+            ext.get(r.block(0)),
+            Err(MachineError::BadBlock { .. })
+        ));
+        // Re-allocation reuses the retired slots: ids restart at zero and
+        // the handed-out blocks are empty despite the stale buffers.
+        let r2 = ext.alloc_region(8);
+        assert_eq!(r2.first, 0);
+        assert!(r2.iter().all(|b| ext.get(b).unwrap().is_empty()));
+        let r3 = ext.install(&[9, 9, 9]);
+        assert_eq!(ext.inspect(r3), vec![9, 9, 9]);
     }
 }

@@ -46,6 +46,16 @@
 //!   the Lemma 4.1 conversion of a recorded trace.
 //! * [`Trace`] — recorded straight-line I/O programs (the paper's notion of
 //!   *program* as opposed to *algorithm*), replayable and analyzable.
+//! * [`TraceMachine`] / [`CompiledTrace`] — schedule recording and
+//!   arithmetic replay: a vec-semantics run compiles its metered I/O
+//!   (bulk runs as single ops) into a schedule whose cost re-evaluates
+//!   as one pass of integer additions — see [`compiled`].
+//!
+//! Every [`AemAccess`] machine also exposes **bulk block I/O**
+//! ([`AemAccess::read_run`] / [`AemAccess::write_run`]): a contiguous run
+//! of blocks in one call, one cost-ledger update, one bounds sweep —
+//! cost-equivalent to the per-block loop (the contract is documented in
+//! `docs/COST_MODEL.md`).
 //!
 //! ## Example
 //!
@@ -78,6 +88,7 @@
 
 pub mod atom;
 pub mod block;
+pub mod compiled;
 pub mod config;
 pub mod cost;
 pub mod error;
@@ -89,6 +100,7 @@ pub mod trace;
 
 pub use atom::{AtomId, AtomMachine};
 pub use block::{Block, BlockId, Region};
+pub use compiled::{CompiledTrace, TraceMachine, TraceOp};
 pub use config::AemConfig;
 pub use cost::{Cost, IoCounter};
 pub use error::{MachineError, Result};

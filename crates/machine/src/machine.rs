@@ -64,9 +64,72 @@ pub trait AemAccess<T> {
         Ok(buf.len())
     }
 
+    /// Evict the block currently held in `buf` (unmodified, so no
+    /// write-back — its `buf.len()` budget is released) and read block
+    /// `id` into `buf` in its place. Cost: 1 read I/O, exactly as
+    /// [`AemAccess::discard`]`(buf.len())` followed by
+    /// [`AemAccess::read_block_into`]; gather kernels that cycle one
+    /// resident block per element call this once per reload, and machines
+    /// override the default with a single fused store lookup. The fused
+    /// override validates `id` *before* touching the ledger, so a failing
+    /// exchange leaves the budget unchanged (the decomposed pair would
+    /// have already released).
+    fn exchange_block_into(&mut self, id: BlockId, buf: &mut Vec<T>) -> Result<usize> {
+        self.discard(buf.len())?;
+        self.read_block_into(id, buf)
+    }
+
     /// Write `data` (≤ `B` elements) to a data block (cost: 1 write I/O;
     /// releases the internal budget by `data.len()`).
     fn write_block(&mut self, id: BlockId, data: Vec<T>) -> Result<()>;
+
+    /// Bulk read: the `count` consecutive data blocks starting at `first`,
+    /// appended in block order into `buf` (cleared first). Returns the
+    /// total element count.
+    ///
+    /// Cost- and ledger-equivalent to `count` successive
+    /// [`AemAccess::read_block_into`] calls: `count` read I/Os, one
+    /// internal-budget charge for the run's total occupancy, one trace
+    /// event per block. The whole run is validated *before* any charge, so
+    /// a failing bulk read moves nothing and charges nothing (the
+    /// per-block loop could stop half-way); see `docs/COST_MODEL.md`.
+    /// Note the budget for the entire run is held at once — a run longer
+    /// than `M/B` blocks fails with `InternalOverflow` where an
+    /// interleaved read-process-discard loop would not.
+    fn read_run(&mut self, first: BlockId, count: usize, buf: &mut Vec<T>) -> Result<usize> {
+        buf.clear();
+        let mut tmp = Vec::new();
+        let mut total = 0;
+        for i in 0..count {
+            total += self.read_block_into(BlockId(first.index() + i), &mut tmp)?;
+            buf.append(&mut tmp);
+        }
+        Ok(total)
+    }
+
+    /// Bulk write: `data` split across the consecutive data blocks starting
+    /// at `first` in chunks of exactly `B` (the final block may be
+    /// partial). Returns the number of blocks written, `⌈data.len()/B⌉`;
+    /// empty `data` writes nothing and costs nothing.
+    ///
+    /// Cost- and ledger-equivalent to the per-block [`AemAccess::write_block`]
+    /// loop over the same chunks: one write I/O and one trace event per
+    /// block, one budget release of `data.len()`. The run is validated
+    /// before the ledger is touched, so a failing bulk write is a no-op.
+    /// The payload is borrowed — callers keep (and typically clear and
+    /// refill) their batch buffer, so a flush allocates nothing.
+    fn write_run(&mut self, first: BlockId, data: &[T]) -> Result<usize>
+    where
+        T: Clone,
+    {
+        let b = self.cfg().block;
+        let mut blocks = 0;
+        for chunk in data.chunks(b) {
+            self.write_block(BlockId(first.index() + blocks), chunk.to_vec())?;
+            blocks += 1;
+        }
+        Ok(blocks)
+    }
 
     /// Allocate a fresh empty data block (free).
     fn alloc_block(&mut self) -> BlockId;
@@ -125,8 +188,20 @@ impl<T, M: AemAccess<T> + ?Sized> AemAccess<T> for &mut M {
     fn read_block_into(&mut self, id: BlockId, buf: &mut Vec<T>) -> Result<usize> {
         (**self).read_block_into(id, buf)
     }
+    fn exchange_block_into(&mut self, id: BlockId, buf: &mut Vec<T>) -> Result<usize> {
+        (**self).exchange_block_into(id, buf)
+    }
     fn write_block(&mut self, id: BlockId, data: Vec<T>) -> Result<()> {
         (**self).write_block(id, data)
+    }
+    fn read_run(&mut self, first: BlockId, count: usize, buf: &mut Vec<T>) -> Result<usize> {
+        (**self).read_run(first, count, buf)
+    }
+    fn write_run(&mut self, first: BlockId, data: &[T]) -> Result<usize>
+    where
+        T: Clone,
+    {
+        (**self).write_run(first, data)
     }
     fn alloc_block(&mut self) -> BlockId {
         (**self).alloc_block()
@@ -300,6 +375,24 @@ where
         &self.data
     }
 
+    /// Return the machine to its post-construction state — meter at zero,
+    /// ledger empty, no blocks allocated, any active trace cleared — while
+    /// *recycling* the stores' buffers ([`BlockStore::wipe`]): repeated
+    /// runs on one machine reach an allocation-free steady state, which is
+    /// what a sweep harness re-running cells wants. Shared [`IoCounter`]
+    /// handles observe the zeroed meter (the cells are zeroed, not
+    /// replaced). Regions from before the reset are dead: their ids are
+    /// `BadBlock` until re-allocated.
+    pub fn reset(&mut self) {
+        self.data.wipe();
+        self.aux.wipe();
+        self.internal_used = 0;
+        self.counter.reset();
+        if let Some(t) = &mut self.trace {
+            *t = Trace::new();
+        }
+    }
+
     /// Charge the internal budget without an I/O (used by in-crate wrappers
     /// to model internal-memory copies, which occupy space but are free of
     /// I/O cost).
@@ -363,9 +456,59 @@ where
     }
 
     fn read_block_into(&mut self, id: BlockId, buf: &mut Vec<T>) -> Result<usize> {
-        let len = self.data.occupancy(id)?;
-        self.charge_internal(len)?;
-        self.data.read_into(id, buf)?;
+        // Fused store call: one block lookup covers occupancy + payload
+        // (this is the hot path of gather-heavy kernels — one call per
+        // block reload). The closure charges the ledger between the two,
+        // preserving the occupancy → charge → read validation order.
+        let used = &mut self.internal_used;
+        let capacity = self.cfg.memory;
+        let len = self.data.read_into_charged(id, buf, |k| {
+            if *used + k > capacity {
+                return Err(MachineError::InternalOverflow {
+                    used: *used,
+                    capacity,
+                    requested: k,
+                });
+            }
+            *used += k;
+            Ok(())
+        })?;
+        self.counter.charge_read();
+        self.record(IoEvent::Read {
+            block: id,
+            len,
+            aux: false,
+        });
+        Ok(len)
+    }
+
+    fn exchange_block_into(&mut self, id: BlockId, buf: &mut Vec<T>) -> Result<usize> {
+        // One fused store lookup for the evict-and-load cycle. The ledger
+        // closure nets the release of the evicted occupancy against the
+        // charge for the incoming one; `id` is validated first (inside
+        // `read_into_charged`), so a BadBlock exchange is a ledger no-op —
+        // see the trait docs for this deliberate divergence from the
+        // decomposed discard + read pair.
+        let released = buf.len();
+        let used = &mut self.internal_used;
+        let capacity = self.cfg.memory;
+        let len = self.data.read_into_charged(id, buf, |k| {
+            let base = used
+                .checked_sub(released)
+                .ok_or(MachineError::InternalUnderflow {
+                    used: *used,
+                    released,
+                })?;
+            if base + k > capacity {
+                return Err(MachineError::InternalOverflow {
+                    used: base,
+                    capacity,
+                    requested: k,
+                });
+            }
+            *used = base + k;
+            Ok(())
+        })?;
         self.counter.charge_read();
         self.record(IoEvent::Read {
             block: id,
@@ -395,6 +538,54 @@ where
             aux: false,
         });
         Ok(())
+    }
+
+    fn read_run(&mut self, first: BlockId, count: usize, buf: &mut Vec<T>) -> Result<usize> {
+        // Validate the whole run (BadBlock) and total its occupancy before
+        // the single ledger charge (InternalOverflow), mirroring the
+        // per-read precedence; then one bulk payload move and one bulk
+        // meter update for `count` read I/Os.
+        let total = self.data.run_occupancy(first, count)?;
+        self.charge_internal(total)?;
+        self.data.read_run(first, count, buf)?;
+        self.counter.charge_reads(count as u64);
+        if self.trace.is_some() {
+            for i in 0..count {
+                let id = BlockId(first.index() + i);
+                let len = self.data.occupancy(id).expect("validated above");
+                self.record(IoEvent::Read {
+                    block: id,
+                    len,
+                    aux: false,
+                });
+            }
+        }
+        Ok(total)
+    }
+
+    fn write_run(&mut self, first: BlockId, data: &[T]) -> Result<usize>
+    where
+        T: Clone,
+    {
+        let blocks = data.len().div_ceil(self.cfg.block);
+        // Per-chunk occupancy ≤ B holds by construction; validate the
+        // targets before the ledger so a failed bulk write is a no-op.
+        self.data.run_occupancy(first, blocks)?;
+        self.release_internal(data.len())?;
+        let total = data.len();
+        self.data.write_run(first, data)?;
+        self.counter.charge_writes(blocks as u64);
+        if self.trace.is_some() {
+            for i in 0..blocks {
+                let len = (total - i * self.cfg.block).min(self.cfg.block);
+                self.record(IoEvent::Write {
+                    block: BlockId(first.index() + i),
+                    len,
+                    aux: false,
+                });
+            }
+        }
+        Ok(blocks)
     }
 
     fn alloc_block(&mut self) -> BlockId {
@@ -638,6 +829,117 @@ mod tests {
         assert_eq!(vec_run.3.len(), ghost_run.3.len());
     }
 
+    // The same bulk-run workload on one machine type: returns everything
+    // the per-block loop must agree on.
+    fn run_bulk<M: AemAccess<u32> + TraceRecording>(
+        mut m: M,
+        bulk: bool,
+    ) -> (Cost, usize, Vec<u32>, Vec<IoEvent>) {
+        let r = m.alloc_region(10);
+        let data: Vec<u32> = (50..60).collect();
+        m.reserve(data.len()).unwrap();
+        m.start_rec();
+        let written = if bulk {
+            m.write_run(r.block(0), &data).unwrap()
+        } else {
+            let mut iter = data.into_iter().peekable();
+            let mut blk = 0;
+            while iter.peek().is_some() {
+                let chunk: Vec<u32> = iter.by_ref().take(4).collect();
+                m.write_block(r.block(blk), chunk).unwrap();
+                blk += 1;
+            }
+            blk
+        };
+        assert_eq!(written, 3);
+        let mut buf = Vec::new();
+        let total = if bulk {
+            m.read_run(r.block(0), 3, &mut buf).unwrap()
+        } else {
+            let mut tmp = Vec::new();
+            let mut total = 0;
+            for i in 0..3 {
+                total += m.read_block_into(r.block(i), &mut tmp).unwrap();
+                buf.append(&mut tmp);
+            }
+            total
+        };
+        assert_eq!(total, 10);
+        let used = m.internal_used();
+        m.discard(total).unwrap();
+        (m.cost(), used, buf, m.take_rec())
+    }
+
+    // Test-local helper so `run_bulk` can drive trace recording through
+    // the generic machine parameter.
+    trait TraceRecording {
+        fn start_rec(&mut self);
+        fn take_rec(&mut self) -> Vec<IoEvent>;
+    }
+    impl<T: Clone, S: BlockStore<T>, A: BlockStore<u64>> TraceRecording for MachineCore<T, S, A> {
+        fn start_rec(&mut self) {
+            self.start_trace();
+        }
+        fn take_rec(&mut self) -> Vec<IoEvent> {
+            self.take_trace().unwrap().events().to_vec()
+        }
+    }
+    impl<T: Clone> TraceRecording for crate::TraceMachine<T> {
+        fn start_rec(&mut self) {
+            self.start_trace();
+        }
+        fn take_rec(&mut self) -> Vec<IoEvent> {
+            self.take_trace().unwrap().events().to_vec()
+        }
+    }
+
+    #[test]
+    fn bulk_runs_match_per_block_loops_on_cost_ledger_payload_and_trace() {
+        let c = cfg();
+        let per_block = run_bulk(Machine::<u32>::new(c), false);
+        for backend in Backend::ALL {
+            let bulk = crate::with_backend_machine!(backend, u32, |M| run_bulk(M::new(c), true));
+            assert_eq!(per_block.0, bulk.0, "{backend}: cost");
+            assert_eq!(per_block.1, bulk.1, "{backend}: ledger");
+            if backend.carries_payload() {
+                assert_eq!(per_block.2, bulk.2, "{backend}: payload");
+            } else {
+                assert_eq!(per_block.2.len(), bulk.2.len(), "{backend}: length");
+            }
+            assert_eq!(per_block.3, bulk.3, "{backend}: trace events");
+        }
+    }
+
+    #[test]
+    fn failing_bulk_ops_are_atomic() {
+        let mut m: Machine<u32> = Machine::new(cfg());
+        let r = m.install(&[7; 20]); // 5 blocks of 4 > M = 16
+        let mut buf = Vec::new();
+        let err = m.read_run(r.block(0), 5, &mut buf).unwrap_err();
+        assert!(matches!(err, MachineError::InternalOverflow { .. }));
+        assert_eq!(m.cost(), Cost::ZERO);
+        assert_eq!(m.internal_used(), 0);
+        // A run past the allocated range fails without charging either.
+        assert!(m.read_run(r.block(3), 4, &mut buf).is_err());
+        assert_eq!(m.cost(), Cost::ZERO);
+        m.reserve(8).unwrap();
+        let err = m
+            .write_run(BlockId(r.first + 4), &(0..8u32).collect::<Vec<u32>>())
+            .unwrap_err();
+        assert!(matches!(err, MachineError::BadBlock { .. }));
+        assert_eq!(m.cost(), Cost::ZERO);
+        assert_eq!(m.internal_used(), 8);
+    }
+
+    #[test]
+    fn empty_write_run_is_free() {
+        let mut m: Machine<u32> = Machine::new(cfg());
+        let r = m.install(&[1, 2, 3]);
+        assert_eq!(m.write_run(r.block(0), &[]).unwrap(), 0);
+        assert_eq!(m.cost(), Cost::ZERO);
+        assert_eq!(m.block_len(r.block(0)).unwrap(), 3, "target untouched");
+    }
+
     #[test]
     fn ghost_aux_store_carries_real_words() {
         let mut m: GhostMachine<u32> = GhostMachine::new(cfg());
@@ -662,5 +964,93 @@ mod tests {
         // Each write displaced one (empty) buffer into the pool; each read
         // drained one. The pool ends balanced and non-aliasing.
         assert!(m.data_store().free_buffers() <= 4);
+    }
+
+    #[test]
+    fn exchange_matches_discard_plus_read() {
+        // The fused evict-and-load equals the decomposed pair in cost,
+        // ledger and payload.
+        let input: Vec<u32> = (0..16).collect();
+        let mut fused: Machine<u32> = Machine::new(cfg());
+        let fr = fused.install(&input);
+        let mut pair: Machine<u32> = Machine::new(cfg());
+        let pr = pair.install(&input);
+        let (mut fbuf, mut pbuf) = (Vec::new(), Vec::new());
+        for i in [0usize, 3, 1, 3] {
+            let flen = fused.exchange_block_into(fr.block(i), &mut fbuf).unwrap();
+            if !pbuf.is_empty() {
+                pair.discard(pbuf.len()).unwrap();
+            }
+            let plen = pair.read_block_into(pr.block(i), &mut pbuf).unwrap();
+            assert_eq!(flen, plen);
+            assert_eq!(fbuf, pbuf);
+            assert_eq!(fused.cost(), pair.cost());
+            assert_eq!(fused.internal_used(), pair.internal_used());
+        }
+    }
+
+    #[test]
+    fn failed_exchange_leaves_the_ledger_untouched() {
+        // Unlike the decomposed discard + read (which releases before the
+        // read can fail), a BadBlock exchange is atomic: the evicted
+        // block's budget stays charged.
+        let mut m: Machine<u32> = Machine::new(cfg());
+        let r = m.install(&[0; 8]);
+        let mut buf = Vec::new();
+        m.read_block_into(r.block(0), &mut buf).unwrap();
+        let used = m.internal_used();
+        let err = m.exchange_block_into(BlockId(99), &mut buf).unwrap_err();
+        assert!(matches!(err, MachineError::BadBlock { .. }));
+        assert_eq!(m.internal_used(), used);
+        assert_eq!(m.cost(), Cost::new(1, 0));
+    }
+
+    #[test]
+    fn reset_returns_the_machine_to_fresh_state() {
+        let mut m: Machine<u32> = Machine::new(cfg());
+        let r = m.install(&(0..16u32).collect::<Vec<_>>());
+        let d = m.read_block(r.block(0)).unwrap();
+        m.write_block(r.block(1), d).unwrap();
+        assert_ne!(m.cost(), Cost::ZERO);
+        let shared = m.counter();
+
+        m.reset();
+        assert_eq!(m.cost(), Cost::ZERO);
+        assert_eq!(m.internal_used(), 0);
+        assert_eq!(m.allocated_blocks(), 0);
+        // Shared counter handles observe the zeroed meter in place.
+        assert_eq!(shared.snapshot(), Cost::ZERO);
+        // Pre-reset regions are dead until re-allocated.
+        assert!(matches!(
+            m.read_block(r.block(0)),
+            Err(MachineError::BadBlock { .. })
+        ));
+
+        // The machine is fully usable again, with identical metering.
+        let r2 = m.install(&(0..16u32).collect::<Vec<_>>());
+        let d = m.read_block(r2.block(0)).unwrap();
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        m.write_block(r2.block(1), d).unwrap();
+        assert_eq!(m.cost(), Cost::new(1, 1));
+    }
+
+    #[test]
+    fn reset_recycles_buffers_across_runs() {
+        // Steady state: the second run reuses the first run's retired
+        // slots, so the store's high-water mark stops growing.
+        fn run(m: &mut Machine<u32>) {
+            let r = m.install(&(0..16u32).collect::<Vec<_>>());
+            let out = m.alloc_region(16);
+            for i in 0..4 {
+                let d = m.read_block(r.block(i)).unwrap();
+                m.write_block(out.block(i), d).unwrap();
+            }
+        }
+        let mut m: Machine<u32> = Machine::new(cfg());
+        run(&mut m);
+        let high_water = m.allocated_blocks();
+        m.reset();
+        run(&mut m);
+        assert_eq!(m.allocated_blocks(), high_water);
     }
 }

@@ -38,7 +38,7 @@ use crate::error::{MachineError, Result};
 use crate::external::ExternalMemory;
 
 /// The storage backend a machine runs on — the user-facing selector behind
-/// `--backend {vec,arena,ghost}`.
+/// `--backend {vec,arena,ghost,trace}`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Backend {
     /// Copying semantics ([`VecStore`]); the default.
@@ -48,11 +48,15 @@ pub enum Backend {
     Arena,
     /// Cost-only semantics ([`GhostStore`]).
     Ghost,
+    /// Copying semantics plus schedule recording
+    /// ([`crate::TraceMachine`]): a vec-backed run that compiles its I/O
+    /// schedule into a [`crate::CompiledTrace`] for arithmetic replay.
+    Trace,
 }
 
 impl Backend {
     /// All backends, in canonical order.
-    pub const ALL: [Backend; 3] = [Backend::Vec, Backend::Arena, Backend::Ghost];
+    pub const ALL: [Backend; 4] = [Backend::Vec, Backend::Arena, Backend::Ghost, Backend::Trace];
 
     /// The stable lowercase name used in CLI flags and cache keys.
     pub fn name(self) -> &'static str {
@@ -60,6 +64,7 @@ impl Backend {
             Backend::Vec => "vec",
             Backend::Arena => "arena",
             Backend::Ghost => "ghost",
+            Backend::Trace => "trace",
         }
     }
 
@@ -69,15 +74,16 @@ impl Backend {
             "vec" => Ok(Backend::Vec),
             "arena" => Ok(Backend::Arena),
             "ghost" => Ok(Backend::Ghost),
+            "trace" => Ok(Backend::Trace),
             other => Err(format!(
-                "unknown backend '{other}' (expected vec, arena or ghost)"
+                "unknown backend '{other}' (expected vec, arena, ghost or trace)"
             )),
         }
     }
 
     /// `true` for backends whose reads return the actual stored payload
-    /// (vec, arena) rather than placeholders (ghost). Output-equality
-    /// assertions must be gated on this.
+    /// (vec, arena, trace) rather than placeholders (ghost).
+    /// Output-equality assertions must be gated on this.
     pub fn carries_payload(self) -> bool {
         !matches!(self, Backend::Ghost)
     }
@@ -130,6 +136,13 @@ pub trait BlockStore<T> {
     /// Overwrite a block. Enforces `data.len() ≤ B` and block existence.
     fn write(&mut self, id: BlockId, data: Vec<T>) -> Result<()>;
 
+    /// Retire every allocated block, recycling buffers where the backend
+    /// supports it: after a wipe the store is observably empty
+    /// (`allocated() == 0`, every old id is `BadBlock`) but subsequent
+    /// allocations reuse retired capacity instead of touching the
+    /// allocator. The storage half of [`crate::MachineCore::reset`].
+    fn wipe(&mut self);
+
     /// Install an array into freshly allocated blocks (problem setup,
     /// outside the metered computation).
     fn install(&mut self, data: &[T]) -> Region;
@@ -142,6 +155,76 @@ pub trait BlockStore<T> {
 
     /// Total elements currently resident across all blocks.
     fn resident_elems(&self) -> usize;
+
+    /// Bulk read: the `count` consecutive blocks starting at `first`, their
+    /// payloads appended in block order into `buf` (cleared first). Returns
+    /// the total element count. Payload- and occupancy-equivalent to
+    /// `count` successive [`BlockStore::read_into`] calls; backends
+    /// override the default loop with a single bounds check and
+    /// `copy_from_slice`-style movement (see `docs/COST_MODEL.md` for the
+    /// contract bulk ops must preserve). On error, nothing is moved.
+    fn read_run(&mut self, first: BlockId, count: usize, buf: &mut Vec<T>) -> Result<usize> {
+        buf.clear();
+        let mut tmp = Vec::new();
+        let mut total = 0;
+        for i in 0..count {
+            total += self.read_into(BlockId(first.index() + i), &mut tmp)?;
+            buf.append(&mut tmp);
+        }
+        Ok(total)
+    }
+
+    /// Bulk write: `data` split across the consecutive blocks starting at
+    /// `first` in chunks of exactly `B` (the final block may be partial).
+    /// Returns the number of blocks written, `⌈data.len()/B⌉` — zero for
+    /// empty `data`, which touches no block. Occupancy-equivalent to the
+    /// per-block [`BlockStore::write`] loop over the same chunks; `≤ B`
+    /// per-block occupancy holds by construction. On error, nothing is
+    /// moved.
+    fn write_run(&mut self, first: BlockId, data: &[T]) -> Result<usize>
+    where
+        T: Clone,
+    {
+        // Validate the whole run up front so the bulk op is atomic (the
+        // per-block loop could stop half-way through).
+        let blocks = data.len().div_ceil(self.block_size());
+        for i in 0..blocks {
+            self.occupancy(BlockId(first.index() + i))?;
+        }
+        for (i, chunk) in data.chunks(self.block_size()).enumerate() {
+            self.write(BlockId(first.index() + i), chunk.to_vec())?;
+        }
+        Ok(blocks)
+    }
+
+    /// Occupancy sum of the `count` consecutive blocks starting at
+    /// `first` — the single validation-and-ledger sweep bulk reads charge
+    /// from. Error-equivalent to `count` successive
+    /// [`BlockStore::occupancy`] calls; backends override the loop with
+    /// one bounds check and a slice sum.
+    fn run_occupancy(&self, first: BlockId, count: usize) -> Result<usize> {
+        let mut total = 0;
+        for i in 0..count {
+            total += self.occupancy(BlockId(first.index() + i))?;
+        }
+        Ok(total)
+    }
+
+    /// Fused metered read: validate `id`, gate its occupancy through
+    /// `charge` (the machine's ledger update — if it errors, no payload
+    /// moves), then copy the payload into `buf`. Behaviorally identical
+    /// to [`BlockStore::occupancy`] + `charge` + [`BlockStore::read_into`];
+    /// backends override the pair of lookups with a single one — this is
+    /// the hot path of gather-heavy kernels (one call per block reload).
+    fn read_into_charged<F>(&mut self, id: BlockId, buf: &mut Vec<T>, charge: F) -> Result<usize>
+    where
+        F: FnOnce(usize) -> Result<()>,
+        Self: Sized,
+    {
+        let len = self.occupancy(id)?;
+        charge(len)?;
+        self.read_into(id, buf)
+    }
 }
 
 /// The default copying backend: an alias for [`ExternalMemory`].
@@ -180,6 +263,9 @@ impl<T: Clone> BlockStore<T> for ExternalMemory<T> {
     fn write(&mut self, id: BlockId, data: Vec<T>) -> Result<()> {
         self.put(id, data)
     }
+    fn wipe(&mut self) {
+        ExternalMemory::wipe(self)
+    }
     fn install(&mut self, data: &[T]) -> Region {
         ExternalMemory::install(self, data)
     }
@@ -192,6 +278,50 @@ impl<T: Clone> BlockStore<T> for ExternalMemory<T> {
     fn resident_elems(&self) -> usize {
         ExternalMemory::resident_elems(self)
     }
+    fn read_run(&mut self, first: BlockId, count: usize, buf: &mut Vec<T>) -> Result<usize> {
+        buf.clear();
+        for block in self.run(first, count)? {
+            buf.extend_from_slice(block.as_slice());
+        }
+        Ok(buf.len())
+    }
+    fn write_run(&mut self, first: BlockId, data: &[T]) -> Result<usize> {
+        let blocks = data.len().div_ceil(ExternalMemory::block_size(self));
+        check_run(first, blocks, ExternalMemory::allocated(self))?;
+        // Bulk writes reuse each slot's buffer (clear + copy) instead of
+        // allocating a fresh `Vec` per chunk as the per-block loop does.
+        for (i, chunk) in data.chunks(ExternalMemory::block_size(self)).enumerate() {
+            self.put_slice(BlockId(first.index() + i), chunk)?;
+        }
+        Ok(blocks)
+    }
+    fn run_occupancy(&self, first: BlockId, count: usize) -> Result<usize> {
+        Ok(self.run(first, count)?.iter().map(|b| b.len()).sum())
+    }
+    fn read_into_charged<F>(&mut self, id: BlockId, buf: &mut Vec<T>, charge: F) -> Result<usize>
+    where
+        F: FnOnce(usize) -> Result<()>,
+    {
+        let block = self.get(id)?;
+        charge(block.len())?;
+        buf.clear();
+        buf.extend_from_slice(block.as_slice());
+        Ok(block.len())
+    }
+}
+
+/// One bounds check for a whole contiguous run: block ids are allocated
+/// densely from zero, so the run `first..first+count` exists iff its last
+/// id does. The reported offender matches what the per-block loop would
+/// hit first.
+fn check_run(first: BlockId, count: usize, allocated: usize) -> Result<()> {
+    if count > 0 && first.index() + count > allocated {
+        return Err(MachineError::BadBlock {
+            block: first.index().max(allocated),
+            allocated,
+        });
+    }
+    Ok(())
 }
 
 /// Buffer-recycling backend: same observable semantics as [`VecStore`],
@@ -321,6 +451,14 @@ impl<T: Clone> BlockStore<T> for ArenaStore<T> {
         self.pool.push(old);
         Ok(())
     }
+    fn wipe(&mut self) {
+        // Every live buffer goes back on the free list cleared, preserving
+        // the no-aliasing invariant the property test audits.
+        for mut buf in self.blocks.drain(..) {
+            buf.clear();
+            self.pool.push(buf);
+        }
+    }
     fn install(&mut self, data: &[T]) -> Region {
         let region = self.alloc_region(data.len());
         for (i, chunk) in data.chunks(self.block_size).enumerate() {
@@ -343,6 +481,45 @@ impl<T: Clone> BlockStore<T> for ArenaStore<T> {
     }
     fn resident_elems(&self) -> usize {
         self.blocks.iter().map(|b| b.len()).sum()
+    }
+    fn read_run(&mut self, first: BlockId, count: usize, buf: &mut Vec<T>) -> Result<usize> {
+        check_run(first, count, self.blocks.len())?;
+        buf.clear();
+        for block in &self.blocks[first.index()..first.index() + count] {
+            buf.extend_from_slice(block);
+        }
+        Ok(buf.len())
+    }
+    fn write_run(&mut self, first: BlockId, data: &[T]) -> Result<usize> {
+        let blocks = data.len().div_ceil(self.block_size);
+        check_run(first, blocks, self.blocks.len())?;
+        // Bulk writes reuse each slot's buffer in place (clear + copy):
+        // same observable payload and occupancy as the per-block write
+        // loop, without cycling buffers through the free list.
+        for (i, chunk) in data.chunks(self.block_size).enumerate() {
+            let slot = &mut self.blocks[first.index() + i];
+            slot.clear();
+            slot.extend_from_slice(chunk);
+        }
+        Ok(blocks)
+    }
+    fn run_occupancy(&self, first: BlockId, count: usize) -> Result<usize> {
+        check_run(first, count, self.blocks.len())?;
+        Ok(self.blocks[first.index()..first.index() + count]
+            .iter()
+            .map(|b| b.len())
+            .sum())
+    }
+    fn read_into_charged<F>(&mut self, id: BlockId, buf: &mut Vec<T>, charge: F) -> Result<usize>
+    where
+        F: FnOnce(usize) -> Result<()>,
+    {
+        self.check(id)?;
+        let block = &self.blocks[id.index()];
+        charge(block.len())?;
+        buf.clear();
+        buf.extend_from_slice(block);
+        Ok(block.len())
     }
 }
 
@@ -430,6 +607,9 @@ impl<T: Clone + Default> BlockStore<T> for GhostStore<T> {
         self.lens[id.index()] = data.len();
         Ok(())
     }
+    fn wipe(&mut self) {
+        self.lens.clear();
+    }
     fn install(&mut self, data: &[T]) -> Region {
         let region = self.alloc_region(data.len());
         let mut remaining = data.len();
@@ -450,6 +630,36 @@ impl<T: Clone + Default> BlockStore<T> for GhostStore<T> {
     }
     fn resident_elems(&self) -> usize {
         self.lens.iter().sum()
+    }
+    fn read_run(&mut self, first: BlockId, count: usize, buf: &mut Vec<T>) -> Result<usize> {
+        check_run(first, count, self.lens.len())?;
+        let total: usize = (0..count).map(|i| self.lens[first.index() + i]).sum();
+        buf.clear();
+        buf.resize(total, T::default());
+        Ok(total)
+    }
+    fn write_run(&mut self, first: BlockId, data: &[T]) -> Result<usize> {
+        let blocks = data.len().div_ceil(self.block_size);
+        check_run(first, blocks, self.lens.len())?;
+        for (i, chunk) in data.chunks(self.block_size).enumerate() {
+            self.lens[first.index() + i] = chunk.len();
+        }
+        Ok(blocks)
+    }
+    fn run_occupancy(&self, first: BlockId, count: usize) -> Result<usize> {
+        check_run(first, count, self.lens.len())?;
+        Ok(self.lens[first.index()..first.index() + count].iter().sum())
+    }
+    fn read_into_charged<F>(&mut self, id: BlockId, buf: &mut Vec<T>, charge: F) -> Result<usize>
+    where
+        F: FnOnce(usize) -> Result<()>,
+    {
+        self.check(id)?;
+        let len = self.lens[id.index()];
+        charge(len)?;
+        buf.clear();
+        buf.resize(len, T::default());
+        Ok(len)
     }
 }
 
@@ -489,13 +699,18 @@ macro_rules! with_backend_machine {
                 type $M = $crate::GhostMachine<$t>;
                 $body
             }
+            $crate::Backend::Trace => {
+                #[allow(non_camel_case_types)]
+                type $M = $crate::TraceMachine<$t>;
+                $body
+            }
         }
     };
 }
 
 /// Like [`with_backend_machine!`] but only for the payload-carrying
-/// backends (vec, arena); the ghost arm evaluates `$ghost` instead. Use
-/// when the element type has no `Default` or the workload is not
+/// backends (vec, arena, trace); the ghost arm evaluates `$ghost` instead.
+/// Use when the element type has no `Default` or the workload is not
 /// payload-oblivious.
 #[macro_export]
 macro_rules! with_payload_machine {
@@ -512,6 +727,11 @@ macro_rules! with_payload_machine {
                 $body
             }
             $crate::Backend::Ghost => $ghost,
+            $crate::Backend::Trace => {
+                #[allow(non_camel_case_types)]
+                type $M = $crate::TraceMachine<$t>;
+                $body
+            }
         }
     };
 }
@@ -579,6 +799,80 @@ mod tests {
         assert!(Backend::Vec.carries_payload());
         assert!(Backend::Arena.carries_payload());
         assert!(!Backend::Ghost.carries_payload());
+        assert!(Backend::Trace.carries_payload());
+    }
+
+    /// Bulk ops vs the per-block loop, on every store: same payload (by
+    /// occupancy on ghost), same occupancies, same bad-run error.
+    fn drive_bulk<S: BlockStore<u32>>() -> (Vec<u32>, Vec<usize>, MachineError) {
+        let mut s = S::new_store(4);
+        let r = s.install(&[0u32; 11]);
+        let data: Vec<u32> = (10..21).collect();
+        let blocks = s.write_run(r.block(0), &data).unwrap();
+        assert_eq!(blocks, 3);
+        assert_eq!(s.write_run(r.block(1), &[]).unwrap(), 0);
+        let mut buf = vec![99u32];
+        let total = s.read_run(r.block(0), 3, &mut buf).unwrap();
+        assert_eq!(total, 11);
+        assert_eq!(buf.len(), 11);
+        let err = s.read_run(r.block(1), 3, &mut buf).unwrap_err();
+        let occ: Vec<usize> = r.iter().map(|id| s.occupancy(id).unwrap()).collect();
+        (s.inspect(r), occ, err)
+    }
+
+    #[test]
+    fn bulk_runs_match_per_block_loops_across_stores() {
+        let (vec_out, vec_occ, vec_err) = drive_bulk::<VecStore<u32>>();
+        let (arena_out, arena_occ, arena_err) = drive_bulk::<ArenaStore<u32>>();
+        let (ghost_out, ghost_occ, ghost_err) = drive_bulk::<GhostStore<u32>>();
+        assert_eq!(vec_out, (10..21).collect::<Vec<u32>>());
+        assert_eq!(vec_out, arena_out);
+        assert_eq!(vec_out.len(), ghost_out.len());
+        assert_eq!(vec_occ, vec![4, 4, 3]);
+        assert_eq!(vec_occ, arena_occ);
+        assert_eq!(vec_occ, ghost_occ);
+        // The run 1..4 exceeds the 3 allocated blocks; the offender the
+        // per-block loop would hit first is block 3.
+        for err in [vec_err, arena_err, ghost_err] {
+            assert_eq!(
+                err,
+                MachineError::BadBlock {
+                    block: 3,
+                    allocated: 3
+                }
+            );
+        }
+    }
+
+    /// Wipe on every store: observably empty afterwards, old ids dead,
+    /// re-allocation works from a clean slate.
+    fn drive_wipe<S: BlockStore<u32>>() {
+        let mut s = S::new_store(4);
+        let r = s.install(&[1, 2, 3, 4, 5]);
+        s.wipe();
+        assert_eq!(s.allocated(), 0);
+        assert_eq!(s.resident_elems(), 0);
+        assert!(s.occupancy(r.block(0)).is_err());
+        let r2 = s.install(&[7, 8]);
+        assert_eq!(r2.first, 0);
+        assert_eq!(s.occupancy(r2.block(0)).unwrap(), 2);
+    }
+
+    #[test]
+    fn wipe_empties_every_store() {
+        drive_wipe::<VecStore<u32>>();
+        drive_wipe::<ArenaStore<u32>>();
+        drive_wipe::<GhostStore<u32>>();
+    }
+
+    #[test]
+    fn arena_wipe_pools_the_retired_buffers() {
+        let mut s: ArenaStore<u32> = BlockStore::new_store(4);
+        s.install(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        s.wipe();
+        assert_eq!(s.free_buffers(), 2, "both live buffers retired cleared");
+        s.install(&[9; 8]);
+        assert_eq!(s.free_buffers(), 0, "re-install drains the pool");
     }
 
     #[test]

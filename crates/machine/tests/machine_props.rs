@@ -7,7 +7,10 @@
 //! each property runs a fixed number of deterministic cases, so failures
 //! reproduce exactly without an external shrinker.
 
-use aem_machine::{AemAccess, AemConfig, AtomId, AtomMachine, BlockId, Machine};
+use aem_machine::{
+    with_backend_machine, AemAccess, AemConfig, AtomId, AtomMachine, Backend, BlockId, Cost,
+    Machine, TraceMachine,
+};
 use aem_workloads::SplitMix64;
 
 /// A random client action against the copy-semantics machine.
@@ -75,6 +78,174 @@ fn ledger_never_drifts() {
             assert_eq!(m.internal_used(), expected, "case {case}");
             assert!(m.internal_used() <= cfg.memory, "case {case}");
         }
+    }
+}
+
+/// Round-trip a script of random runs through one machine: `reserve`,
+/// write the run out, read it back, `discard`. With `bulk` the run moves
+/// through `write_run`/`read_run`; without, through the per-block loop
+/// they must be accounting-equivalent to (`docs/COST_MODEL.md` §2).
+fn drive_runs<M: AemAccess<u32>>(
+    mut m: M,
+    script: &[Vec<u32>],
+    bulk: bool,
+) -> (Cost, usize, Vec<u32>) {
+    let b = m.cfg().block;
+    let mut payload = Vec::new();
+    for data in script {
+        let r = m.alloc_region(data.len());
+        m.reserve(data.len()).unwrap();
+        if bulk {
+            assert_eq!(m.write_run(r.block(0), data).unwrap(), r.blocks);
+        } else {
+            for (i, chunk) in data.chunks(b).enumerate() {
+                m.write_block(r.block(i), chunk.to_vec()).unwrap();
+            }
+        }
+        let mut buf = Vec::new();
+        let total = if bulk {
+            m.read_run(r.block(0), r.blocks, &mut buf).unwrap()
+        } else {
+            let mut tmp = Vec::new();
+            let mut total = 0;
+            for i in 0..r.blocks {
+                total += m.read_block_into(r.block(i), &mut tmp).unwrap();
+                buf.append(&mut tmp);
+            }
+            total
+        };
+        assert_eq!(total, data.len());
+        payload.extend_from_slice(&buf);
+        m.discard(total).unwrap();
+    }
+    (m.cost(), m.internal_used(), payload)
+}
+
+/// Bulk `read_run`/`write_run` agree with the per-block loop on *every*
+/// backend under random run scripts: exactly equal `(Q, ledger)` and
+/// byte-identical payloads where the backend carries them.
+#[test]
+fn bulk_runs_match_per_block_loops_on_random_runs() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xb01c + case);
+        let b = [1usize, 2, 4, 8][rng.next_below_usize(4)];
+        let cap_blocks = 2 + rng.next_below_usize(7); // M/B ∈ 2..=8
+        let cfg = AemConfig::new(b * cap_blocks, b, 1 + rng.next_below(16)).unwrap();
+        // Random runs that fit the whole-run budget (read_run holds the
+        // entire run's occupancy at once).
+        let script: Vec<Vec<u32>> = (0..1 + rng.next_below_usize(6))
+            .map(|_| {
+                let elems = 1 + rng.next_below_usize(cfg.memory);
+                (0..elems as u32)
+                    .map(|i| i.wrapping_mul(0x9e3d_79b9))
+                    .collect()
+            })
+            .collect();
+
+        let reference = drive_runs(Machine::<u32>::new(cfg), &script, false);
+        for backend in Backend::ALL {
+            let got =
+                with_backend_machine!(backend, u32, |M| drive_runs(M::new(cfg), &script, true));
+            assert_eq!(reference.0, got.0, "case {case} {backend}: cost");
+            assert_eq!(reference.1, got.1, "case {case} {backend}: ledger");
+            if backend.carries_payload() {
+                assert_eq!(reference.2, got.2, "case {case} {backend}: payload");
+            } else {
+                assert_eq!(
+                    reference.2.len(),
+                    got.2.len(),
+                    "case {case} {backend}: length"
+                );
+            }
+        }
+    }
+}
+
+/// The fused `exchange_block_into` equals the decomposed `discard` +
+/// `read_block_into` pair under random gather sequences, on every
+/// backend — same cost, same ledger, same payload.
+#[test]
+fn exchange_matches_decomposed_pair_on_random_gathers() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xe8c4 + case);
+        let cfg = AemConfig::new(24, 4, 1 + rng.next_below(16)).unwrap();
+        let input: Vec<u32> = (0..32).map(|i| i * 7 + case as u32).collect();
+        let gathers: Vec<usize> = (0..1 + rng.next_below_usize(40))
+            .map(|_| rng.next_below_usize(8))
+            .collect();
+
+        // Reference: the decomposed pair on the vec machine.
+        let mut pair: Machine<u32> = Machine::new(cfg);
+        let pr = pair.install(&input);
+        let mut pbuf = Vec::new();
+        for &i in &gathers {
+            if !pbuf.is_empty() {
+                pair.discard(pbuf.len()).unwrap();
+            }
+            pair.read_block_into(pr.block(i), &mut pbuf).unwrap();
+        }
+        let reference = (pair.cost(), pair.internal_used(), pbuf);
+
+        for backend in Backend::ALL {
+            let got = with_backend_machine!(backend, u32, |M| {
+                let mut m = M::new(cfg);
+                let r = m.install(&input);
+                let mut buf = Vec::new();
+                for &i in &gathers {
+                    m.exchange_block_into(r.block(i), &mut buf).unwrap();
+                }
+                (m.cost(), m.internal_used(), buf)
+            });
+            assert_eq!(reference.0, got.0, "case {case} {backend}: cost");
+            assert_eq!(reference.1, got.1, "case {case} {backend}: ledger");
+            if backend.carries_payload() {
+                assert_eq!(reference.2, got.2, "case {case} {backend}: payload");
+            }
+        }
+    }
+}
+
+/// Arithmetic replay equals the live meter for random (possibly
+/// failing) operation sequences: failed ops record nothing, successful
+/// ones record exactly what the meter charged.
+#[test]
+fn replay_matches_live_meter_under_random_ops() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x4e91a7 + case);
+        let n_actions = rng.next_below_usize(120);
+        let cfg = AemConfig::new(24, 4, 3).unwrap();
+        let mut m: TraceMachine<u32> = TraceMachine::new(cfg);
+        let region = m.install(&(0..64u32).collect::<Vec<_>>());
+        let mut held: usize = 0;
+        for _ in 0..n_actions {
+            match random_action(&mut rng) {
+                Action::Read(i) => {
+                    if let Ok(data) = m.read_block(region.block(i % region.blocks)) {
+                        held += data.len();
+                    }
+                }
+                Action::WriteHeld(k, b) => {
+                    let k = k.min(held).min(cfg.block);
+                    let target = BlockId((b % region.blocks) + region.first);
+                    if m.write_block(target, vec![9u32; k]).is_ok() {
+                        held -= k;
+                    }
+                }
+                Action::Discard(k) => {
+                    if m.discard(k).is_ok() {
+                        held = held.saturating_sub(k);
+                    }
+                }
+                Action::Reserve(k) => {
+                    if m.reserve(k).is_ok() {
+                        held += k;
+                    }
+                }
+            }
+            assert!(m.verify_replay(), "case {case}");
+        }
+        let live = m.cost();
+        assert_eq!(m.into_schedule().replay(), live, "case {case}");
     }
 }
 

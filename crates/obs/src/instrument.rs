@@ -265,6 +265,14 @@ impl<T, A: AemAccess<T>> InstrumentedMachine<T, A> {
     }
 }
 
+// Bulk ops (`read_run` / `write_run`) deliberately keep the trait's
+// default per-block decomposition here: an instrumented run observes a
+// K-block run as K per-block `IoEvent`s, so the flight recorder, phase
+// profiles and cost attribution stay block-granular. Metered cost is
+// unaffected (the bulk contract in docs/COST_MODEL.md makes the loop and
+// the run charge identically); only error timing differs — a mid-run
+// failure under instrumentation has already observed the earlier blocks,
+// where a raw machine's bulk op validates the whole run up front.
 impl<T, A: AemAccess<T>> AemAccess<T> for InstrumentedMachine<T, A> {
     fn cfg(&self) -> AemConfig {
         self.inner.cfg()
