@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod costgate;
 pub mod exp;
 pub mod perfgate;
 pub mod sweep;

@@ -367,6 +367,20 @@ mod tests {
     }
 
     #[test]
+    fn newest_baseline_orders_numerically_not_lexically() {
+        // Lexically "BENCH_PR10.json" < "BENCH_PR9.json"; the discovery
+        // must compare the PR numbers, not the strings.
+        let dir = std::env::temp_dir().join(format!("aem-perfgate-num-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["BENCH_PR9.json", "BENCH_PR10.json", "BENCH_PR2.json"] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        let newest = newest_baseline(&dir).unwrap();
+        assert!(newest.ends_with("BENCH_PR10.json"), "{newest:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn run_gate_against_committed_baselines() {
         // The repo's own committed snapshots must gate cleanly against
         // themselves (identity comparison: zero regressions) and parse.

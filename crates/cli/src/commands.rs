@@ -25,6 +25,8 @@ use aem_obs::{
 };
 use aem_workloads::{perm, Conformation, KeyDist, MatrixShape, PermKind};
 
+use aem_serve::{install_shutdown_signals, run_load, serve, LoadOptions, ServeOptions};
+
 use crate::args::Args;
 
 /// Write `record` as JSONL to `path` and return the lines to append to the
@@ -937,6 +939,35 @@ pub fn cmd_profile(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `aemsim serve`: boot the cost-metered multi-tenant job service and
+/// block until SIGTERM/SIGINT (or a client `shutdown` frame) drains it.
+pub fn cmd_serve(args: &Args) -> Result<String, String> {
+    let opts = ServeOptions {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
+        workers: args.get_or("workers", 4usize)?,
+        queue_over_budget: !args.flag("no-queue"),
+        admission_log: args.get("admission-log").map(str::to_string),
+        metering_out: args.get("metering-out").map(str::to_string),
+        prom_out: args.get("prom-out").map(str::to_string),
+        addr_file: args.get("addr-file").map(str::to_string),
+    };
+    let shutdown = install_shutdown_signals();
+    serve(&opts, shutdown)
+}
+
+/// `aemsim serve-load`: seeded synthetic multi-tenant traffic against a
+/// running server. Same seed, same server state ⇒ byte-identical report
+/// (the determinism contract the CI serve job checks with `cmp`).
+pub fn cmd_serve_load(args: &Args) -> Result<String, String> {
+    let opts = LoadOptions {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
+        tenants: args.get_or("tenants", 8usize)?,
+        jobs: args.get_or("jobs", 12usize)?,
+        seed: args.get_or("seed", 1u64)?,
+    };
+    run_load(&opts)
+}
+
 /// Usage text. The fuzz-target and backend lists are enumerated from the
 /// registries (`aem_fuzz::targets::all_targets`, `Backend::ALL`) so the
 /// help can never drift from what the binary actually accepts.
@@ -977,6 +1008,17 @@ COMMANDS
                                PREFIX.heatmap.txt, PREFIX.prom,
                                PREFIX.flight.jsonl; prints predictor
                                residuals + the per-block heatmap
+  serve     job service        [--addr HOST:PORT --workers N --no-queue
+                                --admission-log FILE --metering-out FILE
+                                --prom-out FILE --addr-file FILE]
+                               long-lived TCP server; every job is priced
+                               by the predictor before it runs, per-tenant
+                               budgets gate admission, SIGTERM drains and
+                               writes the admission log + metering reports
+  serve-load seeded load gen   [--addr HOST:PORT --tenants N --jobs N
+                                --seed S]
+                               deterministic synthetic tenants; same seed
+                               ⇒ byte-identical report
   exp       run experiments    [--quick --jobs N --cache FILE --fresh
                                 --only IDS --stats --backend {backends}]
                                (parallel sweep engine; --cache resumes
@@ -1025,6 +1067,8 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("lemma43") => cmd_lemma43(args),
         Some("report") => cmd_report(args),
         Some("profile") => cmd_profile(args),
+        Some("serve") => cmd_serve(args),
+        Some("serve-load") => cmd_serve_load(args),
         Some("exp") => cmd_exp(args),
         Some("fuzz") => cmd_fuzz(args),
         Some(other) => Err(format!("unknown command '{other}'\n\n{}", usage())),
@@ -1392,5 +1436,71 @@ mod tests {
         assert!(run(&format!("report --in {p}")).is_err());
         assert!(run(&format!("report --in {p} --format bogus")).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn usage_lists_the_serving_commands() {
+        let out = usage();
+        assert!(out.contains("serve "), "{out}");
+        assert!(out.contains("serve-load"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_an_unbindable_addr() {
+        let err = run("serve --addr not-an-address").unwrap_err();
+        assert!(err.contains("not-an-address"), "{err}");
+    }
+
+    /// Boot `aemsim serve` in a thread, drive it with `aemsim serve-load`,
+    /// then drain it through the shared SIGTERM flag. Returns the load
+    /// report and the admission log.
+    fn serve_cycle(tag: &str, seed: u64) -> (String, String) {
+        use std::sync::atomic::Ordering;
+        // This helper is only called from one test, sequentially, so the
+        // process-wide flag can be reset between cycles.
+        aem_serve::SHUTDOWN.store(false, Ordering::SeqCst);
+        let addr_file = tmp_path(&format!("serve-{tag}.addr"));
+        let log_file = tmp_path(&format!("serve-{tag}.admission.jsonl"));
+        let _ = std::fs::remove_file(&addr_file);
+        let line = format!(
+            "serve --addr 127.0.0.1:0 --workers 2 --addr-file {} --admission-log {}",
+            addr_file.display(),
+            log_file.display()
+        );
+        let server = std::thread::spawn(move || run(&line));
+        let addr = {
+            let mut tries = 0;
+            loop {
+                if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                    if s.trim().contains(':') {
+                        break s.trim().to_string();
+                    }
+                }
+                tries += 1;
+                assert!(tries < 200, "serve never wrote its address file");
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        };
+        let report = run(&format!(
+            "serve-load --addr {addr} --tenants 2 --jobs 4 --seed {seed}"
+        ))
+        .unwrap();
+        aem_serve::SHUTDOWN.store(true, Ordering::SeqCst);
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("drained cleanly"), "{summary}");
+        let log = std::fs::read_to_string(&log_file).unwrap();
+        std::fs::remove_file(&addr_file).ok();
+        std::fs::remove_file(&log_file).ok();
+        (report, log)
+    }
+
+    #[test]
+    fn serve_and_serve_load_cycles_are_deterministic() {
+        let (report1, log1) = serve_cycle("det1", 7);
+        let (report2, log2) = serve_cycle("det2", 7);
+        assert_eq!(report1, report2, "same-seed reports must be identical");
+        assert_eq!(log1, log2, "same-seed admission logs must be identical");
+        assert!(log1.contains("\"decision\""), "{log1}");
+        assert!(report1.contains("stats"), "{report1}");
     }
 }

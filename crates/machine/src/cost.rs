@@ -42,6 +42,15 @@ impl Cost {
         self.reads + self.writes
     }
 
+    /// `Q = Q_r + ω·Q_w` without overflow: saturates at `u64::MAX`. The
+    /// serving planner prices astronomically large *hypothetical* jobs
+    /// (quote mode) whose predicted write counts, multiplied by ω, can
+    /// exceed `u64`; admission arithmetic must reject them, not wrap.
+    #[inline]
+    pub fn q_saturating(&self, omega: u64) -> u64 {
+        self.reads.saturating_add(omega.saturating_mul(self.writes))
+    }
+
     /// Component-wise difference; saturates at zero (used to attribute cost
     /// to phases by snapshotting before/after).
     pub fn since(&self, earlier: Cost) -> Cost {
@@ -154,6 +163,16 @@ mod tests {
         assert_eq!(c.q(1), 13);
         assert_eq!(c.q(16), 10 + 48);
         assert_eq!(c.total_ios(), 13);
+    }
+
+    #[test]
+    fn q_saturating_matches_q_then_clamps() {
+        let c = Cost::new(10, 3);
+        assert_eq!(c.q_saturating(16), c.q(16));
+        // ω·writes alone overflows; the sum clamps instead of wrapping.
+        let huge = Cost::new(7, u64::MAX / 2);
+        assert_eq!(huge.q_saturating(u64::MAX), u64::MAX);
+        assert_eq!(Cost::new(u64::MAX, 1).q_saturating(2), u64::MAX);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod observer;
 pub mod phase;
 pub mod profile;
+pub mod promtext;
 pub mod record;
 pub mod report;
 
@@ -57,5 +58,6 @@ pub use metrics::{Gauge, Histogram, Metrics};
 pub use observer::Observer;
 pub use phase::{node_depth, PhaseNode, PhaseStack};
 pub use profile::{Heatmap, Profile, Residual};
+pub use promtext::{prom_label_value, prom_name, PromText};
 pub use record::{RunRecord, WorkloadMeta, FORMAT_VERSION};
 pub use report::{render_markdown, render_text};

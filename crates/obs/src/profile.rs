@@ -267,62 +267,7 @@ pub fn residuals(rec: &RunRecord) -> Vec<Residual> {
     out
 }
 
-/// Sanitize a dotted metric name into the Prometheus charset.
-fn prom_name(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
-}
-
-/// Escape a label value per the Prometheus text format.
-fn prom_label_value(v: &str) -> String {
-    v.replace('\\', "\\\\")
-        .replace('"', "\\\"")
-        .replace('\n', "\\n")
-}
-
-struct PromWriter {
-    base: String,
-    out: String,
-}
-
-impl PromWriter {
-    fn new(base_labels: &[(&str, &str)]) -> Self {
-        let base = base_labels
-            .iter()
-            .map(|(k, v)| format!("{k}=\"{}\"", prom_label_value(v)))
-            .collect::<Vec<_>>()
-            .join(",");
-        PromWriter {
-            base,
-            out: String::new(),
-        }
-    }
-
-    fn head(&mut self, name: &str, kind: &str, help: &str) {
-        self.out.push_str(&format!("# HELP {name} {help}\n"));
-        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
-    }
-
-    fn sample(&mut self, name: &str, extra: &[(&str, String)], value: &str) {
-        let mut labels = self.base.clone();
-        for (k, v) in extra {
-            if !labels.is_empty() {
-                labels.push(',');
-            }
-            labels.push_str(&format!("{k}=\"{}\"", prom_label_value(v)));
-        }
-        if labels.is_empty() {
-            self.out.push_str(&format!("{name} {value}\n"));
-        } else {
-            self.out.push_str(&format!("{name}{{{labels}}} {value}\n"));
-        }
-    }
-
-    fn gauge_u64(&mut self, name: &str, extra: &[(&str, String)], v: u64) {
-        self.sample(name, extra, &v.to_string());
-    }
-}
+use crate::promtext::{prom_name, PromText as PromWriter};
 
 /// Serialize a record's totals, phase splits, predictor residuals,
 /// heatmap buckets and metric histograms as a Prometheus text
@@ -461,7 +406,7 @@ pub fn prometheus_text(rec: &RunRecord, extra_labels: &[(&str, &str)]) -> String
         w.gauge_u64(&format!("{base_name}_count"), &[], h.count);
     }
 
-    w.out
+    w.finish()
 }
 
 /// Everything `aemsim profile` (and later `aem-serve`) emits for one run,

@@ -1,0 +1,121 @@
+//! Minimal Prometheus text-format exposition, shared across emitters.
+//!
+//! Two places in the workspace speak the Prometheus text format: the
+//! per-run cost profiles ([`crate::profile::prometheus_text`]) and the
+//! serving layer's per-tenant metering endpoint. They must agree on name
+//! sanitization and label escaping, so both go through this module. The
+//! writer is deliberately tiny — a fixed base label set prepended to every
+//! sample plus `# HELP`/`# TYPE` headers — and, like the rest of the
+//! crate, has no dependencies.
+
+/// Sanitize a dotted metric name into the Prometheus charset
+/// (`[a-zA-Z0-9_]`); every other character becomes `_`.
+pub fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Escape a label value per the Prometheus text format: backslash, double
+/// quote and newline are backslash-escaped, everything else passes through.
+pub fn prom_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// An incremental Prometheus text writer.
+///
+/// Construct it with the labels common to every sample (workload identity,
+/// tenant, backend, ...); per-sample labels are appended after the base
+/// set. Call [`finish`](PromText::finish) to take the accumulated text.
+#[derive(Debug)]
+pub struct PromText {
+    base: String,
+    out: String,
+}
+
+impl PromText {
+    /// A writer whose every sample carries `base_labels`.
+    pub fn new(base_labels: &[(&str, &str)]) -> Self {
+        let base = base_labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", prom_label_value(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        PromText {
+            base,
+            out: String::new(),
+        }
+    }
+
+    /// Emit the `# HELP` / `# TYPE` header pair for a metric family.
+    pub fn head(&mut self, name: &str, kind: &str, help: &str) {
+        self.out.push_str(&format!("# HELP {name} {help}\n"));
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    /// Emit one sample with extra per-sample labels and a preformatted
+    /// value (callers format floats themselves to control precision).
+    pub fn sample(&mut self, name: &str, extra: &[(&str, String)], value: &str) {
+        let mut labels = self.base.clone();
+        for (k, v) in extra {
+            if !labels.is_empty() {
+                labels.push(',');
+            }
+            labels.push_str(&format!("{k}=\"{}\"", prom_label_value(v)));
+        }
+        if labels.is_empty() {
+            self.out.push_str(&format!("{name} {value}\n"));
+        } else {
+            self.out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+        }
+    }
+
+    /// Emit one integer-valued sample.
+    pub fn gauge_u64(&mut self, name: &str, extra: &[(&str, String)], v: u64) {
+        self.sample(name, extra, &v.to_string());
+    }
+
+    /// Take the accumulated exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_sanitizes_to_charset() {
+        assert_eq!(prom_name("pq.push.total"), "pq_push_total");
+        assert_eq!(prom_name("ok_name9"), "ok_name9");
+        assert_eq!(prom_name("a-b c/d"), "a_b_c_d");
+    }
+
+    #[test]
+    fn label_value_escapes() {
+        assert_eq!(prom_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(prom_label_value("two\nlines"), "two\\nlines");
+    }
+
+    #[test]
+    fn writer_prepends_base_labels() {
+        let mut w = PromText::new(&[("tenant", "t-1")]);
+        w.head("aem_jobs_total", "counter", "Jobs");
+        w.gauge_u64("aem_jobs_total", &[("kind", "sort".to_string())], 3);
+        assert_eq!(
+            w.finish(),
+            "# HELP aem_jobs_total Jobs\n# TYPE aem_jobs_total counter\n\
+             aem_jobs_total{tenant=\"t-1\",kind=\"sort\"} 3\n"
+        );
+    }
+
+    #[test]
+    fn writer_without_labels_emits_bare_samples() {
+        let mut w = PromText::new(&[]);
+        w.gauge_u64("aem_up", &[], 1);
+        assert_eq!(w.finish(), "aem_up 1\n");
+    }
+}

@@ -1,0 +1,465 @@
+//! The long-lived job server.
+//!
+//! One accept loop (non-blocking, polling the shutdown flag), one thread
+//! per connection, and one shared execution pool threaded on the sweep
+//! engine's worker pattern: a shared queue, `catch_unwind` around every
+//! job so a panicking simulation downs one request instead of a worker,
+//! and per-submission reply channels so each connection reassembles its
+//! batch results in declaration order.
+//!
+//! Shutdown is cooperative: SIGTERM (or a `shutdown` frame) flips one
+//! `AtomicBool`; the accept loop stops taking connections, every
+//! connection thread finishes its in-flight request and drains, the pool
+//! joins, and the canonical admission log / metering reports are written
+//! before `serve` returns.
+
+use crate::admission::{Admission, Decision};
+use crate::exec::{execute, ExecResult, TraceCache};
+use crate::metering::Metering;
+use crate::planner::{self, Plan};
+use crate::protocol::{
+    write_frame, FrameReader, JobOutcome, JobSpec, ReadOutcome, Request, Response,
+};
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+/// How the server is run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port 0 picks a free port (written to `addr_file`).
+    pub addr: String,
+    /// Execution-pool size.
+    pub workers: usize,
+    /// Park over-budget jobs instead of rejecting them.
+    pub queue_over_budget: bool,
+    /// Where to write the canonical admission log at shutdown.
+    pub admission_log: Option<String>,
+    /// Where to write the per-tenant JSONL metering report at shutdown.
+    pub metering_out: Option<String>,
+    /// Where to write the Prometheus exposition at shutdown.
+    pub prom_out: Option<String>,
+    /// Where to write the bound address (`host:port\n`) once listening.
+    pub addr_file: Option<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_over_budget: true,
+            admission_log: None,
+            metering_out: None,
+            prom_out: None,
+            addr_file: None,
+        }
+    }
+}
+
+struct Task {
+    spec: JobSpec,
+    plan: Plan,
+    reply: mpsc::Sender<Result<ExecResult, String>>,
+}
+
+struct State {
+    admission: Admission,
+    metering: Metering,
+    cache: TraceCache,
+}
+
+/// Run the server until `shutdown` turns true, then drain and write the
+/// reports. Returns a human-readable summary.
+pub fn serve(opts: &ServeOptions, shutdown: &AtomicBool) -> Result<String, String> {
+    let listener = TcpListener::bind(&opts.addr).map_err(|e| format!("bind {}: {e}", opts.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    if let Some(path) = &opts.addr_file {
+        let mut f = std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(f, "{addr}").map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    let state = State {
+        admission: Admission::new(opts.queue_over_budget),
+        metering: Metering::new(),
+        cache: TraceCache::new(),
+    };
+    let (tx, rx) = mpsc::channel::<Task>();
+    let rx = Mutex::new(rx);
+
+    std::thread::scope(|s| {
+        for _ in 0..opts.workers.max(1) {
+            s.spawn(|| worker_loop(&rx, &state.cache));
+        }
+        let mut conns = Vec::new();
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let tx = tx.clone();
+                    let state = &state;
+                    conns.push(s.spawn(move || handle_conn(stream, state, tx, shutdown)));
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    eprintln!("accept: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        drop(listener);
+        for c in conns {
+            let _ = c.join();
+        }
+        drop(tx); // workers observe the closed queue and exit
+    });
+
+    if let Some(path) = &opts.admission_log {
+        std::fs::write(path, state.admission.log_jsonl())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.metering_out {
+        std::fs::write(path, state.metering.jsonl_report())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.prom_out {
+        std::fs::write(path, state.metering.prometheus_text())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(format!(
+        "aem-serve: drained cleanly; {} admission decisions, {} compiled traces cached\n",
+        state.admission.decisions(),
+        state.cache.len(),
+    ))
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &TraceCache) {
+    loop {
+        // Holding the lock while blocked on recv is fine: execution
+        // happens after the guard drops, so only *pickup* serializes —
+        // the same discipline as the sweep engine's shared task index.
+        let task = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(task) = task else { return };
+        let result = catch_unwind(AssertUnwindSafe(|| execute(&task.spec, &task.plan, cache)))
+            .unwrap_or_else(|_| Err("job panicked during execution".into()));
+        let _ = task.reply.send(result);
+    }
+}
+
+/// Submit one admitted job to the pool and wait for its outcome.
+fn run_job(tx: &mpsc::Sender<Task>, spec: &JobSpec, plan: Plan) -> Result<ExecResult, String> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    tx.send(Task {
+        spec: spec.clone(),
+        plan,
+        reply: reply_tx,
+    })
+    .map_err(|_| "execution pool is gone".to_string())?;
+    reply_rx
+        .recv()
+        .map_err(|_| "execution worker died".to_string())?
+}
+
+fn outcome_response(spec: &JobSpec, plan: &Plan, r: ExecResult) -> Response {
+    Response::Done(JobOutcome {
+        id: spec.id,
+        algo: plan.algo.to_string(),
+        backend: plan.backend.name().to_string(),
+        predicted: plan.predicted,
+        measured: r.measured,
+        q: r.measured.q_saturating(spec.omega),
+        checksum: r.checksum,
+    })
+}
+
+/// Admit one job and, if accepted, execute it on the pool.
+fn handle_job(state: &State, tx: &mpsc::Sender<Task>, tenant: &str, spec: &JobSpec) -> Response {
+    let plan = match planner::plan(spec).and_then(|p| planner::executable(spec).map(|_| p)) {
+        Ok(p) => p,
+        Err(e) => {
+            let remaining = state.admission.reject_invalid(tenant, spec, &e);
+            return Response::Rejected {
+                id: spec.id,
+                reason: format!("bad_request: {e}"),
+                q: 0,
+                remaining,
+            };
+        }
+    };
+    let (decision, remaining) = state.admission.admit(tenant, spec, plan.q);
+    match decision {
+        Decision::Accept => match run_job(tx, spec, plan.clone()) {
+            Ok(r) => {
+                state.metering.record_done(
+                    tenant,
+                    r.measured,
+                    r.measured.q_saturating(spec.omega),
+                    r.via_replay,
+                );
+                outcome_response(spec, &plan, r)
+            }
+            Err(e) => Response::Error {
+                message: format!("job {} failed after admission: {e}", spec.id),
+            },
+        },
+        Decision::Queue => Response::Queued {
+            id: spec.id,
+            q: plan.q,
+        },
+        Decision::Reject | Decision::Drain => Response::Rejected {
+            id: spec.id,
+            reason: "over_budget".into(),
+            q: plan.q,
+            remaining,
+        },
+    }
+}
+
+/// Admit a batch sequentially (so the admission log order is the request
+/// order), then execute the accepted jobs concurrently on the pool and
+/// reassemble replies in declaration order.
+fn handle_batch(
+    state: &State,
+    tx: &mpsc::Sender<Task>,
+    tenant: &str,
+    jobs: &[JobSpec],
+) -> Response {
+    enum Slot {
+        Ready(Response),
+        Running(JobSpec, Plan, mpsc::Receiver<Result<ExecResult, String>>),
+    }
+    let mut slots = Vec::with_capacity(jobs.len());
+    for spec in jobs {
+        let plan = match planner::plan(spec).and_then(|p| planner::executable(spec).map(|_| p)) {
+            Ok(p) => p,
+            Err(e) => {
+                let remaining = state.admission.reject_invalid(tenant, spec, &e);
+                slots.push(Slot::Ready(Response::Rejected {
+                    id: spec.id,
+                    reason: format!("bad_request: {e}"),
+                    q: 0,
+                    remaining,
+                }));
+                continue;
+            }
+        };
+        let (decision, remaining) = state.admission.admit(tenant, spec, plan.q);
+        match decision {
+            Decision::Accept => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                if tx
+                    .send(Task {
+                        spec: spec.clone(),
+                        plan: plan.clone(),
+                        reply: reply_tx,
+                    })
+                    .is_err()
+                {
+                    slots.push(Slot::Ready(Response::Error {
+                        message: "execution pool is gone".into(),
+                    }));
+                    continue;
+                }
+                slots.push(Slot::Running(spec.clone(), plan, reply_rx));
+            }
+            Decision::Queue => slots.push(Slot::Ready(Response::Queued {
+                id: spec.id,
+                q: plan.q,
+            })),
+            Decision::Reject | Decision::Drain => slots.push(Slot::Ready(Response::Rejected {
+                id: spec.id,
+                reason: "over_budget".into(),
+                q: plan.q,
+                remaining,
+            })),
+        }
+    }
+    let results = slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Ready(r) => r,
+            Slot::Running(spec, plan, rx) => match rx.recv() {
+                Ok(Ok(r)) => {
+                    state.metering.record_done(
+                        tenant,
+                        r.measured,
+                        r.measured.q_saturating(spec.omega),
+                        r.via_replay,
+                    );
+                    outcome_response(&spec, &plan, r)
+                }
+                Ok(Err(e)) => Response::Error {
+                    message: format!("job {} failed after admission: {e}", spec.id),
+                },
+                Err(_) => Response::Error {
+                    message: format!("job {}: execution worker died", spec.id),
+                },
+            },
+        })
+        .collect();
+    Response::Batch(results)
+}
+
+fn handle_request(
+    state: &State,
+    tx: &mpsc::Sender<Task>,
+    tenant: &mut Option<String>,
+    req: Request,
+    shutdown: &AtomicBool,
+) -> Response {
+    if let Request::Hello {
+        tenant: name,
+        budget,
+    } = &req
+    {
+        let (total, drained) = state.admission.hello(name, *budget);
+        *tenant = Some(name.clone());
+        let drained_responses = drained
+            .into_iter()
+            .map(|job| match planner::plan(&job.spec) {
+                Ok(plan) => match run_job(tx, &job.spec, plan.clone()) {
+                    Ok(r) => {
+                        state.metering.record_done(
+                            name,
+                            r.measured,
+                            r.measured.q_saturating(job.spec.omega),
+                            r.via_replay,
+                        );
+                        outcome_response(&job.spec, &plan, r)
+                    }
+                    Err(e) => Response::Error {
+                        message: format!("drained job {} failed: {e}", job.spec.id),
+                    },
+                },
+                Err(e) => Response::Error {
+                    message: format!("drained job {} failed to re-plan: {e}", job.spec.id),
+                },
+            })
+            .collect();
+        return Response::HelloOk {
+            budget: total,
+            drained: drained_responses,
+        };
+    }
+    let Some(tenant) = tenant.as_deref() else {
+        return match req {
+            Request::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                Response::Bye
+            }
+            _ => Response::Error {
+                message: "say hello first: {\"type\":\"hello\",\"tenant\":...,\"budget\":...}"
+                    .into(),
+            },
+        };
+    };
+    match req {
+        Request::Hello { .. } => unreachable!("handled above"),
+        Request::Job(spec) => handle_job(state, tx, tenant, &spec),
+        Request::Batch(jobs) => handle_batch(state, tx, tenant, &jobs),
+        Request::Quote(spec) => match planner::plan(&spec) {
+            Ok(plan) => {
+                state.metering.record_quote(tenant);
+                Response::Quoted {
+                    id: spec.id,
+                    algo: plan.algo.to_string(),
+                    predicted: plan.predicted,
+                    q: plan.q,
+                }
+            }
+            Err(e) => Response::Rejected {
+                id: spec.id,
+                reason: format!("bad_request: {e}"),
+                q: 0,
+                remaining: state.admission.snapshot(tenant).budget,
+            },
+        },
+        Request::Stats => {
+            let adm = state.admission.snapshot(tenant);
+            let met = state.metering.snapshot(tenant);
+            Response::Stats {
+                tenant: tenant.to_string(),
+                budget: adm.budget,
+                spent: adm.spent,
+                accepted: adm.accepted,
+                rejected: adm.rejected,
+                queued: adm.queued,
+                quotes: met.quotes,
+                reads: met.reads,
+                writes: met.writes,
+            }
+        }
+        Request::Metrics => Response::Metrics {
+            text: state.metering.prometheus_text(),
+        },
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            Response::Bye
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, state: &State, tx: mpsc::Sender<Task>, shutdown: &AtomicBool) {
+    let mut stream = stream;
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let mut reader = FrameReader::new();
+    let mut tenant: Option<String> = None;
+    loop {
+        match reader.poll(&mut stream) {
+            Ok(ReadOutcome::Frame(json)) => {
+                let response = match Request::from_json(&json) {
+                    Ok(req) => handle_request(state, &tx, &mut tenant, req, shutdown),
+                    Err(e) => Response::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                let closing = matches!(response, Response::Bye);
+                if write_frame(&mut stream, &response.to_json()).is_err() {
+                    return;
+                }
+                if closing {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Idle) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Err(e) => {
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error {
+                        message: format!("protocol error: {e}"),
+                    }
+                    .to_json(),
+                );
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! SIGTERM → `AtomicBool`, with no libc dependency.
+//!
+//! The workspace is std-only, so instead of the `libc`/`signal-hook`
+//! crates we declare the one C symbol we need. The handler only performs
+//! an atomic store — the async-signal-safe subset — and the server's
+//! accept loop polls the flag, so delivery timing never races request
+//! handling. On non-Unix targets installation is a no-op (tests drive
+//! shutdown through the protocol's `shutdown` frame instead).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-wide shutdown flag SIGTERM flips.
+pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{AtomicBool, Ordering, SHUTDOWN};
+
+    const SIGTERM: i32 = 15;
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Route SIGTERM and SIGINT to [`SHUTDOWN`]; returns the flag.
+    pub fn install() -> &'static AtomicBool {
+        #[allow(unsafe_code)]
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+        &SHUTDOWN
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::{AtomicBool, SHUTDOWN};
+
+    /// No signals to install on this target; returns the flag unchanged.
+    pub fn install() -> &'static AtomicBool {
+        &SHUTDOWN
+    }
+}
+
+pub use imp::install as install_shutdown_signals;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_returns_the_shared_flag() {
+        let flag = install_shutdown_signals();
+        assert!(std::ptr::eq(flag, &SHUTDOWN));
+        assert!(!flag.load(Ordering::SeqCst) || flag.load(Ordering::SeqCst));
+    }
+}

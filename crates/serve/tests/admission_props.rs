@@ -1,0 +1,173 @@
+//! Admission-control property tests: over random budget/cost sequences,
+//! accepted jobs' predicted costs never exceed the tenant budget, queue
+//! drains preserve FIFO order, and the canonical log is independent of
+//! cross-tenant interleaving.
+
+use aem_serve::admission::{Admission, Decision};
+use aem_serve::protocol::{JobKind, JobSpec};
+use aem_workloads::SplitMix64;
+
+fn spec(id: u64, kind: JobKind, n: usize) -> JobSpec {
+    JobSpec {
+        id,
+        kind,
+        n,
+        mem: 64,
+        block: 8,
+        omega: 16,
+        delta: 2,
+        seed: 1,
+        payload: false,
+        backend: None,
+    }
+}
+
+/// One tenant's randomized script: hellos (top-ups) and priced jobs.
+#[derive(Debug, Clone)]
+enum Op {
+    Hello(u64),
+    Job(u64 /* id */, u64 /* q */),
+}
+
+fn rand_script(rng: &mut SplitMix64, ops: usize) -> Vec<Op> {
+    let mut out = vec![Op::Hello(rng.next_below(5_000))];
+    let mut id = 1;
+    for _ in 0..ops {
+        if rng.next_f64() < 0.2 {
+            out.push(Op::Hello(rng.next_below(3_000)));
+        } else {
+            out.push(Op::Job(id, rng.next_below(2_000)));
+            id += 1;
+        }
+    }
+    out
+}
+
+/// Replay a script against one tenant, tracking the ground truth.
+fn replay(adm: &Admission, tenant: &str, script: &[Op]) {
+    let mut budget = 0u64;
+    let mut accepted_q = 0u64;
+    let mut queued: Vec<(u64, u64)> = Vec::new(); // (id, q)
+    for op in script {
+        match *op {
+            Op::Hello(b) => {
+                let (total, drained) = adm.hello(tenant, b);
+                budget += b;
+                assert_eq!(total, budget, "cumulative budget");
+                for j in &drained {
+                    // FIFO: the drained ids must be the queue's prefix.
+                    let (id, q) = queued.remove(0);
+                    assert_eq!(j.spec.id, id, "drain order is FIFO");
+                    assert_eq!(j.q, q);
+                    accepted_q += q;
+                }
+                assert!(
+                    accepted_q <= budget,
+                    "INVARIANT: accepted {accepted_q} > budget {budget}"
+                );
+            }
+            Op::Job(id, q) => {
+                let s = spec(id, JobKind::Sort, 64);
+                let (decision, remaining) = adm.admit(tenant, &s, q);
+                match decision {
+                    Decision::Accept => {
+                        accepted_q += q;
+                        assert!(queued.is_empty(), "no jumping a non-empty queue");
+                    }
+                    Decision::Queue => queued.push((id, q)),
+                    Decision::Reject => {}
+                    Decision::Drain => panic!("admit never returns Drain"),
+                }
+                assert!(
+                    accepted_q <= budget,
+                    "INVARIANT: accepted {accepted_q} > budget {budget}"
+                );
+                assert_eq!(remaining, budget - accepted_q, "remaining accounting");
+            }
+        }
+    }
+    let snap = adm.snapshot(tenant);
+    assert_eq!(snap.budget, budget);
+    assert_eq!(snap.spent, accepted_q);
+    assert_eq!(snap.queued, queued.len() as u64);
+}
+
+#[test]
+fn accepted_costs_never_exceed_budget_queueing_mode() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED);
+    for round in 0..50 {
+        let adm = Admission::new(true);
+        let script = rand_script(&mut rng, 40);
+        replay(&adm, &format!("t-{round}"), &script);
+    }
+}
+
+#[test]
+fn accepted_costs_never_exceed_budget_rejecting_mode() {
+    let mut rng = SplitMix64::seed_from_u64(0xFEED);
+    for round in 0..50 {
+        let adm = Admission::new(false);
+        let script = rand_script(&mut rng, 40);
+        replay(&adm, &format!("t-{round}"), &script);
+        assert_eq!(adm.snapshot(&format!("t-{round}")).queued, 0);
+    }
+}
+
+#[test]
+fn log_is_independent_of_cross_tenant_interleaving() {
+    let mut rng = SplitMix64::seed_from_u64(0xD1CE);
+    let scripts: Vec<Vec<Op>> = (0..4).map(|_| rand_script(&mut rng, 25)).collect();
+
+    // Run 1: tenants strictly one after another.
+    let serial = Admission::new(true);
+    for (tix, script) in scripts.iter().enumerate() {
+        replay(&serial, &format!("t-{tix}"), script);
+    }
+
+    // Run 2: same scripts, ops interleaved round-robin across tenants.
+    let interleaved = Admission::new(true);
+    let mut cursors: Vec<std::slice::Iter<Op>> = scripts.iter().map(|s| s.iter()).collect();
+    let mut live = true;
+    while live {
+        live = false;
+        for (tix, it) in cursors.iter_mut().enumerate() {
+            if let Some(op) = it.next() {
+                live = true;
+                let tenant = format!("t-{tix}");
+                match *op {
+                    Op::Hello(b) => {
+                        interleaved.hello(&tenant, b);
+                    }
+                    Op::Job(id, q) => {
+                        interleaved.admit(&tenant, &spec(id, JobKind::Sort, 64), q);
+                    }
+                }
+            }
+        }
+    }
+
+    assert_eq!(
+        serial.log_jsonl(),
+        interleaved.log_jsonl(),
+        "canonical admission log must not depend on interleaving"
+    );
+}
+
+#[test]
+fn concurrent_admits_on_one_tenant_never_overspend() {
+    let adm = Admission::new(false);
+    adm.hello("shared", 10_000);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for i in 0..100 {
+                    adm.admit("shared", &spec(i, JobKind::Sort, 64), 37);
+                }
+            });
+        }
+    });
+    let snap = adm.snapshot("shared");
+    assert!(snap.spent <= snap.budget, "overspent under contention");
+    assert_eq!(snap.spent, 37 * snap.accepted);
+    assert_eq!(snap.accepted + snap.rejected, 800);
+}
