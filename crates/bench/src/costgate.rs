@@ -28,53 +28,54 @@ use aem_serve::protocol::{JobKind, JobSpec};
 /// small, block-hungry shape where algorithm crossovers sit nearby.
 pub const CONFIGS: [(usize, usize, u64); 2] = [(1024, 64, 16), (64, 8, 16)];
 
-/// Canonical problem size: big enough that every algorithm leaves its
-/// base case, small enough that the whole gate re-meters in seconds.
-pub const N: usize = 2048;
-
-/// The canonical cell registry: every kind on every config, once on the
-/// payload-carrying vec backend and once cost-only through the trace
-/// backend (whose replay-equals-live contract the gate thereby pins),
-/// plus a ghost cell wherever the planner deems ghost pricing sound.
+/// The canonical cell registry: every registered kind's `gate_shapes`
+/// on every config, once on the payload-carrying vec backend and once
+/// cost-only through the trace backend (whose replay-equals-live
+/// contract the gate thereby pins), plus a ghost cell wherever the
+/// planner deems ghost pricing sound. A kind registered in `aem-core`
+/// is metered here with zero edits — its descriptor names its shapes.
 pub fn canonical_cells() -> Vec<JobSpec> {
     let mut cells = Vec::new();
     let mut id = 0;
     for &(mem, block, omega) in &CONFIGS {
         for kind in JobKind::ALL {
-            for backend in ["vec", "trace"] {
+            for &(n, delta) in kind.descriptor().gate_shapes {
+                for backend in ["vec", "trace"] {
+                    id += 1;
+                    cells.push(JobSpec {
+                        id,
+                        kind,
+                        n,
+                        mem,
+                        block,
+                        omega,
+                        delta,
+                        seed: 1,
+                        payload: backend == "vec",
+                        backend: Some(backend.to_string()),
+                    });
+                }
+                // Ghost is only sound where the cheapest algorithm is
+                // payload-oblivious; the planner is the authority on
+                // that, so the cell is included exactly when it accepts
+                // a forced ghost.
                 id += 1;
-                cells.push(JobSpec {
+                let ghost = JobSpec {
                     id,
                     kind,
-                    n: N,
+                    n,
                     mem,
                     block,
                     omega,
-                    delta: 3,
+                    delta,
                     seed: 1,
-                    payload: backend == "vec",
-                    backend: Some(backend.to_string()),
-                });
+                    payload: false,
+                    backend: Some("ghost".to_string()),
+                };
+                if plan(&ghost).is_ok() {
+                    cells.push(ghost);
+                }
             }
-        }
-        // Ghost is only sound where the cheapest algorithm is
-        // payload-oblivious; the planner is the authority on that, so the
-        // cell is included exactly when it accepts a forced ghost.
-        id += 1;
-        let ghost = JobSpec {
-            id,
-            kind: JobKind::Permute,
-            n: N,
-            mem,
-            block,
-            omega,
-            delta: 3,
-            seed: 1,
-            payload: false,
-            backend: Some("ghost".to_string()),
-        };
-        if plan(&ghost).is_ok() {
-            cells.push(ghost);
         }
     }
     cells

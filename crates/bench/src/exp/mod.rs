@@ -37,6 +37,7 @@ pub mod optimality;
 pub mod permute;
 pub mod pq;
 pub mod rounds;
+pub mod search;
 pub mod sorting;
 pub mod spmv;
 
@@ -56,6 +57,7 @@ pub fn all_sweeps(quick: bool, backend: Backend) -> Vec<Sweep> {
     out.extend(flash::sweeps(quick, backend));
     out.extend(permute::sweeps(quick, backend));
     out.extend(spmv::sweeps(quick, backend));
+    out.extend(search::sweeps(quick, backend));
     out.extend(model::sweeps(quick, backend));
     out.extend(optimality::sweeps(quick, backend));
     out

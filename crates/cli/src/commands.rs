@@ -13,15 +13,14 @@ use aem_core::spmv::{
     install_instance, reference_multiply, spmv_direct, spmv_direct_on, spmv_sorted, spmv_sorted_on,
     MatEntry, SpmvInstance, U64Ring,
 };
+use aem_core::workload::{run_workload, LiveHarness, RunCtx, WorkloadKind};
 use aem_flash::driver::naive_atom_permutation;
 use aem_flash::verify_lemma_4_3;
 use aem_fuzz::{DistKind, FuzzCase, FuzzOptions};
-use aem_machine::{
-    with_backend_machine, with_payload_machine, AemAccess, AemConfig, Backend, Cost, Machine,
-};
+use aem_machine::{AemAccess, AemConfig, Backend, Cost, Machine};
 use aem_obs::{
     render_markdown, render_text, run_all, tail_from_record, InstrumentedMachine, Profile,
-    RunRecord, WorkloadMeta,
+    ProfileHarness, RunRecord, WorkloadMeta,
 };
 use aem_workloads::{perm, Conformation, KeyDist, MatrixShape, PermKind};
 
@@ -741,134 +740,116 @@ pub fn cmd_report(args: &Args) -> Result<String, String> {
     Ok(rendered)
 }
 
+/// The `kind1|kind2|…` operand menu, straight from the registry.
+fn workload_names() -> String {
+    WorkloadKind::ALL
+        .iter()
+        .map(|k| k.name())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Resolve the shared registry options (`--n --delta --algo --seed`) for
+/// one workload operand into a validated run context. Defaults come from
+/// the kind's descriptor, so each registered kind names its own
+/// canonical profile shape.
+fn registry_ctx(kind: WorkloadKind, args: &Args) -> Result<RunCtx, String> {
+    let w = kind.descriptor();
+    let cfg = machine_config(args)?;
+    let n = args.get_or("n", w.profile_n)?;
+    let delta = args.get_or("delta", w.default_delta)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let algo = args.get("algo").unwrap_or(w.default_algo);
+    RunCtx::new(kind, algo, cfg, n, delta, seed)
+}
+
 /// Build the instrumented run record — plus the live flight-recorder
 /// tail, which only exists machine-side — for one `profile` workload on
 /// one backend.
+///
+/// Fully registry-driven: the kind name, algorithm menu, shape defaults,
+/// and ghost policy all come from the `Workload` descriptor, so a newly
+/// registered kind is profilable with zero edits here.
 fn profile_record(
     workload: &str,
     backend: Backend,
     args: &Args,
 ) -> Result<(RunRecord, String), String> {
-    let cfg = machine_config(args)?;
-    let seed = args.get_or("seed", 1u64)?;
-    match workload {
-        // `profile pq` is shorthand for the PQ-backed sorter; both land
-        // on the ("sort", algo) predictors the residual gauge knows.
-        "sort" | "pq" => {
-            let n = args.get_or("n", 8192usize)?;
-            let algo = if workload == "pq" {
-                "pq"
-            } else {
-                args.get("algo").unwrap_or("aem")
-            };
-            let input = key_dist(args, seed)?.generate(n);
-            with_backend_machine!(backend, u64, |M| {
-                let mut im = InstrumentedMachine::new(M::new(cfg));
-                im.flight_mut()
-                    .set_label(&format!("sort/{algo} n={n} backend={}", backend.name()));
-                let r = im.inner_mut().install(&input);
-                let sorted = match algo {
-                    "aem" => merge_sort(&mut im, r),
-                    "em" => em_merge_sort(&mut im, r),
-                    "dist" => distribution_sort(&mut im, r),
-                    "heap" => heap_sort(&mut im, r),
-                    "pq" => sort_via_pq(&mut im, r),
-                    other => return Err(format!("unknown --algo '{other}' (aem|em|dist|heap|pq)")),
-                }
-                .map_err(|e| e.to_string())?;
-                // Ghost payloads are placeholders (constant keys): the
-                // schedule and cost are real, the values are not.
-                if backend.carries_payload() {
-                    let got = im.inner().inspect(sorted);
-                    if !got.windows(2).all(|w| w[0] <= w[1]) || got.len() != n {
-                        return Err(format!("{algo}: output verification failed"));
-                    }
-                }
-                let flight = im.flight().to_jsonl();
-                Ok((
-                    im.into_record(WorkloadMeta::new("sort", algo, n as u64)),
-                    flight,
-                ))
-            })
-        }
-        "permute" => {
-            let n = args.get_or("n", 8192usize)?;
-            let kind = perm_kind(args, n, seed)?;
-            let pi = kind.generate(n);
-            let values: Vec<u64> = (0..n as u64).collect();
-            let want = perm::apply(&pi, &values);
-            let tagged: Vec<DestTagged<u64>> = values
-                .iter()
-                .zip(pi.iter())
-                .map(|(v, &d)| DestTagged {
-                    dest: d as u64,
-                    value: *v,
-                })
-                .collect();
-            with_payload_machine!(backend, DestTagged<u64>, |M| {
-                let mut im = InstrumentedMachine::new(M::new(cfg));
-                im.flight_mut()
-                    .set_label(&format!("permute/by_sort n={n} backend={}", backend.name()));
-                let input = im.inner_mut().install(&tagged);
-                let outr = permute_by_sort_on(&mut im, input).map_err(|e| e.to_string())?;
-                let got: Vec<u64> = im
-                    .inner()
-                    .inspect(outr)
-                    .into_iter()
-                    .map(|t| t.value)
-                    .collect();
-                if got != want {
-                    return Err("by_sort: verification failed".into());
-                }
-                let flight = im.flight().to_jsonl();
-                Ok((
-                    im.into_record(WorkloadMeta::new("permute", "by_sort", n as u64)),
-                    flight,
-                ))
-            }, ghost => Err("profile permute routes on destination tags; use --backend vec|arena".into()))
-        }
-        "spmv" => {
-            let n = args.get_or("n", 1024usize)?;
-            let delta = args.get_or("delta", 4usize)?;
-            let algo = args.get("algo").unwrap_or("sorted");
-            let conf = Conformation::generate(MatrixShape::Random { seed }, n, delta);
-            let a: Vec<U64Ring> = (0..conf.nnz())
-                .map(|i| U64Ring((i as u64 * 37 + 1) % 97))
-                .collect();
-            let x: Vec<U64Ring> = (0..n).map(|j| U64Ring((j as u64 * 13 + 5) % 89)).collect();
-            let want = reference_multiply(&conf, &a, &x);
-            let inst = SpmvInstance {
-                conf: &conf,
-                a_vals: &a,
-                x: &x,
-            };
-            with_payload_machine!(backend, MatEntry<U64Ring>, |M| {
-                let mut im = InstrumentedMachine::new(M::new(cfg));
-                im.flight_mut()
-                    .set_label(&format!("spmv/{algo} n={n} backend={}", backend.name()));
-                let (ar, xr) = install_instance(im.inner_mut(), &inst);
-                let y = match algo {
-                    "sorted" => spmv_sorted_on(&mut im, &conf, ar, xr),
-                    "direct" => spmv_direct_on(&mut im, &conf, ar, xr),
-                    other => return Err(format!("unknown --algo '{other}' (sorted|direct)")),
-                }
-                .map_err(|e| e.to_string())?;
-                let got: Vec<U64Ring> =
-                    im.inner().inspect(y).into_iter().map(|e| e.val).collect();
-                if got != want {
-                    return Err(format!("{algo}: verification failed"));
-                }
-                let flight = im.flight().to_jsonl();
-                Ok((
-                    im.into_record(WorkloadMeta::with_delta("spmv", algo, n as u64, delta as u64)),
-                    flight,
-                ))
-            }, ghost => Err("profile spmv moves semiring atoms; use --backend vec|arena".into()))
-        }
-        other => Err(format!(
-            "unknown profile workload '{other}' (sort|permute|spmv|pq)"
-        )),
+    let kind = WorkloadKind::from_name(workload).map_err(|_| {
+        format!(
+            "unknown profile workload '{workload}' ({})",
+            workload_names()
+        )
+    })?;
+    let ctx = registry_ctx(kind, args)?;
+    // The cost-only backend carries no payloads: algorithms whose
+    // schedule routes on data refuse it (the registry says which).
+    if !backend.carries_payload() && !ctx.algo.ghost_runnable {
+        return Err(format!(
+            "profile {}/{} {}; use --backend vec|arena",
+            kind.name(),
+            ctx.algo.name,
+            ctx.algo.ghost_note
+        ));
     }
+    let p = run_workload(&ctx, &mut ProfileHarness { backend }).map_err(|e| e.to_string())?;
+    Ok((p.record, p.flight_jsonl))
+}
+
+/// `aemsim run <workload>` — execute a registered workload live and
+/// report the measured cost next to the registry's priced candidate
+/// menu (every predictor that accepts this config, cheapest flagged).
+pub fn cmd_run(args: &Args) -> Result<String, String> {
+    let workload = args.operand.as_deref().ok_or_else(|| {
+        format!(
+            "run requires a workload operand: aemsim run {} [--algo --n --delta --backend ...]",
+            workload_names()
+        )
+    })?;
+    let kind = WorkloadKind::from_name(workload)?;
+    let w = kind.descriptor();
+    let backend = parse_backend(args)?;
+    let ctx = registry_ctx(kind, args)?;
+    let (cost, checksum) =
+        run_workload(&ctx, &mut LiveHarness { backend }).map_err(|e| e.to_string())?;
+
+    let delta_note = if w.requires_delta {
+        format!(", {} = {}", w.delta_name, ctx.delta)
+    } else {
+        String::new()
+    };
+    let mut out = format!(
+        "machine: {}\nworkload: {}/{} N={}{delta_note} backend={}\n\n",
+        ctx.cfg,
+        kind.name(),
+        ctx.algo.name,
+        ctx.n,
+        backend.name(),
+    );
+    out.push_str(&cost_line("measured", cost, ctx.cfg.omega));
+    if backend.carries_payload() {
+        out.push_str(&format!("output checksum: {checksum:#018x}\n"));
+    } else {
+        out.push_str("output checksum: none (cost-only backend)\n");
+    }
+    let menu = w.menu(ctx.cfg, ctx.n, ctx.delta);
+    if menu.is_empty() {
+        out.push_str("\ncandidate menu: no predictor accepts this config\n");
+    } else {
+        let best = w.cheapest(ctx.cfg, ctx.n, ctx.delta).map(|(name, _)| name);
+        out.push_str("\ncandidate menu (exact-schedule predictions):\n");
+        for (name, c) in &menu {
+            let mut marks = String::new();
+            if *name == ctx.algo.name {
+                marks.push_str("  ← ran");
+            }
+            if Some(*name) == best {
+                marks.push_str("  (cheapest)");
+            }
+            out.push_str(&format!("  {name:<12} Q = {}{marks}\n", c.q(ctx.cfg.omega)));
+        }
+    }
+    Ok(out)
 }
 
 /// `aemsim profile <workload>` — run a workload on an instrumented
@@ -877,9 +858,12 @@ fn profile_record(
 /// text exposition, and the flight-recorder tail. The summary printed to
 /// stdout carries the predictor-residual gauges and the heatmap.
 pub fn cmd_profile(args: &Args) -> Result<String, String> {
-    let workload = args.operand.as_deref().ok_or(
-        "profile requires a workload operand: aemsim profile sort|permute|spmv|pq [--backend ...]",
-    )?;
+    let workload = args.operand.as_deref().ok_or_else(|| {
+        format!(
+            "profile requires a workload operand: aemsim profile {} [--backend ...]",
+            workload_names()
+        )
+    })?;
     let backend = parse_backend(args)?;
     let cfg = machine_config(args)?;
     let (rec, flight_jsonl) = profile_record(workload, backend, args)?;
@@ -968,9 +952,10 @@ pub fn cmd_serve_load(args: &Args) -> Result<String, String> {
     run_load(&opts)
 }
 
-/// Usage text. The fuzz-target and backend lists are enumerated from the
-/// registries (`aem_fuzz::targets::all_targets`, `Backend::ALL`) so the
-/// help can never drift from what the binary actually accepts.
+/// Usage text. The workload, fuzz-target and backend lists are
+/// enumerated from the registries (`WorkloadKind::ALL`,
+/// `aem_fuzz::targets::all_targets`, `Backend::ALL`) so the help can
+/// never drift from what the binary actually accepts.
 pub fn usage() -> String {
     let backends = aem_machine::Backend::ALL
         .iter()
@@ -982,6 +967,16 @@ pub fn usage() -> String {
         .map(|t| t.name)
         .collect::<Vec<_>>()
         .join(", ");
+    let workloads = workload_names();
+    let mut workload_lines = String::new();
+    for kind in WorkloadKind::ALL {
+        let w = kind.descriptor();
+        let algos = w.algos.iter().map(|a| a.name).collect::<Vec<_>>().join("|");
+        workload_lines.push_str(&format!(
+            "  {:<8} {}  (--algo {algos})\n",
+            w.name, w.summary
+        ));
+    }
     format!(
         "aemsim — the (M, B, ω)-Asymmetric External Memory simulator
 (reproduction of Jacob & Sitchinava, SPAA 2017)
@@ -1001,9 +996,14 @@ COMMANDS
   report    render a trace     --in FILE [--format text|md]
                                (exits nonzero if a paper-invariant
                                checker fails, with the I/O tail)
-  profile   cost attribution   <workload> = sort|permute|spmv|pq
+  run       registry run       <workload> = {workloads}
+                               [--backend {backends} --n --algo --delta]
+                               executes a registered workload live and
+                               prints the measured cost beside the
+                               priced candidate menu (cheapest flagged)
+  profile   cost attribution   <workload> = {workloads}
                                [--backend {backends} --out PREFIX
-                                --n --algo --dist --kind --delta]
+                                --n --algo --delta]
                                writes PREFIX.folded (flamegraph input),
                                PREFIX.heatmap.txt, PREFIX.prom,
                                PREFIX.flight.jsonl; prints predictor
@@ -1030,6 +1030,8 @@ COMMANDS
                                --target/--case-seed repro shape failure
                                reports print
 
+WORKLOADS (the registry behind run, profile, serve and fuzz)
+{workload_lines}
 FUZZ TARGETS (--target takes exact names, prefixes, or comma lists)
   {targets}
 
@@ -1066,6 +1068,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("trace") => cmd_trace(args),
         Some("lemma43") => cmd_lemma43(args),
         Some("report") => cmd_report(args),
+        Some("run") => cmd_run(args),
         Some("profile") => cmd_profile(args),
         Some("serve") => cmd_serve(args),
         Some("serve-load") => cmd_serve_load(args),
@@ -1152,6 +1155,108 @@ mod tests {
         }
         for b in aem_machine::Backend::ALL {
             assert!(out.contains(b.name()), "usage missing backend {}", b.name());
+        }
+    }
+
+    #[test]
+    fn registry_completeness_across_every_surface() {
+        // Every registered kind must be reachable from every consumer
+        // layer: a priced menu, a live `aemsim run`, a fuzz target per
+        // algorithm, a strict-gate cell in COSTS.json, and the help
+        // text. A kind that registers but misses a surface fails here.
+        let cfg = AemConfig::new(1024, 64, 16).unwrap();
+        let usage_text = usage();
+        let costs =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../COSTS.json"))
+                .expect("COSTS.json at the repo root");
+        let fuzz_names: Vec<&str> = aem_fuzz::targets::all_targets()
+            .iter()
+            .map(|t| t.name)
+            .collect();
+        for kind in WorkloadKind::ALL {
+            let w = kind.descriptor();
+            let (n, d) = w.gate_shapes[0];
+            assert!(
+                !w.menu(cfg, n, d).is_empty(),
+                "{}: empty menu on the canonical gate shape",
+                w.name
+            );
+            let out = run(&format!("run {} --n 300 --mem 64 --block 8", w.name)).unwrap();
+            assert!(out.contains("measured"), "{}: {out}", w.name);
+            assert!(out.contains("candidate menu"), "{}: {out}", w.name);
+            for a in w.algos {
+                assert!(
+                    fuzz_names.contains(&a.fuzz_target),
+                    "{}/{}: fuzz target '{}' not registered",
+                    w.name,
+                    a.name,
+                    a.fuzz_target
+                );
+            }
+            assert!(
+                costs.contains(&format!("\"{}/", w.name)),
+                "{}: no strict-gate cell in COSTS.json",
+                w.name
+            );
+            assert!(usage_text.contains(w.name), "{}: not in usage", w.name);
+        }
+    }
+
+    #[test]
+    fn run_command_reports_cost_and_menu() {
+        let out = run("run search --n 512 --delta 32 --mem 64 --block 8").unwrap();
+        assert!(out.contains("search/btree"), "{out}");
+        assert!(out.contains("← ran"), "{out}");
+        assert!(out.contains("(cheapest)"), "{out}");
+        assert!(out.contains("output checksum: 0x"), "{out}");
+        // Algo aliases resolve through the registry.
+        let alias = run("run permute --algo by_sort --n 256 --mem 64 --block 8").unwrap();
+        assert!(alias.contains("permute/by-sort"), "{alias}");
+        // Ghost runs price but don't verify; payload-routed algorithms
+        // refuse the cost-only backend outright.
+        let ghost =
+            run("run permute --algo naive --n 256 --mem 64 --block 8 --backend ghost").unwrap();
+        assert!(ghost.contains("cost-only backend"), "{ghost}");
+        assert!(
+            run("run permute --algo by-sort --n 256 --mem 64 --block 8 --backend ghost").is_err()
+        );
+        // Shape validity comes from the registry predicate.
+        assert!(run("run spmv --n 16 --delta 32 --mem 64 --block 8").is_err());
+        assert!(run("run search --n 100 --delta 0 --mem 64 --block 8").is_err());
+        assert!(run("run bogus --n 10").is_err());
+        assert!(run("run").is_err());
+    }
+
+    #[test]
+    fn profile_search_via_registry() {
+        let prefix = tmp_path("prof-search");
+        let p = prefix.to_str().unwrap();
+        let out = run(&format!(
+            "profile search --n 512 --delta 16 --mem 64 --block 8 --out {p}"
+        ))
+        .unwrap();
+        assert!(out.contains("search/btree"), "{out}");
+        assert!(out.contains("profile artifacts"), "{out}");
+        let folded = std::fs::read_to_string(format!("{p}.folded")).unwrap();
+        assert!(folded.contains("search/btree;"), "{folded}");
+        for suffix in [".folded", ".heatmap.txt", ".prom", ".flight.jsonl"] {
+            std::fs::remove_file(format!("{p}{suffix}")).ok();
+        }
+        // Key-routed descent refuses the ghost backend; the oblivious
+        // layouts accept it.
+        assert!(
+            run("profile search --algo eytzinger --n 256 --mem 64 --block 8 --backend ghost")
+                .is_err()
+        );
+        let prefix = tmp_path("prof-search-ghost");
+        let p = prefix.to_str().unwrap();
+        let out = run(&format!(
+            "profile search --algo binary --n 256 --mem 64 --block 8 --backend ghost --out {p}"
+        ))
+        .unwrap();
+        assert!(out.contains("search/binary"), "{out}");
+        for suffix in [".folded", ".heatmap.txt", ".prom", ".flight.jsonl"] {
+            std::fs::remove_file(format!("{p}{suffix}")).ok();
         }
     }
 

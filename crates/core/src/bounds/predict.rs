@@ -336,32 +336,26 @@ pub fn spmv_candidates(cfg: AemConfig, n: usize, delta: usize) -> Vec<(&'static 
     ]
 }
 
-/// The priced algorithm menu for a workload kind, by its wire name:
-/// `"sort"`, `"permute"`, `"spmv"`, or `"pq"` (the PQ kind always routes
-/// through the buffered queue, so its menu is the single `pq` entry —
-/// `None` when the config rejects the queue). Unknown kinds yield `None`.
+/// The priced algorithm menu for a workload kind, by its wire name — a
+/// thin veneer over [`crate::workload::Workload::menu`], kept for callers
+/// that hold a string rather than a [`crate::workload::WorkloadKind`].
+/// Unknown kinds and shapes with no eligible algorithm yield `None`.
 ///
-/// This is the predictor registry behind the `aem-serve` query planner and
-/// the `cost_gate` canonical cells: every entry's cost is a deterministic
-/// integer derived from `(M, B, ω, n, δ)` alone.
+/// Every entry's cost is a deterministic integer derived from
+/// `(M, B, ω, n, δ)` alone — the registry behind the `aem-serve` query
+/// planner and the `cost_gate` canonical cells.
 pub fn candidates(
     kind: &str,
     cfg: AemConfig,
     n: usize,
     delta: usize,
 ) -> Option<Vec<(&'static str, Cost)>> {
-    match kind {
-        "sort" => Some(sort_candidates(cfg, n)),
-        "permute" => Some(permute_candidates(cfg, n)),
-        "spmv" => Some(spmv_candidates(cfg, n, delta)),
-        "pq" => {
-            if crate::pq::PqParams::for_config(cfg).is_err() {
-                return None;
-            }
-            Some(vec![("pq", pq_sort_cost(cfg, n))])
-        }
-        _ => None,
+    let k = crate::workload::WorkloadKind::from_name(kind).ok()?;
+    let menu = k.descriptor().menu(cfg, n, delta);
+    if menu.is_empty() {
+        return None;
     }
+    Some(menu)
 }
 
 /// The cheapest candidate for a workload kind under `Q = Q_r + ω·Q_w`
@@ -375,9 +369,8 @@ pub fn cheapest(
     n: usize,
     delta: usize,
 ) -> Option<(&'static str, Cost)> {
-    candidates(kind, cfg, n, delta)?
-        .into_iter()
-        .min_by_key(|(_, c)| c.q_saturating(cfg.omega))
+    let k = crate::workload::WorkloadKind::from_name(kind).ok()?;
+    k.descriptor().cheapest(cfg, n, delta)
 }
 
 #[cfg(test)]

@@ -17,8 +17,14 @@
 //!   abstract [`spmv::Semiring`]: the direct (`O(H + ωn)`) and the
 //!   sorting-based meta-column (`O(ω h log_{ωm} N/max{δ,B} + ωn)`)
 //!   algorithms of §5;
+//! * [`search`] — static search structures under `ω` (T11): sorted-array
+//!   binary search, a blocked B-tree, and the cache-oblivious Eytzinger
+//!   layout, trading an `ω`-priced build against read-only lookups;
 //! * [`stream`] — streaming primitives (map, reduce, filter, zip, prefix
 //!   scan): the one-pass building blocks user algorithms compose from;
+//! * [`workload`] — the workload registry: one descriptor per kind
+//!   (names, menus, predictors, ghost flags, validity, seeded instances)
+//!   that serve, the CLI, the fuzzer, and the cost gate all iterate;
 //! * [`bounds`] — numeric evaluation of every lower bound in the paper: the
 //!   §4.2 counting inequality (1) (Theorem 4.5), the flash-model reduction
 //!   bound (Corollary 4.4), the §5 SpMxV bound with its `τ(N, δ, B)` table
@@ -56,8 +62,11 @@ pub mod oracle;
 pub mod permute;
 pub mod pq;
 pub mod relational;
+pub mod search;
 pub mod sort;
 pub mod spmv;
 pub mod stream;
+pub mod workload;
 
 pub use aem_machine::{AemAccess, AemConfig, Cost, Machine, MachineError};
+pub use workload::{Workload, WorkloadKind};

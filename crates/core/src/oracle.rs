@@ -43,6 +43,22 @@ pub fn permuted_reference<T: Clone>(pi: &[usize], values: &[T]) -> Vec<T> {
         .collect()
 }
 
+/// RAM-model batched lookup: for each query, the key itself when present
+/// in (sorted) `keys`, else [`crate::search::MISS`] — the oracle for every
+/// layout in [`crate::search`].
+pub fn lookup_reference(keys: &[u64], queries: &[u64]) -> Vec<u64> {
+    queries
+        .iter()
+        .map(|q| {
+            if keys.binary_search(q).is_ok() {
+                *q
+            } else {
+                crate::search::MISS
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

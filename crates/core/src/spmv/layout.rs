@@ -21,7 +21,7 @@ use super::semiring::Semiring;
 /// atoms by row, and the `(run, position)` tags of the §3 merge break the
 /// ties, so equal rows never need a value comparison (values of a general
 /// semiring are not ordered).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MatEntry<S> {
     /// Row index `i` of the atom.
     pub row: u64,
@@ -116,6 +116,12 @@ where
 pub trait InstallExt<T> {
     /// Install `data` into fresh external blocks without charging I/O.
     fn install_atoms(&mut self, data: &[T]) -> Region;
+}
+
+impl<T, A: InstallExt<T> + ?Sized> InstallExt<T> for &mut A {
+    fn install_atoms(&mut self, data: &[T]) -> Region {
+        (**self).install_atoms(data)
+    }
 }
 
 impl<T, S, A> InstallExt<T> for aem_machine::MachineCore<T, S, A>

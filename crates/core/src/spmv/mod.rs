@@ -24,7 +24,7 @@ pub mod semiring;
 pub mod sorted;
 
 pub use direct::{spmv_direct, spmv_direct_on};
-pub use layout::{install_instance, MatEntry, SpmvInstance};
+pub use layout::{install_instance, InstallExt, MatEntry, SpmvInstance};
 pub use reference::reference_multiply;
 pub use semiring::{BoolRing, MaxPlus, Semiring, U64Ring};
 pub use sorted::{spmv_sorted, spmv_sorted_on};

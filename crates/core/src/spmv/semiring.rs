@@ -24,7 +24,7 @@ pub trait Semiring: Clone + std::fmt::Debug + PartialEq {
 
 /// `u64` with wrapping arithmetic: the canonical test semiring (exact,
 /// hashable, cheap).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct U64Ring(pub u64);
 
 impl Semiring for U64Ring {

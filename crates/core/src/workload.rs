@@ -1,0 +1,974 @@
+//! The workload registry: one descriptor per workload kind, consumed by
+//! every layer.
+//!
+//! Before this module, *what a workload is* — its wire name, candidate
+//! algorithms, predictors, ghost flags, valid shapes, seeded instance —
+//! was duplicated as string matches and enum arms across seven crates.
+//! Now each kind is a single [`Workload`] descriptor and the consumers
+//! iterate the registry:
+//!
+//! * `aem-serve`'s planner prices [`Workload::menu`] and routes backends
+//!   by [`AlgoSpec::ghost_sound`]; its executor and the cost gate run
+//!   jobs through [`run_workload`] with their own [`Harness`] (live
+//!   backends, trace compilation);
+//! * `aem-obs` resolves predictors and lower-bound applicability from
+//!   the descriptor when checking records;
+//! * `aem-fuzz` generates one differential target per
+//!   [`AlgoSpec::fuzz_target`];
+//! * the CLI builds its usage text, profile defaults, and ghost
+//!   gating from the same fields.
+//!
+//! Registering a new kind (the search family was the first to land this
+//! way) reaches serve, profile, fuzz, and the strict cost gate without
+//! touching any of those crates.
+
+use std::fmt;
+
+use aem_machine::{
+    AemAccess, AemConfig, ArenaMachine, Backend, BlockStore, Cost, GhostMachine, Machine,
+    MachineCore, MachineError, Region, TraceMachine,
+};
+use aem_workloads::{perm, search_instance, Conformation, KeyDist, MatrixShape, PermKind};
+
+use crate::bounds::predict;
+use crate::oracle;
+use crate::permute::{permute_by_sort_on, permute_naive_on, DestTagged};
+use crate::pq::PqParams;
+use crate::search;
+use crate::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort, sort_via_pq};
+use crate::spmv::{
+    install_instance, reference_multiply, spmv_direct_on, spmv_sorted_on, InstallExt, MatEntry,
+    SpmvInstance, U64Ring,
+};
+
+/// Every workload kind the workspace serves, fuzzes, profiles, and gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkloadKind {
+    /// Sort `n` seeded keys (§3 family: AEM/EM mergesorts, sorters via
+    /// distribution, heaps, and the buffered PQ).
+    Sort,
+    /// Apply a seeded permutation to `0..n` (§4: naive vs by-sort).
+    Permute,
+    /// Sparse matrix × vector over a semiring, `δ` non-zeros per column
+    /// (§5).
+    Spmv,
+    /// The buffered priority queue exercised as a sorter (§3.2).
+    Pq,
+    /// Build a static index over `n` keys, then run `δ` lookups (T11:
+    /// ω-priced build vs read-only queries).
+    Search,
+}
+
+impl WorkloadKind {
+    /// Every registered kind, in canonical order.
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::Sort,
+        WorkloadKind::Permute,
+        WorkloadKind::Spmv,
+        WorkloadKind::Pq,
+        WorkloadKind::Search,
+    ];
+
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        self.descriptor().name
+    }
+
+    /// Parse a wire name.
+    pub fn from_name(s: &str) -> Result<WorkloadKind, String> {
+        WorkloadKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = WorkloadKind::ALL.iter().map(|k| k.name()).collect();
+                format!("unknown job kind '{s}' ({})", names.join("|"))
+            })
+    }
+
+    /// The kind's registry entry.
+    pub fn descriptor(self) -> &'static Workload {
+        match self {
+            WorkloadKind::Sort => &SORT,
+            WorkloadKind::Permute => &PERMUTE,
+            WorkloadKind::Spmv => &SPMV,
+            WorkloadKind::Pq => &PQ,
+            WorkloadKind::Search => &SEARCH,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One candidate algorithm of a workload kind.
+#[derive(Debug)]
+pub struct AlgoSpec {
+    /// Canonical algorithm name (the planner/exec/record key).
+    pub name: &'static str,
+    /// Accepted spellings from older records and CLI shorthands.
+    pub aliases: &'static [&'static str],
+    /// `true` when a ghost (cost-only occupancy) store prices the
+    /// algorithm *exactly* — its I/O count never depends on payload
+    /// values — so the planner may route or accept forced ghost.
+    pub ghost_sound: bool,
+    /// `true` when the algorithm at least *runs* on ghost placeholders
+    /// with a representative schedule (profiling allows it); a subset
+    /// of these are also [`AlgoSpec::ghost_sound`].
+    pub ghost_runnable: bool,
+    /// Why ghost is refused, for `!ghost_runnable` algorithms.
+    pub ghost_note: &'static str,
+    /// Name of the differential fuzz target generated for this
+    /// algorithm. Stable: corpus files reference it.
+    pub fuzz_target: &'static str,
+    /// Run the `aem-obs` record invariants (cost conservation, phase
+    /// tree, cost sandwich) on fuzzed executions.
+    pub invariants: bool,
+    /// Worst-case schedule predictor; `None` when the config rejects
+    /// the algorithm (it then stays off every menu) or no closed form
+    /// is priced.
+    pub predict: fn(AemConfig, usize, usize) -> Option<Cost>,
+    /// Per-phase decomposition of the predictor, when one exists.
+    pub predict_phases: Option<PhasePredictor>,
+}
+
+/// Per-phase decomposition of an exact-schedule predictor:
+/// `(cfg, n, delta) -> [(phase label, phase cost)]`.
+pub type PhasePredictor = fn(AemConfig, usize, usize) -> Vec<(String, Cost)>;
+
+/// A workload kind's registry entry.
+#[derive(Debug)]
+pub struct Workload {
+    /// The kind this entry describes.
+    pub kind: WorkloadKind,
+    /// Stable wire name (`sort`, `permute`, `spmv`, `pq`, `search`).
+    pub name: &'static str,
+    /// One-line description for usage text.
+    pub summary: &'static str,
+    /// What the `delta` field means for this kind (empty when unused).
+    pub delta_name: &'static str,
+    /// `true` when `delta == 0` is an invalid shape.
+    pub requires_delta: bool,
+    /// The algorithm `aemsim profile` runs when none is named.
+    pub default_algo: &'static str,
+    /// Default `n` for `aemsim profile`.
+    pub profile_n: usize,
+    /// Default `delta` for `aemsim profile` and `aemsim run`.
+    pub default_delta: usize,
+    /// `true` when the §3/§4 counting lower bound applies to measured
+    /// runs of this kind (the obs cost sandwich uses it).
+    pub counting_lower_bound: bool,
+    /// Candidate algorithms in canonical (menu) order.
+    pub algos: &'static [AlgoSpec],
+    /// Canonical `(n, delta)` shapes metered by the strict cost gate.
+    pub gate_shapes: &'static [(usize, usize)],
+}
+
+impl Workload {
+    /// Resolve an algorithm by canonical name or alias (`-`/`_` are
+    /// interchangeable).
+    pub fn algo(&self, name: &str) -> Option<&'static AlgoSpec> {
+        let eq = |a: &str| a.replace('-', "_") == name.replace('-', "_");
+        self.algos
+            .iter()
+            .find(|a| eq(a.name) || a.aliases.iter().any(|&al| eq(al)))
+    }
+
+    /// The priced candidate menu on a shape: every algorithm whose
+    /// predictor accepts the config, in canonical order.
+    pub fn menu(&self, cfg: AemConfig, n: usize, delta: usize) -> Vec<(&'static str, Cost)> {
+        self.algos
+            .iter()
+            .filter_map(|a| (a.predict)(cfg, n, delta).map(|c| (a.name, c)))
+            .collect()
+    }
+
+    /// The cheapest menu entry under `Q = Q_r + ω·Q_w` (ties resolve to
+    /// the earliest candidate, keeping planner output deterministic).
+    pub fn cheapest(&self, cfg: AemConfig, n: usize, delta: usize) -> Option<(&'static str, Cost)> {
+        self.menu(cfg, n, delta)
+            .into_iter()
+            .min_by_key(|(_, c)| c.q_saturating(cfg.omega))
+    }
+
+    /// The kind's shape-validity predicate: every layer (CLI, planner,
+    /// fuzz sampler) rejects invalid shapes through this one function.
+    pub fn validate(&self, n: usize, delta: usize) -> Result<(), String> {
+        if n == 0 {
+            return Err("n must be positive".into());
+        }
+        if self.requires_delta && delta == 0 {
+            return Err(format!(
+                "{} requires delta >= 1 ({})",
+                self.name, self.delta_name
+            ));
+        }
+        if self.kind == WorkloadKind::Spmv && delta > n {
+            return Err(format!(
+                "spmv requires delta <= n (a column holds at most n distinct rows; got delta={delta}, n={n})"
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predictor adapters (the registry's `fn` fields must be plain items).
+// ---------------------------------------------------------------------
+
+fn predict_aem(cfg: AemConfig, n: usize, _d: usize) -> Option<Cost> {
+    Some(predict::merge_sort_cost(cfg, n))
+}
+fn predict_em(cfg: AemConfig, n: usize, _d: usize) -> Option<Cost> {
+    Some(predict::em_sort_cost(cfg, n))
+}
+fn predict_pq(cfg: AemConfig, n: usize, _d: usize) -> Option<Cost> {
+    if PqParams::for_config(cfg).is_err() {
+        return None;
+    }
+    Some(predict::pq_sort_cost(cfg, n))
+}
+fn predict_unpriced(_cfg: AemConfig, _n: usize, _d: usize) -> Option<Cost> {
+    None
+}
+fn predict_naive(cfg: AemConfig, n: usize, _d: usize) -> Option<Cost> {
+    Some(predict::permute_naive_cost(cfg, n))
+}
+fn predict_by_sort(cfg: AemConfig, n: usize, _d: usize) -> Option<Cost> {
+    Some(predict::permute_by_sort_cost(cfg, n))
+}
+fn predict_spmv_direct(cfg: AemConfig, n: usize, d: usize) -> Option<Cost> {
+    Some(predict::spmv_direct_cost(cfg, n, d))
+}
+fn predict_spmv_sorted(cfg: AemConfig, n: usize, d: usize) -> Option<Cost> {
+    Some(predict::spmv_sorted_cost(cfg, n, d))
+}
+fn predict_search_binary(cfg: AemConfig, n: usize, d: usize) -> Option<Cost> {
+    Some(search::binary_cost(cfg, n, d))
+}
+fn predict_search_btree(cfg: AemConfig, n: usize, d: usize) -> Option<Cost> {
+    // Fan-out is B: a one-element block cannot form a tree, so the layout
+    // stays off the menu (and `build_btree` rejects the config).
+    if cfg.block < 2 {
+        return None;
+    }
+    Some(search::btree_cost(cfg, n, d))
+}
+fn predict_search_eytzinger(cfg: AemConfig, n: usize, d: usize) -> Option<Cost> {
+    Some(search::eytzinger_cost(cfg, n, d))
+}
+fn phases_merge_sort(cfg: AemConfig, n: usize, _d: usize) -> Vec<(String, Cost)> {
+    predict::merge_sort_cost_phases(cfg, n, cfg.fan_in())
+}
+
+const fn sorter(
+    name: &'static str,
+    aliases: &'static [&'static str],
+    fuzz_target: &'static str,
+    predict: fn(AemConfig, usize, usize) -> Option<Cost>,
+    predict_phases: Option<PhasePredictor>,
+) -> AlgoSpec {
+    AlgoSpec {
+        name,
+        aliases,
+        ghost_sound: false,
+        ghost_runnable: true,
+        ghost_note: "",
+        fuzz_target,
+        invariants: true,
+        predict,
+        predict_phases,
+    }
+}
+
+static SORT: Workload = Workload {
+    kind: WorkloadKind::Sort,
+    name: "sort",
+    summary: "sort n seeded keys (§3 mergesorts and friends)",
+    delta_name: "",
+    requires_delta: false,
+    default_algo: "aem",
+    profile_n: 8192,
+    default_delta: 0,
+    counting_lower_bound: true,
+    algos: &[
+        sorter(
+            "aem",
+            &["merge"],
+            "merge_sort",
+            predict_aem,
+            Some(phases_merge_sort),
+        ),
+        sorter("em", &[], "em_sort", predict_em, None),
+        sorter("pq", &[], "pq_sort", predict_pq, None),
+        sorter("dist", &[], "dist_sort", predict_unpriced, None),
+        sorter("heap", &[], "heap_sort", predict_unpriced, None),
+    ],
+    gate_shapes: &[(2048, 3)],
+};
+
+static PERMUTE: Workload = Workload {
+    kind: WorkloadKind::Permute,
+    name: "permute",
+    summary: "apply a seeded permutation to 0..n (§4 bound)",
+    delta_name: "",
+    requires_delta: false,
+    default_algo: "by-sort",
+    profile_n: 8192,
+    default_delta: 0,
+    counting_lower_bound: true,
+    algos: &[
+        AlgoSpec {
+            name: "naive",
+            aliases: &[],
+            ghost_sound: true,
+            ghost_runnable: true,
+            ghost_note: "",
+            fuzz_target: "permute_naive",
+            invariants: false,
+            predict: predict_naive,
+            predict_phases: None,
+        },
+        AlgoSpec {
+            name: "by-sort",
+            aliases: &["by_sort", "sort"],
+            ghost_sound: false,
+            ghost_runnable: false,
+            ghost_note: "routes on destination tags",
+            fuzz_target: "permute_by_sort",
+            invariants: true,
+            predict: predict_by_sort,
+            predict_phases: None,
+        },
+    ],
+    gate_shapes: &[(2048, 3)],
+};
+
+static SPMV: Workload = Workload {
+    kind: WorkloadKind::Spmv,
+    name: "spmv",
+    summary: "sparse matrix x vector, delta non-zeros per column (§5)",
+    delta_name: "non-zeros per column",
+    requires_delta: true,
+    default_algo: "sorted",
+    profile_n: 1024,
+    default_delta: 4,
+    counting_lower_bound: false,
+    algos: &[
+        AlgoSpec {
+            name: "direct",
+            aliases: &[],
+            ghost_sound: false,
+            ghost_runnable: false,
+            ghost_note: "moves semiring atoms",
+            fuzz_target: "spmv_direct",
+            invariants: false,
+            predict: predict_spmv_direct,
+            predict_phases: None,
+        },
+        AlgoSpec {
+            name: "sorted",
+            aliases: &[],
+            ghost_sound: false,
+            ghost_runnable: false,
+            ghost_note: "moves semiring atoms",
+            fuzz_target: "spmv_sorted",
+            invariants: false,
+            predict: predict_spmv_sorted,
+            predict_phases: None,
+        },
+    ],
+    gate_shapes: &[(2048, 3)],
+};
+
+static PQ: Workload = Workload {
+    kind: WorkloadKind::Pq,
+    name: "pq",
+    summary: "the buffered priority queue run as a sorter (§3.2)",
+    delta_name: "",
+    requires_delta: false,
+    default_algo: "pq",
+    profile_n: 8192,
+    default_delta: 0,
+    counting_lower_bound: true,
+    algos: &[sorter("pq", &[], "pq_sort", predict_pq, None)],
+    gate_shapes: &[(2048, 3)],
+};
+
+static SEARCH: Workload = Workload {
+    kind: WorkloadKind::Search,
+    name: "search",
+    summary: "build a static index over n keys, run delta lookups (T11)",
+    delta_name: "lookups",
+    requires_delta: true,
+    default_algo: "btree",
+    profile_n: 8192,
+    default_delta: 256,
+    counting_lower_bound: false,
+    algos: &[
+        AlgoSpec {
+            name: "binary",
+            aliases: &[],
+            ghost_sound: true,
+            ghost_runnable: true,
+            ghost_note: "",
+            fuzz_target: "search_binary",
+            invariants: false,
+            predict: predict_search_binary,
+            predict_phases: None,
+        },
+        AlgoSpec {
+            name: "btree",
+            aliases: &[],
+            ghost_sound: true,
+            ghost_runnable: true,
+            ghost_note: "",
+            fuzz_target: "search_btree",
+            invariants: false,
+            predict: predict_search_btree,
+            predict_phases: None,
+        },
+        AlgoSpec {
+            name: "eytzinger",
+            aliases: &[],
+            ghost_sound: false,
+            ghost_runnable: false,
+            ghost_note: "descent depth is key-dependent",
+            fuzz_target: "search_eytzinger",
+            invariants: false,
+            predict: predict_search_eytzinger,
+            predict_phases: None,
+        },
+    ],
+    // Two canonical shapes so both sides of the build-vs-query trade
+    // land in COSTS.json: few lookups (binary wins — the build is free)
+    // and a large batch (the ω-priced B-tree build amortizes).
+    gate_shapes: &[(2048, 3), (2048, 1024)],
+};
+
+// ---------------------------------------------------------------------
+// The generic runner: one kind dispatch, shared by every executor.
+// ---------------------------------------------------------------------
+
+/// Element bound every workload payload satisfies (the `Default` is what
+/// lets the ghost store fabricate placeholders).
+pub trait Payload: Clone + Default + fmt::Debug + 'static {}
+impl<T: Clone + Default + fmt::Debug + 'static> Payload for T {}
+
+/// The machine capabilities a workload body needs, object-safe so one
+/// boxed body serves every backend: metered access, free installation,
+/// free inspection, and whether inspected values are real.
+pub trait WorkloadMachine<T>: AemAccess<T> + InstallExt<T> {
+    /// Inspect a region without charging I/O (verification only).
+    fn inspect_region(&self, r: Region) -> Vec<T>;
+    /// `false` on ghost stores, whose inspected values are placeholders.
+    fn payload_real(&self) -> bool;
+}
+
+impl<T, S, A> WorkloadMachine<T> for MachineCore<T, S, A>
+where
+    T: Clone,
+    S: BlockStore<T>,
+    A: BlockStore<u64>,
+{
+    fn inspect_region(&self, r: Region) -> Vec<T> {
+        self.inspect(r)
+    }
+    fn payload_real(&self) -> bool {
+        S::BACKEND.carries_payload()
+    }
+}
+
+impl<T: Clone + Default> WorkloadMachine<T> for TraceMachine<T> {
+    fn inspect_region(&self, r: Region) -> Vec<T> {
+        self.inspect(r)
+    }
+    fn payload_real(&self) -> bool {
+        true
+    }
+}
+
+/// How a workload execution failed.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// The machine rejected an operation (config, capacity, …).
+    Machine(MachineError),
+    /// The output failed differential verification, or the shape/algo
+    /// was invalid.
+    Check(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Machine(e) => write!(f, "{e}"),
+            WorkloadError::Check(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl From<MachineError> for WorkloadError {
+    fn from(e: MachineError) -> Self {
+        WorkloadError::Machine(e)
+    }
+}
+
+/// Outcome of a workload body: an output digest plus whether it was
+/// actually verified against the oracle (ghost placeholders are not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verified {
+    /// FNV-1a digest of the verified output (0 when unverified).
+    pub checksum: u64,
+    /// `true` when the output matched the RAM-model oracle.
+    pub verified: bool,
+}
+
+impl Verified {
+    fn hashed(checksum: u64) -> Verified {
+        Verified {
+            checksum,
+            verified: true,
+        }
+    }
+    fn unverified() -> Verified {
+        Verified {
+            checksum: 0,
+            verified: false,
+        }
+    }
+}
+
+/// A boxed workload body, runnable on any [`WorkloadMachine`].
+pub type Body<'a, T> =
+    Box<dyn FnOnce(&mut dyn WorkloadMachine<T>) -> Result<Verified, WorkloadError> + 'a>;
+
+/// A resolved execution context: kind, algorithm, shape, seed.
+#[derive(Debug, Clone, Copy)]
+pub struct RunCtx {
+    /// The workload kind.
+    pub kind: WorkloadKind,
+    /// The resolved algorithm entry.
+    pub algo: &'static AlgoSpec,
+    /// Validated machine shape.
+    pub cfg: AemConfig,
+    /// Problem size.
+    pub n: usize,
+    /// Kind-specific parameter (see [`Workload::delta_name`]).
+    pub delta: usize,
+    /// Instance seed.
+    pub seed: u64,
+}
+
+impl RunCtx {
+    /// Validate a shape and resolve an algorithm name into a context.
+    pub fn new(
+        kind: WorkloadKind,
+        algo: &str,
+        cfg: AemConfig,
+        n: usize,
+        delta: usize,
+        seed: u64,
+    ) -> Result<RunCtx, String> {
+        let w = kind.descriptor();
+        w.validate(n, delta)?;
+        let algo = w.algo(algo).ok_or_else(|| {
+            let names: Vec<&str> = w.algos.iter().map(|a| a.name).collect();
+            format!(
+                "unknown {} algorithm '{algo}' ({})",
+                w.name,
+                names.join("|")
+            )
+        })?;
+        Ok(RunCtx {
+            kind,
+            algo,
+            cfg,
+            n,
+            delta,
+            seed,
+        })
+    }
+}
+
+/// An execution environment: given a context and the kind's body, pick a
+/// machine, run the body, and return whatever the layer cares about
+/// (cost + checksum, a compiled trace, an instrumented record, …).
+pub trait Harness {
+    /// What running one workload yields in this environment.
+    type Out;
+    /// Run `body` on a machine of the harness's choosing.
+    fn run<T: Payload>(
+        &mut self,
+        ctx: &RunCtx,
+        body: Body<'_, T>,
+    ) -> Result<Self::Out, WorkloadError>;
+}
+
+/// FNV-1a over a stream of `u64`s — the workspace's output digest.
+pub fn fnv1a(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn check(ok: bool, msg: &str) -> Result<(), WorkloadError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(WorkloadError::Check(msg.into()))
+    }
+}
+
+/// Seeded sort instance. The distribution *shape* is seed-derived too, so
+/// any executor sweeping seeds (the fuzzer in particular) also sweeps the
+/// degenerate corners the paper's tie handling must survive: presorted,
+/// reversed, duplicate-heavy and organ-pipe inputs, not just uniform keys.
+fn sort_keys(n: usize, seed: u64) -> Vec<u64> {
+    let dist = match seed % 5 {
+        0 => KeyDist::Sorted,
+        1 => KeyDist::Reversed,
+        2 => KeyDist::FewDistinct {
+            distinct: 2 + (seed / 5) % 7,
+            seed,
+        },
+        3 => KeyDist::OrganPipe,
+        _ => KeyDist::Uniform { seed },
+    };
+    dist.generate(n)
+}
+
+fn run_sorter(
+    algo: &str,
+    m: &mut dyn WorkloadMachine<u64>,
+    r: Region,
+) -> Result<Region, MachineError> {
+    let mut m = m;
+    match algo {
+        "aem" => merge_sort(&mut m, r),
+        "em" => em_merge_sort(&mut m, r),
+        "dist" => distribution_sort(&mut m, r),
+        "heap" => heap_sort(&mut m, r),
+        "pq" => sort_via_pq(&mut m, r),
+        other => unreachable!("unregistered sorter {other}"),
+    }
+}
+
+/// Generate this kind's seeded instance and run it under `h`. The single
+/// place that matches on [`WorkloadKind`] to pick payload types, oracle,
+/// and verification — every executor (serve live/trace, fuzz, profile,
+/// the cost gate) goes through here.
+pub fn run_workload<H: Harness>(ctx: &RunCtx, h: &mut H) -> Result<H::Out, WorkloadError> {
+    let algo = ctx.algo.name;
+    let (n, delta, seed) = (ctx.n, ctx.delta, ctx.seed);
+    match ctx.kind {
+        WorkloadKind::Sort | WorkloadKind::Pq => {
+            let input = sort_keys(n, seed);
+            let want = oracle::sorted_reference(&input);
+            h.run::<u64>(
+                ctx,
+                Box::new(move |m| {
+                    let r = m.install_atoms(&input);
+                    let out = run_sorter(algo, m, r)?;
+                    let got = m.inspect_region(out);
+                    if !m.payload_real() {
+                        return Ok(Verified::unverified());
+                    }
+                    check(got == want, "sort: output diverges from the oracle")?;
+                    Ok(Verified::hashed(fnv1a(got)))
+                }),
+            )
+        }
+        WorkloadKind::Permute => {
+            let values: Vec<u64> = (0..n as u64).collect();
+            let pi = PermKind::Random { seed }.generate(n);
+            let want = perm::apply(&pi, &values);
+            match algo {
+                "naive" => h.run::<u64>(
+                    ctx,
+                    Box::new(move |m| {
+                        let r = m.install_atoms(&values);
+                        let out = {
+                            let mut m2: &mut dyn WorkloadMachine<u64> = m;
+                            permute_naive_on(&mut m2, r, &pi)?
+                        };
+                        if !m.payload_real() {
+                            return Ok(Verified::unverified());
+                        }
+                        let got = m.inspect_region(out);
+                        check(got == want, "naive permute: verification failed")?;
+                        Ok(Verified::hashed(fnv1a(got)))
+                    }),
+                ),
+                _ => {
+                    let tagged: Vec<DestTagged<u64>> = values
+                        .iter()
+                        .zip(pi.iter())
+                        .map(|(v, &d)| DestTagged {
+                            dest: d as u64,
+                            value: *v,
+                        })
+                        .collect();
+                    h.run::<DestTagged<u64>>(
+                        ctx,
+                        Box::new(move |m| {
+                            let r = m.install_atoms(&tagged);
+                            let out = {
+                                let mut m2: &mut dyn WorkloadMachine<DestTagged<u64>> = m;
+                                permute_by_sort_on(&mut m2, r)?
+                            };
+                            if !m.payload_real() {
+                                return Ok(Verified::unverified());
+                            }
+                            let got: Vec<u64> =
+                                m.inspect_region(out).into_iter().map(|t| t.value).collect();
+                            check(got == want, "by-sort permute: verification failed")?;
+                            Ok(Verified::hashed(fnv1a(got)))
+                        }),
+                    )
+                }
+            }
+        }
+        WorkloadKind::Spmv => {
+            let conf = Conformation::generate(MatrixShape::Random { seed }, n, delta);
+            let a: Vec<U64Ring> = (0..conf.nnz())
+                .map(|i| U64Ring((i as u64 * 37 + 1) % 97))
+                .collect();
+            let x: Vec<U64Ring> = (0..n).map(|j| U64Ring((j as u64 * 13 + 5) % 89)).collect();
+            let want: Vec<u64> = reference_multiply(&conf, &a, &x)
+                .into_iter()
+                .map(|v| v.0)
+                .collect();
+            h.run::<MatEntry<U64Ring>>(
+                ctx,
+                Box::new(move |m| {
+                    let mut m2: &mut dyn WorkloadMachine<MatEntry<U64Ring>> = m;
+                    let (ar, xr) = install_instance(
+                        &mut m2,
+                        &SpmvInstance {
+                            conf: &conf,
+                            a_vals: &a,
+                            x: &x,
+                        },
+                    );
+                    let y = match algo {
+                        "direct" => spmv_direct_on(&mut m2, &conf, ar, xr)?,
+                        _ => spmv_sorted_on(&mut m2, &conf, ar, xr)?,
+                    };
+                    if !m.payload_real() {
+                        return Ok(Verified::unverified());
+                    }
+                    let got: Vec<u64> = m.inspect_region(y).into_iter().map(|e| e.val.0).collect();
+                    check(got == want, "spmv: verification failed")?;
+                    Ok(Verified::hashed(fnv1a(got)))
+                }),
+            )
+        }
+        WorkloadKind::Search => {
+            let inst = search_instance(n, delta, seed);
+            let want = oracle::lookup_reference(&inst.keys, &inst.queries);
+            h.run::<u64>(
+                ctx,
+                Box::new(move |m| {
+                    let mut m2: &mut dyn WorkloadMachine<u64> = m;
+                    let idx = match algo {
+                        "binary" => search::build_binary(&mut m2, &inst.keys)?,
+                        "eytzinger" => search::build_eytzinger(&mut m2, &inst.keys)?,
+                        _ => search::build_btree(&mut m2, &inst.keys)?,
+                    };
+                    let got = search::lookup_batch(&mut m2, &idx, &inst.queries)?;
+                    if !m.payload_real() {
+                        return Ok(Verified::unverified());
+                    }
+                    check(got == want, "search: lookup verification failed")?;
+                    Ok(Verified::hashed(fnv1a(got)))
+                }),
+            )
+        }
+    }
+}
+
+/// A visitor over the machine type a [`Backend`] selects. The dispatch
+/// macros in `aem-machine` only work with concrete payload types; this
+/// is their generic counterpart, usable from code that is itself generic
+/// over `T` (every [`Harness`] implementation).
+pub trait MachineVisitor<T: Payload> {
+    /// What visiting the machine yields.
+    type Out;
+    /// Receive the freshly constructed machine.
+    fn visit<M: WorkloadMachine<T>>(self, m: M) -> Self::Out;
+}
+
+/// Construct `backend`'s machine for payload `T` and hand it to `v`.
+pub fn visit_backend<T: Payload, V: MachineVisitor<T>>(
+    backend: Backend,
+    cfg: AemConfig,
+    v: V,
+) -> V::Out {
+    match backend {
+        Backend::Vec => v.visit(Machine::<T>::new(cfg)),
+        Backend::Arena => v.visit(ArenaMachine::<T>::new(cfg)),
+        Backend::Ghost => v.visit(GhostMachine::<T>::new(cfg)),
+        Backend::Trace => v.visit(TraceMachine::<T>::new(cfg)),
+    }
+}
+
+/// A ready-made live harness: runs the body on the given backend's
+/// machine and yields `(cost, checksum)` — what serve's executor and the
+/// CLI `run` command need.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveHarness {
+    /// The storage backend to run on.
+    pub backend: Backend,
+}
+
+impl Harness for LiveHarness {
+    type Out = (Cost, u64);
+    fn run<T: Payload>(
+        &mut self,
+        ctx: &RunCtx,
+        body: Body<'_, T>,
+    ) -> Result<Self::Out, WorkloadError> {
+        if self.backend == Backend::Ghost && !ctx.algo.ghost_sound {
+            return Err(WorkloadError::Check(format!(
+                "ghost is unsound for {}/{} (payload-routed schedule)",
+                ctx.kind, ctx.algo.name
+            )));
+        }
+        struct Visit<'a, T>(Body<'a, T>);
+        impl<T: Payload> MachineVisitor<T> for Visit<'_, T> {
+            type Out = Result<(Cost, u64), WorkloadError>;
+            fn visit<M: WorkloadMachine<T>>(self, mut m: M) -> Self::Out {
+                let v = (self.0)(&mut m)?;
+                Ok((m.cost(), v.checksum))
+            }
+        }
+        visit_backend(self.backend, ctx.cfg, Visit(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_a_wellformed_descriptor() {
+        let cfg = AemConfig::new(1024, 64, 16).unwrap();
+        for kind in WorkloadKind::ALL {
+            let w = kind.descriptor();
+            assert_eq!(w.kind, kind);
+            assert_eq!(WorkloadKind::from_name(w.name).unwrap(), kind);
+            assert!(!w.algos.is_empty(), "{kind}: no algorithms");
+            assert!(w.algo(w.default_algo).is_some(), "{kind}: bad default");
+            assert!(!w.gate_shapes.is_empty(), "{kind}: no gate shapes");
+            let (n, d) = w.gate_shapes[0];
+            assert!(w.validate(n, d).is_ok());
+            assert!(!w.menu(cfg, n, d).is_empty(), "{kind}: empty menu");
+            for a in w.algos {
+                assert!(a.ghost_runnable || !a.ghost_sound, "{kind}/{}", a.name);
+                assert!(
+                    a.ghost_runnable || !a.ghost_note.is_empty(),
+                    "{kind}/{}: refusal needs a note",
+                    a.name
+                );
+            }
+        }
+        assert!(WorkloadKind::from_name("nope").is_err());
+    }
+
+    #[test]
+    fn menus_match_the_historical_candidate_lists() {
+        let cfg = AemConfig::new(1024, 64, 16).unwrap();
+        let names = |k: WorkloadKind| -> Vec<&'static str> {
+            k.descriptor()
+                .menu(cfg, 2048, 3)
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect()
+        };
+        assert_eq!(names(WorkloadKind::Sort), vec!["aem", "em", "pq"]);
+        assert_eq!(names(WorkloadKind::Permute), vec!["naive", "by-sort"]);
+        assert_eq!(names(WorkloadKind::Spmv), vec!["direct", "sorted"]);
+        assert_eq!(names(WorkloadKind::Pq), vec!["pq"]);
+        assert_eq!(
+            names(WorkloadKind::Search),
+            vec!["binary", "btree", "eytzinger"]
+        );
+        // The PQ sorter leaves the menu when the config rejects it.
+        let tiny = AemConfig::new(16, 4, 2).unwrap();
+        assert!(!SORT
+            .menu(tiny, 2048, 3)
+            .iter()
+            .any(|&(name, _)| name == "pq"));
+    }
+
+    #[test]
+    fn aliases_resolve_old_record_spellings() {
+        assert_eq!(SORT.algo("merge").unwrap().name, "aem");
+        assert_eq!(PERMUTE.algo("by_sort").unwrap().name, "by-sort");
+        assert_eq!(PERMUTE.algo("sort").unwrap().name, "by-sort");
+        assert!(SORT.algo("quick").is_none());
+    }
+
+    #[test]
+    fn validity_is_centralized() {
+        assert!(SPMV.validate(64, 0).is_err());
+        assert!(SEARCH.validate(64, 0).is_err());
+        assert!(SORT.validate(64, 0).is_ok());
+        assert!(SORT.validate(0, 3).is_err());
+    }
+
+    #[test]
+    fn live_harness_runs_every_kind_and_verifies() {
+        for kind in WorkloadKind::ALL {
+            let w = kind.descriptor();
+            let cfg = AemConfig::new(64, 8, 16).unwrap();
+            let ctx =
+                RunCtx::new(kind, w.default_algo, cfg, 300, w.default_delta.max(3), 5).unwrap();
+            let mut h = LiveHarness {
+                backend: Backend::Vec,
+            };
+            let (cost, checksum) = run_workload(&ctx, &mut h).unwrap();
+            assert!(cost.total_ios() > 0, "{kind}");
+            assert_ne!(checksum, 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn ghost_soundness_is_enforced_by_the_live_harness() {
+        let cfg = AemConfig::new(64, 8, 16).unwrap();
+        let mut ghost = LiveHarness {
+            backend: Backend::Ghost,
+        };
+        let sort = RunCtx::new(WorkloadKind::Sort, "aem", cfg, 128, 0, 1).unwrap();
+        assert!(matches!(
+            run_workload(&sort, &mut ghost),
+            Err(WorkloadError::Check(_))
+        ));
+        // Ghost-sound algorithms price exactly on ghost: naive permute
+        // and the fixed-schedule binary search.
+        for (kind, algo, delta) in [
+            (WorkloadKind::Permute, "naive", 0),
+            (WorkloadKind::Search, "binary", 16),
+            (WorkloadKind::Search, "btree", 16),
+        ] {
+            let ctx = RunCtx::new(kind, algo, cfg, 256, delta, 1).unwrap();
+            let (gcost, gsum) = run_workload(&ctx, &mut ghost).unwrap();
+            let (vcost, _) = run_workload(
+                &ctx,
+                &mut LiveHarness {
+                    backend: Backend::Vec,
+                },
+            )
+            .unwrap();
+            assert_eq!(gcost, vcost, "{kind}/{algo}: ghost must price exactly");
+            assert_eq!(gsum, 0, "{kind}/{algo}: ghost output is unverified");
+        }
+    }
+}

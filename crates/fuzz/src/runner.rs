@@ -137,7 +137,7 @@ impl FuzzReport {
 /// Run one target on one case against one backend, converting panics
 /// into failures.
 pub fn check_case(target: &Target, case: &FuzzCase, backend: Backend) -> Outcome {
-    match catch_unwind(AssertUnwindSafe(|| (target.check)(case, backend))) {
+    match catch_unwind(AssertUnwindSafe(|| target.run(case, backend))) {
         Ok(outcome) => outcome,
         Err(payload) => {
             let msg = payload

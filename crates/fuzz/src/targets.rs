@@ -1,44 +1,50 @@
-//! Fuzz targets: one differential check per algorithm family.
+//! Fuzz targets: one differential check per registered algorithm, plus
+//! the harness-level specials no single workload owns.
 //!
-//! Every target takes a [`FuzzCase`], runs one `aem-core`/`aem-flash`
-//! algorithm on an enforcing machine, and checks three layers:
+//! The table is *generated from the workload registry*
+//! ([`aem_core::workload::WorkloadKind::ALL`]): every
+//! [`AlgoSpec`](aem_core::workload::AlgoSpec) contributes one target
+//! named by its stable `fuzz_target` field (corpus seed files reference
+//! these names). A registry target runs the kind's seeded instance
+//! through [`run_workload`] on an instrumented machine
+//! ([`aem_obs::ProfileHarness`]) and checks three layers:
 //!
-//! 1. **Differential correctness** — the machine output must equal the
-//!    in-memory oracle ([`aem_core::oracle`]) exactly: sorted order for
-//!    sorters, the gathered permutation for permuters, semiring output
-//!    equality for SpMxV (Theorem 5.1's statement of correctness).
-//! 2. **Paper invariants on the metered cost** — via the `aem-obs`
-//!    checkers: the Theorem 3.2 / closed-form predictor upper bound, the
-//!    Theorem 4.5 counting lower bound, the §3 pointer-rewrite
-//!    discipline, and Lemma 4.1's round structure; plus the round
-//!    decomposition's exact cost conservation
+//! 1. **Differential correctness** — the workload body verifies the
+//!    machine output against the in-memory oracle exactly (sorted order
+//!    for sorters, the gathered permutation, semiring output equality
+//!    for SpMxV per Theorem 5.1, lookup answers for the search family).
+//! 2. **Predictor upper bound** — the metered cost may never exceed the
+//!    algorithm's closed-form menu price (`AlgoSpec::predict`), the
+//!    Theorem 3.2 / Theorem 4.5-upper-branch contract the planner
+//!    quotes from.
+//! 3. **Paper invariants on the record** — for algorithms flagged
+//!    `invariants`: the `aem-obs` checkers (§3 pointer-rewrite
+//!    discipline, Lemma 4.1 round structure, the cost sandwich) plus
+//!    exact round-cost conservation
 //!    ([`aem_machine::rounds::rounds_cost`] must equal `Q`).
-//! 3. **Model-level bounds** — the Lemma 4.3 flash-simulation target
-//!    compiles a recorded permutation program to the unit-cost flash
-//!    model and checks the I/O volume against `2N + 2QB/ω`.
+//!
+//! Three specials ride alongside: `pq_ops` (interleaved queue schedule
+//! vs `BinaryHeap`), `flash_lemma43` (the Lemma 4.3 flash-volume
+//! reduction), and `backend_diff` (one program, every backend,
+//! identical metered cost). Registering a new workload kind adds its
+//! fuzz targets here without touching this file.
 //!
 //! A target never panics by design; the runner additionally wraps every
 //! call in `catch_unwind` so that a panicking algorithm is reported as an
 //! ordinary failure with a shrunk repro, not a harness crash.
 
-use aem_core::bounds::predict;
-use aem_core::oracle;
-use aem_core::permute::{permute_by_sort_on, permute_naive_on, DestTagged};
+use aem_core::permute::permute_naive_on;
 use aem_core::pq::BufferedPq;
-use aem_core::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort, sort_via_pq};
-use aem_core::spmv::{
-    install_instance, reference_multiply, spmv_direct_on, spmv_sorted_on, MatEntry, SpmvInstance,
-    U64Ring,
-};
+use aem_core::sort::merge_sort;
+use aem_core::workload::{run_workload, RunCtx, WorkloadError, WorkloadKind};
 use aem_flash::driver::naive_atom_permutation;
 use aem_flash::verify_lemma_4_3;
 use aem_machine::rounds::{round_decompose, rounds_cost};
 use aem_machine::{
     with_backend_machine, with_payload_machine, AemAccess, AemConfig, Backend, Cost, MachineError,
-    Region,
 };
-use aem_obs::{first_failure, tail_from_record, InstrumentedMachine, RunRecord, WorkloadMeta};
-use aem_workloads::{Conformation, MatrixShape, PermKind};
+use aem_obs::{first_failure, tail_from_record, ProfileHarness, RunRecord};
+use aem_workloads::PermKind;
 
 use crate::case::FuzzCase;
 
@@ -61,16 +67,40 @@ impl Outcome {
     }
 }
 
+/// What a target actually runs.
+#[derive(Clone, Copy)]
+enum Check {
+    /// A registry algorithm: the kind's seeded instance through
+    /// [`run_workload`] with differential + predictor + invariant checks.
+    Registry(WorkloadKind, &'static str),
+    /// A hand-written harness check (queue schedules, flash reduction,
+    /// cross-backend diff).
+    Special(SpecialCheck),
+}
+
+/// A hand-written check's function signature.
+type SpecialCheck = fn(&FuzzCase, Backend) -> Outcome;
+
 /// A named fuzz target.
 #[derive(Clone, Copy)]
 pub struct Target {
     /// Stable name, used by `--target` filters, seed files and replay
-    /// commands.
+    /// commands. For registry targets this is
+    /// [`AlgoSpec::fuzz_target`](aem_core::workload::AlgoSpec::fuzz_target).
     pub name: &'static str,
-    /// The check itself, run against one storage backend. Targets whose
-    /// algorithm reads payloads return [`Outcome::Skip`] on the ghost
+    check: Check,
+}
+
+impl Target {
+    /// Run the target's check against one storage backend. Targets whose
+    /// algorithm is not ghost-sound return [`Outcome::Skip`] on the ghost
     /// backend rather than comparing placeholder data to the oracle.
-    pub check: fn(&FuzzCase, Backend) -> Outcome,
+    pub fn run(&self, case: &FuzzCase, backend: Backend) -> Outcome {
+        match self.check {
+            Check::Registry(kind, algo) => registry_check(kind, algo, case, backend),
+            Check::Special(f) => f(case, backend),
+        }
+    }
 }
 
 impl std::fmt::Debug for Target {
@@ -79,58 +109,35 @@ impl std::fmt::Debug for Target {
     }
 }
 
-/// Every built-in target, in report order.
+/// Every built-in target, in report order: the registry's algorithms in
+/// canonical kind order (deduplicated on `fuzz_target` — the buffered PQ
+/// backs both the `sort/pq` candidate and the `pq` kind), then the
+/// specials.
 pub fn all_targets() -> Vec<Target> {
-    vec![
-        Target {
-            name: "merge_sort",
-            check: |c, b| sort_check(c, b, "aem"),
-        },
-        Target {
-            name: "em_sort",
-            check: |c, b| sort_check(c, b, "em"),
-        },
-        Target {
-            name: "dist_sort",
-            check: |c, b| sort_check(c, b, "dist"),
-        },
-        Target {
-            name: "heap_sort",
-            check: |c, b| sort_check(c, b, "heap"),
-        },
-        Target {
-            name: "pq_sort",
-            check: |c, b| sort_check(c, b, "pq"),
-        },
-        Target {
-            name: "pq_ops",
-            check: pq_ops_check,
-        },
-        Target {
-            name: "permute_naive",
-            check: permute_naive_check,
-        },
-        Target {
-            name: "permute_by_sort",
-            check: permute_by_sort_check,
-        },
-        Target {
-            name: "spmv_direct",
-            check: |c, b| spmv_check(c, b, "direct"),
-        },
-        Target {
-            name: "spmv_sorted",
-            check: |c, b| spmv_check(c, b, "sorted"),
-        },
-        Target {
-            name: "flash_lemma43",
-            check: flash_check,
-        },
-        Target {
-            name: "backend_diff",
-            check: backend_diff_check,
-        },
-    ]
+    let mut out: Vec<Target> = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for algo in kind.descriptor().algos {
+            if out.iter().any(|t| t.name == algo.fuzz_target) {
+                continue;
+            }
+            out.push(Target {
+                name: algo.fuzz_target,
+                check: Check::Registry(kind, algo.name),
+            });
+        }
+    }
+    let specials: [(&'static str, SpecialCheck); 3] = [
+        ("pq_ops", pq_ops_check),
+        ("flash_lemma43", flash_check),
+        ("backend_diff", backend_diff_check),
+    ];
+    for (name, f) in specials {
+        out.push(Target {
+            name,
+            check: Check::Special(f),
+        });
+    }
+    out
 }
 
 /// Resolve `--target` filter patterns (exact names or prefixes, comma
@@ -189,53 +196,70 @@ fn record_invariants(rec: &RunRecord) -> Result<(), String> {
     Ok(())
 }
 
-fn run_sorter<A: AemAccess<u64>>(algo: &str, m: &mut A, r: Region) -> Result<Region, MachineError> {
-    match algo {
-        "aem" => merge_sort(m, r),
-        "em" => em_merge_sort(m, r),
-        "dist" => distribution_sort(m, r),
-        "heap" => heap_sort(m, r),
-        "pq" => sort_via_pq(m, r),
-        other => unreachable!("unknown sorter {other}"),
-    }
-}
-
-fn sort_check(case: &FuzzCase, backend: Backend, algo: &str) -> Outcome {
+/// One registry algorithm on one case: the kind's seeded instance
+/// through [`run_workload`] on an instrumented machine. The workload
+/// body performs the differential check (exact oracle equality); this
+/// wrapper adds the predictor upper bound and, for `invariants`
+/// algorithms, the record invariant suite.
+fn registry_check(
+    kind: WorkloadKind,
+    algo_name: &'static str,
+    case: &FuzzCase,
+    backend: Backend,
+) -> Outcome {
     let cfg = match case.cfg() {
         Ok(cfg) => cfg,
         Err(e) => return Outcome::Skip(format!("config: {e}")),
     };
-    if !backend.carries_payload() {
-        return Outcome::Skip(format!("{algo}: sorting reads keys; ghost backend skipped"));
-    }
-    let input = case.keys();
-    let want = oracle::sorted_reference(&input);
-
-    with_payload_machine!(backend, u64, |M| {
-        let mut im = InstrumentedMachine::new(M::new(cfg));
-        let region = im.inner_mut().install(&input);
-        let out = match run_sorter(algo, &mut im, region) {
-            Ok(out) => out,
-            Err(e) => return machine_error(algo, e),
+    let algo = kind
+        .descriptor()
+        .algo(algo_name)
+        .expect("target table names a registered algorithm");
+    if !backend.carries_payload() && !algo.ghost_sound {
+        let why = if algo.ghost_note.is_empty() {
+            "schedule is payload-routed"
+        } else {
+            algo.ghost_note
         };
-        let got = im.inner().inspect(out);
-        if got != want {
-            // The live flight recorder still has the tail (with phases).
+        return Outcome::Skip(format!("{algo_name}: {why}; ghost backend skipped"));
+    }
+    // The registry's validity predicate decides which shapes this kind
+    // accepts (n = 0, delta constraints); rejected shapes are skips.
+    let ctx = match RunCtx::new(kind, algo_name, cfg, case.n, case.delta, case.case_seed) {
+        Ok(ctx) => ctx,
+        Err(e) => return Outcome::Skip(format!("{algo_name}: {e}")),
+    };
+    let profiled = match run_workload(&ctx, &mut ProfileHarness { backend }) {
+        Ok(p) => p,
+        Err(WorkloadError::Machine(e)) => return machine_error(algo_name, e),
+        Err(WorkloadError::Check(msg)) => {
+            return Outcome::Fail(format!("{}/{algo_name}: {msg}", kind.name()))
+        }
+    };
+    // Thm 3.2 / closed-form upper branch: the metered Q may never exceed
+    // the menu price the planner quotes for this algorithm.
+    if let Some(bound) = (algo.predict)(cfg, ctx.n, ctx.delta) {
+        let q = profiled.record.trace.cost().q(cfg.omega);
+        let b = bound.q(cfg.omega);
+        if q > b {
             return Outcome::Fail(format!(
-                "{}\n{}",
-                differential_message(algo, &got, &want),
-                im.flight().render()
+                "{}/{algo_name}: measured Q {q} exceeds predictor {b} (n={}, delta={})\n{}",
+                kind.name(),
+                ctx.n,
+                ctx.delta,
+                tail_from_record(&profiled.record, 16)
             ));
         }
-        let rec = im.into_record(WorkloadMeta::new("sort", algo, case.n as u64));
-        match record_invariants(&rec) {
-            Ok(()) => Outcome::Pass,
-            Err(msg) => Outcome::Fail(format!(
-                "{algo}: {msg}\n{}",
-                tail_from_record(&rec, 16)
-            )),
+    }
+    if algo.invariants {
+        if let Err(msg) = record_invariants(&profiled.record) {
+            return Outcome::Fail(format!(
+                "{algo_name}: {msg}\n{}",
+                tail_from_record(&profiled.record, 16)
+            ));
         }
-    }, ghost => unreachable!("skipped above"))
+    }
+    Outcome::Pass
 }
 
 /// Interleaved `push`/`pop` schedule differential: the multiway-buffered
@@ -310,9 +334,8 @@ fn pq_ops_check(case: &FuzzCase, backend: Backend) -> Outcome {
 }
 
 /// Run the naive permuter for a case on one backend; returns
-/// `(output, cost)`. Payload-oblivious, so this is the one algorithmic
-/// target (besides the machine-free flash reduction) that runs on the
-/// ghost backend — where the returned output holds placeholders.
+/// `(output, cost)`. Payload-oblivious, so `backend_diff` runs it on the
+/// ghost backend too — where the returned output holds placeholders.
 fn naive_permute_on_backend(
     backend: Backend,
     cfg: AemConfig,
@@ -325,164 +348,6 @@ fn naive_permute_on_backend(
         let out = permute_naive_on(&mut m, r, pi)?;
         Ok((m.inspect(out), m.cost()))
     })
-}
-
-fn permute_naive_check(case: &FuzzCase, backend: Backend) -> Outcome {
-    let cfg = match case.cfg() {
-        Ok(cfg) => cfg,
-        Err(e) => return Outcome::Skip(format!("config: {e}")),
-    };
-    let pi = PermKind::Random {
-        seed: case.case_seed,
-    }
-    .generate(case.n);
-    let values: Vec<u64> = (0..case.n as u64).collect();
-    let want = oracle::permuted_reference(&pi, &values);
-    let (got, cost) = match naive_permute_on_backend(backend, cfg, &values, &pi) {
-        Ok(r) => r,
-        Err(e) => return machine_error("naive", e),
-    };
-    // On ghost the output is placeholder data; the cost checks below
-    // still apply in full (the I/O schedule is payload-independent).
-    if backend.carries_payload() && got != want {
-        return Outcome::Fail(differential_message("naive", &got, &want));
-    }
-    // Thm 4.5 upper branch: the gather must stay within its closed form.
-    let q = cost.q(cfg.omega);
-    let bound = predict::permute_naive_cost(cfg, case.n).q(cfg.omega);
-    if q > bound {
-        return Outcome::Fail(format!(
-            "naive: measured Q {q} exceeds N + ωn predictor {bound}"
-        ));
-    }
-    Outcome::Pass
-}
-
-fn permute_by_sort_check(case: &FuzzCase, backend: Backend) -> Outcome {
-    let cfg = match case.cfg() {
-        Ok(cfg) => cfg,
-        Err(e) => return Outcome::Skip(format!("config: {e}")),
-    };
-    if !backend.carries_payload() {
-        return Outcome::Skip("by_sort: merge reads tags; ghost backend skipped".into());
-    }
-    let pi = PermKind::Random {
-        seed: case.case_seed,
-    }
-    .generate(case.n);
-    let values: Vec<u64> = (0..case.n as u64).collect();
-    let want = oracle::permuted_reference(&pi, &values);
-    let tagged: Vec<DestTagged<u64>> = values
-        .iter()
-        .zip(pi.iter())
-        .map(|(v, &d)| DestTagged {
-            dest: d as u64,
-            value: *v,
-        })
-        .collect();
-
-    with_payload_machine!(backend, DestTagged<u64>, |M| {
-        let mut im = InstrumentedMachine::new(M::new(cfg));
-        let region = im.inner_mut().install(&tagged);
-        let out = match permute_by_sort_on(&mut im, region) {
-            Ok(out) => out,
-            Err(e) => return machine_error("by_sort", e),
-        };
-        let got: Vec<u64> = im
-            .inner()
-            .inspect(out)
-            .into_iter()
-            .map(|t| t.value)
-            .collect();
-        if got != want {
-            return Outcome::Fail(differential_message("by_sort", &got, &want));
-        }
-        let rec = im.into_record(WorkloadMeta::new("permute", "by_sort", case.n as u64));
-        match record_invariants(&rec) {
-            Ok(()) => Outcome::Pass,
-            Err(msg) => Outcome::Fail(format!("by_sort: {msg}")),
-        }
-    }, ghost => unreachable!("skipped above"))
-}
-
-/// SpMxV matrix dimension for a case: tracks `n` (so shrinking the case
-/// shrinks the instance) but capped to keep `nnz = δ·dim` small.
-fn spmv_dim(case: &FuzzCase) -> usize {
-    case.n.clamp(1, 256)
-}
-
-fn spmv_check(case: &FuzzCase, backend: Backend, which: &str) -> Outcome {
-    let cfg = match case.cfg() {
-        Ok(cfg) => cfg,
-        Err(e) => return Outcome::Skip(format!("config: {e}")),
-    };
-    if !backend.carries_payload() {
-        return Outcome::Skip(format!(
-            "{which}: SpMxV moves semiring atoms; ghost backend skipped"
-        ));
-    }
-    let dim = spmv_dim(case);
-    let delta = case.delta.clamp(1, dim);
-    let conf = Conformation::generate(
-        MatrixShape::Random {
-            seed: case.case_seed,
-        },
-        dim,
-        delta,
-    );
-    let a: Vec<U64Ring> = (0..conf.nnz())
-        .map(|i| U64Ring((i as u64).wrapping_mul(case.case_seed | 1) % 251))
-        .collect();
-    let x: Vec<U64Ring> = (0..dim)
-        .map(|j| U64Ring((j as u64).wrapping_add(case.case_seed) % 241))
-        .collect();
-    let want = reference_multiply(&conf, &a, &x);
-    let inst = SpmvInstance {
-        conf: &conf,
-        a_vals: &a,
-        x: &x,
-    };
-    let run = with_payload_machine!(backend, MatEntry<U64Ring>, |M| {
-        let mut m = M::new(cfg);
-        let (ra, rx) = install_instance(&mut m, &inst);
-        let y = match which {
-            "direct" => spmv_direct_on(&mut m, &conf, ra, rx),
-            "sorted" => spmv_sorted_on(&mut m, &conf, ra, rx),
-            other => unreachable!("unknown spmv variant {other}"),
-        };
-        y.map(|y| {
-            let output: Vec<U64Ring> = m.inspect(y).into_iter().map(|e| e.val).collect();
-            (output, m.cost())
-        })
-    }, ghost => unreachable!("skipped above"));
-    let (output, cost) = match run {
-        Ok(run) => run,
-        Err(e) => return machine_error(which, e),
-    };
-    // Theorem 5.1 correctness: semiring-output equality with the oracle.
-    if output != want {
-        return Outcome::Fail(format!(
-            "{which}: semiring output mismatch at dim {dim}, δ {delta} \
-             (first diff at row {})",
-            output
-                .iter()
-                .zip(want.iter())
-                .position(|(g, w)| g != w)
-                .unwrap_or(usize::MAX)
-        ));
-    }
-    let bound = match which {
-        "direct" => predict::spmv_direct_cost(cfg, dim, delta),
-        _ => predict::spmv_sorted_cost(cfg, dim, delta),
-    }
-    .q(cfg.omega);
-    let q = cost.q(cfg.omega);
-    if q > bound {
-        return Outcome::Fail(format!(
-            "{which}: measured Q {q} exceeds predictor {bound} at dim {dim}, δ {delta}"
-        ));
-    }
-    Outcome::Pass
 }
 
 /// Derive a flash-compatible configuration from a case: Lemma 4.3 needs
@@ -577,8 +442,8 @@ fn backend_diff_check(case: &FuzzCase, _backend: Backend) -> Outcome {
         }
     }
 
-    // Naive permute: all three backends must meter the identical cost;
-    // the payload-carrying pair must agree on output too.
+    // Naive permute: all backends must meter the identical cost;
+    // the payload-carrying runs must agree on output too.
     let pi = PermKind::Random {
         seed: case.case_seed,
     }
@@ -626,27 +491,6 @@ fn backend_diff_check(case: &FuzzCase, _backend: Backend) -> Outcome {
     Outcome::Pass
 }
 
-fn differential_message<T: std::fmt::Debug>(algo: &str, got: &[T], want: &[T]) -> String {
-    if got.len() != want.len() {
-        return format!(
-            "{algo}: output length {} differs from oracle length {}",
-            got.len(),
-            want.len()
-        );
-    }
-    let at = got
-        .iter()
-        .zip(want.iter())
-        .position(|(g, w)| format!("{g:?}") != format!("{w:?}"))
-        .unwrap_or(usize::MAX);
-    format!(
-        "{algo}: output diverges from oracle at position {at} \
-         (got {:?}, oracle {:?})",
-        got.get(at),
-        want.get(at)
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,10 +509,47 @@ mod tests {
     }
 
     #[test]
+    fn target_table_mirrors_the_registry() {
+        // One target per registered fuzz_target (names are corpus-stable),
+        // registry kinds in canonical order, the specials last. The
+        // buffered PQ backs both sort/pq and the pq kind — one target.
+        let names: Vec<&str> = all_targets().iter().map(|t| t.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "merge_sort",
+                "em_sort",
+                "pq_sort",
+                "dist_sort",
+                "heap_sort",
+                "permute_naive",
+                "permute_by_sort",
+                "spmv_direct",
+                "spmv_sorted",
+                "search_binary",
+                "search_btree",
+                "search_eytzinger",
+                "pq_ops",
+                "flash_lemma43",
+                "backend_diff",
+            ]
+        );
+        for kind in WorkloadKind::ALL {
+            for algo in kind.descriptor().algos {
+                assert!(
+                    names.contains(&algo.fuzz_target),
+                    "{kind}/{} has no fuzz target",
+                    algo.name
+                );
+            }
+        }
+    }
+
+    #[test]
     fn all_targets_pass_on_a_tame_case() {
         let case = tame_case();
         for t in all_targets() {
-            let outcome = (t.check)(&case, Backend::Vec);
+            let outcome = t.run(&case, Backend::Vec);
             assert_eq!(outcome, Outcome::Pass, "{}: {:?}", t.name, outcome);
         }
     }
@@ -677,7 +558,7 @@ mod tests {
     fn all_targets_pass_on_the_arena_backend() {
         let case = tame_case();
         for t in all_targets() {
-            let outcome = (t.check)(&case, Backend::Arena);
+            let outcome = t.run(&case, Backend::Arena);
             assert_eq!(outcome, Outcome::Pass, "{}: {:?}", t.name, outcome);
         }
     }
@@ -686,10 +567,13 @@ mod tests {
     fn ghost_backend_skips_payload_targets_and_passes_the_rest() {
         let case = tame_case();
         for t in all_targets() {
-            let outcome = (t.check)(&case, Backend::Ghost);
+            let outcome = t.run(&case, Backend::Ghost);
             match t.name {
-                // Payload-oblivious or machine-free targets must still run.
-                "permute_naive" | "flash_lemma43" | "backend_diff" => {
+                // Ghost-sound registry algorithms (naive permute, the
+                // fixed-schedule search descents) and the machine-free /
+                // backend-neutral specials must still run.
+                "permute_naive" | "search_binary" | "search_btree" | "flash_lemma43"
+                | "backend_diff" => {
                     assert_eq!(outcome, Outcome::Pass, "{}: {:?}", t.name, outcome)
                 }
                 _ => assert!(
@@ -707,7 +591,7 @@ mod tests {
         for n in [0usize, 1] {
             let case = FuzzCase { n, ..tame_case() };
             for t in all_targets() {
-                let outcome = (t.check)(&case, Backend::Vec);
+                let outcome = t.run(&case, Backend::Vec);
                 assert!(!outcome.is_fail(), "{} at n={n}: {:?}", t.name, outcome);
             }
         }

@@ -19,7 +19,7 @@
 //!   merge sort), when one exists.
 
 use aem_core::bounds::permute::permute_cost_lower_bound;
-use aem_core::bounds::predict;
+use aem_core::workload::WorkloadKind;
 use aem_machine::rounds::{round_based_cost, round_decompose};
 use aem_machine::Cost;
 
@@ -183,42 +183,35 @@ pub fn check_round_structure(rec: &RunRecord) -> CheckResult {
 
 /// The closed-form upper-bound predictor for a workload, if one exists.
 ///
-/// Returns `None` for algorithms without a predictor (distribution sort,
-/// heap sort, …) — the sandwich check then verifies the lower bound only.
+/// Resolved through the workload registry (record kind/algo strings are
+/// parsed with the registry's alias table, so older records spelled
+/// `sort/merge` or `permute/by_sort` still price). Returns `None` for
+/// algorithms without a predictor (distribution sort, heap sort, …) —
+/// the sandwich check then verifies the lower bound only.
 /// Also the basis of the profile layer's predictor-residual gauges
 /// (measured ÷ predicted per run, [`crate::profile`]).
 pub fn predicted_cost(rec: &RunRecord) -> Option<Cost> {
-    let cfg = rec.config;
-    let n = rec.workload.n as usize;
-    match (rec.workload.kind.as_str(), rec.workload.algo.as_str()) {
-        ("sort", "aem") | ("sort", "merge") => Some(predict::merge_sort_cost(cfg, n)),
-        ("sort", "em") => Some(predict::em_sort_cost(cfg, n)),
-        ("sort", "pq") => Some(predict::pq_sort_cost(cfg, n)),
-        ("permute", "naive") => Some(predict::permute_naive_cost(cfg, n)),
-        ("permute", "by_sort") | ("permute", "sort") => Some(predict::permute_by_sort_cost(cfg, n)),
-        ("spmv", "direct") => Some(predict::spmv_direct_cost(
-            cfg,
-            n,
-            rec.workload.delta as usize,
-        )),
-        ("spmv", "sorted") => Some(predict::spmv_sorted_cost(
-            cfg,
-            n,
-            rec.workload.delta as usize,
-        )),
-        _ => None,
-    }
+    let kind = WorkloadKind::from_name(&rec.workload.kind).ok()?;
+    let algo = kind.descriptor().algo(&rec.workload.algo)?;
+    (algo.predict)(
+        rec.config,
+        rec.workload.n as usize,
+        rec.workload.delta as usize,
+    )
 }
 
 /// Whether the §4 permuting/sorting counting lower bound applies to this
 /// workload kind. It is a bound on data movement for problems that must
 /// realize an (unknown) permutation — sorting and permuting, not SpMxV
-/// (SpMxV has its own Theorem 5.1 bound with different parameters).
+/// (SpMxV has its own Theorem 5.1 bound with different parameters) and
+/// not batched search (read-mostly, no permutation realized). The verdict
+/// is the registry's per-kind `counting_lower_bound` flag.
 fn lower_bound(rec: &RunRecord) -> Option<f64> {
-    match rec.workload.kind.as_str() {
-        "sort" | "permute" => Some(permute_cost_lower_bound(rec.workload.n, rec.config)),
-        _ => None,
+    let kind = WorkloadKind::from_name(&rec.workload.kind).ok()?;
+    if !kind.descriptor().counting_lower_bound {
+        return None;
     }
+    Some(permute_cost_lower_bound(rec.workload.n, rec.config))
 }
 
 /// Sandwich the measured cost between the paper's lower and upper bounds.

@@ -1,0 +1,176 @@
+//! [`ProfileHarness`]: the instrumented execution environment for the
+//! workload registry.
+//!
+//! `aem-core`'s [`run_workload`](aem_core::workload::run_workload)
+//! dispatches a kind to its seeded instance + algorithm body; a
+//! [`Harness`] decides what machine that body runs on and what the run
+//! yields. This module contributes the observability variant: wrap the
+//! chosen backend's machine in an [`InstrumentedMachine`], label the
+//! flight recorder, run the body, and hand back the full [`RunRecord`]
+//! (plus the output digest and the flight tail, which only exist
+//! machine-side). `aemsim profile` is one `run_workload` call away from
+//! any registered workload — including kinds registered after this file
+//! was last touched.
+
+use aem_core::spmv::InstallExt;
+use aem_core::workload::{
+    visit_backend, Body, Harness, MachineVisitor, Payload, RunCtx, WorkloadError, WorkloadMachine,
+};
+use aem_machine::{AemAccess, Backend, Region};
+
+use crate::instrument::InstrumentedMachine;
+use crate::record::{RunRecord, WorkloadMeta};
+
+// Installation and inspection are free (un-metered) by contract, so they
+// bypass instrumentation by construction: the wrapper only observes
+// `AemAccess` traffic.
+impl<T, A: AemAccess<T> + InstallExt<T>> InstallExt<T> for InstrumentedMachine<T, A> {
+    fn install_atoms(&mut self, data: &[T]) -> Region {
+        self.inner_mut().install_atoms(data)
+    }
+}
+
+impl<T, A: WorkloadMachine<T>> WorkloadMachine<T> for InstrumentedMachine<T, A> {
+    fn inspect_region(&self, r: Region) -> Vec<T> {
+        self.inner().inspect_region(r)
+    }
+    fn payload_real(&self) -> bool {
+        self.inner().payload_real()
+    }
+}
+
+/// Everything one instrumented workload run produces.
+#[derive(Debug, Clone)]
+pub struct ProfiledRun {
+    /// The complete run record (trace, phases, metrics, workload meta).
+    pub record: RunRecord,
+    /// FNV-1a digest of the verified output (0 when unverified).
+    pub checksum: u64,
+    /// Flight-recorder tail as JSONL — captured before the machine is
+    /// consumed, since it exists only machine-side.
+    pub flight_jsonl: String,
+}
+
+/// Runs a registry workload on an instrumented machine of the chosen
+/// backend and yields the [`ProfiledRun`].
+///
+/// Ghost runnability is the caller's policy decision (the CLI gates on
+/// the registry's `ghost_runnable` flag); this harness runs whatever
+/// backend it is given.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileHarness {
+    /// The storage backend to instrument.
+    pub backend: Backend,
+}
+
+impl Harness for ProfileHarness {
+    type Out = ProfiledRun;
+
+    fn run<T: Payload>(
+        &mut self,
+        ctx: &RunCtx,
+        body: Body<'_, T>,
+    ) -> Result<Self::Out, WorkloadError> {
+        struct Visit<'a, 'b, T> {
+            ctx: &'b RunCtx,
+            backend: Backend,
+            body: Body<'a, T>,
+        }
+        impl<T: Payload> MachineVisitor<T> for Visit<'_, '_, T> {
+            type Out = Result<ProfiledRun, WorkloadError>;
+            fn visit<M: WorkloadMachine<T>>(self, m: M) -> Self::Out {
+                let mut im = InstrumentedMachine::new(m);
+                im.flight_mut().set_label(&format!(
+                    "{}/{} n={} backend={}",
+                    self.ctx.kind.name(),
+                    self.ctx.algo.name,
+                    self.ctx.n,
+                    self.backend.name()
+                ));
+                let v = (self.body)(&mut im)?;
+                let flight_jsonl = im.flight().to_jsonl();
+                let record = im.into_record(WorkloadMeta::with_delta(
+                    self.ctx.kind.name(),
+                    self.ctx.algo.name,
+                    self.ctx.n as u64,
+                    self.ctx.delta as u64,
+                ));
+                Ok(ProfiledRun {
+                    record,
+                    checksum: v.checksum,
+                    flight_jsonl,
+                })
+            }
+        }
+        visit_backend(
+            self.backend,
+            ctx.cfg,
+            Visit {
+                ctx,
+                backend: self.backend,
+                body,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::run_all;
+    use aem_core::workload::{run_workload, WorkloadKind};
+    use aem_machine::AemConfig;
+
+    fn profiled(kind: WorkloadKind, algo: &str, n: usize, backend: Backend) -> ProfiledRun {
+        let cfg = AemConfig::new(64, 8, 16).unwrap();
+        let w = kind.descriptor();
+        let delta = w.default_delta.max(usize::from(w.requires_delta) * 3);
+        let ctx = RunCtx::new(kind, algo, cfg, n, delta, 7).unwrap();
+        run_workload(&ctx, &mut ProfileHarness { backend }).unwrap()
+    }
+
+    #[test]
+    fn every_kind_profiles_with_invariants_holding() {
+        // One registry call profiles every kind's default algorithm; the
+        // paper-invariant checkers hold on each resulting record.
+        for kind in WorkloadKind::ALL {
+            let w = kind.descriptor();
+            let p = profiled(kind, w.default_algo, 300, Backend::Vec);
+            assert_eq!(p.record.workload.kind, w.name, "{}", w.name);
+            assert_eq!(p.record.workload.algo, w.default_algo);
+            assert!(p.record.q() > 0, "{}", w.name);
+            assert_ne!(p.checksum, 0, "{}", w.name);
+            assert!(!p.flight_jsonl.is_empty());
+            for check in run_all(&p.record) {
+                assert!(
+                    check.passed,
+                    "{}/{} {}: {}",
+                    w.name, w.default_algo, check.name, check.detail
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn search_record_carries_build_and_lookup_phases() {
+        let p = profiled(WorkloadKind::Search, "btree", 512, Backend::Vec);
+        let names: Vec<&str> = p.record.phases.iter().map(|ph| ph.name.as_str()).collect();
+        assert!(names.contains(&"build"), "{names:?}");
+        assert!(names.contains(&"lookups"), "{names:?}");
+        assert_eq!(
+            p.record.workload.delta,
+            WorkloadKind::Search.descriptor().default_delta as u64
+        );
+    }
+
+    #[test]
+    fn ghost_profile_meters_without_verifying() {
+        // permute/naive is ghost-runnable AND ghost-sound: the record's
+        // cost matches a vec run, the checksum stays 0.
+        let g = profiled(WorkloadKind::Permute, "naive", 256, Backend::Ghost);
+        let v = profiled(WorkloadKind::Permute, "naive", 256, Backend::Vec);
+        assert_eq!(g.record.trace.cost(), v.record.trace.cost());
+        assert_eq!(g.checksum, 0);
+        assert_ne!(v.checksum, 0);
+    }
+}

@@ -37,6 +37,7 @@
 pub mod check;
 pub mod error;
 pub mod flight;
+pub mod harness;
 pub mod instrument;
 pub mod json;
 pub mod metrics;
@@ -53,6 +54,7 @@ pub use check::{
 };
 pub use error::ObsError;
 pub use flight::{tail_from_record, FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use harness::{ProfileHarness, ProfiledRun};
 pub use instrument::InstrumentedMachine;
 pub use metrics::{Gauge, Histogram, Metrics};
 pub use observer::Observer;

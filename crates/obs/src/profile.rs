@@ -16,9 +16,9 @@
 //! * **predictor residuals** ([`residuals`]) — measured ÷ predicted `Q`,
 //!   for the whole run against the workload's closed-form predictor
 //!   (Theorem 3.2 / `pq_sort_cost` / `spmv_sorted_cost`, via
-//!   [`crate::check::predicted_cost`]) and per phase where the predictor
-//!   decomposes ([`predict::merge_sort_cost_phases`] for the §3
-//!   mergesort).
+//!   [`crate::check::predicted_cost`]) and per phase where the
+//!   registry's algorithm entry carries a `predict_phases` decomposition
+//!   (the §3 mergesort's base/merge-level schedule).
 //!
 //! [`prometheus_text`] serializes all of it — run totals, per-phase
 //! splits, residual gauges, heatmap buckets, metric histograms — as a
@@ -27,7 +27,6 @@
 
 use std::collections::BTreeMap;
 
-use aem_core::bounds::predict;
 use aem_machine::{Cost, IoEvent};
 
 use crate::check::predicted_cost;
@@ -238,14 +237,17 @@ pub fn residuals(rec: &RunRecord) -> Vec<Residual> {
             predicted_q: pred.q(omega),
         });
     }
-    // Per-phase decomposition exists for the §3 mergesort.
-    let kind = rec.workload.kind.as_str();
-    let algo = rec.workload.algo.as_str();
-    if kind == "sort" && (algo == "aem" || algo == "merge") {
-        let per_phase = predict::merge_sort_cost_phases(
+    // Per-phase decomposition, where the registry's algorithm entry has
+    // one (today: the §3 mergesort's base/merge-level schedule).
+    let per_phase_fn = aem_core::workload::WorkloadKind::from_name(&rec.workload.kind)
+        .ok()
+        .and_then(|k| k.descriptor().algo(&rec.workload.algo))
+        .and_then(|a| a.predict_phases);
+    if let Some(f) = per_phase_fn {
+        let per_phase = f(
             rec.config,
             rec.workload.n as usize,
-            rec.config.fan_in(),
+            rec.workload.delta as usize,
         );
         // Measured inclusive Q per top-level phase name (summed over
         // repeats, which the mergesort does not produce but the format

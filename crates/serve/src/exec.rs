@@ -1,27 +1,24 @@
-//! Job execution: seeded workload generation, backend dispatch, and the
+//! Job execution: registry dispatch, backend harnesses, and the
 //! compiled-trace replay cache.
 //!
-//! Instances are pure functions of `(kind, n, delta, seed)` — the same
-//! SplitMix64-seeded generators the experiment tables use — so a job's
-//! metered cost is a deterministic integer. Cost-only jobs routed to the
-//! trace backend record a [`CompiledTrace`] on first execution; repeats of
-//! the same cell re-price by [`CompiledTrace::replay`], which equals the
-//! live cost by the `docs/COST_MODEL.md` contract. That equality is what
-//! lets the cache stay metering-neutral: whether a concurrent tenant beat
-//! you to the first run changes the wall-clock, never the reported cost.
+//! Instances are pure functions of `(kind, n, delta, seed)` — the seeded
+//! constructors live in the workload registry
+//! ([`aem_core::workload::run_workload`]), so this module holds no
+//! per-kind code at all: it supplies two [`aem_core::workload::Harness`]
+//! implementations (live backends and trace compilation) and the cache
+//! plumbing. Cost-only jobs routed to the trace backend record a
+//! [`CompiledTrace`] on first execution; repeats of the same cell
+//! re-price by [`CompiledTrace::replay`], which equals the live cost by
+//! the `docs/COST_MODEL.md` contract. That equality is what lets the
+//! cache stay metering-neutral: whether a concurrent tenant beat you to
+//! the first run changes the wall-clock, never the reported cost.
 
 use crate::planner::Plan;
 use crate::protocol::{JobKind, JobSpec};
-use aem_core::permute::{permute_by_sort_on, permute_naive_on, DestTagged};
-use aem_core::sort::{em_merge_sort, merge_sort, sort_via_pq};
-use aem_core::spmv::{
-    install_instance, reference_multiply, spmv_direct_on, spmv_sorted_on, SpmvInstance, U64Ring,
+use aem_core::workload::{
+    run_workload, Body, Harness, LiveHarness, Payload, RunCtx, WorkloadError,
 };
-use aem_machine::{
-    with_backend_machine, with_payload_machine, AemAccess, AemConfig, Backend, CompiledTrace, Cost,
-    Region, TraceMachine,
-};
-use aem_workloads::{perm, Conformation, KeyDist, MatrixShape, PermKind};
+use aem_machine::{Backend, CompiledTrace, Cost, TraceMachine};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -84,16 +81,10 @@ impl TraceCache {
     }
 }
 
-/// FNV-1a over a stream of `u64`s.
-fn fnv1a(values: impl IntoIterator<Item = u64>) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for v in values {
-        for b in v.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
+fn ctx_of(spec: &JobSpec, plan: &Plan) -> Result<RunCtx, String> {
+    RunCtx::new(
+        spec.kind, plan.algo, plan.cfg, spec.n, spec.delta, spec.seed,
+    )
 }
 
 /// Execute `spec` under `plan`, consulting (and feeding) the replay cache
@@ -109,7 +100,9 @@ pub fn execute(spec: &JobSpec, plan: &Plan, cache: &TraceCache) -> Result<ExecRe
                 via_replay: true,
             });
         }
-        let (measured, checksum, schedule) = run_traced(spec, plan)?;
+        let ctx = ctx_of(spec, plan)?;
+        let (measured, checksum, schedule) =
+            run_workload(&ctx, &mut TraceHarness).map_err(|e: WorkloadError| e.to_string())?;
         cache.insert(key, schedule);
         return Ok(ExecResult {
             measured,
@@ -117,7 +110,14 @@ pub fn execute(spec: &JobSpec, plan: &Plan, cache: &TraceCache) -> Result<ExecRe
             via_replay: false,
         });
     }
-    let (measured, checksum) = run_live(spec, plan)?;
+    let ctx = ctx_of(spec, plan)?;
+    let (measured, checksum) = run_workload(
+        &ctx,
+        &mut LiveHarness {
+            backend: plan.backend,
+        },
+    )
+    .map_err(|e| e.to_string())?;
     Ok(ExecResult {
         measured,
         checksum: if spec.payload { checksum } else { 0 },
@@ -125,230 +125,21 @@ pub fn execute(spec: &JobSpec, plan: &Plan, cache: &TraceCache) -> Result<ExecRe
     })
 }
 
-/// Run on a concrete [`TraceMachine`] so the compiled schedule survives.
-fn run_traced(spec: &JobSpec, plan: &Plan) -> Result<(Cost, u64, CompiledTrace), String> {
-    fn go<T: Clone + Default>(
-        cfg: AemConfig,
-        input: &[T],
-        body: impl FnOnce(&mut TraceMachine<T>, Region) -> Result<(u64, bool), String>,
-    ) -> Result<(Cost, u64, CompiledTrace), String> {
-        let mut m = TraceMachine::new(cfg);
-        let r = m.install(input);
-        let (checksum, _verified) = body(&mut m, r)?;
+/// Runs on a concrete [`TraceMachine`] so the compiled schedule survives.
+struct TraceHarness;
+
+impl Harness for TraceHarness {
+    type Out = (Cost, u64, CompiledTrace);
+    fn run<T: Payload>(
+        &mut self,
+        ctx: &RunCtx,
+        body: Body<'_, T>,
+    ) -> Result<Self::Out, WorkloadError> {
+        let mut m = TraceMachine::<T>::new(ctx.cfg);
+        let v = body(&mut m)?;
         let cost = m.counter().snapshot();
-        Ok((cost, checksum, m.into_schedule()))
+        Ok((cost, v.checksum, m.into_schedule()))
     }
-
-    let cfg = plan.cfg;
-    match (spec.kind, plan.algo) {
-        (JobKind::Sort, algo) | (JobKind::Pq, algo) => {
-            let input = sort_input(spec);
-            let n = spec.n;
-            go(cfg, &input, move |m, r| {
-                let out = match algo {
-                    "aem" => merge_sort(m, r),
-                    "em" => em_merge_sort(m, r),
-                    "pq" => sort_via_pq(m, r),
-                    other => return Err(format!("unknown sort algo '{other}'")),
-                }
-                .map_err(|e| e.to_string())?;
-                let got = m.inspect(out);
-                verify_sorted(&got, n)?;
-                Ok((fnv1a(got), true))
-            })
-        }
-        (JobKind::Permute, "naive") => {
-            let (values, pi) = permute_input(spec);
-            let want = perm::apply(&pi, &values);
-            go(cfg, &values, move |m, r| {
-                let out = permute_naive_on(m, r, &pi).map_err(|e| e.to_string())?;
-                let got = m.inspect(out);
-                if got != want {
-                    return Err("naive permute: verification failed".into());
-                }
-                Ok((fnv1a(got), true))
-            })
-        }
-        (JobKind::Permute, "by-sort") => {
-            let (values, pi) = permute_input(spec);
-            let want = perm::apply(&pi, &values);
-            let tagged = tag(&values, &pi);
-            go(cfg, &tagged, move |m, r| {
-                let out = permute_by_sort_on(m, r).map_err(|e| e.to_string())?;
-                let got: Vec<u64> = m.inspect(out).into_iter().map(|t| t.value).collect();
-                if got != want {
-                    return Err("by-sort permute: verification failed".into());
-                }
-                Ok((fnv1a(got), true))
-            })
-        }
-        (JobKind::Spmv, algo) => {
-            let inst = SpmvInputs::generate(spec);
-            let want = reference_multiply(&inst.conf, &inst.a, &inst.x);
-            let conf = inst.conf.clone();
-            let mut m = TraceMachine::new(cfg);
-            let (ar, xr) = install_instance(
-                &mut m,
-                &SpmvInstance {
-                    conf: &inst.conf,
-                    a_vals: &inst.a,
-                    x: &inst.x,
-                },
-            );
-            let y = match algo {
-                "sorted" => spmv_sorted_on(&mut m, &conf, ar, xr),
-                "direct" => spmv_direct_on(&mut m, &conf, ar, xr),
-                other => return Err(format!("unknown spmv algo '{other}'")),
-            }
-            .map_err(|e| e.to_string())?;
-            let got: Vec<u64> = m.inspect(y).into_iter().map(|e| e.val.0).collect();
-            if got != want.iter().map(|v| v.0).collect::<Vec<u64>>() {
-                return Err(format!("spmv {algo}: verification failed"));
-            }
-            let cost = m.counter().snapshot();
-            Ok((cost, fnv1a(got), m.into_schedule()))
-        }
-        (kind, algo) => Err(format!("no runner for {}/{algo}", kind.name())),
-    }
-}
-
-/// Run on the plan's backend via the dispatch macros (vec/arena/ghost).
-fn run_live(spec: &JobSpec, plan: &Plan) -> Result<(Cost, u64), String> {
-    let cfg = plan.cfg;
-    let backend = plan.backend;
-    match (spec.kind, plan.algo) {
-        (JobKind::Sort, algo) | (JobKind::Pq, algo) => {
-            let input = sort_input(spec);
-            let n = spec.n;
-            with_payload_machine!(backend, u64, |M| {
-                let mut m = M::new(cfg);
-                let r = m.install(&input);
-                let out = match algo {
-                    "aem" => merge_sort(&mut m, r),
-                    "em" => em_merge_sort(&mut m, r),
-                    "pq" => sort_via_pq(&mut m, r),
-                    other => return Err(format!("unknown sort algo '{other}'")),
-                }
-                .map_err(|e| e.to_string())?;
-                let got = m.inspect(out);
-                verify_sorted(&got, n)?;
-                Ok((m.cost(), fnv1a(got)))
-            }, ghost => Err("ghost is unsound for sorting (planner bug)".into()))
-        }
-        (JobKind::Permute, "naive") => {
-            let (values, pi) = permute_input(spec);
-            let want = perm::apply(&pi, &values);
-            with_backend_machine!(backend, u64, |M| {
-                let mut m = M::new(cfg);
-                let r = m.install(&values);
-                let out = permute_naive_on(&mut m, r, &pi).map_err(|e| e.to_string())?;
-                let cost = m.cost();
-                if backend.carries_payload() {
-                    let got = m.inspect(out);
-                    if got != want {
-                        return Err("naive permute: verification failed".into());
-                    }
-                    Ok((cost, fnv1a(got)))
-                } else {
-                    Ok((cost, 0))
-                }
-            })
-        }
-        (JobKind::Permute, "by-sort") => {
-            let (values, pi) = permute_input(spec);
-            let want = perm::apply(&pi, &values);
-            let tagged = tag(&values, &pi);
-            with_payload_machine!(backend, DestTagged<u64>, |M| {
-                let mut m = M::new(cfg);
-                let r = m.install(&tagged);
-                let out = permute_by_sort_on(&mut m, r).map_err(|e| e.to_string())?;
-                let got: Vec<u64> = m.inspect(out).into_iter().map(|t| t.value).collect();
-                if got != want {
-                    return Err("by-sort permute: verification failed".into());
-                }
-                Ok((m.cost(), fnv1a(got)))
-            }, ghost => Err("ghost is unsound for by-sort (planner bug)".into()))
-        }
-        (JobKind::Spmv, algo) => {
-            let inst = SpmvInputs::generate(spec);
-            let want: Vec<u64> = reference_multiply(&inst.conf, &inst.a, &inst.x)
-                .into_iter()
-                .map(|v| v.0)
-                .collect();
-            let conf = inst.conf.clone();
-            with_payload_machine!(backend, aem_core::spmv::MatEntry<U64Ring>, |M| {
-                let mut m = M::new(cfg);
-                let (ar, xr) = install_instance(
-                    &mut m,
-                    &SpmvInstance {
-                        conf: &inst.conf,
-                        a_vals: &inst.a,
-                        x: &inst.x,
-                    },
-                );
-                let y = match algo {
-                    "sorted" => spmv_sorted_on(&mut m, &conf, ar, xr),
-                    "direct" => spmv_direct_on(&mut m, &conf, ar, xr),
-                    other => return Err(format!("unknown spmv algo '{other}'")),
-                }
-                .map_err(|e| e.to_string())?;
-                let got: Vec<u64> = m.inspect(y).into_iter().map(|e| e.val.0).collect();
-                if got != want {
-                    return Err(format!("spmv {algo}: verification failed"));
-                }
-                Ok((m.cost(), fnv1a(got)))
-            }, ghost => Err("ghost is unsound for spmv (planner bug)".into()))
-        }
-        (kind, algo) => Err(format!("no runner for {}/{algo}", kind.name())),
-    }
-}
-
-fn sort_input(spec: &JobSpec) -> Vec<u64> {
-    KeyDist::Uniform { seed: spec.seed }.generate(spec.n)
-}
-
-fn permute_input(spec: &JobSpec) -> (Vec<u64>, Vec<usize>) {
-    let values: Vec<u64> = (0..spec.n as u64).collect();
-    let pi = PermKind::Random { seed: spec.seed }.generate(spec.n);
-    (values, pi)
-}
-
-fn tag(values: &[u64], pi: &[usize]) -> Vec<DestTagged<u64>> {
-    values
-        .iter()
-        .zip(pi.iter())
-        .map(|(v, &d)| DestTagged {
-            dest: d as u64,
-            value: *v,
-        })
-        .collect()
-}
-
-struct SpmvInputs {
-    conf: Conformation,
-    a: Vec<U64Ring>,
-    x: Vec<U64Ring>,
-}
-
-impl SpmvInputs {
-    fn generate(spec: &JobSpec) -> Self {
-        let conf =
-            Conformation::generate(MatrixShape::Random { seed: spec.seed }, spec.n, spec.delta);
-        let a = (0..conf.nnz())
-            .map(|i| U64Ring((i as u64 * 37 + 1) % 97))
-            .collect();
-        let x = (0..spec.n)
-            .map(|j| U64Ring((j as u64 * 13 + 5) % 89))
-            .collect();
-        SpmvInputs { conf, a, x }
-    }
-}
-
-fn verify_sorted(got: &[u64], n: usize) -> Result<(), String> {
-    if got.len() != n || !got.windows(2).all(|w| w[0] <= w[1]) {
-        return Err("sort: output verification failed".into());
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -425,6 +216,27 @@ mod tests {
             assert_eq!(ghost.measured, vec.measured);
             assert_eq!(ghost.checksum, 0);
         }
+    }
+
+    #[test]
+    fn cost_only_search_routes_ghost_and_prices_like_vec() {
+        // The registry's ghost_sound flag reaches the planner with no
+        // serve-side search code: a cost-only lookup-light search job
+        // lands on the ghost backend and meters the vec cost exactly.
+        let cache = TraceCache::new();
+        let s = spec(JobKind::Search, 512, false, None);
+        let p = plan(&s).unwrap();
+        assert_eq!(p.backend, Backend::Ghost);
+        let ghost = execute(&s, &p, &cache).unwrap();
+        let mut sv = s.clone();
+        sv.payload = true;
+        sv.backend = Some("vec".into());
+        let pv = plan(&sv).unwrap();
+        assert_eq!(pv.algo, p.algo);
+        let vec = execute(&sv, &pv, &cache).unwrap();
+        assert_eq!(ghost.measured, vec.measured);
+        assert_eq!(ghost.checksum, 0);
+        assert_ne!(vec.checksum, 0);
     }
 
     #[test]

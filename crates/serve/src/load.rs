@@ -62,8 +62,17 @@ fn connect(addr: &str) -> Result<TcpStream, String> {
     Err(format!("cannot connect to {addr}: {last}"))
 }
 
-fn draw_spec(rng: &mut SplitMix64, id: u64) -> JobSpec {
-    let kind = JobKind::ALL[rng.next_below_usize(JobKind::ALL.len())];
+fn draw_spec(rng: &mut SplitMix64, id: u64, draws: usize) -> JobSpec {
+    // A tenant's first |ALL| specs cycle through the registry in order,
+    // so any run with enough jobs exercises every registered kind; later
+    // draws are uniform. Registering a new workload kind therefore
+    // extends load coverage with no change here.
+    let roll = rng.next_below_usize(JobKind::ALL.len());
+    let kind = JobKind::ALL[if draws < JobKind::ALL.len() {
+        draws
+    } else {
+        roll
+    }];
     let (mem, block, omega) = CONFIGS[rng.next_below_usize(CONFIGS.len())];
     JobSpec {
         id,
@@ -168,6 +177,7 @@ fn tenant_session(opts: &LoadOptions, tix: usize) -> Result<String, String> {
         },
     )?;
     let mut next_id = 1u64;
+    let mut draws = 0usize;
     for _ in 0..opts.jobs {
         let roll = rng.next_f64();
         if roll < 0.10 {
@@ -182,22 +192,25 @@ fn tenant_session(opts: &LoadOptions, tix: usize) -> Result<String, String> {
                 },
             )?;
         } else if roll < 0.25 {
-            let spec = draw_spec(&mut rng, next_id);
+            let spec = draw_spec(&mut rng, next_id, draws);
             next_id += 1;
+            draws += 1;
             say(&mut out, &mut stream, &Request::Quote(spec))?;
         } else if roll < 0.40 {
             let k = 2 + rng.next_below_usize(3);
             let batch: Vec<JobSpec> = (0..k)
                 .map(|_| {
-                    let s = draw_spec(&mut rng, next_id);
+                    let s = draw_spec(&mut rng, next_id, draws);
                     next_id += 1;
+                    draws += 1;
                     s
                 })
                 .collect();
             say(&mut out, &mut stream, &Request::Batch(batch))?;
         } else {
-            let spec = draw_spec(&mut rng, next_id);
+            let spec = draw_spec(&mut rng, next_id, draws);
             next_id += 1;
+            draws += 1;
             say(&mut out, &mut stream, &Request::Job(spec))?;
         }
     }
@@ -226,4 +239,25 @@ pub fn run_load(opts: &LoadOptions) -> Result<String, String> {
         out.push_str(&r.expect("all slots filled")?);
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_draws_cover_every_registered_kind() {
+        // Per-tenant coverage is deterministic: the first |ALL| specs a
+        // tenant draws hit every kind exactly once, in registry order.
+        let mut rng = SplitMix64::seed_from_u64(9);
+        let kinds: Vec<JobKind> = (0..JobKind::ALL.len())
+            .map(|d| draw_spec(&mut rng, d as u64, d).kind)
+            .collect();
+        assert_eq!(kinds, JobKind::ALL.to_vec());
+        // Deltas drawn for kinds that require one are always valid.
+        for d in 0..32 {
+            let s = draw_spec(&mut rng, d, usize::MAX);
+            assert!(s.delta >= 1 && s.n >= 1);
+        }
+    }
 }

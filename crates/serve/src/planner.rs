@@ -1,10 +1,11 @@
 //! Pricing and plan selection.
 //!
 //! Every job is priced *before* execution by the paper's closed-form
-//! predictors ([`aem_core::bounds::predict`]): the planner asks for the
-//! candidate menu of its kind, picks the algorithm with the least
-//! predicted `Q = Q_r + ω·Q_w`, and then chooses a backend under the
-//! soundness rules established in `docs/COST_MODEL.md`:
+//! predictors: the planner asks the workload registry
+//! ([`aem_core::workload`]) for its kind's candidate menu, picks the
+//! algorithm with the least predicted `Q = Q_r + ω·Q_w`, and then chooses
+//! a backend under the soundness rules established in
+//! `docs/COST_MODEL.md`:
 //!
 //! * **ghost** only for payload-oblivious plans (the naive permuter's
 //!   schedule never depends on payloads; the sorters' do);
@@ -16,7 +17,6 @@
 //!   recycling pays for itself).
 
 use crate::protocol::{JobKind, JobSpec};
-use aem_core::bounds::predict;
 use aem_machine::{AemConfig, Backend, Cost};
 
 /// Payload-carrying jobs at or above this size run on the arena backend.
@@ -49,22 +49,20 @@ pub type Menu = Vec<(&'static str, Cost)>;
 /// `n` — so quoting is effectively free.
 pub fn price(spec: &JobSpec) -> Result<(AemConfig, Menu), String> {
     let cfg = AemConfig::new(spec.mem, spec.block, spec.omega).map_err(|e| e.to_string())?;
-    if spec.n == 0 {
-        return Err("n must be positive".into());
+    let w = spec.kind.descriptor();
+    w.validate(spec.n, spec.delta)?;
+    let menu = w.menu(cfg, spec.n, spec.delta);
+    if menu.is_empty() {
+        return Err(format!("no eligible algorithm for '{}' on {cfg}", w.name));
     }
-    if spec.kind == JobKind::Spmv && spec.delta == 0 {
-        return Err("spmv requires delta >= 1".into());
-    }
-    let menu = predict::candidates(spec.kind.name(), cfg, spec.n, spec.delta)
-        .filter(|m| !m.is_empty())
-        .ok_or_else(|| format!("no eligible algorithm for '{}' on {cfg}", spec.kind.name()))?;
     Ok((cfg, menu))
 }
 
-/// `true` when `algo`'s I/O schedule is independent of payload values, so
-/// a ghost (cost-only occupancy) store prices it exactly.
+/// `true` when a ghost (cost-only occupancy) store prices `algo` exactly —
+/// straight from the registry's per-algorithm flag, so the planner, the
+/// CLI, and the fuzz backend matrix cannot drift apart.
 pub fn ghost_sound(kind: JobKind, algo: &str) -> bool {
-    kind == JobKind::Permute && algo == "naive"
+    kind.descriptor().algo(algo).is_some_and(|a| a.ghost_sound)
 }
 
 /// Pick the cheapest eligible algorithm and a sound backend for `spec`.

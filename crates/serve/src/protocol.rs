@@ -14,44 +14,10 @@ use std::io::{Read, Write};
 /// Hard cap on a frame's JSON payload, in bytes.
 pub const MAX_FRAME: usize = 1 << 20;
 
-/// The job kinds the service prices and executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum JobKind {
-    /// Sort `n` seeded keys.
-    Sort,
-    /// Apply a seeded random permutation to `n` values.
-    Permute,
-    /// Sparse matrix–vector multiply, `n` columns × `delta` per column.
-    Spmv,
-    /// Sort via the buffered priority queue (§3.1 discipline).
-    Pq,
-}
-
-impl JobKind {
-    /// All kinds, in canonical order.
-    pub const ALL: [JobKind; 4] = [JobKind::Sort, JobKind::Permute, JobKind::Spmv, JobKind::Pq];
-
-    /// The wire name.
-    pub fn name(self) -> &'static str {
-        match self {
-            JobKind::Sort => "sort",
-            JobKind::Permute => "permute",
-            JobKind::Spmv => "spmv",
-            JobKind::Pq => "pq",
-        }
-    }
-
-    /// Parse a wire name.
-    pub fn from_name(s: &str) -> Result<Self, String> {
-        match s {
-            "sort" => Ok(JobKind::Sort),
-            "permute" => Ok(JobKind::Permute),
-            "spmv" => Ok(JobKind::Spmv),
-            "pq" => Ok(JobKind::Pq),
-            other => Err(format!("unknown job kind '{other}' (sort|permute|spmv|pq)")),
-        }
-    }
-}
+/// The job kinds the service prices and executes: exactly the workload
+/// registry's kinds. Registering a new kind in `aem-core` extends the
+/// wire protocol with no change here.
+pub use aem_core::workload::WorkloadKind as JobKind;
 
 /// One job request: what to run, on which machine shape, and whether the
 /// caller wants the payload back or only the metered cost.

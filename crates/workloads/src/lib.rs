@@ -9,6 +9,8 @@
 //! * [`matrix`] — sparse `N×N` matrix *conformations* with exactly `δ`
 //!   non-zero entries per column, laid out in column-major order as the §5
 //!   SpMxV lower bound demands (random, banded, block-diagonal, clustered).
+//! * [`search`] — strictly increasing key files plus hit/miss query
+//!   batches for the static-search (T11) experiments.
 //!
 //! Everything is seeded and reproducible: the same `(generator, seed, size)`
 //! triple always yields the same workload, so the experiment tables in
@@ -21,8 +23,10 @@ pub mod keys;
 pub mod matrix;
 pub mod perm;
 pub mod rng;
+pub mod search;
 
 pub use keys::KeyDist;
 pub use matrix::{Conformation, MatrixShape, Triple};
 pub use perm::PermKind;
 pub use rng::SplitMix64;
+pub use search::{search_instance, SearchInstance};

@@ -1,0 +1,84 @@
+//! Seeded instances for the static-search workload (T11).
+//!
+//! A search instance is a strictly increasing key file of `n` keys plus a
+//! batch of `q` lookup queries. Keys are generated with seeded gaps of at
+//! least 2, so for every key `k` the probe `k + 1` is guaranteed absent —
+//! that gives the query sampler a deterministic way to mix hits and
+//! misses without scanning the key set.
+//!
+//! The instance is what the registry's seeded constructor hands to every
+//! layer (serve exec, fuzz, the cost gate, the T11 sweep), so the same
+//! `(n, q, seed)` triple always denotes the same workload.
+
+use crate::rng::SplitMix64;
+
+/// A generated search workload: sorted keys plus a query batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchInstance {
+    /// Strictly increasing keys (the file the index is built over).
+    pub keys: Vec<u64>,
+    /// Lookup probes; roughly half are present in `keys`.
+    pub queries: Vec<u64>,
+}
+
+/// Deterministically generate the canonical instance for `(n, q, seed)`.
+///
+/// Keys start at a seeded offset and grow by gaps in `2..=8`; queries pick
+/// a uniform key position and then probe either the key itself (a hit) or
+/// the key plus one (a guaranteed miss).
+pub fn search_instance(n: usize, q: usize, seed: u64) -> SearchInstance {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5EAC_11A5_7E57_0001);
+    let mut keys = Vec::with_capacity(n);
+    let mut key = 1 + rng.next_below(64);
+    for _ in 0..n {
+        keys.push(key);
+        key += 2 + rng.next_below(7);
+    }
+    let mut queries = Vec::with_capacity(q);
+    for _ in 0..q {
+        let pos = rng.next_below_usize(n.max(1));
+        let base = keys.get(pos).copied().unwrap_or(0);
+        queries.push(if rng.next_bool() { base } else { base + 1 });
+    }
+    SearchInstance { keys, queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_deterministic_and_strictly_increasing() {
+        let a = search_instance(512, 64, 9);
+        let b = search_instance(512, 64, 9);
+        assert_eq!(a, b);
+        assert!(a.keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(a.keys.len(), 512);
+        assert_eq!(a.queries.len(), 64);
+    }
+
+    #[test]
+    fn queries_mix_hits_and_guaranteed_misses() {
+        let inst = search_instance(256, 200, 3);
+        let hits = inst
+            .queries
+            .iter()
+            .filter(|q| inst.keys.binary_search(q).is_ok())
+            .count();
+        assert!(hits > 0 && hits < inst.queries.len());
+        // Gaps >= 2 make every `key + 1` probe a miss, never another key.
+        for q in &inst.queries {
+            if inst.keys.binary_search(q).is_err() {
+                assert!(inst.keys.binary_search(&(q - 1)).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        let inst = search_instance(1, 4, 1);
+        assert_eq!(inst.keys.len(), 1);
+        assert!(inst.queries.iter().all(|&q| q >= inst.keys[0]));
+        assert!(search_instance(0, 0, 1).keys.is_empty());
+    }
+}
