@@ -30,13 +30,16 @@
 //!   by deterministic positional tie-breaks, so it is payload-oblivious
 //!   and byte-compares across `vec` and `ghost`.
 
+pub mod bfs;
 pub mod flash;
+pub mod matmul;
 pub mod merge;
 pub mod model;
 pub mod optimality;
 pub mod permute;
 pub mod pq;
 pub mod rounds;
+pub mod scan;
 pub mod search;
 pub mod sorting;
 pub mod spmv;
@@ -58,6 +61,9 @@ pub fn all_sweeps(quick: bool, backend: Backend) -> Vec<Sweep> {
     out.extend(permute::sweeps(quick, backend));
     out.extend(spmv::sweeps(quick, backend));
     out.extend(search::sweeps(quick, backend));
+    out.extend(scan::sweeps(quick, backend));
+    out.extend(matmul::sweeps(quick, backend));
+    out.extend(bfs::sweeps(quick, backend));
     out.extend(model::sweeps(quick, backend));
     out.extend(optimality::sweeps(quick, backend));
     out

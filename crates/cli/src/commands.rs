@@ -1162,13 +1162,19 @@ mod tests {
     fn registry_completeness_across_every_surface() {
         // Every registered kind must be reachable from every consumer
         // layer: a priced menu, a live `aemsim run`, a fuzz target per
-        // algorithm, a strict-gate cell in COSTS.json, and the help
-        // text. A kind that registers but misses a surface fails here.
+        // algorithm, a strict-gate cell in COSTS.json, the help text,
+        // and the docs/WORKLOADS.md catalog. A kind that registers but
+        // misses a surface fails here.
         let cfg = AemConfig::new(1024, 64, 16).unwrap();
         let usage_text = usage();
         let costs =
             std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../COSTS.json"))
                 .expect("COSTS.json at the repo root");
+        let catalog = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../docs/WORKLOADS.md"
+        ))
+        .expect("docs/WORKLOADS.md at the repo root");
         let fuzz_names: Vec<&str> = aem_fuzz::targets::all_targets()
             .iter()
             .map(|t| t.name)
@@ -1199,6 +1205,31 @@ mod tests {
                 w.name
             );
             assert!(usage_text.contains(w.name), "{}: not in usage", w.name);
+            // The catalog page documents every kind as a section and
+            // every algorithm and alias as a literal `code` token, so
+            // registering something new without cataloguing it fails.
+            assert!(
+                catalog.contains(&format!("\n## {} — ", w.name)),
+                "{}: no section in docs/WORKLOADS.md",
+                w.name
+            );
+            for a in w.algos {
+                for token in std::iter::once(&a.name).chain(a.aliases) {
+                    assert!(
+                        catalog.contains(&format!("`{token}`")),
+                        "{}/{}: `{token}` missing from docs/WORKLOADS.md",
+                        w.name,
+                        a.name
+                    );
+                }
+                assert!(
+                    catalog.contains(&format!("`{}`", a.fuzz_target)),
+                    "{}/{}: fuzz target `{}` missing from docs/WORKLOADS.md",
+                    w.name,
+                    a.name,
+                    a.fuzz_target
+                );
+            }
         }
     }
 

@@ -1,0 +1,88 @@
+//! Planner ghost-routing property: across every registered kind and
+//! algorithm, the serve planner never lands a ghost-unsound schedule on
+//! the cost-only backend — neither by defaulting a cost-only job onto
+//! ghost nor by honoring a forced `--backend ghost`.
+//!
+//! This is the registry's soundness contract exercised from the outside
+//! (the serve crate itself is frozen; the property must hold purely
+//! through `aem_core::workload` flags the planner consults).
+
+use aem_machine::Backend;
+use aem_serve::planner;
+use aem_serve::protocol::{JobKind, JobSpec};
+
+fn spec(kind: JobKind, n: usize, delta: usize, payload: bool, backend: Option<&str>) -> JobSpec {
+    JobSpec {
+        id: 1,
+        kind,
+        n,
+        mem: 1024,
+        block: 64,
+        omega: 16,
+        delta,
+        seed: 7,
+        payload,
+        backend: backend.map(str::to_string),
+    }
+}
+
+/// The planner's default routing never puts a ghost-unsound algorithm
+/// on the ghost backend, on any registered kind or gate shape.
+#[test]
+fn default_routing_never_ghosts_unsound_algorithms() {
+    for kind in JobKind::ALL {
+        let w = kind.descriptor();
+        for &(n, delta) in w.gate_shapes {
+            for payload in [false, true] {
+                let plan = planner::plan(&spec(kind, n, delta, payload, None))
+                    .unwrap_or_else(|e| panic!("{}: plan on gate shape failed: {e}", w.name));
+                if plan.backend == Backend::Ghost {
+                    assert!(
+                        planner::ghost_sound(kind, plan.algo),
+                        "{}/{}: ghost-routed but not ghost-sound",
+                        w.name,
+                        plan.algo
+                    );
+                    assert!(!payload, "{}: payload job routed to ghost", w.name);
+                }
+            }
+        }
+    }
+}
+
+/// Forcing `backend: ghost` succeeds exactly for ghost-sound cheapest
+/// picks and is refused (not silently downgraded) everywhere else —
+/// so a kind whose whole menu is data-routed (BFS, SpMxV) can never
+/// reach the cost-only store.
+#[test]
+fn forced_ghost_is_refused_unless_sound() {
+    for kind in JobKind::ALL {
+        let w = kind.descriptor();
+        for &(n, delta) in w.gate_shapes {
+            let forced = planner::plan(&spec(kind, n, delta, false, Some("ghost")));
+            match forced {
+                Ok(plan) => {
+                    assert_eq!(plan.backend, Backend::Ghost, "{}: forced ghost", w.name);
+                    assert!(
+                        planner::ghost_sound(kind, plan.algo),
+                        "{}/{}: accepted forced ghost while unsound",
+                        w.name,
+                        plan.algo
+                    );
+                }
+                Err(e) => assert!(
+                    e.contains("unsound"),
+                    "{}: refusal must name the soundness rule, got: {e}",
+                    w.name
+                ),
+            }
+            // A payload-carrying job can never be forced onto ghost,
+            // sound algorithm or not.
+            assert!(
+                planner::plan(&spec(kind, n, delta, true, Some("ghost"))).is_err(),
+                "{}: payload job accepted forced ghost",
+                w.name
+            );
+        }
+    }
+}

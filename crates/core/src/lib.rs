@@ -20,6 +20,16 @@
 //! * [`search`] — static search structures under `ω` (T11): sorted-array
 //!   binary search, a blocked B-tree, and the cache-oblivious Eytzinger
 //!   layout, trading an `ω`-priced build against read-only lookups;
+//! * [`scan`] — blocked reduction and prefix scan (T12): the classic
+//!   materialized scan vs a block-sum reduction tree vs pure
+//!   recompute-from-reads, the Blelloch-style reduce/scan trade;
+//! * [`matmul`] — tiled dense matrix multiply (T13): the write-avoiding
+//!   resident-output tiling vs the standard streaming tiling, both with
+//!   exact-schedule predictors;
+//! * [`bfs`] — level-synchronous BFS over CSR blocks (T14): the
+//!   write-marking baseline vs a frontier re-derivation traversal that
+//!   writes only the final distance file — the data-routed family where
+//!   ghost pricing is unsound;
 //! * [`stream`] — streaming primitives (map, reduce, filter, zip, prefix
 //!   scan): the one-pass building blocks user algorithms compose from;
 //! * [`workload`] — the workload registry: one descriptor per kind
@@ -57,11 +67,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bfs;
 pub mod bounds;
+pub mod matmul;
 pub mod oracle;
 pub mod permute;
 pub mod pq;
 pub mod relational;
+pub mod scan;
 pub mod search;
 pub mod sort;
 pub mod spmv;

@@ -43,6 +43,65 @@ pub fn permuted_reference<T: Clone>(pi: &[usize], values: &[T]) -> Vec<T> {
         .collect()
 }
 
+/// RAM-model prefix sums: for each query position `p`, the wrapping
+/// inclusive sum `values[0] + … + values[p]` — the oracle for every
+/// algorithm in [`crate::scan`].
+pub fn prefix_reference(values: &[u64], queries: &[usize]) -> Vec<u64> {
+    queries
+        .iter()
+        .map(|&p| {
+            values[..=p]
+                .iter()
+                .fold(0u64, |acc, &v| acc.wrapping_add(v))
+        })
+        .collect()
+}
+
+/// RAM-model dense multiply: `d × d` row-major wrapping product — the
+/// oracle for every tiling in [`crate::matmul`].
+pub fn matmul_reference(d: usize, a: &[u64], b: &[u64]) -> Vec<u64> {
+    assert_eq!(a.len(), d * d);
+    assert_eq!(b.len(), d * d);
+    let mut c = vec![0u64; d * d];
+    for i in 0..d {
+        for k in 0..d {
+            let aik = a[i * d + k];
+            for j in 0..d {
+                c[i * d + j] = c[i * d + j].wrapping_add(aik.wrapping_mul(b[k * d + j]));
+            }
+        }
+    }
+    c
+}
+
+/// RAM-model BFS levels from vertex 0 over a CSR graph: `dist[v]` is the
+/// hop count, or [`crate::search::MISS`] when `v` is unreachable — the
+/// oracle for every traversal in [`crate::bfs`].
+pub fn bfs_reference(n: usize, offs: &[u64], adj: &[u64]) -> Vec<u64> {
+    let mut dist = vec![crate::search::MISS; n];
+    if n == 0 {
+        return dist;
+    }
+    dist[0] = 0;
+    let mut frontier = vec![0usize];
+    let mut level = 0u64;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &ww in &adj[offs[v] as usize..offs[v + 1] as usize] {
+                let w = ww as usize;
+                if dist[w] == crate::search::MISS {
+                    dist[w] = level;
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
 /// RAM-model batched lookup: for each query, the key itself when present
 /// in (sorted) `keys`, else [`crate::search::MISS`] — the oracle for every
 /// layout in [`crate::search`].
@@ -81,5 +140,29 @@ mod tests {
     #[should_panic]
     fn permuted_reference_rejects_non_permutations() {
         permuted_reference(&[0usize, 0], &[1u64, 2]);
+    }
+
+    #[test]
+    fn prefix_reference_wraps() {
+        assert_eq!(prefix_reference(&[1, 2, 3], &[0, 2, 1]), vec![1, 6, 3]);
+        assert_eq!(prefix_reference(&[u64::MAX, 2], &[1]), vec![1]);
+    }
+
+    #[test]
+    fn matmul_reference_small_identity() {
+        // [[1,0],[0,1]] * [[5,6],[7,8]]
+        let c = matmul_reference(2, &[1, 0, 0, 1], &[5, 6, 7, 8]);
+        assert_eq!(c, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn bfs_reference_levels_and_misses() {
+        // 0 → 1 → 2, vertex 3 unreachable.
+        let offs = vec![0u64, 1, 2, 2, 2];
+        let adj = vec![1u64, 2];
+        assert_eq!(
+            bfs_reference(4, &offs, &adj),
+            vec![0, 1, 2, crate::search::MISS]
+        );
     }
 }

@@ -28,12 +28,18 @@ use aem_machine::{
     AemAccess, AemConfig, ArenaMachine, Backend, BlockStore, Cost, GhostMachine, Machine,
     MachineCore, MachineError, Region, TraceMachine,
 };
-use aem_workloads::{perm, search_instance, Conformation, KeyDist, MatrixShape, PermKind};
+use aem_workloads::{
+    graph_instance, matmul_instance, perm, scan_instance, search_instance, Conformation, KeyDist,
+    MatrixShape, PermKind,
+};
 
+use crate::bfs;
 use crate::bounds::predict;
+use crate::matmul;
 use crate::oracle;
 use crate::permute::{permute_by_sort_on, permute_naive_on, DestTagged};
 use crate::pq::PqParams;
+use crate::scan;
 use crate::search;
 use crate::sort::{distribution_sort, em_merge_sort, heap_sort, merge_sort, sort_via_pq};
 use crate::spmv::{
@@ -57,16 +63,28 @@ pub enum WorkloadKind {
     /// Build a static index over `n` keys, then run `δ` lookups (T11:
     /// ω-priced build vs read-only queries).
     Search,
+    /// Prefix-sum a value file and answer `δ` prefix queries (T12:
+    /// materialized scan vs reduction tree vs recompute-from-reads).
+    Scan,
+    /// Tiled dense `d×d` matrix multiply, `n = d²` (T13: write-avoiding
+    /// vs streaming tiling).
+    Matmul,
+    /// Level-synchronous BFS from vertex 0 over a CSR graph with
+    /// out-degree `δ` (T14: write-marking vs frontier re-derivation).
+    Bfs,
 }
 
 impl WorkloadKind {
     /// Every registered kind, in canonical order.
-    pub const ALL: [WorkloadKind; 5] = [
+    pub const ALL: [WorkloadKind; 8] = [
         WorkloadKind::Sort,
         WorkloadKind::Permute,
         WorkloadKind::Spmv,
         WorkloadKind::Pq,
         WorkloadKind::Search,
+        WorkloadKind::Scan,
+        WorkloadKind::Matmul,
+        WorkloadKind::Bfs,
     ];
 
     /// Stable wire name.
@@ -93,6 +111,9 @@ impl WorkloadKind {
             WorkloadKind::Spmv => &SPMV,
             WorkloadKind::Pq => &PQ,
             WorkloadKind::Search => &SEARCH,
+            WorkloadKind::Scan => &SCAN,
+            WorkloadKind::Matmul => &MATMUL,
+            WorkloadKind::Bfs => &BFS,
         }
     }
 }
@@ -258,6 +279,19 @@ fn predict_search_btree(cfg: AemConfig, n: usize, d: usize) -> Option<Cost> {
 }
 fn predict_search_eytzinger(cfg: AemConfig, n: usize, d: usize) -> Option<Cost> {
     Some(search::eytzinger_cost(cfg, n, d))
+}
+fn predict_scan_materialize(cfg: AemConfig, n: usize, d: usize) -> Option<Cost> {
+    Some(scan::materialize_cost(cfg, n, d))
+}
+fn predict_scan_tree(cfg: AemConfig, n: usize, d: usize) -> Option<Cost> {
+    // Fan-out is B, same contraction argument as the search B-tree.
+    if cfg.block < 2 {
+        return None;
+    }
+    Some(scan::tree_cost(cfg, n, d))
+}
+fn predict_scan_rescan(cfg: AemConfig, n: usize, d: usize) -> Option<Cost> {
+    Some(scan::rescan_cost(cfg, n, d))
 }
 fn phases_merge_sort(cfg: AemConfig, n: usize, _d: usize) -> Vec<(String, Cost)> {
     predict::merge_sort_cost_phases(cfg, n, cfg.fan_in())
@@ -446,6 +480,130 @@ static SEARCH: Workload = Workload {
     // land in COSTS.json: few lookups (binary wins — the build is free)
     // and a large batch (the ω-priced B-tree build amortizes).
     gate_shapes: &[(2048, 3), (2048, 1024)],
+};
+
+static SCAN: Workload = Workload {
+    kind: WorkloadKind::Scan,
+    name: "scan",
+    summary: "prefix-sum a value file, answer delta prefix queries (T12)",
+    delta_name: "prefix queries",
+    requires_delta: true,
+    default_algo: "tree",
+    profile_n: 8192,
+    default_delta: 64,
+    counting_lower_bound: false,
+    algos: &[
+        AlgoSpec {
+            name: "materialize",
+            aliases: &["classic"],
+            ghost_sound: true,
+            ghost_runnable: true,
+            ghost_note: "",
+            fuzz_target: "scan_materialize",
+            invariants: false,
+            predict: predict_scan_materialize,
+            predict_phases: None,
+        },
+        AlgoSpec {
+            name: "tree",
+            aliases: &["sum-tree"],
+            ghost_sound: true,
+            ghost_runnable: true,
+            ghost_note: "",
+            fuzz_target: "scan_tree",
+            invariants: false,
+            predict: predict_scan_tree,
+            predict_phases: None,
+        },
+        AlgoSpec {
+            name: "rescan",
+            aliases: &[],
+            ghost_sound: true,
+            ghost_runnable: true,
+            ghost_note: "",
+            fuzz_target: "scan_rescan",
+            invariants: false,
+            predict: predict_scan_rescan,
+            predict_phases: None,
+        },
+    ],
+    // Small batches (rescan territory at high ω) and a large batch
+    // (where the materialize↔tree crossover lives).
+    gate_shapes: &[(2048, 3), (2048, 1024)],
+};
+
+static MATMUL: Workload = Workload {
+    kind: WorkloadKind::Matmul,
+    name: "matmul",
+    summary: "tiled dense d x d multiply over n = d^2 elements (T13)",
+    delta_name: "",
+    requires_delta: false,
+    default_algo: "tiled",
+    profile_n: 1764,
+    default_delta: 0,
+    counting_lower_bound: false,
+    algos: &[
+        AlgoSpec {
+            name: "tiled",
+            aliases: &["write-avoiding"],
+            ghost_sound: true,
+            ghost_runnable: true,
+            ghost_note: "",
+            fuzz_target: "matmul_tiled",
+            invariants: false,
+            predict: matmul::tiled_cost,
+            predict_phases: None,
+        },
+        AlgoSpec {
+            name: "stream",
+            aliases: &["streaming"],
+            ghost_sound: true,
+            ghost_runnable: true,
+            ghost_note: "",
+            fuzz_target: "matmul_stream",
+            invariants: false,
+            predict: matmul::stream_cost,
+            predict_phases: None,
+        },
+    ],
+    gate_shapes: &[(1764, 0)],
+};
+
+static BFS: Workload = Workload {
+    kind: WorkloadKind::Bfs,
+    name: "bfs",
+    summary: "level-synchronous BFS from vertex 0, out-degree delta (T14)",
+    delta_name: "out-degree per vertex",
+    requires_delta: true,
+    default_algo: "mark",
+    profile_n: 2048,
+    default_delta: 4,
+    counting_lower_bound: false,
+    algos: &[
+        AlgoSpec {
+            name: "mark",
+            aliases: &[],
+            ghost_sound: false,
+            ghost_runnable: false,
+            ghost_note: "traversal order and queue flushes derive from adjacency payloads",
+            fuzz_target: "bfs_mark",
+            invariants: false,
+            predict: bfs::mark_cost,
+            predict_phases: None,
+        },
+        AlgoSpec {
+            name: "rescan",
+            aliases: &[],
+            ghost_sound: false,
+            ghost_runnable: false,
+            ghost_note: "round count is the BFS depth, an adjacency-payload property",
+            fuzz_target: "bfs_rescan",
+            invariants: false,
+            predict: bfs::rescan_cost,
+            predict_phases: None,
+        },
+    ],
+    gate_shapes: &[(2048, 3)],
 };
 
 // ---------------------------------------------------------------------
@@ -791,6 +949,70 @@ pub fn run_workload<H: Harness>(ctx: &RunCtx, h: &mut H) -> Result<H::Out, Workl
                 }),
             )
         }
+        WorkloadKind::Scan => {
+            let inst = scan_instance(n, delta, seed);
+            let want = oracle::prefix_reference(&inst.values, &inst.queries);
+            h.run::<u64>(
+                ctx,
+                Box::new(move |m| {
+                    let mut m2: &mut dyn WorkloadMachine<u64> = m;
+                    let r = m2.install_atoms(&inst.values);
+                    let got = match algo {
+                        "materialize" => scan::scan_materialize(&mut m2, r, &inst.queries)?,
+                        "rescan" => scan::scan_rescan(&mut m2, r, &inst.queries)?,
+                        _ => {
+                            let t = scan::build_sum_tree(&mut m2, r)?;
+                            scan::query_tree(&mut m2, &t, &inst.queries)?
+                        }
+                    };
+                    if !m.payload_real() {
+                        return Ok(Verified::unverified());
+                    }
+                    check(got == want, "scan: prefix verification failed")?;
+                    Ok(Verified::hashed(fnv1a(got)))
+                }),
+            )
+        }
+        WorkloadKind::Matmul => {
+            let inst = matmul_instance(n, seed);
+            let want = oracle::matmul_reference(inst.d, &inst.a, &inst.b);
+            h.run::<u64>(
+                ctx,
+                Box::new(move |m| {
+                    let mut m2: &mut dyn WorkloadMachine<u64> = m;
+                    let (cr, t) = match algo {
+                        "stream" => matmul::matmul_stream(&mut m2, inst.d, &inst.a, &inst.b)?,
+                        _ => matmul::matmul_tiled(&mut m2, inst.d, &inst.a, &inst.b)?,
+                    };
+                    if !m.payload_real() {
+                        return Ok(Verified::unverified());
+                    }
+                    let got = matmul::extract(inst.d, t, m.cfg().block, &m.inspect_region(cr));
+                    check(got == want, "matmul: verification failed")?;
+                    Ok(Verified::hashed(fnv1a(got)))
+                }),
+            )
+        }
+        WorkloadKind::Bfs => {
+            let g = graph_instance(n, delta, seed);
+            let want = oracle::bfs_reference(n, &g.offs, &g.adj);
+            h.run::<u64>(
+                ctx,
+                Box::new(move |m| {
+                    let mut m2: &mut dyn WorkloadMachine<u64> = m;
+                    let dist = match algo {
+                        "rescan" => bfs::bfs_rescan(&mut m2, n, &g.offs, &g.adj)?,
+                        _ => bfs::bfs_mark(&mut m2, n, &g.offs, &g.adj)?,
+                    };
+                    if !m.payload_real() {
+                        return Ok(Verified::unverified());
+                    }
+                    let got = m.inspect_region(dist);
+                    check(got == want, "bfs: distance verification failed")?;
+                    Ok(Verified::hashed(fnv1a(got)))
+                }),
+            )
+        }
     }
 }
 
@@ -900,12 +1122,23 @@ mod tests {
             names(WorkloadKind::Search),
             vec!["binary", "btree", "eytzinger"]
         );
+        assert_eq!(
+            names(WorkloadKind::Scan),
+            vec!["materialize", "tree", "rescan"]
+        );
+        assert_eq!(names(WorkloadKind::Matmul), vec!["tiled", "stream"]);
+        assert_eq!(names(WorkloadKind::Bfs), vec!["mark", "rescan"]);
         // The PQ sorter leaves the menu when the config rejects it.
         let tiny = AemConfig::new(16, 4, 2).unwrap();
         assert!(!SORT
             .menu(tiny, 2048, 3)
             .iter()
             .any(|&(name, _)| name == "pq"));
+        // Marking BFS needs M >= 4B; at M = 2B only the re-scan remains.
+        let twob = AemConfig::new(16, 8, 2).unwrap();
+        let bfs_menu = BFS.menu(twob, 2048, 3);
+        assert_eq!(bfs_menu.len(), 1);
+        assert_eq!(bfs_menu[0].0, "rescan");
     }
 
     #[test]
@@ -913,6 +1146,10 @@ mod tests {
         assert_eq!(SORT.algo("merge").unwrap().name, "aem");
         assert_eq!(PERMUTE.algo("by_sort").unwrap().name, "by-sort");
         assert_eq!(PERMUTE.algo("sort").unwrap().name, "by-sort");
+        assert_eq!(SCAN.algo("classic").unwrap().name, "materialize");
+        assert_eq!(SCAN.algo("sum_tree").unwrap().name, "tree");
+        assert_eq!(MATMUL.algo("write_avoiding").unwrap().name, "tiled");
+        assert_eq!(MATMUL.algo("streaming").unwrap().name, "stream");
         assert!(SORT.algo("quick").is_none());
     }
 
@@ -920,6 +1157,9 @@ mod tests {
     fn validity_is_centralized() {
         assert!(SPMV.validate(64, 0).is_err());
         assert!(SEARCH.validate(64, 0).is_err());
+        assert!(SCAN.validate(64, 0).is_err());
+        assert!(BFS.validate(64, 0).is_err());
+        assert!(MATMUL.validate(64, 0).is_ok());
         assert!(SORT.validate(64, 0).is_ok());
         assert!(SORT.validate(0, 3).is_err());
     }
@@ -951,12 +1191,24 @@ mod tests {
             run_workload(&sort, &mut ghost),
             Err(WorkloadError::Check(_))
         ));
-        // Ghost-sound algorithms price exactly on ghost: naive permute
-        // and the fixed-schedule binary search.
+        // Data-routed BFS refuses ghost in both directions.
+        let bfs = RunCtx::new(WorkloadKind::Bfs, "mark", cfg, 128, 3, 1).unwrap();
+        assert!(matches!(
+            run_workload(&bfs, &mut ghost),
+            Err(WorkloadError::Check(_))
+        ));
+        // Ghost-sound algorithms price exactly on ghost: naive permute,
+        // the fixed-schedule search layouts, the whole scan family, and
+        // both matmul tilings (position-routed schedules).
         for (kind, algo, delta) in [
             (WorkloadKind::Permute, "naive", 0),
             (WorkloadKind::Search, "binary", 16),
             (WorkloadKind::Search, "btree", 16),
+            (WorkloadKind::Scan, "materialize", 16),
+            (WorkloadKind::Scan, "tree", 16),
+            (WorkloadKind::Scan, "rescan", 16),
+            (WorkloadKind::Matmul, "tiled", 0),
+            (WorkloadKind::Matmul, "stream", 0),
         ] {
             let ctx = RunCtx::new(kind, algo, cfg, 256, delta, 1).unwrap();
             let (gcost, gsum) = run_workload(&ctx, &mut ghost).unwrap();
@@ -969,6 +1221,56 @@ mod tests {
             .unwrap();
             assert_eq!(gcost, vcost, "{kind}/{algo}: ghost must price exactly");
             assert_eq!(gsum, 0, "{kind}/{algo}: ghost output is unverified");
+        }
+    }
+
+    #[test]
+    fn predictors_are_monotone_in_n_and_omega_on_gate_shapes() {
+        // Sanity properties every registered predictor must satisfy on
+        // its own gate shapes: (a) pricing a fixed predicted schedule at
+        // a higher ω never gets cheaper; (b) predictors whose schedule
+        // is ω-oblivious (the same (reads, writes) at every ω — all of
+        // scan, matmul, bfs, search, permute) are fully monotone in ω
+        // (plain cross-ω monotonicity is false for ω-adaptive schedules
+        // like the ωm-way mergesort, whose fan-in grows with ω); (c)
+        // doubling n never shrinks the bound.
+        for kind in WorkloadKind::ALL {
+            let w = kind.descriptor();
+            for &(n, d) in w.gate_shapes {
+                for a in w.algos {
+                    for &(mem, block) in &[(1024usize, 64usize), (64, 8)] {
+                        let at = |omega: u64, n: usize| {
+                            (a.predict)(AemConfig::new(mem, block, omega).unwrap(), n, d)
+                        };
+                        let omegas = [1u64, 4, 16, 64, 256];
+                        for pair in omegas.windows(2) {
+                            let (wl, wh) = (pair[0], pair[1]);
+                            if let (Some(lo), Some(hi)) = (at(wl, n), at(wh, n)) {
+                                assert!(
+                                    lo.q_saturating(wh) >= lo.q_saturating(wl),
+                                    "{kind}/{}: repricing at higher omega got cheaper",
+                                    a.name,
+                                );
+                                if lo == hi {
+                                    assert!(
+                                        hi.q_saturating(wh) >= lo.q_saturating(wl),
+                                        "{kind}/{}: Q must be monotone in omega for an \
+                                         omega-oblivious schedule",
+                                        a.name,
+                                    );
+                                }
+                            }
+                        }
+                        if let (Some(small), Some(big)) = (at(16, n), at(16, 2 * n)) {
+                            assert!(
+                                big.q_saturating(16) >= small.q_saturating(16),
+                                "{kind}/{}: Q must be monotone in n",
+                                a.name,
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -529,6 +529,13 @@ mod tests {
                 "search_binary",
                 "search_btree",
                 "search_eytzinger",
+                "scan_materialize",
+                "scan_tree",
+                "scan_rescan",
+                "matmul_tiled",
+                "matmul_stream",
+                "bfs_mark",
+                "bfs_rescan",
                 "pq_ops",
                 "flash_lemma43",
                 "backend_diff",
@@ -570,10 +577,12 @@ mod tests {
             let outcome = t.run(&case, Backend::Ghost);
             match t.name {
                 // Ghost-sound registry algorithms (naive permute, the
-                // fixed-schedule search descents) and the machine-free /
+                // fixed-schedule search descents, the position-routed
+                // scan and matmul families) and the machine-free /
                 // backend-neutral specials must still run.
-                "permute_naive" | "search_binary" | "search_btree" | "flash_lemma43"
-                | "backend_diff" => {
+                "permute_naive" | "search_binary" | "search_btree" | "scan_materialize"
+                | "scan_tree" | "scan_rescan" | "matmul_tiled" | "matmul_stream"
+                | "flash_lemma43" | "backend_diff" => {
                     assert_eq!(outcome, Outcome::Pass, "{}: {:?}", t.name, outcome)
                 }
                 _ => assert!(

@@ -1,0 +1,117 @@
+//! Seeded CSR graph instances for the BFS workload (T14).
+//!
+//! A graph instance is a directed graph over vertices `0..n` in CSR
+//! form: an offsets array of `n + 1` words and an adjacency array of
+//! exactly `m = n · δ` target ids (every vertex has out-degree `δ`, so
+//! the registry's `delta` knob fixes the edge volume). The *shape* is
+//! seed-derived so seed sweeps cover the traversal corners:
+//!
+//! * **path** — vertex `v` points at `v + 1` (self-loops at the end),
+//!   giving BFS depth `≈ n`: the worst case for any level-synchronous
+//!   strategy that pays a fixed cost per round;
+//! * **random** — uniform targets, the `O(log n)`-depth typical case;
+//! * **star** — vertex 0 fans out to a seeded spread and everything
+//!   else points back at 0, so most vertices are unreachable (the
+//!   `MISS` side of the distance oracle).
+//!
+//! The instance is what the registry's seeded constructor hands to every
+//! layer (serve exec, fuzz, the cost gate, the T14 sweep), so the same
+//! `(n, delta, seed)` triple always denotes the same workload.
+
+use crate::rng::SplitMix64;
+
+/// A generated BFS workload: a CSR graph searched from vertex 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphInstance {
+    /// Vertex count.
+    pub n: usize,
+    /// CSR offsets, `n + 1` entries; `offs[v]..offs[v+1]` indexes `adj`.
+    pub offs: Vec<u64>,
+    /// Adjacency targets, `n * delta` entries, each `< n`.
+    pub adj: Vec<u64>,
+}
+
+/// Deterministically generate the canonical instance for
+/// `(n, delta, seed)`; `seed % 3` picks path / random / star.
+pub fn graph_instance(n: usize, delta: usize, seed: u64) -> GraphInstance {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x0BF5_0000_7E57_0004);
+    let offs: Vec<u64> = (0..=n as u64).map(|v| v * delta as u64).collect();
+    let mut adj = Vec::with_capacity(n * delta);
+    match seed % 3 {
+        0 => {
+            // Path: first edge v → v+1 (self-loop at the last vertex),
+            // remaining out-edges are self-loops.
+            for v in 0..n as u64 {
+                let next = if (v as usize) + 1 < n { v + 1 } else { v };
+                adj.push(next);
+                for _ in 1..delta {
+                    adj.push(v);
+                }
+            }
+        }
+        1 => {
+            for _ in 0..n * delta {
+                adj.push(rng.next_below(n.max(1) as u64));
+            }
+        }
+        _ => {
+            // Star: vertex 0 spreads over the id range, the rest point
+            // back at the hub; most vertices stay unreachable.
+            for v in 0..n {
+                for e in 0..delta {
+                    if v == 0 {
+                        let spread = 1 + (e * n.saturating_sub(1)) / delta.max(1);
+                        adj.push(spread.min(n - 1) as u64);
+                    } else {
+                        adj.push(0);
+                    }
+                }
+            }
+        }
+    }
+    GraphInstance { n, offs, adj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_deterministic_and_well_formed() {
+        for seed in 0..6u64 {
+            let g = graph_instance(100, 3, seed);
+            assert_eq!(g, graph_instance(100, 3, seed));
+            assert_eq!(g.offs.len(), 101);
+            assert_eq!(g.adj.len(), 300);
+            assert!(g.adj.iter().all(|&w| (w as usize) < 100), "seed {seed}");
+            assert!(g.offs.windows(2).all(|w| w[1] - w[0] == 3));
+        }
+    }
+
+    #[test]
+    fn path_shape_is_deep() {
+        let g = graph_instance(50, 2, 3); // 3 % 3 == 0 → path
+        for v in 0..49u64 {
+            assert_eq!(g.adj[v as usize * 2], v + 1);
+        }
+        assert_eq!(g.adj[49 * 2], 49);
+    }
+
+    #[test]
+    fn star_shape_leaves_vertices_unreachable() {
+        let g = graph_instance(100, 2, 2); // 2 % 3 == 2 → star
+                                           // Only vertex 0's targets (≤ delta of them) are reachable.
+        let hub_targets: std::collections::BTreeSet<u64> = g.adj[..2].iter().copied().collect();
+        assert!(hub_targets.len() <= 2);
+        assert!(g.adj[2..].iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        let g = graph_instance(1, 3, 0);
+        assert_eq!(g.adj, vec![0, 0, 0]);
+        let empty = graph_instance(0, 2, 1);
+        assert_eq!(empty.offs, vec![0]);
+        assert!(empty.adj.is_empty());
+    }
+}

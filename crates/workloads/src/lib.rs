@@ -11,6 +11,12 @@
 //!   SpMxV lower bound demands (random, banded, block-diagonal, clustered).
 //! * [`search`] — strictly increasing key files plus hit/miss query
 //!   batches for the static-search (T11) experiments.
+//! * [`scan`] — value files plus prefix-query batches for the
+//!   reduce/scan (T12) experiments, including the all-equal corner.
+//! * [`matmul`] — seeded `d×d` factor pairs for the dense multiply (T13)
+//!   experiments (uniform, rank-one, dense-row shapes).
+//! * [`graph`] — uniform-out-degree CSR graphs for the BFS (T14)
+//!   experiments (path, random, star shapes).
 //!
 //! Everything is seeded and reproducible: the same `(generator, seed, size)`
 //! triple always yields the same workload, so the experiment tables in
@@ -19,14 +25,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod keys;
+pub mod matmul;
 pub mod matrix;
 pub mod perm;
 pub mod rng;
+pub mod scan;
 pub mod search;
 
+pub use graph::{graph_instance, GraphInstance};
 pub use keys::KeyDist;
+pub use matmul::{matmul_instance, MatmulInstance};
 pub use matrix::{Conformation, MatrixShape, Triple};
 pub use perm::PermKind;
 pub use rng::SplitMix64;
+pub use scan::{scan_instance, ScanInstance};
 pub use search::{search_instance, SearchInstance};

@@ -1,0 +1,127 @@
+//! Seeded instances for the dense matrix-multiply workload (T13).
+//!
+//! A matmul instance is a pair of `d × d` row-major matrices over
+//! wrapping `u64` arithmetic, with `d = ⌊√n⌋` so the workload registry's
+//! single size knob `n` fixes the element count. The matrix *shape* is
+//! seed-derived so seed sweeps cover the adversarial corners: rank-one
+//! (rank-deficient — every product column is a scalar multiple of one
+//! vector, so an indexing slip tends to still look "plausible"), and
+//! dense-row/dense-column (a single heavy row meeting a heavy column,
+//! the worst case for any tiling that assumes balanced tiles).
+//!
+//! The instance is what the registry's seeded constructor hands to every
+//! layer (serve exec, fuzz, the cost gate, the T13 sweep), so the same
+//! `(n, seed)` pair always denotes the same workload.
+
+use crate::rng::SplitMix64;
+
+/// A generated matmul workload: two `d × d` row-major factor matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatmulInstance {
+    /// Matrix side; `d = ⌊√n⌋`, at least 1.
+    pub d: usize,
+    /// Left factor, row-major, `d * d` entries.
+    pub a: Vec<u64>,
+    /// Right factor, row-major, `d * d` entries.
+    pub b: Vec<u64>,
+}
+
+/// Integer square root (largest `r` with `r² ≤ n`).
+pub fn isqrt(n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let mut r = (n as f64).sqrt() as usize;
+    while r * r > n {
+        r -= 1;
+    }
+    while (r + 1) * (r + 1) <= n {
+        r += 1;
+    }
+    r
+}
+
+/// Deterministically generate the canonical instance for `(n, seed)`.
+///
+/// `seed % 3` picks the shape: uniform random words, rank-one
+/// (`a[i][j] = u[i]·v[j]`), or dense-row (zero except one seeded heavy
+/// row of `a` and one heavy column of `b`).
+pub fn matmul_instance(n: usize, seed: u64) -> MatmulInstance {
+    let d = isqrt(n).max(1);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x3A73_0000_7E57_0003);
+    let mut gen = |shape: u64, heavy: usize, by_col: bool| -> Vec<u64> {
+        match shape {
+            0 => (0..d * d).map(|_| rng.next_u64()).collect(),
+            1 => {
+                let u: Vec<u64> = (0..d).map(|_| rng.next_below(1 << 20)).collect();
+                let v: Vec<u64> = (0..d).map(|_| rng.next_below(1 << 20)).collect();
+                (0..d * d)
+                    .map(|k| u[k / d].wrapping_mul(v[k % d]))
+                    .collect()
+            }
+            _ => (0..d * d)
+                .map(|k| {
+                    let lane = if by_col { k % d } else { k / d };
+                    if lane == heavy {
+                        rng.next_u64()
+                    } else {
+                        0
+                    }
+                })
+                .collect(),
+        }
+    };
+    let shape = seed % 3;
+    let heavy = (seed as usize / 3) % d;
+    let a = gen(shape, heavy, false);
+    let b = gen(shape, heavy, true);
+    MatmulInstance { d, a, b }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_is_exact() {
+        for n in 0..500usize {
+            let r = isqrt(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "n={n}");
+        }
+        assert_eq!(isqrt(1764), 42);
+    }
+
+    #[test]
+    fn instances_are_deterministic_and_sized() {
+        let a = matmul_instance(1764, 9);
+        let b = matmul_instance(1764, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.d, 42);
+        assert_eq!(a.a.len(), 42 * 42);
+        assert_eq!(a.b.len(), 42 * 42);
+    }
+
+    #[test]
+    fn shapes_cover_rank_one_and_dense_row() {
+        // seed 1 → rank-one: every 2×2 minor of `a` vanishes (mod 2^64).
+        let r1 = matmul_instance(100, 1);
+        let d = r1.d;
+        let m = |i: usize, j: usize| r1.a[i * d + j];
+        assert_eq!(m(0, 0).wrapping_mul(m(1, 1)), m(0, 1).wrapping_mul(m(1, 0)));
+        // seed 2 → dense-row: all of `a` outside one row is zero.
+        let dr = matmul_instance(100, 2);
+        let nonzero_rows: Vec<usize> = (0..dr.d)
+            .filter(|&i| (0..dr.d).any(|j| dr.a[i * dr.d + j] != 0))
+            .collect();
+        assert!(nonzero_rows.len() <= 1);
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        let one = matmul_instance(1, 3);
+        assert_eq!((one.d, one.a.len()), (1, 1));
+        // n below 1 still yields the 1×1 matrix (the registry rejects
+        // n = 0 before generation; this is belt-and-braces).
+        assert_eq!(matmul_instance(0, 3).d, 1);
+    }
+}

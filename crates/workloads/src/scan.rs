@@ -1,0 +1,80 @@
+//! Seeded instances for the reduce/scan workload (T12).
+//!
+//! A scan instance is a value file of `n` unsigned words plus a batch of
+//! `q` prefix queries: query `p` asks for the (wrapping) inclusive prefix
+//! sum `values[0] + … + values[p]`. The value *shape* is seed-derived so
+//! seed sweeps cover the degenerate corners the reduction tree must
+//! survive — in particular the all-equal file, where every partial sum
+//! collides and any comparison-based shortcut would mis-merge.
+//!
+//! The instance is what the registry's seeded constructor hands to every
+//! layer (serve exec, fuzz, the cost gate, the T12 sweep), so the same
+//! `(n, q, seed)` triple always denotes the same workload.
+
+use crate::rng::SplitMix64;
+
+/// A generated scan workload: values plus prefix-query positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanInstance {
+    /// The value file the prefix sums range over.
+    pub values: Vec<u64>,
+    /// Query positions, each in `0..n` (inclusive prefix ends).
+    pub queries: Vec<usize>,
+}
+
+/// Deterministically generate the canonical instance for `(n, q, seed)`.
+///
+/// `seed % 4` picks the value shape: all-equal (the adversarial
+/// duplicate-heavy corner), a ramp, a spiky file (mostly zeros with
+/// seeded bursts), or uniform random words. Query positions are uniform
+/// in `0..n`.
+pub fn scan_instance(n: usize, q: usize, seed: u64) -> ScanInstance {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5CA4_0000_7E57_0002);
+    let values: Vec<u64> = match seed % 4 {
+        0 => vec![1 + (seed / 4) % 97; n],
+        1 => (0..n as u64).collect(),
+        2 => (0..n)
+            .map(|_| {
+                if rng.next_below(8) == 0 {
+                    rng.next_below(1 << 40)
+                } else {
+                    0
+                }
+            })
+            .collect(),
+        _ => (0..n).map(|_| rng.next_u64()).collect(),
+    };
+    let queries: Vec<usize> = (0..q).map(|_| rng.next_below_usize(n.max(1))).collect();
+    ScanInstance { values, queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_deterministic_and_in_range() {
+        let a = scan_instance(512, 64, 9);
+        let b = scan_instance(512, 64, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.values.len(), 512);
+        assert_eq!(a.queries.len(), 64);
+        assert!(a.queries.iter().all(|&p| p < 512));
+    }
+
+    #[test]
+    fn seed_shapes_cover_the_all_equal_corner() {
+        let eq = scan_instance(64, 4, 4); // 4 % 4 == 0 → all-equal
+        assert!(eq.values.windows(2).all(|w| w[0] == w[1]));
+        let ramp = scan_instance(64, 4, 5);
+        assert!(ramp.values.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        let inst = scan_instance(1, 4, 1);
+        assert_eq!(inst.values.len(), 1);
+        assert!(inst.queries.iter().all(|&p| p == 0));
+        assert!(scan_instance(0, 0, 1).values.is_empty());
+    }
+}
